@@ -1,0 +1,39 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper at the default
+experiment scale (override with ``REPRO_REFS``/``REPRO_WARMUP``), renders
+it as text, prints it, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed from a single run of::
+
+    pytest benchmarks/ --benchmark-only
+
+Simulations are shared across benches through the in-process experiment
+cache, so the figure drivers never repeat a configuration.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print and archive one rendered table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture
+def record_figure(benchmark):
+    """Run a figure driver exactly once under pytest-benchmark and save it."""
+
+    def runner(name, fn, render):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        save_result(name, render(result))
+        return result
+
+    return runner

@@ -1,0 +1,124 @@
+"""Ablations of PV design choices called out in DESIGN.md (Section 6 there).
+
+Not paper figures — these quantify the design decisions the paper makes in
+prose: the PVCache sizing of Section 4.3, the virtualization-aware-cache
+option of Section 2.2, and the miss-report alternative of Section 2.2.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale, run_experiment
+
+WORKLOAD = "Apache"
+SCALE = ExperimentScale.from_env()
+
+
+def test_ablation_pvcache_size(record_figure):
+    """Paper (Section 4.3): little benefit beyond 8 PVCache sets."""
+
+    def run():
+        ref = run_experiment(WORKLOAD, PrefetcherConfig.dedicated(1024), scale=SCALE)
+        rows = []
+        for entries in (2, 4, 8, 16, 32):
+            pv = run_experiment(
+                WORKLOAD, PrefetcherConfig.virtualized(entries), scale=SCALE
+            )
+            rows.append(
+                {
+                    "pvcache_sets": entries,
+                    "coverage": pv.coverage,
+                    "l2_request_increase": pv.l2_request_increase(ref),
+                    "pvcache_hit_rate": pv.pvcache_hit_rate,
+                }
+            )
+        return rows
+
+    def render(rows):
+        return render_table(
+            ["pvcache_sets", "coverage", "l2_request_increase", "pvcache_hit_rate"],
+            rows,
+            title=f"Ablation: PVCache size ({WORKLOAD})",
+        )
+
+    rows = record_figure("ablation_pvcache_size", run, render)
+    by_sets = {r["pvcache_sets"]: r for r in rows}
+    # Coverage is essentially flat in PVCache size (fetch-on-demand always
+    # returns the entry) ...
+    assert abs(by_sets[8]["coverage"] - by_sets[32]["coverage"]) < 0.05
+    # ... and 8 -> 32 sets barely reduces L2 requests (the paper's reason
+    # for choosing 8).
+    saving = (
+        by_sets[8]["l2_request_increase"] - by_sets[32]["l2_request_increase"]
+    )
+    assert saving < 0.15
+
+
+def test_ablation_pv_aware_caches(record_figure):
+    """Section 2.2 option: drop dirty PV lines at the L2 instead of writing
+    them off-chip — trades a little effectiveness for zero PV writes."""
+
+    def run():
+        rows = []
+        # A 2MB L2 (the Figure 10 small point) actually evicts dirty PV
+        # lines; at 8MB the L2 absorbs them all and the option is moot.
+        for aware in (False, True):
+            pv = run_experiment(
+                "Zeus",
+                PrefetcherConfig.virtualized(8),
+                scale=SCALE,
+                l2_size=2 * 1024**2,
+                pv_aware=aware,
+            )
+            rows.append(
+                {
+                    "pv_aware": aware,
+                    "coverage": pv.coverage,
+                    "offchip_pv_writes": pv.offchip_pv_writes,
+                    "offchip_pv_reads": pv.offchip_pv_reads,
+                }
+            )
+        return rows
+
+    def render(rows):
+        return render_table(
+            ["pv_aware", "coverage", "offchip_pv_writes", "offchip_pv_reads"],
+            rows,
+            title="Ablation: virtualization-aware caches (Zeus, 2MB L2)",
+        )
+
+    rows = record_figure("ablation_pv_aware", run, render)
+    normal, aware = rows
+    assert aware["offchip_pv_writes"] == 0      # no PV write-back traffic
+    assert normal["offchip_pv_writes"] >= 0
+    # Dropping state costs at most a little coverage.
+    assert aware["coverage"] > 0.6 * normal["coverage"]
+
+
+def test_ablation_report_miss_on_fetch(record_figure):
+    """Section 2.2 alternative: report a predictor miss instead of waiting
+    for the PVTable fetch.  Loses the first prediction per set round-trip."""
+
+    def run():
+        rows = []
+        for report in (False, True):
+            pv = run_experiment(
+                WORKLOAD,
+                PrefetcherConfig(
+                    mode="virtualized", pht_sets=1024, pht_assoc=11,
+                    pvcache_entries=8, report_miss_on_fetch=report,
+                ),
+                scale=SCALE,
+            )
+            rows.append({"report_miss": report, "coverage": pv.coverage})
+        return rows
+
+    def render(rows):
+        return render_table(
+            ["report_miss", "coverage"],
+            rows,
+            title=f"Ablation: report-miss-on-fetch ({WORKLOAD})",
+        )
+
+    rows = record_figure("ablation_report_miss", run, render)
+    waiting, reporting = rows
+    assert reporting["coverage"] <= waiting["coverage"] + 0.02

@@ -1,0 +1,19 @@
+"""Figure 10: PV's off-chip interference vs. L2 capacity (Section 4.5)."""
+
+from repro.analysis.figures import figure10
+from repro.analysis.report import render_figure
+
+
+def test_figure10_l2_size_sensitivity(record_figure):
+    fig = record_figure("figure10", figure10, render_figure)
+
+    workloads = sorted({r["workload"] for r in fig.rows})
+    small = [fig.value("total", workload=w, l2="2MB") for w in workloads]
+    large = [fig.value("total", workload=w, l2="8MB") for w in workloads]
+
+    avg_small = sum(small) / len(small)
+    avg_large = sum(large) / len(large)
+
+    # Paper: PV interferes less as the L2 grows; minimal at 8MB.
+    assert avg_large < avg_small
+    assert avg_large < 0.10

@@ -1,0 +1,28 @@
+"""Figure 4: SMS performance potential vs. predictor table size."""
+
+from repro.analysis.figures import figure4
+from repro.analysis.report import render_figure
+
+
+def test_figure4_sms_potential(record_figure):
+    fig = record_figure("figure4", figure4, render_figure)
+
+    # Shape assertions from Section 4.2.
+    for workload in {r["workload"] for r in fig.rows}:
+        inf = fig.value("covered", workload=workload, config="Infinite")
+        k11 = fig.value("covered", workload=workload, config="1K-11a")
+        k16 = fig.value("covered", workload=workload, config="1K-16a")
+        s8 = fig.value("covered", workload=workload, config="8-11a")
+        # 1K-11a within a few percent of Infinite and of 1K-16a.
+        assert abs(inf - k11) < 0.06
+        assert abs(k16 - k11) < 0.06
+        # Large tables beat the smallest by a clear margin.
+        assert k11 > s8
+
+    # Oracle is the most size-sensitive workload; Qry1 the least.
+    oracle_drop = fig.value("covered", workload="Oracle", config="1K-11a") - \
+        fig.value("covered", workload="Oracle", config="8-11a")
+    qry1_keep = fig.value("covered", workload="Qry1", config="16-11a") / \
+        fig.value("covered", workload="Qry1", config="1K-11a")
+    assert oracle_drop > 0.2
+    assert qry1_keep > 0.8

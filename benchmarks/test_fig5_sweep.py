@@ -1,0 +1,20 @@
+"""Figure 5: full table-size sweep for three representative workloads."""
+
+from repro.analysis.figures import FIG5_SET_SWEEP, figure5
+from repro.analysis.report import render_figure
+
+
+def test_figure5_size_sweep(record_figure):
+    fig = record_figure("figure5", figure5, render_figure)
+
+    for workload in ("Apache", "Oracle", "Qry17"):
+        curve = [
+            fig.value("covered", workload=workload, config=f"{label}")
+            for label in ("1K-11a", "256-11a", "64-11a", "16-11a", "8-11a")
+        ]
+        # Coverage decreases (weakly) as the table shrinks...
+        for bigger, smaller in zip(curve, curve[1:]):
+            assert smaller <= bigger + 0.03
+        # ...and the total drop is significant (paper: every workload
+        # experiences a significant drop across the sweep).
+        assert curve[0] - curve[-1] > 0.1

@@ -1,0 +1,29 @@
+"""Figure 6: L2 request increase due to virtualization (+ Section 4.3)."""
+
+from repro.analysis.figures import figure6, pv_l2_fill_rates
+from repro.analysis.report import render_figure
+
+
+def test_figure6_l2_request_increase(record_figure):
+    fig = record_figure("figure6", figure6, render_figure)
+
+    pv8 = [r["l2_request_increase"] for r in fig.rows if r["config"] == "PV-8"]
+    pv16 = [r["l2_request_increase"] for r in fig.rows if r["config"] == "PV-16"]
+    average = sum(pv8) / len(pv8)
+
+    # Paper: between 25% and 44%, average 33%.  Allow a wider band at
+    # reduced scale, but the increase must be substantial and bounded.
+    assert 0.10 < average < 0.60
+    assert all(0.02 < x < 1.0 for x in pv8)
+    # PV-16 does not change the picture much (short-term reuse only).
+    for a, b in zip(pv8, pv16):
+        assert abs(a - b) < 0.15
+
+
+def test_section_4_3_pv_requests_filled_by_l2(record_figure):
+    fig = record_figure("section4_3_fill_rate", pv_l2_fill_rates, render_figure)
+    rates = [r["pv_l2_fill_rate"] for r in fig.rows]
+    # Paper: more than 98% across all workloads; at reduced scale the L2
+    # is proportionally colder, so require a slightly looser floor.
+    assert min(rates) > 0.90
+    assert sum(rates) / len(rates) > 0.95

@@ -1,0 +1,32 @@
+"""Figure 9: speedup of dedicated and virtualized SMS over no prefetching."""
+
+from repro.analysis.figures import figure9
+from repro.analysis.report import render_figure
+
+
+def test_figure9_speedups(record_figure):
+    fig = record_figure("figure9", figure9, render_figure)
+
+    workloads = sorted({r["workload"] for r in fig.rows})
+    s1k = {w: fig.value("speedup", workload=w, config="1K-11a") for w in workloads}
+    s16 = {w: fig.value("speedup", workload=w, config="16-11a") for w in workloads}
+    s8 = {w: fig.value("speedup", workload=w, config="8-11a") for w in workloads}
+    pv8 = {w: fig.value("speedup", workload=w, config="PV8") for w in workloads}
+
+    avg = lambda d: sum(d.values()) / len(d)
+
+    # Paper headline: the virtualized prefetcher matches the dedicated one
+    # (19% vs 18% on average) ...
+    assert abs(avg(pv8) - avg(s1k)) < 0.05
+    assert avg(s1k) > 0.10
+    # ... while the small dedicated tables achieve only about half.
+    small_avg = (avg(s16) + avg(s8)) / 2
+    assert small_avg < 0.7 * avg(s1k)
+
+    # Per-workload anchors: Qry1 is the largest speedup, Oracle the smallest
+    # among the 1K bars.
+    assert s1k["Qry1"] == max(s1k.values())
+    assert s1k["Oracle"] == min(s1k.values())
+    # PV-8 is within a few points of 1K-11a on every workload.
+    for w in workloads:
+        assert abs(pv8[w] - s1k[w]) < 0.10

@@ -1,0 +1,15 @@
+"""Table 1: base processor configuration."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table1
+
+
+def test_table1_configuration(record_figure):
+    def render(t):
+        rows = [{"parameter": k, "value": v} for k, v in t.items()]
+        return render_table(["parameter", "value"], rows,
+                            title="Table 1: Base processor configuration")
+
+    t = record_figure("table1", table1, render)
+    assert "8MB" in t["UL2"]
+    assert "400 cycles" in t["Main Memory"]

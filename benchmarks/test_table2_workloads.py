@@ -1,0 +1,16 @@
+"""Table 2: the workload inventory."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table2
+
+
+def test_table2_workloads(record_figure):
+    def render(rows):
+        return render_table(
+            ["workload", "category", "footprint_mb", "signatures", "description"],
+            rows,
+            title="Table 2: Workloads (synthetic substitutes; see DESIGN.md)",
+        )
+
+    rows = record_figure("table2", table2, render)
+    assert len(rows) == 8

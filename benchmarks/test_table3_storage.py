@@ -1,0 +1,32 @@
+"""Table 3 and Section 4.6: storage arithmetic (reproduced exactly)."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import pvproxy_budget_table, table3_rows
+from repro.core.storage import pvproxy_budget, reduction_factor
+
+
+def test_table3_storage(record_figure):
+    def render(rows):
+        return render_table(
+            ["configuration", "tags", "patterns", "total"],
+            rows,
+            title="Table 3: Storage for different predictor configurations",
+        )
+
+    rows = record_figure("table3", lambda: table3_rows(published=True), render)
+    totals = {r["configuration"]: r["total"] for r in rows}
+    assert totals["1K-16"] == "86KB"
+    assert totals["1K-11"] == "59.125KB"
+
+
+def test_section_4_6_pvproxy_budget(record_figure):
+    def render(rows):
+        return render_table(
+            ["component", "bytes"],
+            rows,
+            title="Section 4.6: PVProxy space requirements",
+        )
+
+    record_figure("section4_6_budget", pvproxy_budget_table, render)
+    assert pvproxy_budget()["total_bytes"] == 889.0
+    assert reduction_factor() > 60

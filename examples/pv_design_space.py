@@ -1,0 +1,79 @@
+"""PV design-space walk: the knobs Section 2 leaves to the designer.
+
+Explores, on one workload, the PV design decisions the paper discusses:
+
+* PVCache capacity (Section 4.3 picks 8 sets);
+* virtualization-aware caches (Section 2.2: drop dirty PV lines at the L2
+  rather than spending off-chip bandwidth);
+* report-miss-on-fetch (Section 2.2: answer "miss" instead of stalling on
+  a PVTable fetch);
+* and the L2-size sensitivity of Section 4.5.
+
+Usage::
+
+    python examples/pv_design_space.py [workload] [refs_per_core]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import CMPSimulator, PrefetcherConfig, SystemConfig, get_workload
+
+
+def run(workload, config, refs, system=None):
+    return CMPSimulator(workload, config, system=system).run(
+        refs, warmup_refs=refs
+    )
+
+
+def main() -> None:
+    workload = get_workload(sys.argv[1] if len(sys.argv) > 1 else "Apache")
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    print(f"workload: {workload.name}; {refs} refs/core (+ equal warmup)\n")
+
+    reference = run(workload, PrefetcherConfig.dedicated(1024), refs)
+
+    print("PVCache capacity (paper picks 8 sets):")
+    print(f"{'sets':>6s} {'coverage':>9s} {'L2 req increase':>16s} {'PVCache hit':>12s}")
+    for entries in (2, 4, 8, 16, 32):
+        r = run(workload, PrefetcherConfig.virtualized(entries), refs)
+        print(
+            f"{entries:6d} {r.coverage:8.1%} "
+            f"{r.l2_request_increase(reference):15.1%} {r.pvcache_hit_rate:11.1%}"
+        )
+
+    print("\nvirtualization-aware caches (drop dirty PV lines at L2):")
+    for aware in (False, True):
+        system = SystemConfig.baseline()
+        system = replace(
+            system, hierarchy=replace(system.hierarchy, pv_aware_caches=aware)
+        )
+        r = run(workload, PrefetcherConfig.virtualized(8), refs, system=system)
+        print(
+            f"  pv_aware={str(aware):5s} coverage={r.coverage:6.1%} "
+            f"pv off-chip writes={r.offchip_pv_writes}"
+        )
+
+    print("\nreport-miss-on-fetch (instead of waiting for the PVTable):")
+    for report in (False, True):
+        config = PrefetcherConfig(
+            mode="virtualized", pht_sets=1024, pht_assoc=11,
+            pvcache_entries=8, report_miss_on_fetch=report,
+        )
+        r = run(workload, config, refs)
+        print(f"  report_miss={str(report):5s} coverage={r.coverage:6.1%}")
+
+    print("\nL2 capacity sensitivity (off-chip increase vs dedicated SMS):")
+    for mb in (2, 4, 8):
+        system = SystemConfig.baseline().with_l2(size_bytes=mb * 1024**2)
+        ref = run(workload, PrefetcherConfig.dedicated(1024), refs, system=system)
+        pv = run(workload, PrefetcherConfig.virtualized(8), refs, system=system)
+        inc = pv.offchip_increase(ref)
+        print(
+            f"  L2={mb}MB  off-chip increase={inc['total']:+6.1%} "
+            f"(misses {inc['misses']:+6.1%}, writebacks {inc['writebacks']:+6.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: virtualize the SMS prefetcher's pattern history table.
+
+Runs the paper's headline comparison on one workload: no prefetching,
+SMS with its large dedicated PHT (59KB of on-chip SRAM per core), and SMS
+with the PHT virtualized into the memory hierarchy behind an 889-byte
+PVProxy.  Prints coverage, traffic, speedup, and the storage bill.
+
+Usage::
+
+    python examples/quickstart.py [workload] [refs_per_core]
+"""
+
+import sys
+
+from repro import CMPSimulator, PrefetcherConfig, get_workload
+from repro.core.storage import pht_storage, pvproxy_budget
+
+
+def main() -> None:
+    workload = get_workload(sys.argv[1] if len(sys.argv) > 1 else "Qry1")
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+    warmup = refs
+
+    configs = [
+        PrefetcherConfig.none(),
+        PrefetcherConfig.dedicated(1024, assoc=11),
+        PrefetcherConfig.virtualized(8),
+    ]
+
+    print(f"workload: {workload.name} — {workload.description}")
+    print(f"simulating {refs} references/core on a 4-core CMP "
+          f"(+{warmup} warmup)\n")
+
+    results = {}
+    for config in configs:
+        simulator = CMPSimulator(workload, config)
+        results[config.label] = simulator.run(refs, warmup_refs=warmup)
+
+    base = results["NoPF"]
+    header = f"{'config':10s} {'coverage':>9s} {'IPC':>7s} {'speedup':>8s} {'L2 reqs':>9s}"
+    print(header)
+    print("-" * len(header))
+    for label, r in results.items():
+        speedup = r.speedup_vs(base) if label != "NoPF" else 0.0
+        print(
+            f"{label:10s} {r.coverage:8.1%} {r.aggregate_ipc:7.3f} "
+            f"{speedup:+7.1%} {r.l2_requests:9d}"
+        )
+
+    dedicated_kb = pht_storage(1024, 11).total_bytes / 1024
+    pv_bytes = pvproxy_budget()["total_bytes"]
+    print(
+        f"\non-chip predictor storage per core: dedicated {dedicated_kb:.3f}KB"
+        f" -> virtualized {pv_bytes:.0f}B"
+        f" ({dedicated_kb * 1024 / pv_bytes:.0f}x reduction)"
+    )
+    pv = results["PV8"]
+    print(f"PVProxy requests served by the L2: {pv.pv_l2_fill_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

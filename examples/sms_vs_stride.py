@@ -1,0 +1,52 @@
+"""SMS vs. a classic stride prefetcher on commercial-style workloads.
+
+The paper's premise (Section 1): only the simplest prefetchers ship in
+real processors, yet commercial workloads need the sophisticated ones with
+big tables.  This example makes that concrete: a PC-stride prefetcher — the
+kind of simple design that does ship — against SMS, whose spatial patterns
+capture what strides cannot, and against SMS virtualized so its table cost
+no longer blocks adoption.
+
+Usage::
+
+    python examples/sms_vs_stride.py [refs_per_core]
+"""
+
+import sys
+
+from repro import CMPSimulator, PrefetcherConfig, get_workload, workload_names
+
+CONFIGS = [
+    ("Stride (256-entry RPT)", PrefetcherConfig.stride()),
+    ("SMS dedicated 1K-11a", PrefetcherConfig.dedicated(1024, 11)),
+    ("SMS virtualized PV8", PrefetcherConfig.virtualized(8)),
+]
+
+
+def main() -> None:
+    refs = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    names = ["Apache", "Oracle", "Qry1"]
+
+    print(f"{refs} refs/core (+ equal warmup), 4-core CMP\n")
+    header = f"{'workload':8s} " + "".join(f"{label:>24s}" for label, _ in CONFIGS)
+    print(header + "   (coverage / speedup)")
+    print("-" * len(header))
+    for name in names:
+        workload = get_workload(name)
+        base = CMPSimulator(workload, PrefetcherConfig.none()).run(
+            refs, warmup_refs=refs
+        )
+        cells = []
+        for _, config in CONFIGS:
+            r = CMPSimulator(workload, config).run(refs, warmup_refs=refs)
+            cells.append(f"{r.coverage:7.1%} / {r.speedup_vs(base):+6.1%}")
+        print(f"{name:8s} " + "".join(f"{c:>24s}" for c in cells))
+
+    print(
+        "\nSMS needs its large pattern table to beat the stride prefetcher;"
+        "\nvirtualization delivers that table for <1KB of dedicated SRAM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Calibration helper: coverage ladder per workload across PHT geometries.
+
+Not part of the library — used during development to tune workload
+profiles toward the paper's Figure 4/5/9 shapes, and kept for
+reproducibility of the calibration process.
+"""
+
+import sys
+import time
+
+from repro import CMPSimulator, PrefetcherConfig, get_workload, workload_names
+
+REFS = int(sys.argv[2]) if len(sys.argv) > 2 else 16_000
+WARMUP = REFS * 5 // 4
+
+CONFIGS = [
+    ("Inf", PrefetcherConfig.infinite()),
+    ("1K", PrefetcherConfig.dedicated(1024)),
+    ("16", PrefetcherConfig.dedicated(16)),
+    ("8", PrefetcherConfig.dedicated(8)),
+    ("PV8", PrefetcherConfig.virtualized(8)),
+]
+
+
+def ladder(name: str) -> None:
+    base = CMPSimulator(get_workload(name), PrefetcherConfig.none()).run(
+        REFS, warmup_refs=WARMUP
+    )
+    row = [f"{name:7s} ipc0={base.aggregate_ipc:.3f} mr={base.uncovered / max(base.l1d_read_accesses, 1):.2f}"]
+    for label, cfg in CONFIGS:
+        t = time.time()
+        r = CMPSimulator(get_workload(name), cfg).run(REFS, warmup_refs=WARMUP)
+        sp = r.speedup_vs(base)
+        row.append(
+            f"{label}:c={r.coverage:.2f}/o={r.overprediction_rate:.2f}/s={sp:+.2f}"
+        )
+    print("  ".join(row), flush=True)
+
+
+if __name__ == "__main__":
+    names = [sys.argv[1]] if len(sys.argv) > 1 and sys.argv[1] != "all" else workload_names()
+    for name in names:
+        ladder(name)

@@ -1,0 +1,72 @@
+"""Regenerate every table and figure without pytest.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the assertions:
+runs all experiment drivers (sharing simulations through the in-process
+cache), prints each artifact, and archives them under
+``benchmarks/results/``.
+
+Usage::
+
+    REPRO_REFS=16000 python scripts/reproduce_all.py [results_dir]
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.analysis import figures
+from repro.analysis.report import render_figure, render_table
+from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
+
+RESULTS = pathlib.Path(
+    sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results"
+)
+
+
+def save(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / f"{name}.txt").write_text(text + "\n")
+    print(text)
+    print()
+
+
+def main() -> None:
+    started = time.time()
+    save("table1", render_table(
+        ["parameter", "value"],
+        [{"parameter": k, "value": v} for k, v in table1().items()],
+        title="Table 1: Base processor configuration",
+    ))
+    save("table2", render_table(
+        ["workload", "category", "footprint_mb", "signatures", "description"],
+        table2(), title="Table 2: Workloads",
+    ))
+    save("table3", render_table(
+        ["configuration", "tags", "patterns", "total"],
+        table3_rows(), title="Table 3: Predictor storage",
+    ))
+    save("section4_6_budget", render_table(
+        ["component", "bytes"], pvproxy_budget_table(),
+        title="Section 4.6: PVProxy space requirements",
+    ))
+    drivers = [
+        ("figure4", figures.figure4),
+        ("figure5", figures.figure5),
+        ("figure6", figures.figure6),
+        ("section4_3_fill_rate", figures.pv_l2_fill_rates),
+        ("figure7", figures.figure7),
+        ("figure8", figures.figure8),
+        ("figure9", figures.figure9),
+        ("figure10", figures.figure10),
+        ("figure11", figures.figure11),
+    ]
+    for name, driver in drivers:
+        t = time.time()
+        save(name, render_figure(driver()))
+        print(f"[{name} in {time.time() - t:.0f}s]\n", file=sys.stderr)
+    print(f"all artifacts regenerated in {time.time() - started:.0f}s "
+          f"-> {RESULTS}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Parameter-space exploration for one workload (development helper)."""
+
+import sys
+from dataclasses import replace
+
+from repro import CMPSimulator, PrefetcherConfig
+from repro.workloads import get_workload
+
+REFS = 16_000
+WARMUP = 20_000
+
+CONFIGS = [
+    ("Inf", PrefetcherConfig.infinite()),
+    ("1K", PrefetcherConfig.dedicated(1024)),
+    ("16", PrefetcherConfig.dedicated(16)),
+    ("8", PrefetcherConfig.dedicated(8)),
+    ("PV8", PrefetcherConfig.virtualized(8)),
+]
+
+
+def ladder(profile):
+    base = CMPSimulator(profile, PrefetcherConfig.none()).run(REFS, warmup_refs=WARMUP)
+    mr = base.uncovered / max(base.l1d_read_accesses, 1)
+    l2hr = 1 - base.offchip_reads / max(base.l2_requests, 1)
+    print(
+        f"  base ipc={base.aggregate_ipc:.3f} mr={mr:.3f} l2_hit~{l2hr:.2f}",
+        flush=True,
+    )
+    for label, cfg in CONFIGS:
+        r = CMPSimulator(profile, cfg).run(REFS, warmup_refs=WARMUP)
+        print(
+            f"  {label:4s} cov={r.coverage:.3f} over={r.overprediction_rate:.3f} "
+            f"speedup={r.speedup_vs(base):+.3f} pvfill={r.pv_l2_fill_rate:.3f}",
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1]
+    overrides = {}
+    for kv in sys.argv[2:]:
+        k, v = kv.split("=")
+        overrides[k] = type(getattr(get_workload(name), k))(
+            float(v) if "." in v else int(v) if v.isdigit() else v
+        )
+    profile = replace(get_workload(name), **overrides)
+    print(name, overrides, flush=True)
+    ladder(profile)

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` (the offline
+path) works with older setuptools.
+"""
+
+from setuptools import setup
+
+setup()

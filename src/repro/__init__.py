@@ -1,0 +1,69 @@
+"""Predictor Virtualization (Burcea et al., ASPLOS 2008) — reproduction.
+
+A trace-driven CMP simulation library built around the paper's
+contribution: storing large hardware-predictor tables in the regular memory
+hierarchy behind a tiny on-chip proxy, demonstrated by virtualizing the
+Pattern History Table of the Spatial Memory Streaming data prefetcher.
+
+Quick start::
+
+    from repro import CMPSimulator, PrefetcherConfig, get_workload
+
+    result = CMPSimulator(
+        get_workload("Oracle"), PrefetcherConfig.virtualized(8)
+    ).run(20_000, warmup_refs=8_000)
+    print(result.summary())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core`      — the PV framework (PVTable, PVProxy, PVCache);
+* :mod:`repro.memory`    — caches, MSHRs, main memory, the CMP hierarchy;
+* :mod:`repro.cpu`       — trace format and the analytic timing model;
+* :mod:`repro.prefetch`  — SMS (AGT + PHT) and baseline prefetchers;
+* :mod:`repro.workloads` — the eight synthetic Table 2 workloads;
+* :mod:`repro.sim`       — simulator, experiment runner, SMARTS sampling;
+* :mod:`repro.analysis`  — per-figure/table reproduction drivers.
+"""
+
+from repro.core import (
+    PVProxy,
+    PVProxyConfig,
+    PVTable,
+    PredictorTable,
+    VirtualizedPredictorTable,
+)
+from repro.memory import MemorySystem
+from repro.prefetch import DedicatedPHT, InfinitePHT, SMSPrefetcher
+from repro.sim import (
+    CMPSimulator,
+    ExperimentScale,
+    PrefetcherConfig,
+    SimResult,
+    SystemConfig,
+    run_experiment,
+)
+from repro.workloads import WORKLOADS, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMPSimulator",
+    "DedicatedPHT",
+    "ExperimentScale",
+    "InfinitePHT",
+    "MemorySystem",
+    "PVProxy",
+    "PVProxyConfig",
+    "PVTable",
+    "PredictorTable",
+    "PrefetcherConfig",
+    "SMSPrefetcher",
+    "SimResult",
+    "SystemConfig",
+    "VirtualizedPredictorTable",
+    "WORKLOADS",
+    "__version__",
+    "get_workload",
+    "run_experiment",
+    "workload_names",
+]

@@ -1,0 +1,41 @@
+"""Per-figure and per-table reproduction drivers.
+
+Each ``figureN`` function runs (or reuses, via the experiment cache) the
+simulations behind one figure of the paper's evaluation and returns a
+:class:`~repro.analysis.report.FigureData` with the same rows/series the
+paper plots.  ``repro.analysis.tables`` does the same for the three tables.
+``repro.analysis.report`` renders either as fixed-width text.
+"""
+
+from repro.analysis.figures import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    pv_l2_fill_rates,
+)
+from repro.analysis.report import FigureData, render_figure, render_table
+from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
+
+__all__ = [
+    "FigureData",
+    "figure10",
+    "figure11",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "pv_l2_fill_rates",
+    "pvproxy_budget_table",
+    "render_figure",
+    "render_table",
+    "table1",
+    "table2",
+    "table3_rows",
+]

@@ -1,0 +1,95 @@
+"""ASCII bar charts for reproduced figures.
+
+The paper's figures are (stacked) bar charts; for terminal output each
+:class:`~repro.analysis.report.FigureData` can also be rendered as
+horizontal bars, one per row, with stacked segments for the
+covered/uncovered/overprediction splits of Figures 4 and 5 and the
+miss/writeback splits of Figures 7, 8 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import FigureData
+
+#: Fill characters per stacked segment, in order.
+SEGMENT_CHARS = "#=+~"
+
+
+def bar(value: float, scale: float, width: int, char: str = "#") -> str:
+    """One bar segment: ``value`` out of ``scale`` over ``width`` columns."""
+    if scale <= 0:
+        return ""
+    cells = int(round(max(value, 0.0) / scale * width))
+    return char * cells
+
+
+def stacked_bar(
+    values: Sequence[float], scale: float, width: int
+) -> str:
+    """Concatenate one segment per value, preserving total length ratio."""
+    out = []
+    for i, value in enumerate(values):
+        out.append(bar(value, scale, width, SEGMENT_CHARS[i % len(SEGMENT_CHARS)]))
+    return "".join(out)
+
+
+def render_bar_chart(
+    figure: FigureData,
+    value_columns: Sequence[str],
+    label_columns: Sequence[str] = ("workload", "config"),
+    width: int = 40,
+    scale: Optional[float] = None,
+) -> str:
+    """Render ``figure`` as a horizontal (stacked) bar chart.
+
+    ``value_columns`` selects the stacked segments; ``scale`` defaults to
+    the largest row total so the widest bar fills ``width`` columns.
+    """
+    rows = figure.rows
+    totals = [
+        sum(float(row.get(col) or 0.0) for col in value_columns) for row in rows
+    ]
+    if scale is None:
+        scale = max(totals) if totals else 1.0
+        if scale <= 0:
+            scale = 1.0
+    labels = [
+        " ".join(str(row.get(col, "")) for col in label_columns if col in row)
+        for row in rows
+    ]
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [f"{figure.name}: {figure.title}"]
+    legend = ", ".join(
+        f"{SEGMENT_CHARS[i % len(SEGMENT_CHARS)]}={col}"
+        for i, col in enumerate(value_columns)
+    )
+    lines.append(f"  [{legend}; full width = {scale * 100:.0f}%]")
+    for label, row, total in zip(labels, rows, totals):
+        segments = stacked_bar(
+            [float(row.get(col) or 0.0) for col in value_columns], scale, width
+        )
+        lines.append(f"  {label.ljust(label_width)} |{segments} {total * 100:.1f}%")
+    return "\n".join(lines)
+
+
+#: Which value columns make sense as stacked bars, per figure name.
+DEFAULT_CHART_COLUMNS: Dict[str, List[str]] = {
+    "Figure 4": ["covered", "overpredictions"],
+    "Figure 5": ["covered", "overpredictions"],
+    "Figure 6": ["l2_request_increase"],
+    "Figure 7": ["l2_misses", "l2_writebacks"],
+    "Figure 8": ["miss_app", "miss_pv", "wb_app", "wb_pv"],
+    "Figure 9": ["speedup"],
+    "Figure 10": ["l2_misses", "l2_writebacks"],
+    "Figure 11": ["speedup"],
+}
+
+
+def render_default_chart(figure: FigureData, width: int = 40) -> str:
+    """Chart a known figure with its conventional segment columns."""
+    columns = DEFAULT_CHART_COLUMNS.get(figure.name)
+    if columns is None:
+        raise KeyError(f"no default chart layout for {figure.name!r}")
+    return render_bar_chart(figure, columns, width=width)

@@ -1,0 +1,357 @@
+"""Drivers for every evaluation figure (Figures 4-11).
+
+Each driver assembles the runs a figure needs through the shared experiment
+cache, so e.g. the SMS-1K run of a workload is simulated once even though
+five figures reference it.  All drivers accept an
+:class:`~repro.sim.experiment.ExperimentScale` so callers control cost.
+
+Paper-vs-measured comparisons live in EXPERIMENTS.md; the ``notes`` field
+of each returned :class:`FigureData` restates the paper's headline claim
+for that figure so the shape can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import FigureData
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale, run_experiment
+from repro.sim.sampling import matched_pair
+from repro.workloads.registry import workload_names
+
+#: The five PHT configurations of Figure 4, in the paper's bar order.
+FIG4_CONFIGS: List[PrefetcherConfig] = [
+    PrefetcherConfig.infinite(),
+    PrefetcherConfig.dedicated(1024, assoc=16),
+    PrefetcherConfig.dedicated(1024, assoc=11),
+    PrefetcherConfig.dedicated(16, assoc=11),
+    PrefetcherConfig.dedicated(8, assoc=11),
+]
+
+#: The intermediate sweep of Figure 5 (all 11-way, plus Infinite and 1K-16a).
+FIG5_SET_SWEEP = [1024, 512, 256, 128, 64, 32, 16, 8]
+
+#: The three representative workloads Figure 5 plots.
+FIG5_WORKLOADS = ["Apache", "Oracle", "Qry17"]
+
+#: L2 capacities of the Section 4.5 sensitivity study (total, 4 cores).
+FIG10_L2_SIZES = [2 * 1024**2, 4 * 1024**2, 8 * 1024**2]
+
+#: Longer L2 latencies of Figure 11 (tag/data cycles; baseline is 6/12).
+FIG11_L2_LATENCY = (8, 16)
+
+
+def _workloads(workloads: Optional[Sequence[str]]) -> List[str]:
+    return list(workloads) if workloads is not None else workload_names()
+
+
+# --------------------------------------------------------------------- Fig 4
+
+
+def figure4(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """SMS performance potential vs. predictor table size (Figure 4)."""
+    rows = []
+    for name in _workloads(workloads):
+        for config in FIG4_CONFIGS:
+            r = run_experiment(name, config, scale=scale)
+            rows.append(
+                {
+                    "workload": name,
+                    "config": config.label,
+                    "covered": r.coverage,
+                    "uncovered": r.uncovered_fraction,
+                    "overpredictions": r.overprediction_rate,
+                }
+            )
+    return FigureData(
+        name="Figure 4",
+        title="SMS performance potential (fraction of L1 read misses)",
+        columns=["workload", "config", "covered", "uncovered", "overpredictions"],
+        rows=rows,
+        notes=[
+            "paper: large tables outperform small ones by a great margin;",
+            "paper: 1K-11a within ~3% of Infinite for every workload",
+        ],
+    )
+
+
+# --------------------------------------------------------------------- Fig 5
+
+
+def figure5(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Coverage across all intermediate table sizes (Figure 5)."""
+    rows = []
+    for name in _workloads(workloads) if workloads is not None else FIG5_WORKLOADS:
+        configs = [PrefetcherConfig.infinite(), PrefetcherConfig.dedicated(1024, 16)]
+        configs += [PrefetcherConfig.dedicated(s, 11) for s in FIG5_SET_SWEEP]
+        for config in configs:
+            r = run_experiment(name, config, scale=scale)
+            rows.append(
+                {
+                    "workload": name,
+                    "config": config.label,
+                    "covered": r.coverage,
+                    "uncovered": r.uncovered_fraction,
+                    "overpredictions": r.overprediction_rate,
+                }
+            )
+    return FigureData(
+        name="Figure 5",
+        title="SMS potential, full table-size sweep (representative workloads)",
+        columns=["workload", "config", "covered", "uncovered", "overpredictions"],
+        rows=rows,
+        notes=["paper: every workload drops significantly as entries shrink"],
+    )
+
+
+# --------------------------------------------------------------------- Fig 6
+
+
+def figure6(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Increase in L2 requests due to virtualization (Figure 6)."""
+    rows = []
+    reference = PrefetcherConfig.dedicated(1024, 11)
+    for name in _workloads(workloads):
+        ref = run_experiment(name, reference, scale=scale)
+        for entries in (8, 16):
+            pv = run_experiment(
+                name, PrefetcherConfig.virtualized(entries), scale=scale
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "config": f"PV-{entries}",
+                    "l2_request_increase": pv.l2_request_increase(ref),
+                    "pvcache_hit_rate": pv.pvcache_hit_rate,
+                }
+            )
+    return FigureData(
+        name="Figure 6",
+        title="L2 request increase due to virtualization (vs dedicated SMS-1K)",
+        columns=["workload", "config", "l2_request_increase", "pvcache_hit_rate"],
+        rows=rows,
+        notes=[
+            "paper: 25-44% more L2 requests for PV-8 (average 33%);",
+            "paper: PV-16 barely different from PV-8",
+        ],
+    )
+
+
+def pv_l2_fill_rates(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Section 4.3 claim: >98% of PVProxy requests are filled by the L2."""
+    rows = []
+    for name in _workloads(workloads):
+        pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
+        rows.append(
+            {
+                "workload": name,
+                "pv_l2_fill_rate": pv.pv_l2_fill_rate,
+                "pvcache_hit_rate": pv.pvcache_hit_rate,
+            }
+        )
+    return FigureData(
+        name="Section 4.3",
+        title="Fraction of PVProxy requests served on-chip by the L2",
+        columns=["workload", "pv_l2_fill_rate", "pvcache_hit_rate"],
+        rows=rows,
+        notes=["paper: more than 98% of PVProxy requests are filled in L2"],
+    )
+
+
+# --------------------------------------------------------------------- Fig 7
+
+
+def figure7(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Off-chip bandwidth increase, split into L2 misses and writebacks."""
+    rows = []
+    reference = PrefetcherConfig.dedicated(1024, 11)
+    for name in _workloads(workloads):
+        ref = run_experiment(name, reference, scale=scale)
+        for entries in (8, 16):
+            pv = run_experiment(
+                name, PrefetcherConfig.virtualized(entries), scale=scale
+            )
+            inc = pv.offchip_increase(ref)
+            rows.append(
+                {
+                    "workload": name,
+                    "config": f"PV-{entries}",
+                    "l2_misses": inc["misses"],
+                    "l2_writebacks": inc["writebacks"],
+                    "total": inc["total"],
+                }
+            )
+    return FigureData(
+        name="Figure 7",
+        title="Off-chip bandwidth increase due to virtualization",
+        columns=["workload", "config", "l2_misses", "l2_writebacks", "total"],
+        rows=rows,
+        notes=[
+            "paper: average off-chip increase 3.3%, maximum 6.5% (Zeus);",
+            "paper: miss increase <1% for five workloads, <3% for the rest",
+        ],
+    )
+
+
+# --------------------------------------------------------------------- Fig 8
+
+
+def figure8(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Figure 7's PV-8 increase split into application vs PV data."""
+    rows = []
+    reference = PrefetcherConfig.dedicated(1024, 11)
+    for name in _workloads(workloads):
+        ref = run_experiment(name, reference, scale=scale)
+        pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
+        split = pv.offchip_split_increase(ref)
+        rows.append(
+            {
+                "workload": name,
+                "miss_app": split["miss_app"],
+                "miss_pv": split["miss_pv"],
+                "wb_app": split["wb_app"],
+                "wb_pv": split["wb_pv"],
+            }
+        )
+    return FigureData(
+        name="Figure 8",
+        title="Off-chip traffic increase split into application and PV data (PV-8)",
+        columns=["workload", "miss_app", "miss_pv", "wb_app", "wb_pv"],
+        rows=rows,
+        notes=[
+            "paper: application-data miss increase <2.5% everywhere (avg ~1%)",
+        ],
+    )
+
+
+# --------------------------------------------------------------------- Fig 9
+
+
+FIG9_CONFIGS: List[PrefetcherConfig] = [
+    PrefetcherConfig.dedicated(1024, 11),
+    PrefetcherConfig.dedicated(16, 11),
+    PrefetcherConfig.dedicated(8, 11),
+    PrefetcherConfig.virtualized(8),
+]
+
+
+def figure9(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Speedup over the no-prefetch baseline (Figure 9), with matched-pair CIs."""
+    rows = []
+    for name in _workloads(workloads):
+        base = run_experiment(name, PrefetcherConfig.none(), scale=scale)
+        for config in FIG9_CONFIGS:
+            r = run_experiment(name, config, scale=scale)
+            row = {
+                "workload": name,
+                "config": config.label,
+                "speedup": r.speedup_vs(base),
+            }
+            if base.window_ipcs and r.window_ipcs:
+                pair = matched_pair(base.window_ipcs, r.window_ipcs)
+                row["ci95"] = pair.relative_half_width
+            rows.append(row)
+    return FigureData(
+        name="Figure 9",
+        title="Speedup over no-prefetching baseline",
+        columns=["workload", "config", "speedup", "ci95"],
+        rows=rows,
+        notes=[
+            "paper: SMS-1K avg 19%, PV-8 avg 18%; small tables about half;",
+            "paper: Apache gets no speedup from the small dedicated tables",
+        ],
+    )
+
+
+# -------------------------------------------------------------------- Fig 10
+
+
+def figure10(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Off-chip bandwidth increase vs. L2 capacity (Figure 10)."""
+    rows = []
+    reference = PrefetcherConfig.dedicated(1024, 11)
+    for name in _workloads(workloads):
+        for l2_size in FIG10_L2_SIZES:
+            ref = run_experiment(name, reference, scale=scale, l2_size=l2_size)
+            pv = run_experiment(
+                name, PrefetcherConfig.virtualized(8), scale=scale, l2_size=l2_size
+            )
+            inc = pv.offchip_increase(ref)
+            rows.append(
+                {
+                    "workload": name,
+                    "l2": f"{l2_size // 1024**2}MB",
+                    "l2_misses": inc["misses"],
+                    "l2_writebacks": inc["writebacks"],
+                    "total": inc["total"],
+                }
+            )
+    return FigureData(
+        name="Figure 10",
+        title="Off-chip bandwidth increase for different L2 sizes (PV-8)",
+        columns=["workload", "l2", "l2_misses", "l2_writebacks", "total"],
+        rows=rows,
+        notes=["paper: PV interferes less as L2 capacity grows; minimal at 8MB"],
+    )
+
+
+# -------------------------------------------------------------------- Fig 11
+
+
+def figure11(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> FigureData:
+    """Speedups with a slower L2 (8/16-cycle tag/data, Figure 11)."""
+    tag, data = FIG11_L2_LATENCY
+    rows = []
+    for name in _workloads(workloads):
+        base = run_experiment(
+            name, PrefetcherConfig.none(), scale=scale,
+            l2_tag_latency=tag, l2_data_latency=data,
+        )
+        for config in (PrefetcherConfig.dedicated(1024, 11),
+                       PrefetcherConfig.virtualized(8)):
+            r = run_experiment(
+                name, config, scale=scale,
+                l2_tag_latency=tag, l2_data_latency=data,
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "config": config.label,
+                    "speedup": r.speedup_vs(base),
+                }
+            )
+    return FigureData(
+        name="Figure 11",
+        title=f"Speedup with increased L2 latency ({tag}/{data} tag/data cycles)",
+        columns=["workload", "config", "speedup"],
+        rows=rows,
+        notes=["paper: PV within ~1.5% of the dedicated prefetcher on average"],
+    )

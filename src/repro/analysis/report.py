@@ -1,0 +1,75 @@
+"""Fixed-width text rendering for reproduced tables and figures.
+
+The paper's figures are bar charts; a terminal reproduction prints the same
+series as aligned numeric tables, one row per bar (or per group of stacked
+bars).  Values that are fractions are rendered as percentages, matching the
+figure axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureData:
+    """The data behind one reproduced figure."""
+
+    name: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, key: str) -> List[object]:
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria) -> List[Dict[str, object]]:
+        """Rows matching all ``column=value`` criteria."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+    def value(self, column: str, **criteria) -> object:
+        """The single value of ``column`` in the row matching ``criteria``."""
+        rows = self.filter(**criteria)
+        if len(rows) != 1:
+            raise KeyError(f"{len(rows)} rows match {criteria!r} in {self.name}")
+        return rows[0][column]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value * 100:.1f}%" if -1.5 < value < 1.5 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str], rows: Sequence[Dict[str, object]], title: str = ""
+) -> str:
+    """Render rows as an aligned fixed-width table."""
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData) -> str:
+    """Render a :class:`FigureData` (table plus any notes)."""
+    text = render_table(figure.columns, figure.rows, title=f"{figure.name}: {figure.title}")
+    for note in figure.notes:
+        text += f"\n  note: {note}"
+    return text

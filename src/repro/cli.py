@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the deliverables:
+
+* ``table1`` / ``table2`` / ``table3`` / ``budget`` — the paper's tables;
+* ``figure4`` ... ``figure11`` / ``fill-rate``     — the evaluation figures
+  (optionally as ASCII bar charts with ``--chart``);
+* ``run``                                           — one simulation with a
+  chosen workload and prefetcher configuration;
+* ``trace-stats``                                   — summarize a workload's
+  synthetic reference stream.
+
+All figure commands accept ``--workloads`` (comma-separated), ``--refs``
+and ``--warmup`` to control scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures as _figures
+from repro.analysis.charts import render_default_chart
+from repro.analysis.report import render_figure, render_table
+from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload, workload_names
+
+FIGURE_COMMANDS = {
+    "figure4": _figures.figure4,
+    "figure5": _figures.figure5,
+    "figure6": _figures.figure6,
+    "figure7": _figures.figure7,
+    "figure8": _figures.figure8,
+    "figure9": _figures.figure9,
+    "figure10": _figures.figure10,
+    "figure11": _figures.figure11,
+    "fill-rate": _figures.pv_l2_fill_rates,
+}
+
+PREFETCHERS = {
+    "none": PrefetcherConfig.none,
+    "infinite": PrefetcherConfig.infinite,
+    "sms-1k": lambda: PrefetcherConfig.dedicated(1024, 11),
+    "sms-16": lambda: PrefetcherConfig.dedicated(16, 11),
+    "sms-8": lambda: PrefetcherConfig.dedicated(8, 11),
+    "pv8": lambda: PrefetcherConfig.virtualized(8),
+    "pv16": lambda: PrefetcherConfig.virtualized(16),
+    "stride": PrefetcherConfig.stride,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictor Virtualization (ASPLOS 2008) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "budget"):
+        sub.add_parser(name, help=f"print {name}")
+
+    for name in FIGURE_COMMANDS:
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        p.add_argument("--workloads", default=None,
+                       help="comma-separated subset (default: all eight)")
+        p.add_argument("--refs", type=int, default=None,
+                       help="references per core")
+        p.add_argument("--warmup", type=int, default=None,
+                       help="warmup references per core")
+        p.add_argument("--chart", action="store_true",
+                       help="render as an ASCII bar chart")
+
+    run = sub.add_parser("run", help="run one simulation and print a summary")
+    run.add_argument("workload", choices=workload_names())
+    run.add_argument("prefetcher", choices=sorted(PREFETCHERS))
+    run.add_argument("--refs", type=int, default=12_000)
+    run.add_argument("--warmup", type=int, default=None)
+
+    ts = sub.add_parser("trace-stats", help="summarize a workload's stream")
+    ts.add_argument("workload", choices=workload_names())
+    ts.add_argument("--refs", type=int, default=20_000)
+    ts.add_argument("--core", type=int, default=0)
+
+    return parser
+
+
+def _scale(args) -> Optional[ExperimentScale]:
+    if args.refs is None and args.warmup is None:
+        return None
+    refs = args.refs or 16_000
+    warmup = args.warmup if args.warmup is not None else refs * 5 // 4
+    return ExperimentScale(
+        refs_per_core=refs, warmup_refs=warmup, window_refs=max(refs // 10, 1)
+    )
+
+
+def _run_figure(args) -> str:
+    driver = FIGURE_COMMANDS[args.command]
+    workloads = args.workloads.split(",") if args.workloads else None
+    figure = driver(workloads=workloads, scale=_scale(args))
+    if args.chart:
+        try:
+            return render_default_chart(figure)
+        except KeyError:
+            pass
+    return render_figure(figure)
+
+
+def _run_simulation(args) -> str:
+    workload = get_workload(args.workload)
+    config = PREFETCHERS[args.prefetcher]()
+    warmup = args.warmup if args.warmup is not None else args.refs
+    simulator = CMPSimulator(workload, config)
+    result = simulator.run(args.refs, warmup_refs=warmup)
+    rows = [{"metric": k, "value": v} for k, v in result.summary().items()]
+    title = f"{workload.name} / {config.label} ({args.refs} refs/core)"
+    return render_table(["metric", "value"], rows, title=title)
+
+
+def _run_trace_stats(args) -> str:
+    from repro.cpu.tracetools import trace_stats
+    from repro.workloads.generator import WorkloadGenerator
+
+    profile = get_workload(args.workload)
+    generator = WorkloadGenerator(profile, core=args.core)
+    stats = trace_stats(generator.records(args.refs))
+    rows = [{"metric": k, "value": v} for k, v in stats.as_dict().items()]
+    return render_table(["metric", "value"], rows,
+                        title=f"trace stats: {profile.name}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        rows = [{"parameter": k, "value": v} for k, v in table1().items()]
+        print(render_table(["parameter", "value"], rows, title="Table 1"))
+    elif args.command == "table2":
+        print(render_table(
+            ["workload", "category", "footprint_mb", "description"],
+            table2(), title="Table 2",
+        ))
+    elif args.command == "table3":
+        print(render_table(
+            ["configuration", "tags", "patterns", "total"],
+            table3_rows(), title="Table 3",
+        ))
+    elif args.command == "budget":
+        print(render_table(
+            ["component", "bytes"], pvproxy_budget_table(),
+            title="Section 4.6: PVProxy budget",
+        ))
+    elif args.command in FIGURE_COMMANDS:
+        print(_run_figure(args))
+    elif args.command == "run":
+        print(_run_simulation(args))
+    elif args.command == "trace-stats":
+        print(_run_trace_stats(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Predictor Virtualization — the paper's primary contribution.
+
+The framework mirrors Figure 1 of the paper.  A hardware optimization is
+split into an *optimization engine* (unchanged by virtualization) and a
+*predictor table*.  Virtualization replaces the dedicated table with:
+
+* :class:`~repro.core.pvtable.PVTable` — the table's contents, laid out in a
+  reserved chunk of the physical address space, several entries packed per
+  64-byte cache block;
+* :class:`~repro.core.pvproxy.PVProxy` — a small on-chip agent holding the
+  hot table sets in a fully-associative :class:`PVCache`, fetching missing
+  sets from the memory hierarchy through ordinary L2 requests tracked in an
+  MSHR file, and writing dirty sets back on eviction;
+* :class:`~repro.core.virtualized.VirtualizedPredictorTable` — an adapter
+  that makes the proxy satisfy the exact same
+  :class:`~repro.core.interface.PredictorTable` interface a dedicated table
+  implements, so the optimization engine cannot tell the difference.
+
+``repro.core.storage`` holds the analytic storage-cost model behind Table 3
+and the Section 4.6 on-chip budget (889 bytes, a 68x reduction).
+"""
+
+from repro.core.context import ContextStats, PredictorContextManager
+from repro.core.interface import LookupResult, PredictorTable, TableGeometry
+from repro.core.pvtable import EntryCodec, PVTable, PVTableLayout
+from repro.core.pvproxy import PVCache, PVProxy, PVProxyConfig
+from repro.core.storage import (
+    PHTStorage,
+    pht_storage,
+    pvproxy_budget,
+    reduction_factor,
+    TABLE3_GEOMETRIES,
+)
+from repro.core.virtualized import VirtualizedPredictorTable
+
+__all__ = [
+    "ContextStats",
+    "EntryCodec",
+    "PredictorContextManager",
+    "LookupResult",
+    "PHTStorage",
+    "PVCache",
+    "PVProxy",
+    "PVProxyConfig",
+    "PVTable",
+    "PVTableLayout",
+    "PredictorTable",
+    "TABLE3_GEOMETRIES",
+    "TableGeometry",
+    "VirtualizedPredictorTable",
+    "pht_storage",
+    "pvproxy_budget",
+    "reduction_factor",
+]

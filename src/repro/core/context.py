@@ -1,0 +1,109 @@
+"""Per-process predictor tables via PVStart swapping (Sections 2.1 and 2.3).
+
+The paper: "If sharing the predictor table among applications is
+detrimental, independent tables can be preserved by allocating different
+chunks of main memory to different applications via the PVStart registers"
+and "Per-process predictor tables eliminate inter-process interference in
+multi-programmed environments."
+
+:class:`PredictorContextManager` models exactly that OS/hardware contract:
+it owns one PVTable per process (each in its own reserved physical chunk),
+and a context switch (a) writes the dirty PVCache entries of the outgoing
+process back to its table and (b) repoints the core's PVProxy — its PVStart
+register — at the incoming process's table.  Dirty L2 lines belonging to a
+switched-out process keep committing correctly: the manager routes PV
+evictions for *any* of its tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.pvproxy import PVProxy
+from repro.core.pvtable import PVTable, PVTableLayout
+from repro.memory.addr import AddressSpace
+from repro.memory.cache import EvictedLine
+
+
+@dataclass
+class ContextStats:
+    switches: int = 0
+    tables_created: int = 0
+    flush_writebacks: int = 0
+
+
+class PredictorContextManager:
+    """Swaps a PVProxy between per-process PVTables on context switches."""
+
+    def __init__(
+        self,
+        proxy: PVProxy,
+        layout: PVTableLayout,
+        address_space: AddressSpace,
+    ) -> None:
+        self.proxy = proxy
+        self.layout = layout
+        self.address_space = address_space
+        self.stats = ContextStats()
+        self._tables: Dict[object, PVTable] = {}
+        self.current_pid: Optional[object] = None
+        # Route L2 PV evictions for switched-out processes' tables (the
+        # proxy itself only handles its current table).
+        proxy.hierarchy.pv_eviction_listeners.append(self._on_l2_pv_eviction)
+        # Adopt the proxy's initial table as the first process if it has one.
+        if proxy.table is not None:
+            self._tables[None] = proxy.table
+
+    # ---------------------------------------------------------------- tables
+
+    def table_for(self, pid) -> PVTable:
+        """The process's PVTable, reserving a fresh chunk on first use."""
+        table = self._tables.get(pid)
+        if table is None:
+            pv_start = self.address_space.reserve(self.layout.table_bytes)
+            table = PVTable(self.layout, pv_start)
+            self._tables[pid] = table
+            self.stats.tables_created += 1
+        return table
+
+    @property
+    def pv_start(self) -> int:
+        """The current value of the core's PVStart control register."""
+        return self.proxy.table.pv_start
+
+    # --------------------------------------------------------------- switch
+
+    def switch(self, pid) -> None:
+        """Context-switch the core to process ``pid``.
+
+        Dirty PVCache entries belong to the outgoing process's table and
+        must reach its memory image before PVStart changes; clean entries
+        are simply dropped (they would be stale under the new table).
+        """
+        if pid == self.current_pid and pid in self._tables:
+            return
+        before = self.proxy.stats.writebacks
+        self.proxy.flush()
+        self.stats.flush_writebacks += self.proxy.stats.writebacks - before
+        self.proxy.table = self.table_for(pid)
+        self.current_pid = pid
+        self.stats.switches += 1
+
+    # -------------------------------------------------------------- routing
+
+    def _on_l2_pv_eviction(self, victim: EvictedLine) -> None:
+        current = self.proxy.table
+        for table in self._tables.values():
+            if table is current:
+                continue  # the proxy's own listener handles this one
+            if table.owns_address(victim.block_addr):
+                table.on_l2_eviction(
+                    table.set_of_address(victim.block_addr),
+                    dirty=victim.dirty,
+                    pv_aware=self.proxy.hierarchy.config.pv_aware_caches,
+                )
+                return
+
+    def processes(self):
+        return [pid for pid in self._tables if pid is not None]

@@ -1,0 +1,105 @@
+"""The predictor-table interface shared by dedicated and virtualized tables.
+
+Section 2.2 of the paper: "The interface between the optimization engine and
+the original predictor table is preserved in the virtualized architecture";
+the table supports exactly two operations, *store* an entry and *retrieve*
+an entry, both addressed by an index the optimization engine computes.
+
+The one semantic difference virtualization introduces is non-uniform access
+latency (Section 2.4), so ``lookup`` returns a :class:`LookupResult` whose
+``ready_at`` says when the answer is actually available.  A dedicated table
+answers at ``now + 1``; a virtualized table may answer tens or hundreds of
+cycles later when the containing set must be fetched from the L2 or memory.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class TableGeometry:
+    """Logical geometry of a set-associative predictor table."""
+
+    n_sets: int
+    assoc: int
+    index_bits: int
+
+    def __post_init__(self) -> None:
+        if self.n_sets <= 0 or self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"n_sets must be a power of two, got {self.n_sets}")
+        if self.assoc <= 0:
+            raise ValueError("assoc must be positive")
+        if self.index_bits <= 0:
+            raise ValueError("index_bits must be positive")
+        if self.n_sets > (1 << self.index_bits):
+            raise ValueError("more sets than index values")
+
+    @property
+    def set_bits(self) -> int:
+        return self.n_sets.bit_length() - 1
+
+    @property
+    def tag_bits(self) -> int:
+        return self.index_bits - self.set_bits
+
+    @property
+    def entries(self) -> int:
+        return self.n_sets * self.assoc
+
+    def split(self, index: int) -> tuple:
+        """Split a table index into ``(set_index, tag)``."""
+        if index < 0 or index >= (1 << self.index_bits):
+            raise ValueError(
+                f"index {index:#x} out of range for {self.index_bits}-bit table"
+            )
+        return index & (self.n_sets - 1), index >> self.set_bits
+
+    def join(self, set_index: int, tag: int) -> int:
+        """Inverse of :meth:`split`."""
+        return (tag << self.set_bits) | set_index
+
+    def label(self) -> str:
+        """Paper-style geometry label, e.g. ``1K-11a`` or ``16-11a``."""
+        sets = f"{self.n_sets // 1024}K" if self.n_sets >= 1024 else str(self.n_sets)
+        return f"{sets}-{self.assoc}a"
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a predictor lookup.
+
+    ``value``    — the stored entry, or ``None`` on a predictor miss;
+    ``hit``      — whether the entry was found (predictor hit);
+    ``ready_at`` — cycle at which the answer is available to the engine;
+    ``pvcache_hit`` — for virtualized tables, whether the containing set was
+    already resident in the PVCache (always ``True`` for dedicated tables,
+    which have uniform latency).
+    """
+
+    value: Optional[Any]
+    hit: bool
+    ready_at: int
+    pvcache_hit: bool = True
+
+
+class PredictorTable(abc.ABC):
+    """Store/retrieve interface between optimization engine and predictor."""
+
+    @abc.abstractmethod
+    def lookup(self, index: int, now: int = 0) -> LookupResult:
+        """Retrieve the entry at ``index`` (operation 2 of Section 2.2)."""
+
+    @abc.abstractmethod
+    def store(self, index: int, value: Any, now: int = 0) -> None:
+        """Store ``value`` at ``index`` (operation 1 of Section 2.2)."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Dedicated on-chip storage this table consumes, in bits."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Discard all learned state (e.g. on a simulated VM migration)."""
+        raise NotImplementedError

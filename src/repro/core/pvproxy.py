@@ -1,0 +1,312 @@
+"""The PVProxy: on-chip mediator between an optimization engine and PVTable.
+
+Section 2.2 and 3.2.2 of the paper.  The proxy owns:
+
+* the **PVCache** — a small fully-associative cache whose entries are whole
+  predictor-table *sets* (one 64-byte PVTable block each), LRU-replaced,
+  with a dirty bit per entry;
+* an **MSHR file** for in-flight PVTable fetches (coalescing duplicate
+  requests to the same set);
+* an **evict buffer** that stages dirty victim sets on their way to the L2;
+* a **pattern buffer** that holds store operands while the containing set is
+  being fetched (the paper sizes it at 16 entries, Section 4.6).
+
+Requests that cannot be tracked (MSHR or pattern buffer full) are dropped:
+predictions are advisory, so dropping affects effectiveness, never
+correctness — the drop counters let experiments quantify it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.interface import LookupResult
+from repro.core.pvtable import PVTable
+from repro.memory.cache import EvictedLine
+from repro.memory.hierarchy import MemorySystem, ServedBy
+from repro.memory.mshr import MSHRFile
+
+
+@dataclass
+class PVProxyConfig:
+    """Sizing knobs; defaults reproduce the Section 4.6 budget (889 bytes)."""
+
+    pvcache_entries: int = 8       # PVTable sets resident on chip
+    mshr_entries: int = 4
+    evict_buffer_entries: int = 4
+    pattern_buffer_entries: int = 16
+    pvcache_latency: int = 1       # cycles for a PVCache hit
+    # When True, a PVCache miss is reported to the engine as a predictor
+    # miss instead of stalling the request until the fetch returns
+    # (the alternative mentioned in Section 2.2).  The fetched set is still
+    # installed, so the *next* trigger to the set hits.
+    report_miss_on_fetch: bool = False
+
+
+@dataclass
+class PVCacheEntry:
+    """One resident PVTable set: ways in LRU order plus a dirty bit."""
+
+    set_index: int
+    ways: "OrderedDict[int, Any]" = field(default_factory=OrderedDict)
+    dirty: bool = False
+    ready_at: int = 0  # cycle the fetch that brought this set completes
+
+
+@dataclass
+class PVProxyStats:
+    lookups: int = 0
+    stores: int = 0
+    pvcache_hits: int = 0
+    pvcache_misses: int = 0
+    predictor_hits: int = 0
+    fetches: int = 0
+    fetches_from_l2: int = 0
+    fetches_from_memory: int = 0
+    writebacks: int = 0
+    dropped_lookups: int = 0
+    dropped_stores: int = 0
+    coalesced: int = 0
+    reported_misses: int = 0
+    software_invalidations: int = 0
+
+    @property
+    def pvcache_hit_rate(self) -> float:
+        total = self.pvcache_hits + self.pvcache_misses
+        return self.pvcache_hits / total if total else 0.0
+
+
+class PVCache:
+    """Fully-associative, LRU cache of predictor-table sets."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("PVCache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, PVCacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, set_index: int) -> bool:
+        return set_index in self._entries
+
+    def drop(self, set_index: int) -> Optional[PVCacheEntry]:
+        """Remove an entry without eviction processing (coherence kill)."""
+        return self._entries.pop(set_index, None)
+
+    def get(self, set_index: int, touch: bool = True) -> Optional[PVCacheEntry]:
+        entry = self._entries.get(set_index)
+        if entry is not None and touch:
+            self._entries.move_to_end(set_index)
+        return entry
+
+    def install(self, entry: PVCacheEntry) -> Optional[PVCacheEntry]:
+        """Insert ``entry``; return the evicted LRU victim if the cache was full."""
+        victim = None
+        if entry.set_index in self._entries:
+            self._entries.move_to_end(entry.set_index)
+            self._entries[entry.set_index] = entry
+            return None
+        if len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+        self._entries[entry.set_index] = entry
+        return victim
+
+    def entries(self):
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class PVProxy:
+    """Services predictor store/retrieve requests against a PVTable.
+
+    ``assoc`` bounds the ways kept per set (the logical table
+    associativity); inserting into a full set silently replaces the set's
+    LRU way, exactly as the dedicated table would.
+    """
+
+    def __init__(
+        self,
+        core: int,
+        table: PVTable,
+        hierarchy: MemorySystem,
+        config: Optional[PVProxyConfig] = None,
+    ) -> None:
+        self.core = core
+        self.table = table
+        self.hierarchy = hierarchy
+        self.config = config or PVProxyConfig()
+        self.geometry = table.layout.geometry
+        self.pvcache = PVCache(self.config.pvcache_entries)
+        self.mshr = MSHRFile(self.config.mshr_entries, name=f"pvproxy{core}")
+        self.stats = PVProxyStats()
+        self.pattern_buffer_peak = 0
+        self._pattern_buffer_busy = 0
+        hierarchy.pv_eviction_listeners.append(self._on_l2_pv_eviction)
+
+    # -------------------------------------------------------------- engine API
+
+    def lookup(self, index: int, now: int = 0) -> LookupResult:
+        """Retrieve the entry for ``index`` (Section 2.2, operation 2)."""
+        self.stats.lookups += 1
+        self._drain(now)
+        set_index, tag = self.geometry.split(index)
+        entry = self.pvcache.get(set_index)
+        if entry is not None:
+            self.stats.pvcache_hits += 1
+            ready = max(now + self.config.pvcache_latency, entry.ready_at)
+            value = self._touch_way(entry, tag)
+            if value is not None:
+                self.stats.predictor_hits += 1
+                return LookupResult(value, True, ready, pvcache_hit=True)
+            return LookupResult(None, False, ready, pvcache_hit=True)
+        self.stats.pvcache_misses += 1
+        entry, ready = self._fetch_set(set_index, now)
+        if entry is None:
+            self.stats.dropped_lookups += 1
+            return LookupResult(None, False, now + 1, pvcache_hit=False)
+        if self.config.report_miss_on_fetch:
+            self.stats.reported_misses += 1
+            return LookupResult(None, False, now + 1, pvcache_hit=False)
+        value = self._touch_way(entry, tag)
+        if value is not None:
+            self.stats.predictor_hits += 1
+            return LookupResult(value, True, ready, pvcache_hit=False)
+        return LookupResult(None, False, ready, pvcache_hit=False)
+
+    def store(self, index: int, value: Any, now: int = 0) -> None:
+        """Install ``value`` at ``index`` (Section 2.2, operation 1)."""
+        self.stats.stores += 1
+        self._drain(now)
+        set_index, tag = self.geometry.split(index)
+        entry = self.pvcache.get(set_index)
+        if entry is None:
+            self.stats.pvcache_misses += 1
+            if self._pattern_buffer_busy >= self.config.pattern_buffer_entries:
+                self.stats.dropped_stores += 1
+                return
+            self._pattern_buffer_busy += 1
+            self.pattern_buffer_peak = max(
+                self.pattern_buffer_peak, self._pattern_buffer_busy
+            )
+            entry, _ = self._fetch_set(set_index, now)
+            self._pattern_buffer_busy -= 1
+            if entry is None:
+                self.stats.dropped_stores += 1
+                return
+        else:
+            self.stats.pvcache_hits += 1
+        self._insert_way(entry, tag, value)
+        entry.dirty = True
+
+    # ----------------------------------------------------------- way handling
+
+    def _touch_way(self, entry: PVCacheEntry, tag: int) -> Optional[Any]:
+        if tag in entry.ways:
+            entry.ways.move_to_end(tag)
+            return entry.ways[tag]
+        return None
+
+    def _insert_way(self, entry: PVCacheEntry, tag: int, value: Any) -> None:
+        if tag in entry.ways:
+            entry.ways.move_to_end(tag)
+            entry.ways[tag] = value
+            return
+        while len(entry.ways) >= self.geometry.assoc:
+            entry.ways.popitem(last=False)  # drop the set's LRU way
+        entry.ways[tag] = value
+
+    # ------------------------------------------------------------- fetch path
+
+    def _fetch_set(self, set_index: int, now: int):
+        """Bring a PVTable set into the PVCache via an ordinary L2 request."""
+        block_addr = self.table.block_address(set_index)
+        in_flight = self.mshr.find(block_addr)
+        if in_flight is not None:
+            entry = self.pvcache.get(set_index)
+            if entry is not None:
+                # A fetch for this set is outstanding; in this sequential
+                # model the set was installed at issue, so coalesce timing.
+                self.stats.coalesced += 1
+                return entry, in_flight.ready_at
+            # The set was installed and displaced again before the tracked
+            # fetch's completion time; retire the stale entry and refetch.
+            self.mshr.complete(block_addr)
+        if self.mshr.full:
+            return None, now
+        latency, served = self.hierarchy.pv_access(self.core, block_addr, write=False)
+        self.stats.fetches += 1
+        if served is ServedBy.L2:
+            self.stats.fetches_from_l2 += 1
+        else:
+            self.stats.fetches_from_memory += 1
+        ready = now + self.config.pvcache_latency + latency
+        self.mshr.allocate(block_addr, issued_at=now, ready_at=ready)
+        ways = self.table.read_set(set_index, from_memory=(served is ServedBy.MEM))
+        entry = PVCacheEntry(
+            set_index=set_index,
+            ways=OrderedDict(ways),
+            dirty=False,
+            ready_at=ready,
+        )
+        victim = self.pvcache.install(entry)
+        if victim is not None:
+            self._write_back(victim)
+        return entry, ready
+
+    def _write_back(self, victim: PVCacheEntry) -> None:
+        """Evicted PVCache entries: dirty sets go to the L2, clean ones die."""
+        if not victim.dirty:
+            return
+        self.stats.writebacks += 1
+        block_addr = self.table.write_back(
+            victim.set_index, list(victim.ways.items())
+        )
+        self.hierarchy.pv_access(self.core, block_addr, write=True)
+
+    def _drain(self, now: int) -> None:
+        self.mshr.retire_ready(now)
+
+    # --------------------------------------------- software-visible updates
+
+    def enable_software_updates(self) -> None:
+        """Keep this PVCache coherent with application stores (Section 2.3).
+
+        Registers a write watcher over the PVTable's address range; any
+        demand store landing in it kills the matching PVCache entry, so the
+        next lookup observes the updated in-memory table.
+        """
+        self.hierarchy.watch_pv_writes(
+            self.table.pv_start,
+            self.table.layout.table_bytes,
+            self._on_software_write,
+        )
+
+    def _on_software_write(self, block_addr: int) -> None:
+        set_index = self.table.set_of_address(block_addr)
+        if self.pvcache.drop(set_index) is not None:
+            self.stats.software_invalidations += 1
+
+    # ------------------------------------------------------------- callbacks
+
+    def _on_l2_pv_eviction(self, victim: EvictedLine) -> None:
+        if not self.table.owns_address(victim.block_addr):
+            return
+        self.table.on_l2_eviction(
+            self.table.set_of_address(victim.block_addr),
+            dirty=victim.dirty,
+            pv_aware=self.hierarchy.config.pv_aware_caches,
+        )
+
+    # ----------------------------------------------------------------- misc
+
+    def flush(self) -> None:
+        """Write back every dirty PVCache entry (e.g. before a VM migration)."""
+        for entry in self.pvcache.entries():
+            self._write_back(entry)
+        self.pvcache.clear()

@@ -1,0 +1,246 @@
+"""The PVTable: predictor contents laid out in main-memory address space.
+
+Section 2.1/3.2.1 of the paper.  One predictor-table *set* (all ways, tags
+and data) is packed into one contiguous 64-byte memory block so that a
+single L2 request delivers a whole set to the PVCache (Figure 3a).  The
+memory address of a set is ``PVStart + set_index * block_size`` (Figure 3b).
+
+Two representations coexist here:
+
+* a *bit-exact codec* (:class:`EntryCodec`) that packs ``(tag, value)``
+  entries into the 43-bit fields of Figure 3a and whole sets into 64-byte
+  blocks — this is what the hardware would ship over the bus, and tests
+  round-trip it;
+* a *behavioural store* inside :class:`PVTable` that keeps decoded sets for
+  speed, with **two** copies: ``_mem`` (what main memory holds) and
+  ``_chip`` (dirty copies living in the L2).  The distinction matters for
+  the "virtualization-aware caches" design option of Section 2.2, where
+  dirty PV lines evicted from the L2 are *dropped* instead of written back:
+  the next fetch from memory then observes the stale contents, losing the
+  not-hot-enough predictor state exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interface import TableGeometry
+
+# A decoded set is a list of (tag, value_bits) ways, most recently used last.
+SetWays = List[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class EntryCodec:
+    """Bit-exact packing of predictor entries and sets.
+
+    For the virtualized SMS PHT: ``tag_bits=11`` (21-bit index, 1K sets) and
+    ``value_bits=32`` (one pattern bit per block of a 32-block spatial
+    region), i.e. 43 bits per entry and 11 entries per 64-byte block with 43
+    trailing unused bits (Figure 3a).
+    """
+
+    tag_bits: int
+    value_bits: int
+
+    @property
+    def entry_bits(self) -> int:
+        return self.tag_bits + self.value_bits
+
+    def entries_per_block(self, block_size: int = 64) -> int:
+        return (block_size * 8) // self.entry_bits
+
+    def pack_entry(self, tag: int, value: int) -> int:
+        """Pack one entry into an ``entry_bits``-wide integer (tag low)."""
+        if tag < 0 or tag >= (1 << self.tag_bits):
+            raise ValueError(f"tag {tag:#x} does not fit in {self.tag_bits} bits")
+        if value < 0 or value >= (1 << self.value_bits):
+            raise ValueError(
+                f"value {value:#x} does not fit in {self.value_bits} bits"
+            )
+        return tag | (value << self.tag_bits)
+
+    def unpack_entry(self, word: int) -> Tuple[int, int]:
+        return word & ((1 << self.tag_bits) - 1), word >> self.tag_bits
+
+    def pack_set(self, ways: SetWays, block_size: int = 64) -> bytes:
+        """Pack up to ``entries_per_block`` ways into one memory block.
+
+        Empty ways are encoded with the reserved all-ones entry word (an
+        all-ones tag cannot collide because we forbid it in ``pack_entry``
+        callers via the valid encoding below).
+        """
+        capacity = self.entries_per_block(block_size)
+        if len(ways) > capacity:
+            raise ValueError(f"{len(ways)} ways exceed block capacity {capacity}")
+        empty = (1 << self.entry_bits) - 1
+        acc = 0
+        shift = 0
+        for slot in range(capacity):
+            if slot < len(ways):
+                tag, value = ways[slot]
+                word = self.pack_entry(tag, value)
+                if word == empty:
+                    raise ValueError("entry collides with the empty encoding")
+            else:
+                word = empty
+            acc |= word << shift
+            shift += self.entry_bits
+        return acc.to_bytes(block_size, "little")
+
+    def unpack_set(self, block: bytes) -> SetWays:
+        """Inverse of :meth:`pack_set`; skips empty slots."""
+        acc = int.from_bytes(block, "little")
+        capacity = self.entries_per_block(len(block))
+        empty = (1 << self.entry_bits) - 1
+        mask = empty
+        ways: SetWays = []
+        for _ in range(capacity):
+            word = acc & mask
+            acc >>= self.entry_bits
+            if word != empty:
+                ways.append(self.unpack_entry(word))
+        return ways
+
+
+@dataclass(frozen=True)
+class PVTableLayout:
+    """Geometry + codec + address mapping for one virtualized table."""
+
+    geometry: TableGeometry
+    codec: EntryCodec
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.codec.tag_bits != self.geometry.tag_bits:
+            raise ValueError(
+                f"codec tag bits ({self.codec.tag_bits}) disagree with geometry "
+                f"tag bits ({self.geometry.tag_bits})"
+            )
+        if self.geometry.assoc > self.codec.entries_per_block(self.block_size):
+            raise ValueError(
+                f"associativity {self.geometry.assoc} does not fit in a "
+                f"{self.block_size}-byte block "
+                f"(max {self.codec.entries_per_block(self.block_size)})"
+            )
+
+    @property
+    def table_bytes(self) -> int:
+        """Main-memory footprint: one block per set (64KB for the SMS PHT)."""
+        return self.geometry.n_sets * self.block_size
+
+    def block_address(self, pv_start: int, set_index: int) -> int:
+        """Figure 3b: set index padded with block-offset zeros, plus PVStart."""
+        if set_index < 0 or set_index >= self.geometry.n_sets:
+            raise ValueError(f"set index {set_index} out of range")
+        return pv_start + set_index * self.block_size
+
+    def set_of_address(self, pv_start: int, addr: int) -> int:
+        return (addr - pv_start) // self.block_size
+
+    def unused_bits_per_block(self) -> int:
+        """Trailing bits left after packing (43 for the SMS layout); the
+        paper notes these could hold LRU state or future optimizations."""
+        return self.block_size * 8 - self.geometry.assoc * self.codec.entry_bits
+
+
+class PVTable:
+    """Backing storage for a virtualized predictor table.
+
+    Holds the reserved physical-address chunk (via ``pv_start``, the per-core
+    PVStart control register of Section 2.1) and the authoritative contents.
+    Reads say where the data was served from so that on-chip dirty copies
+    (``_chip``) shadow stale main-memory copies (``_mem``); the memory
+    hierarchy's PV-eviction callback routes dirty L2 victims back here,
+    either committing them to ``_mem`` or dropping them (pv-aware option).
+    """
+
+    def __init__(self, layout: PVTableLayout, pv_start: int) -> None:
+        if pv_start % layout.block_size:
+            raise ValueError("pv_start must be block aligned")
+        self.layout = layout
+        self.pv_start = pv_start
+        self._mem: Dict[int, SetWays] = {}
+        self._chip: Dict[int, SetWays] = {}
+        self.commits = 0
+        self.drops = 0
+
+    # ------------------------------------------------------------- reading
+
+    def read_set(self, set_index: int, from_memory: bool) -> SetWays:
+        """Return the ways of ``set_index`` as observed by a fetch.
+
+        ``from_memory=True`` models an L2 miss: the fetch sees main memory's
+        copy, which misses any dirty update still (or formerly) on chip.
+        """
+        if from_memory:
+            ways = self._mem.get(set_index, [])
+        else:
+            ways = self._chip.get(set_index) or self._mem.get(set_index, [])
+        return list(ways)
+
+    # ------------------------------------------------------------- writing
+
+    def write_back(self, set_index: int, ways: SetWays) -> int:
+        """PVProxy evicts a dirty PVCache entry: deposit it on chip (the L2
+        receives the block as dirty).  Returns the block's memory address."""
+        self._chip[set_index] = list(ways)
+        return self.layout.block_address(self.pv_start, set_index)
+
+    def on_l2_eviction(self, set_index: int, dirty: bool, pv_aware: bool) -> None:
+        """The L2 evicted this table's block for ``set_index``.
+
+        Dirty victims are committed to main memory unless the hierarchy runs
+        virtualization-aware (Section 2.2 design option), in which case the
+        update is lost.
+        """
+        chip = self._chip.pop(set_index, None)
+        if chip is None or not dirty:
+            return
+        if pv_aware:
+            self.drops += 1
+        else:
+            self._mem[set_index] = chip
+            self.commits += 1
+
+    def software_update(self, set_index: int, tag: int, value) -> None:
+        """Apply an application store to the in-memory table (Section 2.3).
+
+        The store supersedes whatever copy is current: the merged set is
+        committed to main memory and any stale on-chip overlay is dropped
+        (the write itself travels through the regular cache hierarchy; see
+        ``VirtualizedPredictorTable.software_store`` for the full path).
+        """
+        ways = list(self._chip.get(set_index) or self._mem.get(set_index, []))
+        for slot, (existing_tag, _) in enumerate(ways):
+            if existing_tag == tag:
+                ways[slot] = (tag, value)
+                break
+        else:
+            capacity = self.layout.geometry.assoc
+            if len(ways) >= capacity:
+                ways.pop(0)  # displace the set's oldest way
+            ways.append((tag, value))
+        self._mem[set_index] = ways
+        self._chip.pop(set_index, None)
+
+    # -------------------------------------------------------------- misc
+
+    def block_address(self, set_index: int) -> int:
+        return self.layout.block_address(self.pv_start, set_index)
+
+    def owns_address(self, addr: int) -> bool:
+        return self.pv_start <= addr < self.pv_start + self.layout.table_bytes
+
+    def set_of_address(self, addr: int) -> int:
+        return self.layout.set_of_address(self.pv_start, addr)
+
+    def packed_block(self, set_index: int) -> bytes:
+        """Bit-exact image of the set as main memory holds it (for tests)."""
+        return self.layout.codec.pack_set(
+            self._mem.get(set_index, []), self.layout.block_size
+        )
+
+    def resident_sets(self) -> int:
+        return len(set(self._mem) | set(self._chip))

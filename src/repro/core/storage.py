@@ -1,0 +1,159 @@
+"""Analytic on-chip storage model: Table 3 and Section 4.6 of the paper.
+
+Two artifacts are reproduced:
+
+* **Table 3** — tag/pattern/total storage for the four PHT geometries the
+  evaluation studies (1K-16, 1K-11, 16-11, 8-11).  The published table uses
+  32 bits per pattern for the two large geometries but 40 bits per pattern
+  for the two small ones (880 B and 440 B are 176 x 5 B and 88 x 5 B);
+  ``published=True`` reproduces the rows exactly as printed, while
+  ``published=False`` applies a uniform 32-bit pattern.  The discrepancy is
+  recorded in DESIGN.md ("Known deviations").
+
+* **Section 4.6** — the PVProxy's dedicated on-chip budget: 473 B PVCache
+  data, 11 B set tags, 1 B dirty bits, 84 B MSHRs, 256 B evict buffer, 64 B
+  pattern buffer = 889 B per core, a 68x reduction over the 59.125 KB
+  dedicated 1K-11 table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.interface import TableGeometry
+
+#: The four geometries of Table 3, as (n_sets, assoc) pairs.
+TABLE3_GEOMETRIES: List[Tuple[int, int]] = [
+    (1024, 16),
+    (1024, 11),
+    (16, 11),
+    (8, 11),
+]
+
+#: Pattern widths the published Table 3 implicitly used per geometry.
+_PUBLISHED_PATTERN_BITS = {
+    (1024, 16): 32,
+    (1024, 11): 32,
+    (16, 11): 40,
+    (8, 11): 40,
+}
+
+
+@dataclass(frozen=True)
+class PHTStorage:
+    """One row of Table 3."""
+
+    label: str
+    n_sets: int
+    assoc: int
+    tag_bytes: float
+    pattern_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.tag_bytes + self.pattern_bytes
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024.0
+
+    def as_row(self) -> dict:
+        return {
+            "configuration": self.label,
+            "tags": _fmt_bytes(self.tag_bytes),
+            "patterns": _fmt_bytes(self.pattern_bytes),
+            "total": _fmt_bytes(self.total_bytes),
+        }
+
+
+def _fmt_bytes(value: float) -> str:
+    if value >= 1024:
+        kb = value / 1024.0
+        text = f"{kb:.3f}".rstrip("0").rstrip(".")
+        return f"{text}KB"
+    return f"{value:g}B"
+
+
+def pht_storage(
+    n_sets: int,
+    assoc: int,
+    index_bits: int = 21,
+    pattern_bits: int = 32,
+    published: bool = False,
+) -> PHTStorage:
+    """Storage for a dedicated PHT of the given geometry.
+
+    ``index_bits`` defaults to the paper's 21 (16 PC bits concatenated with a
+    5-bit block offset for 32-block regions); the per-entry tag is whatever
+    the set index does not consume.
+    """
+    geometry = TableGeometry(n_sets=n_sets, assoc=assoc, index_bits=index_bits)
+    if published:
+        pattern_bits = _PUBLISHED_PATTERN_BITS.get((n_sets, assoc), pattern_bits)
+    entries = geometry.entries
+    tag_bytes = entries * geometry.tag_bits / 8.0
+    pattern_bytes = entries * pattern_bits / 8.0
+    return PHTStorage(
+        label=geometry.label().rstrip("a"),
+        n_sets=n_sets,
+        assoc=assoc,
+        tag_bytes=tag_bytes,
+        pattern_bytes=pattern_bytes,
+    )
+
+
+def table3(published: bool = True) -> List[PHTStorage]:
+    """All four rows of Table 3."""
+    return [pht_storage(s, a, published=published) for s, a in TABLE3_GEOMETRIES]
+
+
+def pvproxy_budget(
+    pvcache_sets: int = 8,
+    assoc: int = 11,
+    entry_bits: int = 43,
+    set_index_bits: int = 10,
+    mshr_entries: int = 4,
+    evict_buffer_entries: int = 4,
+    pattern_buffer_entries: int = 16,
+    value_bits: int = 32,
+    block_size: int = 64,
+    mshr_bytes: int = 84,
+) -> Dict[str, float]:
+    """Section 4.6 budget breakdown, in bytes.
+
+    With the defaults this reproduces the paper's arithmetic exactly:
+    8 sets x 11 ways x 43 bits = 473 B of PVCache data; 8 x (10-bit set tag
+    + valid) = 11 B of tags; 1 B of dirty bits; 84 B of MSHRs; a 4-entry
+    64-byte evict buffer (256 B); a 16-entry pattern buffer of 32-bit
+    patterns (64 B); total 889 B.
+    """
+    pvcache_data = pvcache_sets * assoc * entry_bits / 8.0
+    # One set-index tag plus a valid bit per PVCache entry, byte-rounded the
+    # way the paper rounds (11 bytes for 8 entries of 10+1 bits).
+    tag_bits_total = pvcache_sets * (set_index_bits + 1)
+    tags = -(-tag_bits_total // 8)
+    dirty = -(-pvcache_sets // 8)
+    evict_buffer = evict_buffer_entries * block_size
+    pattern_buffer = pattern_buffer_entries * value_bits / 8.0
+    total = pvcache_data + tags + dirty + mshr_bytes + evict_buffer + pattern_buffer
+    return {
+        "pvcache_data_bytes": pvcache_data,
+        "tag_bytes": float(tags),
+        "dirty_bytes": float(dirty),
+        "mshr_bytes": float(mshr_bytes),
+        "evict_buffer_bytes": float(evict_buffer),
+        "pattern_buffer_bytes": float(pattern_buffer),
+        "total_bytes": total,
+    }
+
+
+def reduction_factor(
+    dedicated: PHTStorage = None, budget: Dict[str, float] = None
+) -> float:
+    """On-chip storage reduction of virtualization (paper: a factor of 68)."""
+    if dedicated is None:
+        dedicated = pht_storage(1024, 11)
+    if budget is None:
+        budget = pvproxy_budget()
+    return dedicated.total_bytes / budget["total_bytes"]

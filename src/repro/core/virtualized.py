@@ -1,0 +1,105 @@
+"""Adapter presenting a PVProxy as an ordinary :class:`PredictorTable`.
+
+The central promise of the paper's Figure 1: "the optimization engine
+remains unchanged".  An engine written against :class:`PredictorTable`
+(e.g. the SMS prefetcher in :mod:`repro.prefetch.sms`) can be handed either
+a dedicated table or this wrapper and cannot tell the difference except
+through latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.interface import LookupResult, PredictorTable
+from repro.core.pvproxy import PVProxy, PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.core.storage import pvproxy_budget
+from repro.memory.hierarchy import MemorySystem
+
+
+class VirtualizedPredictorTable(PredictorTable):
+    """A predictor table whose contents live in the memory hierarchy."""
+
+    def __init__(
+        self,
+        core: int,
+        table: PVTable,
+        hierarchy: MemorySystem,
+        config: Optional[PVProxyConfig] = None,
+    ) -> None:
+        self.proxy = PVProxy(core, table, hierarchy, config)
+
+    @classmethod
+    def create(
+        cls,
+        core: int,
+        layout,
+        hierarchy: MemorySystem,
+        address_space,
+        config: Optional[PVProxyConfig] = None,
+    ) -> "VirtualizedPredictorTable":
+        """Reserve physical memory for a fresh PVTable and wrap it.
+
+        ``address_space`` is the :class:`~repro.memory.addr.AddressSpace`
+        from which the PVStart chunk is carved (Section 2.1: reserved
+        without declaring it to the OS).
+        """
+        pv_start = address_space.reserve(layout.table_bytes)
+        return cls(core, PVTable(layout, pv_start), hierarchy, config)
+
+    # ------------------------------------------------------ PredictorTable
+
+    def lookup(self, index: int, now: int = 0) -> LookupResult:
+        return self.proxy.lookup(index, now)
+
+    def store(self, index: int, value: Any, now: int = 0) -> None:
+        self.proxy.store(index, value, now)
+
+    def storage_bits(self) -> int:
+        """Dedicated on-chip cost: the PVProxy budget, not the table size."""
+        cfg = self.proxy.config
+        geom = self.proxy.geometry
+        budget = pvproxy_budget(
+            pvcache_sets=cfg.pvcache_entries,
+            assoc=geom.assoc,
+            entry_bits=self.proxy.table.layout.codec.entry_bits,
+            set_index_bits=geom.set_bits,
+            mshr_entries=cfg.mshr_entries,
+            evict_buffer_entries=cfg.evict_buffer_entries,
+            pattern_buffer_entries=cfg.pattern_buffer_entries,
+            value_bits=self.proxy.table.layout.codec.value_bits,
+        )
+        return budget["total_bytes"] * 8
+
+    def reset(self) -> None:
+        self.proxy.flush()
+
+    # ------------------------------------------- software-visible updates
+
+    def enable_software_updates(self) -> None:
+        """Allow the application to update predictor entries via stores."""
+        self.proxy.enable_software_updates()
+
+    def software_store(self, index: int, value: Any, core: int = 0,
+                       now: int = 0) -> None:
+        """Application-level predictor update (Section 2.3).
+
+        The process writes the corresponding memory location with an
+        ordinary store — here modelled as a demand write travelling through
+        the core's L1/L2 — and the PVTable contents change underneath the
+        proxy.  If :meth:`enable_software_updates` was called, the write
+        watcher drops any stale PVCache entry, guaranteeing delivery.
+        """
+        proxy = self.proxy
+        geometry = proxy.geometry
+        set_index, tag = geometry.split(index)
+        block = proxy.table.block_address(set_index)
+        proxy.hierarchy.access(core, block, write=True)
+        proxy.table.software_update(set_index, tag, value)
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def stats(self):
+        return self.proxy.stats

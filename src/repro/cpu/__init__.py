@@ -1,0 +1,22 @@
+"""Trace-driven processor model.
+
+The paper evaluates on Flexus, a full-system simulator of 4-wide OoO
+UltraSPARC cores.  This reproduction substitutes a trace-driven model:
+workload generators emit per-core streams of :class:`TraceRecord` memory
+references (with instruction-count gaps), and :class:`CoreTimingModel`
+converts hierarchy latencies into core cycles with a configurable base IPC
+and memory-level-parallelism factor.  DESIGN.md records why this
+substitution preserves the paper's conclusions.
+"""
+
+from repro.cpu.core import CoreTimingModel
+from repro.cpu.cmp import round_robin
+from repro.cpu.trace import TraceRecord, TraceReader, TraceWriter
+
+__all__ = [
+    "CoreTimingModel",
+    "TraceReader",
+    "TraceRecord",
+    "TraceWriter",
+    "round_robin",
+]

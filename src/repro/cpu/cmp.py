@@ -1,0 +1,33 @@
+"""CMP-level trace interleaving.
+
+The simulated chip runs one workload instance per core (the paper's
+commercial workloads are throughput workloads; Section 4.1).  The
+functional simulator advances cores in round-robin order, which is the
+standard approximation for trace-driven multi-core studies: it preserves
+the *interleaving pressure* every core puts on the shared L2 without
+requiring a global event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+def round_robin(streams: Sequence[Iterable]) -> Iterator[Tuple[int, object]]:
+    """Interleave ``streams`` one item at a time, yielding ``(index, item)``.
+
+    Exhausted streams drop out; iteration ends when all are exhausted.
+    """
+    iterators: List = [iter(s) for s in streams]
+    alive = list(range(len(iterators)))
+    while alive:
+        finished = []
+        for position, stream_index in enumerate(alive):
+            try:
+                item = next(iterators[stream_index])
+            except StopIteration:
+                finished.append(position)
+            else:
+                yield stream_index, item
+        for position in reversed(finished):
+            del alive[position]

@@ -1,0 +1,87 @@
+"""Trace record format and binary trace I/O.
+
+A trace is a stream of memory references.  Each record carries the PC of
+the referencing instruction, the effective byte address, a write flag, and
+``gap`` — the number of non-memory instructions committed since the
+previous record (so total committed instructions = sum(gap + 1)).
+
+Traces normally come straight from the synthetic workload generators, but
+:class:`TraceWriter`/:class:`TraceReader` serialize them to a compact
+binary format so expensive generations can be captured and replayed.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator, NamedTuple
+
+_RECORD = struct.Struct("<QQHB")  # pc, addr, gap, flags
+_MAGIC = b"PVTR"
+_VERSION = 1
+
+
+class TraceRecord(NamedTuple):
+    """One memory reference."""
+
+    pc: int
+    addr: int
+    write: bool
+    gap: int  # non-memory instructions since the previous record
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this record accounts for (gap plus itself)."""
+        return self.gap + 1
+
+
+class TraceWriter:
+    """Serialize records to a binary stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._stream.write(_MAGIC + bytes([_VERSION]))
+        self.count = 0
+
+    def write(self, record: TraceRecord) -> None:
+        gap = min(record.gap, 0xFFFF)
+        self._stream.write(
+            _RECORD.pack(record.pc, record.addr, gap, 1 if record.write else 0)
+        )
+        self.count += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        for record in records:
+            self.write(record)
+        return self.count
+
+
+class TraceReader:
+    """Deserialize records from a binary stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        header = stream.read(len(_MAGIC) + 1)
+        if header[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a PV trace stream")
+        if header[len(_MAGIC)] != _VERSION:
+            raise ValueError(f"unsupported trace version {header[len(_MAGIC)]}")
+        self._stream = stream
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        read = self._stream.read
+        size = _RECORD.size
+        unpack = _RECORD.unpack
+        while True:
+            chunk = read(size)
+            if len(chunk) < size:
+                return
+            pc, addr, gap, flags = unpack(chunk)
+            yield TraceRecord(pc=pc, addr=addr, write=bool(flags & 1), gap=gap)
+
+
+def roundtrip(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Serialize then deserialize (test helper exercising both directions)."""
+    buffer = io.BytesIO()
+    TraceWriter(buffer).write_all(records)
+    buffer.seek(0)
+    return iter(TraceReader(buffer))

@@ -1,0 +1,106 @@
+"""Trace capture, replay, and inspection utilities.
+
+Workload generation is deterministic but not free; long studies can
+capture a generated stream once and replay it.  ``trace_stats`` summarizes
+a stream the way trace-driven studies sanity-check their inputs (reference
+mix, footprint, spatial-region structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.cpu.trace import TraceReader, TraceRecord, TraceWriter
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.generator import WorkloadGenerator
+
+
+def capture(
+    profile: WorkloadProfile,
+    path,
+    refs: int,
+    core: int = 0,
+    seed: int = 1,
+) -> int:
+    """Generate ``refs`` records for one core and store them at ``path``."""
+    generator = WorkloadGenerator(profile, core=core, seed=seed)
+    with open(path, "wb") as stream:
+        writer = TraceWriter(stream)
+        return writer.write_all(generator.records(refs))
+
+
+def replay(path) -> Iterator[TraceRecord]:
+    """Stream records back from a captured trace file."""
+    with open(path, "rb") as stream:
+        yield from TraceReader(stream)
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of one reference stream."""
+
+    refs: int
+    writes: int
+    instructions: int
+    unique_blocks: int
+    unique_regions: int
+    unique_pcs: int
+    footprint_bytes: int
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.refs if self.refs else 0.0
+
+    @property
+    def refs_per_kilo_instruction(self) -> float:
+        return 1000.0 * self.refs / self.instructions if self.instructions else 0.0
+
+    @property
+    def blocks_per_region(self) -> float:
+        return self.unique_blocks / self.unique_regions if self.unique_regions else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "refs": self.refs,
+            "writes": self.writes,
+            "instructions": self.instructions,
+            "unique_blocks": self.unique_blocks,
+            "unique_regions": self.unique_regions,
+            "unique_pcs": self.unique_pcs,
+            "footprint_kb": self.footprint_bytes // 1024,
+            "write_fraction": round(self.write_fraction, 4),
+            "refs_per_ki": round(self.refs_per_kilo_instruction, 2),
+            "blocks_per_region": round(self.blocks_per_region, 2),
+        }
+
+
+def trace_stats(
+    records: Iterable[TraceRecord],
+    region: Optional[SpatialRegionGeometry] = None,
+) -> TraceStats:
+    """Summarize a reference stream."""
+    region = region or SpatialRegionGeometry()
+    refs = writes = instructions = 0
+    blocks = set()
+    regions = set()
+    pcs = set()
+    for rec in records:
+        refs += 1
+        instructions += rec.instructions
+        if rec.write:
+            writes += 1
+        blocks.add(rec.addr // region.block_size)
+        regions.add(region.region_of(rec.addr))
+        pcs.add(rec.pc)
+    return TraceStats(
+        refs=refs,
+        writes=writes,
+        instructions=instructions,
+        unique_blocks=len(blocks),
+        unique_regions=len(regions),
+        unique_pcs=len(pcs),
+        footprint_bytes=len(blocks) * region.block_size,
+    )

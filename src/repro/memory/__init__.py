@@ -1,0 +1,42 @@
+"""Memory-hierarchy substrate: caches, MSHRs, main memory, and the CMP hierarchy.
+
+This package implements the memory system the paper's evaluation platform
+(Flexus, Piranha-style CMP) provides: per-core L1 instruction and data
+caches, a shared inclusive L2, and a fixed-latency main memory.  The
+hierarchy exposes the one extension Predictor Virtualization requires: a
+port on the back side of the L1 through which the PVProxy can inject
+ordinary memory requests (see ``MemorySystem.pv_access``).
+"""
+
+from repro.memory.addr import (
+    AddressSpace,
+    block_address,
+    block_index,
+    block_offset_in_region,
+    region_base,
+    region_index,
+)
+from repro.memory.cache import AccessKind, Cache, CacheGeometry, CacheLine, EvictedLine
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem, ServedBy
+from repro.memory.main_memory import MainMemory
+from repro.memory.mshr import MSHRFile, MSHREntry
+
+__all__ = [
+    "AccessKind",
+    "AddressSpace",
+    "Cache",
+    "CacheGeometry",
+    "CacheLine",
+    "EvictedLine",
+    "HierarchyConfig",
+    "MSHREntry",
+    "MSHRFile",
+    "MainMemory",
+    "MemorySystem",
+    "ServedBy",
+    "block_address",
+    "block_index",
+    "block_offset_in_region",
+    "region_base",
+    "region_index",
+]

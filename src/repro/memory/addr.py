@@ -1,0 +1,114 @@
+"""Address arithmetic shared by every component of the simulator.
+
+All addresses are plain integers denoting *physical* byte addresses.  The
+helpers here convert between byte addresses, cache-block addresses, and
+spatial-region coordinates (the 2KB regions SMS operates on), and carve
+reserved chunks out of the physical address space for PVTables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_BLOCK_SIZE = 64
+
+
+def _check_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+def block_index(addr: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Return the block number containing byte address ``addr``."""
+    return addr // block_size
+
+
+def block_address(addr: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Return the base byte address of the block containing ``addr``."""
+    return addr - (addr % block_size)
+
+
+def region_index(
+    addr: int,
+    blocks_per_region: int = 32,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> int:
+    """Return the spatial-region number containing byte address ``addr``."""
+    return addr // (blocks_per_region * block_size)
+
+
+def region_base(
+    addr: int,
+    blocks_per_region: int = 32,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> int:
+    """Return the base byte address of the spatial region containing ``addr``."""
+    region_bytes = blocks_per_region * block_size
+    return addr - (addr % region_bytes)
+
+
+def block_offset_in_region(
+    addr: int,
+    blocks_per_region: int = 32,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> int:
+    """Return the block offset (0..blocks_per_region-1) of ``addr`` in its region."""
+    return (addr % (blocks_per_region * block_size)) // block_size
+
+
+@dataclass
+class AddressSpace:
+    """Carves reserved, non-overlapping chunks out of physical memory.
+
+    The paper reserves "a small chunk of the physical memory space" for each
+    core's PVTable without declaring it to the OS (Section 2.1).  This class
+    models that reservation: application data lives below ``reserved_floor``
+    and reserved chunks are handed out from the top of memory downwards, so
+    the two can never collide.
+    """
+
+    total_bytes: int = 3 * 1024**3  # 3 GB, Table 1
+    block_size: int = DEFAULT_BLOCK_SIZE
+    _next_reserved: int = field(init=False)
+    _reservations: list = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.block_size, "block_size")
+        if self.total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self._next_reserved = self.total_bytes
+
+    @property
+    def reserved_floor(self) -> int:
+        """Lowest byte address belonging to any reservation."""
+        return self._next_reserved
+
+    @property
+    def reservations(self) -> list:
+        """List of ``(start, size)`` tuples, most recent last."""
+        return list(self._reservations)
+
+    def reserve(self, size_bytes: int) -> int:
+        """Reserve ``size_bytes`` (rounded up to a whole block) and return its start.
+
+        Raises ``MemoryError`` if the reservation would exhaust physical memory.
+        """
+        if size_bytes <= 0:
+            raise ValueError("reservation size must be positive")
+        rounded = -(-size_bytes // self.block_size) * self.block_size
+        start = self._next_reserved - rounded
+        if start < 0:
+            raise MemoryError(
+                f"cannot reserve {rounded} bytes: only {self._next_reserved} left"
+            )
+        self._next_reserved = start
+        self._reservations.append((start, rounded))
+        return start
+
+    def is_reserved(self, addr: int) -> bool:
+        """True if ``addr`` falls inside any reservation."""
+        return addr >= self._next_reserved
+
+    def app_region(self) -> tuple:
+        """Return ``(start, size)`` of the space left for application data."""
+        return (0, self._next_reserved)

@@ -1,0 +1,345 @@
+"""A generic set-associative, write-back, LRU cache model.
+
+This single model instantiates every SRAM array in the simulated chip: the
+per-core L1I/L1D, the shared L2, and (indirectly, through the prefetcher
+packages) dedicated predictor tables.  Lines carry the flags the evaluation
+needs:
+
+* ``dirty`` — write-back state;
+* ``prefetched`` — installed by a prefetcher and not yet demand-referenced
+  (used to classify covered misses and overpredictions, Figure 4);
+* ``is_pv`` — the line holds predictor-virtualization metadata rather than
+  application data (used for the traffic splits of Figures 7/8/10).
+
+The cache never allocates on its own: ``lookup`` probes, ``access`` performs
+a demand reference (hit path only), and ``fill`` installs a block and
+returns the victim, leaving miss handling to the owning hierarchy.  LRU is
+maintained with an ``OrderedDict`` per set, so every operation is O(1).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.memory.addr import _check_power_of_two
+
+
+class AccessKind(enum.Enum):
+    """Why a request reached a cache; used only for bookkeeping splits."""
+
+    DEMAND_READ = "demand_read"
+    DEMAND_WRITE = "demand_write"
+    IFETCH = "ifetch"
+    PREFETCH = "prefetch"
+    PV_READ = "pv_read"
+    PV_WRITE = "pv_write"
+    WRITEBACK = "writeback"
+
+    @property
+    def is_pv(self) -> bool:
+        return self in (AccessKind.PV_READ, AccessKind.PV_WRITE)
+
+    @property
+    def is_demand(self) -> bool:
+        return self in (
+            AccessKind.DEMAND_READ,
+            AccessKind.DEMAND_WRITE,
+            AccessKind.IFETCH,
+        )
+
+
+@dataclass
+class CacheGeometry:
+    """Size/shape of a set-associative array, with derived index math."""
+
+    size_bytes: int
+    assoc: int
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.block_size, "block_size")
+        if self.assoc <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.assoc * self.block_size):
+            raise ValueError(
+                "size_bytes must be a multiple of assoc * block_size "
+                f"({self.size_bytes} % {self.assoc * self.block_size})"
+            )
+        self.n_sets = self.size_bytes // (self.assoc * self.block_size)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"derived set count {self.n_sets} is not a power of two")
+
+    def set_index(self, block_addr: int) -> int:
+        return (block_addr // self.block_size) % self.n_sets
+
+    def tag(self, block_addr: int) -> int:
+        return block_addr // (self.block_size * self.n_sets)
+
+    def block_base(self, addr: int) -> int:
+        return addr - (addr % self.block_size)
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+
+@dataclass
+class CacheLine:
+    """State of one resident cache block."""
+
+    block_addr: int
+    dirty: bool = False
+    prefetched: bool = False
+    is_pv: bool = False
+    owner: int = -1  # core that installed the line (for per-core stats)
+
+
+@dataclass
+class EvictedLine:
+    """What ``fill``/``invalidate`` hand back so the hierarchy can react."""
+
+    block_addr: int
+    dirty: bool
+    prefetched: bool
+    is_pv: bool
+    owner: int = -1
+
+    @classmethod
+    def from_line(cls, line: CacheLine) -> "EvictedLine":
+        return cls(
+            block_addr=line.block_addr,
+            dirty=line.dirty,
+            prefetched=line.prefetched,
+            is_pv=line.is_pv,
+            owner=line.owner,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters, split by request kind where it matters."""
+
+    hits: int = 0
+    misses: int = 0
+    demand_read_hits: int = 0
+    demand_read_misses: int = 0
+    demand_write_hits: int = 0
+    demand_write_misses: int = 0
+    ifetch_hits: int = 0
+    ifetch_misses: int = 0
+    pv_hits: int = 0
+    pv_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    pv_evictions: int = 0
+    pv_dirty_evictions: int = 0
+    invalidations: int = 0
+    covered_misses: int = 0      # demand read that found a prefetched line
+    overpredictions: int = 0     # prefetched line evicted/invalidated unused
+
+    def record(self, kind: AccessKind, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        attrs = _KIND_COUNTERS[kind]
+        if attrs is not None:
+            name = attrs[0] if hit else attrs[1]
+            setattr(self, name, getattr(self, name) + 1)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def demand_read_accesses(self) -> int:
+        return self.demand_read_hits + self.demand_read_misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+#: kind -> (hit counter, miss counter); module-level so ``record`` does a
+#: single dict lookup instead of rebuilding a mapping per access.
+_KIND_COUNTERS = {
+    AccessKind.DEMAND_READ: ("demand_read_hits", "demand_read_misses"),
+    AccessKind.DEMAND_WRITE: ("demand_write_hits", "demand_write_misses"),
+    AccessKind.IFETCH: ("ifetch_hits", "ifetch_misses"),
+    AccessKind.PREFETCH: ("prefetch_hits", "prefetch_misses"),
+    AccessKind.PV_READ: ("pv_hits", "pv_misses"),
+    AccessKind.PV_WRITE: ("pv_hits", "pv_misses"),
+    AccessKind.WRITEBACK: None,
+}
+
+
+class Cache:
+    """One set-associative array with LRU replacement.
+
+    ``eviction_listeners`` are called with an :class:`EvictedLine` whenever a
+    resident block leaves the array (capacity eviction or invalidation); the
+    SMS active-generation table and the inclusive-L2 back-invalidation logic
+    both hang off this hook.
+    """
+
+    def __init__(self, name: str, geometry: CacheGeometry) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._sets: list = [OrderedDict() for _ in range(geometry.n_sets)]
+        self.eviction_listeners: list = []
+        # Inlined geometry constants for the hot paths.
+        self._bs = geometry.block_size
+        self._nsets = geometry.n_sets
+        self._assoc = geometry.assoc
+
+    # -- probing -----------------------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Probe for the block containing ``addr`` without touching LRU state."""
+        bidx = addr // self._bs
+        return self._sets[bidx % self._nsets].get(bidx // self._nsets)
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr) is not None
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(self, addr: int, kind: AccessKind, write: bool = False) -> Optional[CacheLine]:
+        """Perform a reference.  On a hit, update LRU/dirty and return the line.
+
+        On a miss, record it and return ``None`` — the caller decides whether
+        and how to ``fill``.  A demand read that hits a still-``prefetched``
+        line counts as a *covered miss* (the reference would have missed
+        without the prefetcher) and clears the flag.
+        """
+        bidx = addr // self._bs
+        tag = bidx // self._nsets
+        ways = self._sets[bidx % self._nsets]
+        line = ways.get(tag)
+        self.stats.record(kind, hit=line is not None)
+        if line is None:
+            return None
+        ways.move_to_end(tag)
+        if write:
+            line.dirty = True
+        if line.prefetched and kind.is_demand:
+            # First demand touch of a prefetched block.  Only demand *reads*
+            # count toward coverage — the paper's metric is L1 read misses —
+            # but any demand touch consumes the block (it is no longer an
+            # overprediction candidate).
+            if kind is AccessKind.DEMAND_READ:
+                self.stats.covered_misses += 1
+            line.prefetched = False
+        return line
+
+    def touch(self, addr: int) -> None:
+        """Refresh LRU position without recording an access (used by fills)."""
+        bidx = addr // self._bs
+        ways = self._sets[bidx % self._nsets]
+        tag = bidx // self._nsets
+        if tag in ways:
+            ways.move_to_end(tag)
+
+    # -- fill / evict --------------------------------------------------------
+
+    def fill(
+        self,
+        addr: int,
+        *,
+        dirty: bool = False,
+        prefetched: bool = False,
+        is_pv: bool = False,
+        owner: int = -1,
+    ) -> Optional[EvictedLine]:
+        """Install the block containing ``addr``; return the victim, if any.
+
+        Filling a block that is already resident merely refreshes its LRU
+        position and ORs in the ``dirty`` flag (a prefetch fill never clears
+        demand state).
+        """
+        bidx = addr // self._bs
+        block = bidx * self._bs
+        tag = bidx // self._nsets
+        ways = self._sets[bidx % self._nsets]
+        existing = ways.get(tag)
+        if existing is not None:
+            ways.move_to_end(tag)
+            existing.dirty = existing.dirty or dirty
+            return None
+        victim = None
+        if len(ways) >= self._assoc:
+            _, victim_line = ways.popitem(last=False)
+            victim = self._retire(victim_line)
+        ways[tag] = CacheLine(
+            block_addr=block,
+            dirty=dirty,
+            prefetched=prefetched,
+            is_pv=is_pv,
+            owner=owner,
+        )
+        self.stats.fills += 1
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[EvictedLine]:
+        """Remove the block containing ``addr`` if resident; return its state."""
+        bidx = addr // self._bs
+        ways = self._sets[bidx % self._nsets]
+        line = ways.pop(bidx // self._nsets, None)
+        if line is None:
+            return None
+        self.stats.invalidations += 1
+        return self._retire(line, invalidation=True)
+
+    def _retire(self, line: CacheLine, invalidation: bool = False) -> EvictedLine:
+        if not invalidation:
+            self.stats.evictions += 1
+            if line.dirty:
+                self.stats.dirty_evictions += 1
+            if line.is_pv:
+                self.stats.pv_evictions += 1
+                if line.dirty:
+                    self.stats.pv_dirty_evictions += 1
+        if line.prefetched:
+            self.stats.overpredictions += 1
+        evicted = EvictedLine.from_line(line)
+        for listener in self.eviction_listeners:
+            listener(evicted)
+        return evicted
+
+    # -- introspection -------------------------------------------------------
+
+    def resident_blocks(self) -> Iterator[int]:
+        for ways in self._sets:
+            for line in ways.values():
+                yield line.block_addr
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def pv_occupancy(self) -> int:
+        return sum(
+            1 for ways in self._sets for line in ways.values() if line.is_pv
+        )
+
+    def flush(self) -> list:
+        """Evict every resident line (firing listeners); return the evictions."""
+        evicted = []
+        for ways in self._sets:
+            while ways:
+                _, line = ways.popitem(last=False)
+                evicted.append(self._retire(line))
+        return evicted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self.geometry
+        return (
+            f"Cache({self.name}, {g.size_bytes >> 10}KB, {g.assoc}-way, "
+            f"{g.n_sets} sets, occ={self.occupancy()})"
+        )

@@ -1,0 +1,403 @@
+"""The simulated CMP memory hierarchy.
+
+Models the evaluation platform of Table 1: per-core split L1 caches backed
+by one shared, inclusive L2 and a fixed-latency main memory.  Three request
+paths exist:
+
+* ``access``        — demand loads/stores/ifetches from a core;
+* ``prefetch_fill`` — SMS prefetches, streamed through the L2 into the L1;
+* ``pv_access``     — PVProxy metadata requests, injected "on the backside
+  of the L1" (Section 2.2): they look exactly like L1 miss traffic to the
+  L2, which stays oblivious to their meaning.
+
+Inclusivity is enforced the way Piranha-style designs do: an L2 eviction
+back-invalidates every L1 copy.  Those invalidations are visible to the SMS
+active-generation tables through the L1 eviction listeners, which is exactly
+the event that ends a spatial-region generation in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.memory.cache import AccessKind, Cache, CacheGeometry, EvictedLine
+from repro.memory.main_memory import MainMemory
+
+
+class ServedBy(enum.Enum):
+    """Which level ultimately supplied the data for a request."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEM = "mem"
+
+
+@dataclass
+class HierarchyConfig:
+    """Geometry and latency knobs for the whole hierarchy (defaults: Table 1)."""
+
+    n_cores: int = 4
+    block_size: int = 64
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 4
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 4
+    l1_latency: int = 2
+    l2_size: int = 8 * 1024 * 1024
+    l2_assoc: int = 16
+    l2_banks: int = 8
+    l2_tag_latency: int = 6
+    l2_data_latency: int = 12
+    memory_latency: int = 400
+    # Design option from Section 2.2: when True, dirty PV lines evicted from
+    # the L2 are dropped instead of written back off-chip ("virtualization
+    # aware caches").  The paper's evaluated design leaves this False.
+    pv_aware_caches: bool = False
+
+    def l1d_geometry(self) -> CacheGeometry:
+        return CacheGeometry(self.l1d_size, self.l1d_assoc, self.block_size)
+
+    def l1i_geometry(self) -> CacheGeometry:
+        return CacheGeometry(self.l1i_size, self.l1i_assoc, self.block_size)
+
+    def l2_geometry(self) -> CacheGeometry:
+        return CacheGeometry(self.l2_size, self.l2_assoc, self.block_size)
+
+
+@dataclass
+class HierarchyStats:
+    """Counters the per-figure analyses read off the hierarchy."""
+
+    l1_writebacks: int = 0
+    l2_writebacks: int = 0
+    l2_pv_writebacks: int = 0
+    pv_dirty_dropped: int = 0
+    back_invalidations: int = 0
+    # Inter-L1 coherence activity (invalidation-based protocol, as in the
+    # Piranha-style CMP the paper simulates).
+    coherence_invalidations: int = 0
+    coherence_downgrades: int = 0
+    write_upgrades: int = 0
+
+    @property
+    def l2_app_writebacks(self) -> int:
+        return self.l2_writebacks - self.l2_pv_writebacks
+
+
+class MemorySystem:
+    """Per-core L1s, shared inclusive L2, main memory, and the PV port."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1d: List[Cache] = [
+            Cache(f"l1d{i}", cfg.l1d_geometry()) for i in range(cfg.n_cores)
+        ]
+        self.l1i: List[Cache] = [
+            Cache(f"l1i{i}", cfg.l1i_geometry()) for i in range(cfg.n_cores)
+        ]
+        self.l2 = Cache("l2", cfg.l2_geometry())
+        self.memory = MainMemory(latency=cfg.memory_latency, block_size=cfg.block_size)
+        self.stats = HierarchyStats()
+        # Called with (EvictedLine,) whenever a PV line leaves the L2; the
+        # PVStorage uses this to commit or drop the backing data.
+        self.pv_eviction_listeners: List[Callable[[EvictedLine], None]] = []
+        # block address -> bitmask of L1 copies (bit i: l1d[i]; bit
+        # n_cores+i: l1i[i]).  A duplicate directory that makes inclusive
+        # back-invalidation O(copies) instead of probing every L1.
+        self._l1_presence: dict = {}
+        # Write watchers for software-visible predictors (Section 2.3):
+        # (start, end, callback) triples; demand writes landing inside a
+        # watched range invoke the callback so PVCaches stay coherent.
+        self._pv_write_watchers: List[tuple] = []
+
+    # ------------------------------------------------------------------ utils
+
+    def _block(self, addr: int) -> int:
+        return addr - (addr % self.config.block_size)
+
+    def l1_for(self, core: int, ifetch: bool = False) -> Cache:
+        return self.l1i[core] if ifetch else self.l1d[core]
+
+    # --------------------------------------------------------------- demand
+
+    def access(
+        self, core: int, addr: int, write: bool = False, ifetch: bool = False
+    ) -> Tuple[int, ServedBy]:
+        """Perform a demand reference for ``core``; return (latency, server).
+
+        Inter-L1 coherence is invalidation-based: a write invalidates every
+        other L1 copy (merging a dirty remote copy into the L2 first), and
+        a read that finds a remote dirty copy downgrades it to the L2.  The
+        presence directory makes both O(copies).
+        """
+        cfg = self.config
+        l1 = self.l1_for(core, ifetch)
+        kind = AccessKind.IFETCH if ifetch else (
+            AccessKind.DEMAND_WRITE if write else AccessKind.DEMAND_READ
+        )
+        bit = core + cfg.n_cores if ifetch else core
+        block = addr - (addr % cfg.block_size)
+        if write and self._pv_write_watchers:
+            for start, end, callback in self._pv_write_watchers:
+                if start <= block < end:
+                    callback(block)
+        if l1.access(addr, kind, write=write) is not None:
+            if write and self._l1_presence.get(block, 0) & ~(1 << bit):
+                # Write hit with remote sharers: upgrade, invalidate others.
+                self.stats.write_upgrades += 1
+                self._coherence_invalidate(block, keep_bit=bit)
+            return cfg.l1_latency, ServedBy.L1
+        remote = self._l1_presence.get(block, 0) & ~(1 << bit)
+        if remote:
+            if write:
+                self._coherence_invalidate(block, keep_bit=bit)
+            else:
+                self._coherence_downgrade(block)
+        latency, served = self._fetch_into_l2(addr, kind, core)
+        self._install_l1(l1, addr, core, dirty=write, prefetched=False, bit=bit)
+        return cfg.l1_latency + latency, served
+
+    # ----------------------------------------------------------- coherence
+
+    def _cache_for_bit(self, bit: int) -> Cache:
+        n_cores = self.config.n_cores
+        return self.l1d[bit] if bit < n_cores else self.l1i[bit - n_cores]
+
+    def _coherence_invalidate(self, block: int, keep_bit: int) -> None:
+        """Invalidate every L1 copy of ``block`` except ``keep_bit``'s.
+
+        A dirty remote copy is newer than the L2's, so it is merged into
+        the L2 on the way out (dirty handoff).  These invalidations end SMS
+        generations exactly as the paper describes ("removed from the
+        cache by replacement or invalidation").
+        """
+        mask = self._l1_presence.get(block, 0)
+        remaining = mask & (1 << keep_bit)
+        victims = mask & ~(1 << keep_bit)
+        bit = 0
+        while victims:
+            if victims & 1:
+                inv = self._cache_for_bit(bit).invalidate(block)
+                if inv is not None:
+                    self.stats.coherence_invalidations += 1
+                    if inv.dirty:
+                        line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
+                        if line is None:  # pragma: no cover - eviction race
+                            self.stats.l2_writebacks += 1
+                            self.memory.write(block, is_pv=False)
+            victims >>= 1
+            bit += 1
+        if remaining:
+            self._l1_presence[block] = remaining
+        else:
+            self._l1_presence.pop(block, None)
+
+    def _coherence_downgrade(self, block: int) -> None:
+        """A remote dirty copy must reach the L2 before a new reader fills."""
+        mask = self._l1_presence.get(block, 0)
+        bit = 0
+        while mask:
+            if mask & 1:
+                cache = self._cache_for_bit(bit)
+                line = cache.lookup(block)
+                if line is not None and line.dirty:
+                    line.dirty = False
+                    self.stats.coherence_downgrades += 1
+                    l2_line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
+                    if l2_line is None:  # pragma: no cover - eviction race
+                        self.stats.l2_writebacks += 1
+                        self.memory.write(block, is_pv=False)
+            mask >>= 1
+            bit += 1
+
+    # -------------------------------------------------------------- prefetch
+
+    def prefetch_fill(self, core: int, addr: int) -> Tuple[int, Optional[ServedBy]]:
+        """Stream a prefetched block via the L2 into ``core``'s L1D.
+
+        Returns ``(latency, served_by)``; ``served_by`` is ``None`` when the
+        block was already resident in the L1 and no request was issued.
+        """
+        cfg = self.config
+        l1 = self.l1d[core]
+        if l1.contains(addr):
+            return 0, None
+        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core)
+        self._install_l1(l1, addr, core, dirty=False, prefetched=True, bit=core)
+        return cfg.l1_latency + latency, served
+
+    def prefetch_fill_ifetch(self, core: int, addr: int) -> Tuple[int, Optional[ServedBy]]:
+        """Next-line instruction prefetch into ``core``'s L1I (baseline)."""
+        cfg = self.config
+        l1 = self.l1i[core]
+        if l1.contains(addr):
+            return 0, None
+        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core)
+        self._install_l1(
+            l1, addr, core, dirty=False, prefetched=True, bit=core + cfg.n_cores
+        )
+        return cfg.l1_latency + latency, served
+
+    # -------------------------------------------------------------- PV port
+
+    def pv_access(self, core: int, addr: int, write: bool = False) -> Tuple[int, ServedBy]:
+        """PVProxy request, injected directly at the L2 (no L1 involvement).
+
+        Reads fetch a PVTable block into the L2 (from memory on a miss);
+        writes deposit a dirty PV block into the L2, to be written back
+        off-chip only if it is eventually evicted dirty.
+        """
+        cfg = self.config
+        kind = AccessKind.PV_WRITE if write else AccessKind.PV_READ
+        line = self.l2.access(addr, kind, write=write)
+        if line is not None:
+            line.is_pv = True
+            return cfg.l2_tag_latency + cfg.l2_data_latency, ServedBy.L2
+        latency = self.memory.read(self._block(addr), is_pv=True)
+        self._install_l2(addr, core, dirty=write, is_pv=True)
+        return cfg.l2_tag_latency + latency, ServedBy.MEM
+
+    # ------------------------------------------------------------ internals
+
+    def _fetch_into_l2(
+        self, addr: int, kind: AccessKind, core: int
+    ) -> Tuple[int, ServedBy]:
+        """Look ``addr`` up in the L2, filling from memory on a miss."""
+        cfg = self.config
+        if self.l2.access(addr, kind) is not None:
+            return cfg.l2_tag_latency + cfg.l2_data_latency, ServedBy.L2
+        mem_latency = self.memory.read(self._block(addr), is_pv=False)
+        self._install_l2(addr, core, dirty=False, is_pv=False)
+        return cfg.l2_tag_latency + mem_latency, ServedBy.MEM
+
+    def _install_l2(self, addr: int, core: int, dirty: bool, is_pv: bool) -> None:
+        victim = self.l2.fill(addr, dirty=dirty, is_pv=is_pv, owner=core)
+        if victim is not None:
+            self._handle_l2_eviction(victim)
+
+    def _handle_l2_eviction(self, victim: EvictedLine) -> None:
+        """Enforce inclusivity and route the victim's data off-chip."""
+        dirty = victim.dirty
+        if not victim.is_pv:
+            # Back-invalidate every L1 copy; a dirty L1 copy is newer than
+            # the L2's, so it merges into the outbound write.  The presence
+            # directory tells us exactly which L1s hold a copy.
+            mask = self._l1_presence.pop(victim.block_addr, 0)
+            n_cores = self.config.n_cores
+            bit = 0
+            while mask:
+                if mask & 1:
+                    l1 = self.l1d[bit] if bit < n_cores else self.l1i[bit - n_cores]
+                    inv = l1.invalidate(victim.block_addr)
+                    if inv is not None:
+                        self.stats.back_invalidations += 1
+                        dirty = dirty or inv.dirty
+                mask >>= 1
+                bit += 1
+        if victim.is_pv:
+            for listener in self.pv_eviction_listeners:
+                listener(victim)
+            if dirty and self.config.pv_aware_caches:
+                # Design option (Section 2.2): drop the block; predictor
+                # state is advisory, so losing it affects only effectiveness.
+                self.stats.pv_dirty_dropped += 1
+                return
+        if dirty:
+            self.stats.l2_writebacks += 1
+            if victim.is_pv:
+                self.stats.l2_pv_writebacks += 1
+            self.memory.write(victim.block_addr, is_pv=victim.is_pv)
+
+    def _install_l1(
+        self,
+        l1: Cache,
+        addr: int,
+        core: int,
+        dirty: bool,
+        prefetched: bool,
+        bit: int,
+    ) -> None:
+        victim = l1.fill(
+            addr, dirty=dirty, prefetched=prefetched, is_pv=False, owner=core
+        )
+        presence = self._l1_presence
+        block = addr - (addr % self.config.block_size)
+        presence[block] = presence.get(block, 0) | (1 << bit)
+        if victim is not None:
+            vmask = presence.get(victim.block_addr, 0) & ~(1 << bit)
+            if vmask:
+                presence[victim.block_addr] = vmask
+            else:
+                presence.pop(victim.block_addr, None)
+            if victim.dirty:
+                self.stats.l1_writebacks += 1
+                # Write-back into the inclusive L2.  The copy is normally
+                # still resident; if a race with back-invalidation removed
+                # it, the write goes straight off-chip.
+                line = self.l2.access(
+                    victim.block_addr, AccessKind.WRITEBACK, write=True
+                )
+                if line is None:
+                    self.stats.l2_writebacks += 1
+                    self.memory.write(victim.block_addr, is_pv=False)
+
+    def watch_pv_writes(self, start: int, size: int, callback) -> None:
+        """Invoke ``callback(block_addr)`` on demand writes in [start, start+size).
+
+        The hook that keeps a PVCache coherent with application stores to
+        its in-memory table (Section 2.3: "The PVCache needs to be coherent
+        for guaranteed delivery of these updates").
+        """
+        self._pv_write_watchers.append((start, start + size, callback))
+
+    def drain_l2(self) -> int:
+        """Evict every L2 line through the normal eviction path.
+
+        Dirty lines (application and PV alike) are written back off-chip and
+        L1 copies are back-invalidated — the hardware equivalent of the
+        cache flush a hypervisor performs before a live VM migration
+        (Section 2.3).  Returns the number of lines drained.
+        """
+        evicted = self.l2.flush()
+        for victim in evicted:
+            self._handle_l2_eviction(victim)
+        return len(evicted)
+
+    # ------------------------------------------------------------- metrics
+
+    def l2_requests(self) -> int:
+        """Total requests arriving at the L2 (demand fills, prefetches, PV)."""
+        s = self.l2.stats
+        return (
+            s.demand_read_accesses
+            + s.demand_write_hits + s.demand_write_misses
+            + s.ifetch_hits + s.ifetch_misses
+            + s.prefetch_hits + s.prefetch_misses
+            + s.pv_hits + s.pv_misses
+        )
+
+    def l2_pv_requests(self) -> int:
+        s = self.l2.stats
+        return s.pv_hits + s.pv_misses
+
+    def pv_l2_fill_rate(self) -> float:
+        """Fraction of PVProxy requests served on-chip (paper reports >98%)."""
+        s = self.l2.stats
+        total = s.pv_hits + s.pv_misses
+        return s.pv_hits / total if total else 1.0
+
+    def offchip_transfers(self) -> dict:
+        """Off-chip traffic split by direction and payload (Figures 7/8/10)."""
+        mem = self.memory
+        return {
+            "reads": mem.reads,
+            "writes": mem.writes,
+            "app_reads": mem.app_reads,
+            "app_writes": mem.app_writes,
+            "pv_reads": mem.pv_reads,
+            "pv_writes": mem.pv_writes,
+            "total": mem.total_transfers,
+        }

@@ -1,0 +1,63 @@
+"""Fixed-latency main memory with off-chip traffic accounting.
+
+Off-chip bandwidth is the quantity Figures 7, 8 and 10 study, split along
+two axes: request direction (reads caused by L2 misses vs. write-backs of
+dirty L2 victims) and payload type (application data vs. PV metadata).
+``MainMemory`` keeps all four counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MainMemory:
+    """Backing store: constant latency, infinite capacity, traffic counters."""
+
+    latency: int = 400  # cycles, Table 1
+    block_size: int = 64
+    reads: int = 0
+    writes: int = 0
+    pv_reads: int = 0
+    pv_writes: int = 0
+
+    def read(self, block_addr: int, is_pv: bool = False) -> int:
+        """Service an L2 miss; returns the access latency in cycles."""
+        self.reads += 1
+        if is_pv:
+            self.pv_reads += 1
+        return self.latency
+
+    def write(self, block_addr: int, is_pv: bool = False) -> None:
+        """Accept a write-back of a dirty L2 victim (fire-and-forget)."""
+        self.writes += 1
+        if is_pv:
+            self.pv_writes += 1
+
+    # -- derived traffic numbers --------------------------------------------
+
+    @property
+    def app_reads(self) -> int:
+        return self.reads - self.pv_reads
+
+    @property
+    def app_writes(self) -> int:
+        return self.writes - self.pv_writes
+
+    @property
+    def total_transfers(self) -> int:
+        return self.reads + self.writes
+
+    def bytes_transferred(self) -> int:
+        return self.total_transfers * self.block_size
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "pv_reads": self.pv_reads,
+            "pv_writes": self.pv_writes,
+            "app_reads": self.app_reads,
+            "app_writes": self.app_writes,
+        }

@@ -1,0 +1,86 @@
+"""Miss Status Holding Registers.
+
+The PVProxy keeps its outstanding PVTable fetches in "an MSHR-like
+structure" (Section 2.2).  This module provides a small, general MSHR file
+with request coalescing: a second miss to an in-flight block attaches to the
+existing entry instead of issuing a duplicate memory request.  The same
+structure backs the L1 miss path in the timing model so that overlapping
+misses are bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss: target block, issue/ready times, waiters."""
+
+    block_addr: int
+    issued_at: int
+    ready_at: int
+    waiters: List[object] = field(default_factory=list)
+
+    def attach(self, waiter: object) -> None:
+        self.waiters.append(waiter)
+
+
+class MSHRFile:
+    """A bounded set of in-flight misses keyed by block address."""
+
+    def __init__(self, capacity: int, name: str = "mshr") -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def find(self, block_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(block_addr)
+
+    def allocate(self, block_addr: int, issued_at: int, ready_at: int) -> Optional[MSHREntry]:
+        """Allocate (or coalesce into) an entry for ``block_addr``.
+
+        Returns the entry, or ``None`` if the file is full and the block has
+        no in-flight entry — the caller must treat the request as dropped
+        (for PV this is safe: predictions are advisory).
+        """
+        entry = self._entries.get(block_addr)
+        if entry is not None:
+            self.coalesced += 1
+            return entry
+        if self.full:
+            self.rejected += 1
+            return None
+        entry = MSHREntry(block_addr=block_addr, issued_at=issued_at, ready_at=ready_at)
+        self._entries[block_addr] = entry
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def complete(self, block_addr: int) -> Optional[MSHREntry]:
+        """Retire the entry for ``block_addr`` and return it (with waiters)."""
+        return self._entries.pop(block_addr, None)
+
+    def retire_ready(self, now: int) -> List[MSHREntry]:
+        """Retire and return every entry whose fill has arrived by ``now``."""
+        ready = [e for e in self._entries.values() if e.ready_at <= now]
+        for entry in ready:
+            del self._entries[entry.block_addr]
+        return ready
+
+    def outstanding(self) -> List[MSHREntry]:
+        return list(self._entries.values())

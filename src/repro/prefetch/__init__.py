@@ -1,0 +1,44 @@
+"""Hardware prefetchers: Spatial Memory Streaming and baselines.
+
+:mod:`repro.prefetch.sms` implements the SMS data prefetcher of Somogyi et
+al. (ISCA 2006), the optimization the paper virtualizes: an Active
+Generation Table (filter + accumulation tables) that learns spatial bit
+patterns over 2KB regions, and a Pattern History Table (PHT) that stores
+them keyed by the PC+offset of each region's triggering access.  The PHT is
+written against the generic :class:`repro.core.interface.PredictorTable`
+interface, so the engine runs unmodified over either the dedicated table of
+:mod:`repro.prefetch.pht` or a virtualized one.
+
+:mod:`repro.prefetch.nextline` is the per-core next-line instruction
+prefetcher in the paper's baseline; :mod:`repro.prefetch.stride` is an
+additional classic PC-stride baseline; :mod:`repro.prefetch.btb` is a small
+branch-target buffer used to demonstrate PV's generality (Section 6).
+"""
+
+from repro.prefetch.agt import AccumulationTable, ActiveGenerationTable, FilterTable
+from repro.prefetch.btb import BranchTargetBuffer, btb_layout
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pht import DedicatedPHT, InfinitePHT, pht_index, sms_pht_layout
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.prefetch.sms import SMSConfig, SMSPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.value import LastValuePredictor, lvp_layout
+
+__all__ = [
+    "AccumulationTable",
+    "ActiveGenerationTable",
+    "BranchTargetBuffer",
+    "DedicatedPHT",
+    "FilterTable",
+    "InfinitePHT",
+    "LastValuePredictor",
+    "NextLinePrefetcher",
+    "SMSConfig",
+    "SMSPrefetcher",
+    "SpatialRegionGeometry",
+    "StridePrefetcher",
+    "btb_layout",
+    "lvp_layout",
+    "pht_index",
+    "sms_pht_layout",
+]

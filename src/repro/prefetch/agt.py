@@ -1,0 +1,239 @@
+"""The Active Generation Table: filter table + accumulation table.
+
+Section 3.1 of the paper.  The AGT tracks regions whose generation is in
+progress.  The *filter table* holds regions that have seen only their
+triggering access; once a region records an access to a different block,
+its entry moves to the *accumulation table*, where the spatial pattern is
+built up bit by bit.  A generation ends when any block accessed during it
+is evicted or invalidated from the L1; at that point the accumulated
+pattern is handed to the PHT and the entry is freed.
+
+Both tables are small, LRU-replaced, fully-associative structures (the
+tuned sizes from the original SMS study are 32 filter / 64 accumulation
+entries).  An entry displaced by LRU pressure simply loses its generation;
+``transfer_on_evict`` optionally flushes displaced accumulation entries to
+the PHT instead (an ablation, not the paper's configuration).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.prefetch.regions import SpatialRegionGeometry
+
+
+@dataclass
+class FilterEntry:
+    """A region that has seen exactly one (triggering) access."""
+
+    region: int
+    pc: int
+    offset: int
+
+
+@dataclass
+class AccumulationEntry:
+    """A region actively accumulating its spatial pattern."""
+
+    region: int
+    pc: int            # PC of the triggering access
+    offset: int        # block offset of the triggering access
+    pattern: int       # bit vector of blocks accessed this generation
+
+
+@dataclass
+class AGTStats:
+    triggers: int = 0
+    promotions: int = 0
+    generations_ended: int = 0
+    filter_generations_ended: int = 0
+    filter_lru_evictions: int = 0
+    accumulation_lru_evictions: int = 0
+
+
+class FilterTable:
+    """LRU table of single-access regions."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("filter table capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, FilterEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, region: int) -> Optional[FilterEntry]:
+        entry = self._entries.get(region)
+        if entry is not None:
+            self._entries.move_to_end(region)
+        return entry
+
+    def insert(self, entry: FilterEntry) -> Optional[FilterEntry]:
+        """Insert; returns the LRU victim if the table overflowed."""
+        victim = None
+        if entry.region not in self._entries and len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+        self._entries[entry.region] = entry
+        self._entries.move_to_end(entry.region)
+        return victim
+
+    def remove(self, region: int) -> Optional[FilterEntry]:
+        return self._entries.pop(region, None)
+
+
+class AccumulationTable:
+    """LRU table of regions with two or more distinct blocks accessed."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("accumulation table capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, AccumulationEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, region: int) -> Optional[AccumulationEntry]:
+        entry = self._entries.get(region)
+        if entry is not None:
+            self._entries.move_to_end(region)
+        return entry
+
+    def insert(self, entry: AccumulationEntry) -> Optional[AccumulationEntry]:
+        victim = None
+        if entry.region not in self._entries and len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+        self._entries[entry.region] = entry
+        self._entries.move_to_end(entry.region)
+        return victim
+
+    def remove(self, region: int) -> Optional[AccumulationEntry]:
+        return self._entries.pop(region, None)
+
+
+class ActiveGenerationTable:
+    """Filter + accumulation tables and the generation life-cycle.
+
+    ``on_generation_end(pc, offset, pattern)`` is invoked whenever a
+    generation with at least two accessed blocks ends; the SMS engine wires
+    it to a PHT store.
+    """
+
+    def __init__(
+        self,
+        geometry: SpatialRegionGeometry,
+        filter_entries: int = 32,
+        accumulation_entries: int = 64,
+        on_generation_end: Optional[Callable[[int, int, int], None]] = None,
+        transfer_on_evict: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.filter = FilterTable(filter_entries)
+        self.accumulation = AccumulationTable(accumulation_entries)
+        self.on_generation_end = on_generation_end
+        self.transfer_on_evict = transfer_on_evict
+        self.stats = AGTStats()
+
+    # ------------------------------------------------------------ training
+
+    def record_access(self, pc: int, addr: int) -> Optional[Tuple[int, int]]:
+        """Track one L1 access.
+
+        Returns ``(trigger_pc, trigger_offset)`` iff this access *starts a
+        new generation* (i.e. it is a triggering access) — the caller should
+        then consult the PHT for a prediction.  Returns ``None`` otherwise.
+        """
+        region = self.geometry.region_of(addr)
+        offset = self.geometry.offset_of(addr)
+
+        acc = self.accumulation.get(region)
+        if acc is not None:
+            acc.pattern |= 1 << offset
+            return None
+
+        filt = self.filter.get(region)
+        if filt is not None:
+            if offset == filt.offset:
+                return None  # repeated access to the triggering block
+            # Second distinct block: promote to the accumulation table.
+            self.filter.remove(region)
+            entry = AccumulationEntry(
+                region=region,
+                pc=filt.pc,
+                offset=filt.offset,
+                pattern=(1 << filt.offset) | (1 << offset),
+            )
+            victim = self.accumulation.insert(entry)
+            if victim is not None:
+                self._lru_displace(victim)
+            self.stats.promotions += 1
+            return None
+
+        # Triggering access: start a new generation.
+        self.stats.triggers += 1
+        victim = self.filter.insert(FilterEntry(region=region, pc=pc, offset=offset))
+        if victim is not None:
+            self.stats.filter_lru_evictions += 1
+        return pc, offset
+
+    # ----------------------------------------------------- generation end
+
+    def block_removed(self, block_addr: int) -> Optional[Tuple[int, int, int]]:
+        """An L1 block was evicted or invalidated.
+
+        If the block belongs to an active generation *and was accessed
+        during it*, the generation ends.  Returns ``(pc, offset, pattern)``
+        when a pattern (two or more blocks) was produced, after also firing
+        ``on_generation_end``; returns ``None`` otherwise.
+        """
+        region = self.geometry.region_of(block_addr)
+        offset = self.geometry.offset_of(block_addr)
+
+        acc = self.accumulation.get(region)
+        if acc is not None:
+            if not acc.pattern & (1 << offset):
+                return None  # block not touched this generation
+            self.accumulation.remove(region)
+            self.stats.generations_ended += 1
+            self._emit(acc)
+            return acc.pc, acc.offset, acc.pattern
+
+        filt = self.filter.get(region)
+        if filt is not None and filt.offset == offset:
+            # Single-access generation: freed, nothing worth storing.
+            self.filter.remove(region)
+            self.stats.filter_generations_ended += 1
+        return None
+
+    # ------------------------------------------------------------ helpers
+
+    def _lru_displace(self, victim: AccumulationEntry) -> None:
+        self.stats.accumulation_lru_evictions += 1
+        if self.transfer_on_evict:
+            self._emit(victim)
+
+    def _emit(self, entry: AccumulationEntry) -> None:
+        if self.on_generation_end is not None:
+            self.on_generation_end(entry.pc, entry.offset, entry.pattern)
+
+    def active_regions(self) -> int:
+        return len(self.filter) + len(self.accumulation)
+
+    def is_active(self, addr: int) -> bool:
+        region = self.geometry.region_of(addr)
+        return (
+            self.accumulation.get(region) is not None
+            or self.filter.get(region) is not None
+        )
+
+    def storage_bits(self) -> int:
+        """Rough dedicated storage: the paper notes the AGT needs <1KB."""
+        region_tag_bits = 26  # region number tag, generous
+        filter_bits = self.filter.capacity * (region_tag_bits + 16 + 5)
+        accum_bits = self.accumulation.capacity * (
+            region_tag_bits + 16 + 5 + self.geometry.blocks_per_region
+        )
+        return filter_bits + accum_bits

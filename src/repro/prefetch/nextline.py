@@ -1,0 +1,40 @@
+"""Next-line instruction prefetcher.
+
+Table 1's baseline: "Each core implements a next-line instruction
+prefetcher."  On every instruction fetch that touches block *B*, the block
+*B+1* is prefetched into the L1I.  Stateless except for a last-block
+filter that avoids re-issuing the same prefetch on consecutive fetches
+within one block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class NextLineStats:
+    observed: int = 0
+    issued: int = 0
+
+
+class NextLinePrefetcher:
+    def __init__(self, block_size: int = 64, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self.block_size = block_size
+        self.degree = degree
+        self.stats = NextLineStats()
+        self._last_block: Optional[int] = None
+
+    def on_fetch(self, pc: int) -> list:
+        """Observe an instruction fetch; return block addresses to prefetch."""
+        self.stats.observed += 1
+        block = pc - (pc % self.block_size)
+        if block == self._last_block:
+            return []
+        self._last_block = block
+        targets = [block + i * self.block_size for i in range(1, self.degree + 1)]
+        self.stats.issued += len(targets)
+        return targets

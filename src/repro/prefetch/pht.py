@@ -1,0 +1,151 @@
+"""Pattern History Table implementations and the PHT index function.
+
+The PHT maps the signature of a region's triggering access — 16 bits of PC
+concatenated with the 5-bit block offset (21-bit index, Section 3.2.1) — to
+the spatial pattern last observed for that signature.
+
+Three implementations of :class:`~repro.core.interface.PredictorTable`:
+
+* :class:`DedicatedPHT` — the conventional on-chip set-associative, LRU
+  table whose storage Table 3 prices;
+* :class:`InfinitePHT` — an unbounded table, the "Infinite" bars of
+  Figures 4/5;
+* the virtualized table of :mod:`repro.core.virtualized` (built with
+  :func:`sms_pht_layout`), which this module never imports — the SMS engine
+  only ever sees the shared interface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.interface import LookupResult, PredictorTable, TableGeometry
+from repro.core.pvtable import EntryCodec, PVTableLayout
+
+#: Paper parameters: 16 PC bits, 5 offset bits.
+PC_INDEX_BITS = 16
+OFFSET_BITS = 5
+PHT_INDEX_BITS = PC_INDEX_BITS + OFFSET_BITS
+
+
+def pht_index(pc: int, offset: int, offset_bits: int = OFFSET_BITS,
+              pc_bits: int = PC_INDEX_BITS) -> int:
+    """Combine trigger PC and block offset into the table index (Figure 3b)."""
+    if offset < 0 or offset >= (1 << offset_bits):
+        raise ValueError(f"offset {offset} does not fit in {offset_bits} bits")
+    return ((pc & ((1 << pc_bits) - 1)) << offset_bits) | offset
+
+
+def sms_pht_layout(
+    n_sets: int = 1024,
+    assoc: int = 11,
+    pattern_bits: int = 32,
+    block_size: int = 64,
+) -> PVTableLayout:
+    """The virtualized PHT layout of Section 3.2.1.
+
+    With the defaults: 21-bit index, 10 set bits, 11-bit tags, 32-bit
+    patterns → 43-bit entries, 11 of which pack into a 64-byte block with 43
+    trailing unused bits (Figure 3a).
+    """
+    geometry = TableGeometry(n_sets=n_sets, assoc=assoc, index_bits=PHT_INDEX_BITS)
+    codec = EntryCodec(tag_bits=geometry.tag_bits, value_bits=pattern_bits)
+    return PVTableLayout(geometry=geometry, codec=codec, block_size=block_size)
+
+
+@dataclass
+class PHTStats:
+    lookups: int = 0
+    hits: int = 0
+    stores: int = 0
+    replacements: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DedicatedPHT(PredictorTable):
+    """Conventional on-chip set-associative PHT with LRU replacement."""
+
+    def __init__(
+        self,
+        n_sets: int = 1024,
+        assoc: int = 16,
+        index_bits: int = PHT_INDEX_BITS,
+        pattern_bits: int = 32,
+        latency: int = 1,
+    ) -> None:
+        self.geometry = TableGeometry(n_sets=n_sets, assoc=assoc, index_bits=index_bits)
+        self.pattern_bits = pattern_bits
+        self.latency = latency
+        self.stats = PHTStats()
+        self._sets = [OrderedDict() for _ in range(n_sets)]
+
+    def lookup(self, index: int, now: int = 0) -> LookupResult:
+        set_index, tag = self.geometry.split(index)
+        ways = self._sets[set_index]
+        value = ways.get(tag)
+        self.stats.lookups += 1
+        if value is None:
+            return LookupResult(None, False, now + self.latency)
+        ways.move_to_end(tag)
+        self.stats.hits += 1
+        return LookupResult(value, True, now + self.latency)
+
+    def store(self, index: int, value: Any, now: int = 0) -> None:
+        set_index, tag = self.geometry.split(index)
+        ways = self._sets[set_index]
+        self.stats.stores += 1
+        if tag in ways:
+            ways.move_to_end(tag)
+            ways[tag] = value
+            return
+        if len(ways) >= self.geometry.assoc:
+            ways.popitem(last=False)
+            self.stats.replacements += 1
+        ways[tag] = value
+
+    def storage_bits(self) -> int:
+        """Tag + pattern bits across all entries (the Table 3 quantity)."""
+        return self.geometry.entries * (self.geometry.tag_bits + self.pattern_bits)
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def reset(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+
+class InfinitePHT(PredictorTable):
+    """Unbounded PHT: keeps every pattern ever stored ("Infinite" bars)."""
+
+    def __init__(self, latency: int = 1) -> None:
+        self.latency = latency
+        self.stats = PHTStats()
+        self._entries: Dict[int, Any] = {}
+
+    def lookup(self, index: int, now: int = 0) -> LookupResult:
+        self.stats.lookups += 1
+        value = self._entries.get(index)
+        if value is None:
+            return LookupResult(None, False, now + self.latency)
+        self.stats.hits += 1
+        return LookupResult(value, True, now + self.latency)
+
+    def store(self, index: int, value: Any, now: int = 0) -> None:
+        self.stats.stores += 1
+        self._entries[index] = value
+
+    def storage_bits(self) -> int:
+        """An infinite table has no meaningful budget; report current use."""
+        return len(self._entries) * (PHT_INDEX_BITS + 32)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,82 @@
+"""Spatial-region geometry and pattern bit-vector helpers.
+
+SMS divides memory into fixed-size *spatial regions* (the paper uses 32
+blocks of 64 bytes = 2KB) and summarizes the blocks touched during a
+region's *generation* as a bit vector, one bit per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class SpatialRegionGeometry:
+    """Region shape and the address arithmetic it induces."""
+
+    blocks_per_region: int = 32
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("blocks_per_region", "block_size"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+
+    @property
+    def region_bytes(self) -> int:
+        return self.blocks_per_region * self.block_size
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits needed for a block offset within a region (5 in the paper)."""
+        return self.blocks_per_region.bit_length() - 1
+
+    def region_of(self, addr: int) -> int:
+        return addr // self.region_bytes
+
+    def region_base(self, addr: int) -> int:
+        return addr - (addr % self.region_bytes)
+
+    def offset_of(self, addr: int) -> int:
+        return (addr % self.region_bytes) // self.block_size
+
+    def block_address(self, region_base: int, offset: int) -> int:
+        if offset < 0 or offset >= self.blocks_per_region:
+            raise ValueError(f"offset {offset} out of range")
+        return region_base + offset * self.block_size
+
+    # -------------------------------------------------------- bit vectors
+
+    def pattern_of_offsets(self, offsets) -> int:
+        """Build a bit vector from block offsets."""
+        pattern = 0
+        for offset in offsets:
+            if offset < 0 or offset >= self.blocks_per_region:
+                raise ValueError(f"offset {offset} out of range")
+            pattern |= 1 << offset
+        return pattern
+
+    def offsets_of_pattern(self, pattern: int) -> List[int]:
+        """List block offsets whose bit is set, ascending."""
+        if pattern < 0 or pattern >= (1 << self.blocks_per_region):
+            raise ValueError("pattern wider than the region")
+        return [i for i in range(self.blocks_per_region) if pattern & (1 << i)]
+
+    def prefetch_addresses(
+        self, region_base: int, pattern: int, exclude_offset: int = -1
+    ) -> Iterator[int]:
+        """Yield the block addresses a pattern predicts (Figure 2).
+
+        ``exclude_offset`` skips the triggering block, which the demand miss
+        that started the generation is already fetching.
+        """
+        for offset in self.offsets_of_pattern(pattern):
+            if offset != exclude_offset:
+                yield region_base + offset * self.block_size
+
+    @staticmethod
+    def pattern_density(pattern: int) -> int:
+        """Number of blocks a pattern covers (popcount)."""
+        return bin(pattern).count("1")

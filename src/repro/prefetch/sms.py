@@ -1,0 +1,136 @@
+"""The Spatial Memory Streaming optimization engine.
+
+Ties together the AGT (:mod:`repro.prefetch.agt`) and a Pattern History
+Table satisfying :class:`repro.core.interface.PredictorTable`.  Whether the
+PHT is the dedicated on-chip table or the virtualized one is invisible here
+— exactly the property the paper's Figure 1 promises ("the optimization
+engine remains unchanged").
+
+Flow, per Section 3.1:
+
+* every L1 data access trains the AGT;
+* an access that *starts a generation* (triggering access) additionally
+  consults the PHT with index ``pc(16b) ++ offset(5b)``; a hit streams the
+  predicted blocks of the region toward the L1 (minus the trigger block,
+  which the demand access itself fetches);
+* an L1 eviction/invalidation ending a generation stores the accumulated
+  pattern back into the PHT under the generation's trigger signature.
+
+Prefetches carry a ``ready_at`` timestamp: the PHT answers at
+``LookupResult.ready_at`` (one cycle for a dedicated table, potentially an
+L2 or memory round-trip for a virtualized one), which is how PV's
+non-uniform latency feeds the timing model of Figure 9/11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.interface import PredictorTable
+from repro.prefetch.agt import ActiveGenerationTable
+from repro.prefetch.pht import pht_index
+from repro.prefetch.regions import SpatialRegionGeometry
+
+
+@dataclass
+class SMSConfig:
+    """Tuned values from the original SMS study (Section 4.1)."""
+
+    region: SpatialRegionGeometry = field(default_factory=SpatialRegionGeometry)
+    filter_entries: int = 32
+    accumulation_entries: int = 64
+    transfer_on_evict: bool = False
+    pc_bits: int = 16
+    # Cap on prefetches generated per prediction (a full 32-block pattern
+    # minus the trigger).  The paper streams the whole pattern.
+    max_prefetches_per_prediction: int = 32
+
+
+@dataclass
+class SMSStats:
+    accesses: int = 0
+    predictions: int = 0       # trigger accesses that hit in the PHT
+    trigger_lookups: int = 0   # trigger accesses (PHT consulted)
+    prefetches_issued: int = 0
+    patterns_stored: int = 0
+
+
+class SMSPrefetcher:
+    """One core's SMS engine."""
+
+    def __init__(
+        self,
+        table: PredictorTable,
+        config: Optional[SMSConfig] = None,
+        issue_prefetch: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.table = table
+        self.config = config or SMSConfig()
+        self.issue_prefetch = issue_prefetch
+        self.stats = SMSStats()
+        self._now = 0
+        self.agt = ActiveGenerationTable(
+            geometry=self.config.region,
+            filter_entries=self.config.filter_entries,
+            accumulation_entries=self.config.accumulation_entries,
+            on_generation_end=self._store_pattern,
+            transfer_on_evict=self.config.transfer_on_evict,
+        )
+
+    # --------------------------------------------------------------- train
+
+    def on_access(self, pc: int, addr: int, now: int = 0) -> List[Tuple[int, int]]:
+        """Observe one L1 data access; return ``[(block_addr, ready_at), ...]``
+        prefetches if this access triggered a prediction."""
+        self.stats.accesses += 1
+        self._now = now
+        trigger = self.agt.record_access(pc, addr)
+        if trigger is None:
+            return []
+        return self._predict(trigger[0], trigger[1], addr, now)
+
+    def on_block_removed(self, block_addr: int, now: int = 0) -> None:
+        """An L1 block was evicted or invalidated (ends generations)."""
+        self._now = now
+        self.agt.block_removed(block_addr)
+
+    # ------------------------------------------------------------- predict
+
+    def _predict(
+        self, pc: int, offset: int, addr: int, now: int
+    ) -> List[Tuple[int, int]]:
+        geometry = self.config.region
+        index = pht_index(pc, offset, geometry.offset_bits, self.config.pc_bits)
+        self.stats.trigger_lookups += 1
+        result = self.table.lookup(index, now)
+        if not result.hit:
+            return []
+        self.stats.predictions += 1
+        region_base = geometry.region_base(addr)
+        prefetches: List[Tuple[int, int]] = []
+        for block_addr in geometry.prefetch_addresses(
+            region_base, result.value, exclude_offset=offset
+        ):
+            if len(prefetches) >= self.config.max_prefetches_per_prediction:
+                break
+            prefetches.append((block_addr, result.ready_at))
+        self.stats.prefetches_issued += len(prefetches)
+        if self.issue_prefetch is not None:
+            for block_addr, ready_at in prefetches:
+                self.issue_prefetch(block_addr, ready_at)
+        return prefetches
+
+    # --------------------------------------------------------------- store
+
+    def _store_pattern(self, pc: int, offset: int, pattern: int) -> None:
+        geometry = self.config.region
+        index = pht_index(pc, offset, geometry.offset_bits, self.config.pc_bits)
+        self.stats.patterns_stored += 1
+        self.table.store(index, pattern, self._now)
+
+    # ---------------------------------------------------------------- misc
+
+    def storage_bits(self) -> int:
+        """AGT + PHT dedicated storage (PHT dominates, Section 3.2)."""
+        return self.agt.storage_bits() + self.table.storage_bits()

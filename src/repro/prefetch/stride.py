@@ -1,0 +1,80 @@
+"""Classic PC-indexed stride prefetcher (comparison baseline).
+
+Not part of the paper's evaluation, but a useful second data-prefetching
+baseline for the examples and ablations: it shows that SMS-style spatial
+patterns capture the commercial-workload behaviour strides miss, and its
+reference-prediction table is another candidate for virtualization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class StrideEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+@dataclass
+class StrideStats:
+    accesses: int = 0
+    issued: int = 0
+    trained: int = 0
+
+
+class StridePrefetcher:
+    """Reference-prediction-table stride prefetcher with 2-bit confidence."""
+
+    def __init__(
+        self,
+        table_entries: int = 256,
+        block_size: int = 64,
+        degree: int = 2,
+        threshold: int = 2,
+        max_confidence: int = 3,
+    ) -> None:
+        if table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        self.block_size = block_size
+        self.degree = degree
+        self.threshold = threshold
+        self.max_confidence = max_confidence
+        self.table_entries = table_entries
+        self.stats = StrideStats()
+        self._table: "OrderedDict[int, StrideEntry]" = OrderedDict()
+
+    def on_access(self, pc: int, addr: int) -> List[int]:
+        """Observe a memory access; return block addresses to prefetch."""
+        self.stats.accesses += 1
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                self._table.popitem(last=False)
+            self._table[pc] = StrideEntry(last_addr=addr)
+            return []
+        self._table.move_to_end(pc)
+        stride = addr - entry.last_addr
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(entry.confidence + 1, self.max_confidence)
+            self.stats.trained += 1
+        else:
+            entry.confidence = max(entry.confidence - 1, 0)
+            if entry.confidence == 0:
+                entry.stride = stride
+        entry.last_addr = addr
+        if entry.confidence < self.threshold or entry.stride == 0:
+            return []
+        targets = []
+        for i in range(1, self.degree + 1):
+            target = addr + entry.stride * i
+            if target >= 0:
+                block = target - (target % self.block_size)
+                if block not in targets:
+                    targets.append(block)
+        self.stats.issued += len(targets)
+        return targets

@@ -1,0 +1,123 @@
+"""A last-value load predictor — another virtualization candidate.
+
+The paper's introduction motivates PV with the breadth of predictor-based
+optimizations: value prediction [16, 17, 24], instruction reuse, pointer
+caching.  Value-prediction tables share the PHT's problem exactly: accuracy
+grows with table size, and the tables are too expensive to dedicate.
+
+:class:`LastValuePredictor` is the classic design (Lipasti et al.): a table
+indexed by load PC holding the last loaded value and a saturating
+confidence counter; a prediction is offered only above a confidence
+threshold.  Like the BTB and the SMS PHT, it is written against the
+:class:`PredictorTable` interface, so it runs unmodified over a dedicated
+or a virtualized table — see ``lvp_layout`` for the packed PVTable format.
+
+Entries are ``(confidence << value_bits) | value``; the helper functions
+below keep that encoding in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.interface import PredictorTable, TableGeometry
+from repro.core.pvtable import EntryCodec, PVTableLayout
+
+LVP_INDEX_BITS = 14
+LVP_VALUE_BITS = 32
+LVP_CONF_BITS = 2
+LVP_CONF_MAX = (1 << LVP_CONF_BITS) - 1
+
+
+def lvp_index(pc: int, index_bits: int = LVP_INDEX_BITS) -> int:
+    """Hash a (word-aligned) load PC into the table index."""
+    return (pc >> 2) & ((1 << index_bits) - 1)
+
+
+def pack_lvp_entry(value: int, confidence: int) -> int:
+    """Encode (value, confidence) into one table word."""
+    if confidence < 0 or confidence > LVP_CONF_MAX:
+        raise ValueError(f"confidence {confidence} out of range")
+    return (confidence << LVP_VALUE_BITS) | (value & ((1 << LVP_VALUE_BITS) - 1))
+
+
+def unpack_lvp_entry(word: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_lvp_entry`: returns (value, confidence)."""
+    return word & ((1 << LVP_VALUE_BITS) - 1), word >> LVP_VALUE_BITS
+
+
+def lvp_layout(n_sets: int = 256, assoc: int = 8,
+               block_size: int = 64) -> PVTableLayout:
+    """PVTable layout for a virtualized last-value predictor.
+
+    14-bit index, 8 set bits, 6-bit tags, 34-bit payload (32-bit value plus
+    2 confidence bits) -> 40-bit entries, 12 per 64-byte block.
+    """
+    geometry = TableGeometry(n_sets=n_sets, assoc=assoc, index_bits=LVP_INDEX_BITS)
+    codec = EntryCodec(
+        tag_bits=geometry.tag_bits, value_bits=LVP_VALUE_BITS + LVP_CONF_BITS
+    )
+    return PVTableLayout(geometry=geometry, codec=codec, block_size=block_size)
+
+
+@dataclass
+class LVPStats:
+    lookups: int = 0
+    predictions: int = 0   # confident predictions offered
+    correct: int = 0
+    updates: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of loads for which a prediction was offered."""
+        return self.predictions / self.lookups if self.lookups else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of offered predictions that were correct."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class LastValuePredictor:
+    """The optimization-engine half of a last-value predictor."""
+
+    def __init__(self, table: PredictorTable, threshold: int = 2) -> None:
+        if threshold < 1 or threshold > LVP_CONF_MAX:
+            raise ValueError(f"threshold must be in [1, {LVP_CONF_MAX}]")
+        self.table = table
+        self.threshold = threshold
+        self.stats = LVPStats()
+
+    def predict(self, pc: int, now: int = 0) -> Optional[int]:
+        """Offer a value prediction for the load at ``pc``, if confident."""
+        self.stats.lookups += 1
+        result = self.table.lookup(lvp_index(pc), now)
+        if not result.hit:
+            return None
+        value, confidence = unpack_lvp_entry(result.value)
+        if confidence < self.threshold:
+            return None
+        self.stats.predictions += 1
+        return value
+
+    def update(self, pc: int, actual: int, predicted: Optional[int],
+               now: int = 0) -> None:
+        """Train with the load's actual value; adjust confidence."""
+        self.stats.updates += 1
+        truncated = actual & ((1 << LVP_VALUE_BITS) - 1)
+        if predicted is not None and predicted == truncated:
+            self.stats.correct += 1
+        index = lvp_index(pc)
+        result = self.table.lookup(index, now)
+        if result.hit:
+            value, confidence = unpack_lvp_entry(result.value)
+            if value == truncated:
+                confidence = min(confidence + 1, LVP_CONF_MAX)
+            else:
+                confidence = max(confidence - 1, 0)
+                if confidence == 0:
+                    value = truncated
+        else:
+            value, confidence = truncated, 1
+        self.table.store(index, pack_lvp_entry(value, confidence), now)

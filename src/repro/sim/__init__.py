@@ -1,0 +1,27 @@
+"""Simulation harness: configuration, the CMP simulator, metrics, sampling.
+
+``SystemConfig.baseline()`` reproduces Table 1.  :class:`CMPSimulator` runs
+one workload on the 4-core CMP under a chosen prefetcher configuration
+(:class:`PrefetcherConfig`), producing a :class:`SimResult` with every
+counter the paper's figures consume.  :mod:`repro.sim.experiment` adds a
+cached runner so the figure drivers share simulations.
+"""
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.experiment import ExperimentScale, run_experiment
+from repro.sim.metrics import SimResult
+from repro.sim.sampling import MatchedPair, SampleStats, confidence_interval, matched_pair
+from repro.sim.simulator import CMPSimulator
+
+__all__ = [
+    "CMPSimulator",
+    "ExperimentScale",
+    "MatchedPair",
+    "PrefetcherConfig",
+    "SampleStats",
+    "SimResult",
+    "SystemConfig",
+    "confidence_interval",
+    "matched_pair",
+    "run_experiment",
+]

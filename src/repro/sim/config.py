@@ -1,0 +1,157 @@
+"""System and prefetcher configuration (Table 1 of the paper).
+
+:class:`SystemConfig` aggregates the hierarchy geometry/latencies, the SMS
+parameters tuned by the original SMS study, and the PV sizing of
+Section 4.6.  :class:`PrefetcherConfig` names the predictor configurations
+the figures compare: no prefetching, SMS with a dedicated PHT of a given
+geometry, SMS with an infinite PHT, and SMS with a virtualized PHT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.pvproxy import PVProxyConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetch.sms import SMSConfig
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """One predictor configuration under study.
+
+    ``mode`` is one of:
+
+    * ``"none"``        — baseline, no data prefetching;
+    * ``"dedicated"``   — SMS with an on-chip PHT of ``pht_sets`` x
+      ``pht_assoc`` (the paper's SMS-1K / SMS-16 / SMS-8 bars);
+    * ``"infinite"``    — SMS with an unbounded PHT (the Infinite bars);
+    * ``"virtualized"`` — SMS with the PHT virtualized behind a PVProxy
+      holding ``pvcache_entries`` sets on chip (SMS-PV8 / PV-16);
+    * ``"stride"``      — a classic PC-stride prefetcher (extra baseline,
+      not in the paper's evaluation).
+    """
+
+    mode: str = "none"
+    pht_sets: int = 1024
+    pht_assoc: int = 11
+    pvcache_entries: int = 8
+    report_miss_on_fetch: bool = False
+    stride_entries: int = 256
+    stride_degree: int = 2
+
+    _MODES = ("none", "dedicated", "infinite", "virtualized", "stride")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {self.mode!r}")
+        if self.pht_sets <= 0 or self.pht_sets & (self.pht_sets - 1):
+            raise ValueError("pht_sets must be a power of two")
+
+    @property
+    def label(self) -> str:
+        """Paper-style bar label."""
+        if self.mode == "none":
+            return "NoPF"
+        if self.mode == "infinite":
+            return "Infinite"
+        if self.mode == "stride":
+            return "Stride"
+        sets = (
+            f"{self.pht_sets // 1024}K" if self.pht_sets >= 1024 else str(self.pht_sets)
+        )
+        if self.mode == "dedicated":
+            return f"{sets}-{self.pht_assoc}a"
+        return f"PV{self.pvcache_entries}"
+
+    # -- canned configurations used throughout the evaluation ---------------
+
+    @classmethod
+    def none(cls) -> "PrefetcherConfig":
+        return cls(mode="none")
+
+    @classmethod
+    def infinite(cls) -> "PrefetcherConfig":
+        return cls(mode="infinite")
+
+    @classmethod
+    def dedicated(cls, n_sets: int, assoc: int = 11) -> "PrefetcherConfig":
+        return cls(mode="dedicated", pht_sets=n_sets, pht_assoc=assoc)
+
+    @classmethod
+    def virtualized(cls, pvcache_entries: int = 8, n_sets: int = 1024,
+                    assoc: int = 11) -> "PrefetcherConfig":
+        return cls(
+            mode="virtualized",
+            pht_sets=n_sets,
+            pht_assoc=assoc,
+            pvcache_entries=pvcache_entries,
+        )
+
+    @classmethod
+    def stride(cls, entries: int = 256, degree: int = 2) -> "PrefetcherConfig":
+        return cls(mode="stride", stride_entries=entries, stride_degree=degree)
+
+
+@dataclass
+class SystemConfig:
+    """The simulated platform (defaults reproduce Table 1)."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    sms: SMSConfig = field(default_factory=SMSConfig)
+    pvproxy: PVProxyConfig = field(default_factory=PVProxyConfig)
+    clock_ghz: float = 4.0
+    issue_width: int = 8
+    pipeline_stages: int = 8
+    model_ifetch: bool = True
+    nextline_degree: int = 1
+    seed: int = 1
+
+    @classmethod
+    def baseline(cls) -> "SystemConfig":
+        """Exactly Table 1."""
+        return cls()
+
+    def with_l2(self, size_bytes: Optional[int] = None,
+                tag_latency: Optional[int] = None,
+                data_latency: Optional[int] = None) -> "SystemConfig":
+        """Derived config for the Section 4.5 sensitivity studies."""
+        hierarchy = replace(
+            self.hierarchy,
+            l2_size=size_bytes if size_bytes is not None else self.hierarchy.l2_size,
+            l2_tag_latency=(
+                tag_latency if tag_latency is not None else self.hierarchy.l2_tag_latency
+            ),
+            l2_data_latency=(
+                data_latency if data_latency is not None
+                else self.hierarchy.l2_data_latency
+            ),
+        )
+        return replace(self, hierarchy=hierarchy)
+
+    def table1(self) -> dict:
+        """Render the configuration the way Table 1 presents it."""
+        h = self.hierarchy
+        return {
+            "ISA & Pipeline": (
+                f"UltraSPARC III ISA (modelled), {self.clock_ghz:g}GHz, "
+                f"{self.pipeline_stages}-stage pipeline, out-of-order execution"
+            ),
+            "Issue/Decode/Commit": f"any {self.issue_width} instr/cycle",
+            "Branch Predictor": "8k GShare + 16K bi-modal + 16K selector",
+            "Fetch Unit": "up to 8 instr per cycle, 64-entry fetch buffer",
+            "Scheduler": "256-entry/64-entry LSQ",
+            "L1D/L1I": (
+                f"{h.l1d_size // 1024}kB {h.l1d_assoc}-way set-associative, "
+                f"{h.block_size}B blocks, LRU replacement, "
+                f"{h.l1_latency} cycle latency"
+            ),
+            "UL2": (
+                f"{h.l2_size // (1024 * 1024)}MB, {h.l2_assoc}-way set-associative, "
+                f"{h.l2_banks} banks, {h.block_size}B blocks, LRU replacement, "
+                f"{h.l2_tag_latency}/{h.l2_data_latency} cycle tag/data latency"
+            ),
+            "Main Memory": f"3 GB, {h.memory_latency} cycles",
+            "Cores": str(h.n_cores),
+        }

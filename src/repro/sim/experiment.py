@@ -1,0 +1,105 @@
+"""Cached experiment runner shared by the figure drivers and benches.
+
+Every figure compares several configurations of the *same* workload; many
+figures share configurations (e.g. the SMS-1K dedicated run is the
+reference for Figures 6, 7, 8 and a bar in Figures 4 and 9).  The runner
+memoizes :class:`SimResult` by a full specification key so each simulation
+happens once per process.
+
+Scale: the paper simulates billions of cycles; a pure-Python reproduction
+cannot.  :class:`ExperimentScale` sets the trace length and warmup.  The
+default is sized for the bench suite; set the ``REPRO_REFS`` /
+``REPRO_WARMUP`` environment variables to run longer studies (shapes are
+stable across scales; EXPERIMENTS.md records the scale used).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much work each simulation does."""
+
+    refs_per_core: int = 16_000
+    warmup_refs: int = 20_000
+    window_refs: int = 1_600
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Default scale, overridable via REPRO_REFS / REPRO_WARMUP."""
+        refs = int(os.environ.get("REPRO_REFS", "16000"))
+        warmup = int(os.environ.get("REPRO_WARMUP", str(max(refs * 5 // 4, 1))))
+        window = max(refs // 10, 1)
+        return cls(refs_per_core=refs, warmup_refs=warmup, window_refs=window)
+
+
+_CACHE: Dict[Tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_experiment(
+    workload: str,
+    prefetcher: PrefetcherConfig,
+    scale: Optional[ExperimentScale] = None,
+    l2_size: Optional[int] = None,
+    l2_tag_latency: Optional[int] = None,
+    l2_data_latency: Optional[int] = None,
+    pv_aware: bool = False,
+    seed: int = 1,
+    use_cache: bool = True,
+) -> SimResult:
+    """Run (or fetch from cache) one simulation.
+
+    ``l2_size``/``l2_*_latency`` support the Section 4.5 sensitivity
+    studies; ``pv_aware`` enables the virtualization-aware-cache design
+    option ablation.
+    """
+    scale = scale or ExperimentScale.from_env()
+    key = (
+        workload,
+        prefetcher,
+        scale,
+        l2_size,
+        l2_tag_latency,
+        l2_data_latency,
+        pv_aware,
+        seed,
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    system = SystemConfig.baseline()
+    if l2_size is not None or l2_tag_latency is not None or l2_data_latency is not None:
+        system = system.with_l2(
+            size_bytes=l2_size,
+            tag_latency=l2_tag_latency,
+            data_latency=l2_data_latency,
+        )
+    if pv_aware:
+        from dataclasses import replace
+
+        system = replace(system, hierarchy=replace(system.hierarchy, pv_aware_caches=True))
+
+    simulator = CMPSimulator(
+        get_workload(workload), prefetcher, system=system, seed=seed
+    )
+    result = simulator.run(
+        scale.refs_per_core,
+        warmup_refs=scale.warmup_refs,
+        window_refs=scale.window_refs,
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result

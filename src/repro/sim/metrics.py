@@ -1,0 +1,164 @@
+"""Simulation results and the derived metrics the figures plot.
+
+A :class:`SimResult` is a plain snapshot of every counter one simulation
+produced.  Derived quantities mirror the paper's definitions:
+
+* **coverage** (Figure 4/5): covered misses / (covered + uncovered), where a
+  covered miss is a demand read that found a block only resident because a
+  prefetch brought it, and uncovered misses are the demand read misses that
+  still occurred;
+* **overprediction rate**: prefetched blocks evicted or invalidated before
+  first use, as a fraction of the same denominator (the stacked bars above
+  100% in Figure 4);
+* **L2 request increase** (Figure 6) and **off-chip increases** (Figures
+  7/8/10): deltas relative to the matching non-virtualized run;
+* **aggregate IPC / speedup** (Figure 9/11): committed user instructions
+  summed over cores divided by elapsed cycles, paper Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run measured."""
+
+    workload: str
+    config_label: str
+    n_cores: int
+    refs: int
+
+    # Coverage accounting (L1D, demand reads).
+    covered: int = 0
+    uncovered: int = 0
+    overpredictions: int = 0
+    l1d_read_accesses: int = 0
+
+    # Traffic.
+    l2_requests: int = 0
+    l2_pv_requests: int = 0
+    l2_misses: int = 0
+    l2_pv_misses: int = 0
+    l2_writebacks: int = 0
+    l2_pv_writebacks: int = 0
+    offchip_reads: int = 0
+    offchip_writes: int = 0
+    offchip_pv_reads: int = 0
+    offchip_pv_writes: int = 0
+    pv_l2_fill_rate: float = 1.0
+
+    # Prefetcher / predictor activity.
+    prefetches_issued: int = 0
+    predictions: int = 0
+    trigger_lookups: int = 0
+    patterns_stored: int = 0
+    pvcache_hit_rate: float = 0.0
+    pv_dropped: int = 0
+    late_prefetches: int = 0
+
+    # Timing.
+    instructions: int = 0
+    elapsed_cycles: float = 0.0
+    per_core_cycles: List[float] = field(default_factory=list)
+    window_ipcs: List[float] = field(default_factory=list)
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ coverage
+
+    @property
+    def baseline_read_misses(self) -> int:
+        """Demand read misses the baseline would suffer (covered + uncovered)."""
+        return self.covered + self.uncovered
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of L1 read misses the prefetcher eliminated."""
+        denom = self.baseline_read_misses
+        return self.covered / denom if denom else 0.0
+
+    @property
+    def uncovered_fraction(self) -> float:
+        denom = self.baseline_read_misses
+        return self.uncovered / denom if denom else 1.0
+
+    @property
+    def overprediction_rate(self) -> float:
+        """Overpredicted blocks relative to baseline read misses."""
+        denom = self.baseline_read_misses
+        return self.overpredictions / denom if denom else 0.0
+
+    # -------------------------------------------------------------- timing
+
+    @property
+    def aggregate_ipc(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.instructions / self.elapsed_cycles
+
+    def speedup_vs(self, baseline: "SimResult") -> float:
+        """Relative speedup over ``baseline`` (same workload, same refs)."""
+        if baseline.aggregate_ipc <= 0:
+            raise ValueError("baseline made no progress")
+        return self.aggregate_ipc / baseline.aggregate_ipc - 1.0
+
+    # ------------------------------------------------------------- traffic
+
+    @property
+    def offchip_transfers(self) -> int:
+        return self.offchip_reads + self.offchip_writes
+
+    def l2_request_increase(self, reference: "SimResult") -> float:
+        """Figure 6: relative increase in L2 requests vs ``reference``."""
+        if reference.l2_requests <= 0:
+            raise ValueError("reference saw no L2 requests")
+        return self.l2_requests / reference.l2_requests - 1.0
+
+    def offchip_increase(self, reference: "SimResult") -> Dict[str, float]:
+        """Figures 7/10: off-chip bandwidth increase split by direction.
+
+        Each component is normalized by the reference's *total* off-chip
+        transfers, so the two components add up to the total increase, the
+        way the paper's stacked bars do.
+        """
+        base_total = reference.offchip_transfers
+        if base_total <= 0:
+            raise ValueError("reference had no off-chip traffic")
+        return {
+            "misses": (self.offchip_reads - reference.offchip_reads) / base_total,
+            "writebacks": (self.offchip_writes - reference.offchip_writes) / base_total,
+            "total": (self.offchip_transfers - base_total) / base_total,
+        }
+
+    def offchip_split_increase(self, reference: "SimResult") -> Dict[str, float]:
+        """Figure 8: the same increase split into application vs PV data."""
+        base_total = reference.offchip_transfers
+        if base_total <= 0:
+            raise ValueError("reference had no off-chip traffic")
+        app_reads = self.offchip_reads - self.offchip_pv_reads
+        app_writes = self.offchip_writes - self.offchip_pv_writes
+        ref_app_reads = reference.offchip_reads - reference.offchip_pv_reads
+        ref_app_writes = reference.offchip_writes - reference.offchip_pv_writes
+        return {
+            "miss_app": (app_reads - ref_app_reads) / base_total,
+            "miss_pv": (self.offchip_pv_reads - reference.offchip_pv_reads) / base_total,
+            "wb_app": (app_writes - ref_app_writes) / base_total,
+            "wb_pv": (self.offchip_pv_writes - reference.offchip_pv_writes) / base_total,
+        }
+
+    # ---------------------------------------------------------------- misc
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric digest (used by examples and reports)."""
+        return {
+            "coverage": round(self.coverage, 4),
+            "uncovered": round(self.uncovered_fraction, 4),
+            "overprediction": round(self.overprediction_rate, 4),
+            "ipc": round(self.aggregate_ipc, 4),
+            "l2_requests": self.l2_requests,
+            "offchip": self.offchip_transfers,
+            "pv_l2_fill_rate": round(self.pv_l2_fill_rate, 4),
+        }

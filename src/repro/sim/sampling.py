@@ -1,0 +1,99 @@
+"""SMARTS-style statistical sampling support (Section 4.1).
+
+The paper measures speedups with the SMARTS systematic-sampling methodology
+(detailed warming + short measurement windows), reports 95% confidence
+intervals, and uses matched-pair comparison (Ekman & Stenstrom) to measure
+performance *differences* with far fewer samples than independent
+measurement would need.
+
+This module provides the statistics half of that machinery over the
+per-window aggregate-IPC samples the simulator records (``window_refs``):
+
+* :func:`confidence_interval` — batch-means mean and t-based CI;
+* :func:`matched_pair` — per-window deltas between two runs over the same
+  trace (our generators are deterministic, so windows align exactly),
+  yielding the paired CI the paper's error bars correspond to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Mean and confidence half-width of a batch of samples."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def lower(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_error(self) -> float:
+        return self.half_width / abs(self.mean) if self.mean else math.inf
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> SampleStats:
+    """Mean and t-distribution CI of ``samples`` (batch means)."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return SampleStats(mean=mean, half_width=math.inf, n=1, confidence=confidence)
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    half = t * math.sqrt(var / n)
+    return SampleStats(mean=mean, half_width=half, n=n, confidence=confidence)
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """Matched-pair comparison of two runs over the same trace windows."""
+
+    delta: SampleStats
+    base_mean: float
+
+    @property
+    def relative_delta(self) -> float:
+        """Mean relative improvement (the speedup the figure bars plot)."""
+        return self.delta.mean / self.base_mean if self.base_mean else 0.0
+
+    @property
+    def relative_half_width(self) -> float:
+        return self.delta.half_width / self.base_mean if self.base_mean else math.inf
+
+
+def matched_pair(
+    base_samples: Sequence[float],
+    new_samples: Sequence[float],
+    confidence: float = 0.95,
+) -> MatchedPair:
+    """Paired per-window comparison (Ekman & Stenstrom matched-pair).
+
+    Windows must align one-to-one; trailing extras are dropped so two runs
+    of slightly different lengths still compare.
+    """
+    n = min(len(base_samples), len(new_samples))
+    if n == 0:
+        raise ValueError("no overlapping windows")
+    deltas = [new_samples[i] - base_samples[i] for i in range(n)]
+    base_mean = sum(base_samples[:n]) / n
+    return MatchedPair(
+        delta=confidence_interval(deltas, confidence), base_mean=base_mean
+    )

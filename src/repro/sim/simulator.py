@@ -1,0 +1,327 @@
+"""The CMP simulator: one workload, one prefetcher configuration, one run.
+
+Assembles the full system of Section 4.1 — four trace-driven cores with
+split L1s and next-line instruction prefetchers, a shared inclusive L2,
+main memory — plus the configuration under study: no data prefetching, SMS
+with a dedicated PHT, SMS with an infinite PHT, or SMS with a virtualized
+PHT (PVProxy per core, PVTable in reserved physical memory, Section 3.2).
+
+The same run produces both functional counters (coverage, traffic) and
+timing (aggregate IPC): timing is an analytic accumulation over the same
+event stream, so "functional" figures simply ignore the cycle outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.cpu.core import CoreTimingModel
+from repro.memory.addr import AddressSpace
+from repro.memory.cache import CacheStats
+from repro.memory.hierarchy import HierarchyStats, MemorySystem
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pht import DedicatedPHT, InfinitePHT, sms_pht_layout
+from repro.prefetch.sms import SMSConfig, SMSPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.core.pvproxy import PVProxyStats
+from repro.core.pvtable import PVTable
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.metrics import SimResult
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.generator import WorkloadGenerator
+
+
+class CMPSimulator:
+    """Runs one (workload, prefetcher configuration) pair on the CMP."""
+
+    def __init__(
+        self,
+        workload: WorkloadProfile,
+        prefetcher: Optional[PrefetcherConfig] = None,
+        system: Optional[SystemConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.workload = workload
+        self.prefetcher = prefetcher or PrefetcherConfig.none()
+        self.system = system or SystemConfig.baseline()
+        self.seed = self.system.seed if seed is None else seed
+
+        cfg = self.system
+        n_cores = cfg.hierarchy.n_cores
+        self.hierarchy = MemorySystem(replace(cfg.hierarchy))
+        self.address_space = AddressSpace(block_size=cfg.hierarchy.block_size)
+
+        self.generators = [
+            WorkloadGenerator(workload, core=i, seed=self.seed,
+                              region=cfg.sms.region)
+            for i in range(n_cores)
+        ]
+        self.cores = [
+            CoreTimingModel(
+                base_ipc=workload.base_ipc,
+                mlp=workload.mlp,
+                hidden_latency=cfg.hierarchy.l1_latency,
+            )
+            for _ in range(n_cores)
+        ]
+        self.nextline = [
+            NextLinePrefetcher(cfg.hierarchy.block_size, cfg.nextline_degree)
+            for _ in range(n_cores)
+        ]
+        self.phts: List[object] = []
+        self.sms: List[Optional[SMSPrefetcher]] = []
+        self.stride: List[Optional[StridePrefetcher]] = []
+        self._build_prefetchers()
+        # In-flight prefetch arrival times, per core, block address -> cycle.
+        self._pending: List[Dict[int, float]] = [dict() for _ in range(n_cores)]
+        self._last_iblock = [-1] * n_cores
+        self.late_prefetches = 0
+
+    # ----------------------------------------------------------- assembly
+
+    def _build_prefetchers(self) -> None:
+        cfg = self.system
+        pf = self.prefetcher
+        n_cores = cfg.hierarchy.n_cores
+        for core in range(n_cores):
+            if pf.mode == "none":
+                self.phts.append(None)
+                self.sms.append(None)
+                self.stride.append(None)
+                continue
+            if pf.mode == "stride":
+                self.phts.append(None)
+                self.sms.append(None)
+                self.stride.append(
+                    StridePrefetcher(
+                        table_entries=pf.stride_entries,
+                        block_size=cfg.hierarchy.block_size,
+                        degree=pf.stride_degree,
+                    )
+                )
+                continue
+            self.stride.append(None)
+            if pf.mode == "dedicated":
+                pht = DedicatedPHT(n_sets=pf.pht_sets, assoc=pf.pht_assoc)
+            elif pf.mode == "infinite":
+                pht = InfinitePHT()
+            else:  # virtualized
+                layout = sms_pht_layout(n_sets=pf.pht_sets, assoc=pf.pht_assoc)
+                pv_start = self.address_space.reserve(layout.table_bytes)
+                proxy_cfg = replace(
+                    cfg.pvproxy,
+                    pvcache_entries=pf.pvcache_entries,
+                    report_miss_on_fetch=pf.report_miss_on_fetch,
+                )
+                pht = VirtualizedPredictorTable(
+                    core, PVTable(layout, pv_start), self.hierarchy, proxy_cfg
+                )
+            engine = SMSPrefetcher(pht, cfg.sms)
+            self.phts.append(pht)
+            self.sms.append(engine)
+            # Generations end on L1D evictions *and* invalidations.
+            self.hierarchy.l1d[core].eviction_listeners.append(
+                self._make_eviction_listener(engine)
+            )
+
+    @staticmethod
+    def _make_eviction_listener(engine: SMSPrefetcher):
+        def listener(evicted) -> None:
+            engine.on_block_removed(evicted.block_addr)
+
+        return listener
+
+    # ---------------------------------------------------------------- run
+
+    def run(
+        self,
+        refs_per_core: int,
+        warmup_refs: int = 0,
+        window_refs: int = 0,
+    ) -> SimResult:
+        """Simulate; optionally discard ``warmup_refs`` per core first.
+
+        ``window_refs`` > 0 additionally records one aggregate-IPC sample
+        per window of that many references per core (SMARTS-style batches
+        for the confidence intervals of Figure 9).
+        """
+        if warmup_refs > 0:
+            self._drive(warmup_refs)
+            self._reset_stats()
+        offsets = [(c.instructions, c.cycles) for c in self.cores]
+        window_ipcs: List[float] = []
+        if window_refs and window_refs > 0:
+            remaining = refs_per_core
+            while remaining > 0:
+                step = min(window_refs, remaining)
+                before = [(c.instructions, c.cycles) for c in self.cores]
+                self._drive(step)
+                instr = sum(c.instructions - b[0] for c, b in zip(self.cores, before))
+                cyc = max(c.cycles - b[1] for c, b in zip(self.cores, before))
+                if cyc > 0:
+                    window_ipcs.append(instr / cyc)
+                remaining -= step
+        else:
+            self._drive(refs_per_core)
+        return self._collect(refs_per_core, offsets, window_ipcs)
+
+    # ------------------------------------------------------------- driving
+
+    def _drive(self, refs_per_core: int) -> None:
+        """Advance every core by ``refs_per_core`` references, round-robin."""
+        n_cores = len(self.cores)
+        streams = [gen.records(refs_per_core) for gen in self.generators]
+        hierarchy = self.hierarchy
+        model_ifetch = self.system.model_ifetch
+        block_size = self.system.hierarchy.block_size
+        alive = list(range(n_cores))
+        while alive:
+            finished = []
+            for pos, i in enumerate(alive):
+                try:
+                    rec = next(streams[i])
+                except StopIteration:
+                    finished.append(pos)
+                    continue
+                self._step(i, rec, hierarchy, model_ifetch, block_size)
+            for pos in reversed(finished):
+                del alive[pos]
+
+    def _step(self, i: int, rec, hierarchy, model_ifetch: bool, block_size: int) -> None:
+        core = self.cores[i]
+        now = core.cycles
+        pending = self._pending[i]
+
+        # Instruction fetch (with the baseline next-line L1I prefetcher).
+        if model_ifetch:
+            iblock = rec.pc - (rec.pc % block_size)
+            if iblock != self._last_iblock[i]:
+                self._last_iblock[i] = iblock
+                lat, _ = hierarchy.access(i, rec.pc, ifetch=True)
+                if lat > core.hidden_latency:
+                    core.memory_access(lat)
+                for target in self.nextline[i].on_fetch(rec.pc):
+                    hierarchy.prefetch_fill_ifetch(i, target)
+
+        # Late-prefetch stall: the demand reference arrived before the
+        # prefetched block did; the core waits out the remainder.
+        addr_block = rec.addr - (rec.addr % block_size)
+        arrival = pending.pop(addr_block, None)
+        if arrival is not None and arrival > now:
+            core.extra_stall(arrival - now)
+            self.late_prefetches += 1
+            now = core.cycles
+
+        # The demand access itself.
+        latency, _ = hierarchy.access(i, rec.addr, write=rec.write)
+        core.advance(rec.instructions)
+        core.memory_access(latency)
+
+        # Train SMS and issue any predicted prefetches.
+        engine = self.sms[i]
+        if engine is not None:
+            prefetches = engine.on_access(rec.pc, rec.addr, int(now))
+            for block_addr, ready_at in prefetches:
+                fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
+                if served is not None:
+                    pending[block_addr] = ready_at + fill_latency
+            if len(pending) > 65536:
+                self._sweep_pending(pending, core.cycles)
+        stride = self.stride[i]
+        if stride is not None:
+            for block_addr in stride.on_access(rec.pc, rec.addr):
+                fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
+                if served is not None:
+                    pending[block_addr] = now + 1 + fill_latency
+
+    @staticmethod
+    def _sweep_pending(pending: Dict[int, float], now: float) -> None:
+        stale = [block for block, arrival in pending.items() if arrival <= now]
+        for block in stale:
+            del pending[block]
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def _reset_stats(self) -> None:
+        """Zero all counters but keep every piece of learned/cached state."""
+        for cache in (*self.hierarchy.l1d, *self.hierarchy.l1i, self.hierarchy.l2):
+            cache.stats = CacheStats()
+        self.hierarchy.stats = HierarchyStats()
+        mem = self.hierarchy.memory
+        mem.reads = mem.writes = mem.pv_reads = mem.pv_writes = 0
+        self.late_prefetches = 0
+        for engine in self.sms:
+            if engine is not None:
+                engine.stats.__init__()
+        for stride in self.stride:
+            if stride is not None:
+                stride.stats.__init__()
+        for pht in self.phts:
+            if pht is None:
+                continue
+            if isinstance(pht, VirtualizedPredictorTable):
+                pht.proxy.stats = PVProxyStats()
+            else:
+                pht.stats.__init__()
+
+    def _collect(self, refs: int, offsets, window_ipcs: List[float]) -> SimResult:
+        h = self.hierarchy
+        covered = sum(c.stats.covered_misses for c in h.l1d)
+        uncovered = sum(c.stats.demand_read_misses for c in h.l1d)
+        overpred = sum(c.stats.overpredictions for c in h.l1d)
+        read_accesses = sum(c.stats.demand_read_accesses for c in h.l1d)
+        instructions = sum(
+            c.instructions - off[0] for c, off in zip(self.cores, offsets)
+        )
+        elapsed = max(
+            (c.cycles - off[1] for c, off in zip(self.cores, offsets)), default=0.0
+        )
+        result = SimResult(
+            workload=self.workload.name,
+            config_label=self.prefetcher.label,
+            n_cores=len(self.cores),
+            refs=refs,
+            covered=covered,
+            uncovered=uncovered,
+            overpredictions=overpred,
+            l1d_read_accesses=read_accesses,
+            l2_requests=h.l2_requests(),
+            l2_pv_requests=h.l2_pv_requests(),
+            l2_misses=h.memory.reads,
+            l2_pv_misses=h.memory.pv_reads,
+            l2_writebacks=h.stats.l2_writebacks,
+            l2_pv_writebacks=h.stats.l2_pv_writebacks,
+            offchip_reads=h.memory.reads,
+            offchip_writes=h.memory.writes,
+            offchip_pv_reads=h.memory.pv_reads,
+            offchip_pv_writes=h.memory.pv_writes,
+            pv_l2_fill_rate=h.pv_l2_fill_rate(),
+            instructions=instructions,
+            elapsed_cycles=elapsed,
+            per_core_cycles=[c.cycles - off[1] for c, off in zip(self.cores, offsets)],
+            window_ipcs=window_ipcs,
+            late_prefetches=self.late_prefetches,
+        )
+        for engine in self.sms:
+            if engine is None:
+                continue
+            result.prefetches_issued += engine.stats.prefetches_issued
+            result.predictions += engine.stats.predictions
+            result.trigger_lookups += engine.stats.trigger_lookups
+            result.patterns_stored += engine.stats.patterns_stored
+        for stride in self.stride:
+            if stride is not None:
+                result.prefetches_issued += stride.stats.issued
+        proxies = [
+            p.proxy for p in self.phts if isinstance(p, VirtualizedPredictorTable)
+        ]
+        if proxies:
+            hits = sum(p.stats.pvcache_hits for p in proxies)
+            total = hits + sum(p.stats.pvcache_misses for p in proxies)
+            result.pvcache_hit_rate = hits / total if total else 0.0
+            result.pv_dropped = sum(
+                p.stats.dropped_lookups + p.stats.dropped_stores for p in proxies
+            )
+        return result

@@ -1,0 +1,34 @@
+"""Synthetic commercial workloads (Table 2 substitutes).
+
+The paper drives its evaluation with eight commercial workloads (TPC-C on
+DB2 and Oracle, four TPC-H queries on DB2, SPECweb99 on Apache and Zeus)
+captured in a full-system simulator.  Those traces are proprietary, so this
+package synthesizes per-core memory-reference streams whose *spatial
+structure* is what matters to SMS and PV:
+
+* a population of spatial **signatures** — (trigger PC, trigger offset)
+  pairs with a canonical access pattern over a 2KB region — reused with a
+  Zipf popularity distribution, which sets how large a PHT must be;
+* per-episode **pattern noise**, which bounds prediction accuracy and
+  produces overpredictions;
+* region **reuse locality**, cache-sized **footprints**, and a share of
+  unpatterned **filler** references, which set baseline miss rates and the
+  L2 pressure PV metadata must coexist with.
+
+:mod:`repro.workloads.profiles` holds one calibrated profile per paper
+workload; DESIGN.md documents the substitution rationale.
+"""
+
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "ZipfSampler",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,106 @@
+"""Workload profile definition and the simulated physical address map.
+
+A :class:`WorkloadProfile` is a complete parameterization of one synthetic
+commercial workload.  The parameters map to the workload properties that
+drive the paper's results:
+
+====================  =====================================================
+``n_signatures``      distinct (PC, offset) trigger signatures — how many
+                      PHT entries the workload wants (Figures 4/5)
+``zipf_alpha``        signature popularity skew — how gracefully coverage
+                      degrades as the PHT shrinks
+``pattern_density``   mean fraction of a region's 32 blocks a pattern
+                      touches — prefetches per prediction
+``pattern_noise``     per-bit episode-to-episode pattern instability —
+                      bounds accuracy, produces overpredictions
+``regions_per_sig``   data-footprint regions behind each signature
+``region_reuse``      probability an episode revisits its signature's most
+                      recent region — temporal locality
+``concurrency``       episodes in flight — interleaving pressure on the AGT
+``filler_fraction``   share of unpatterned references — uncoverable misses
+``filler_blocks``     footprint of the filler pool (64-byte blocks)
+``write_fraction``    share of non-trigger references that store —
+                      dirty-line writeback traffic (Figures 7/10)
+``rehit_fraction``    share of references that revisit a recently touched
+                      block (word-level locality) — sets the L1 hit rate
+                      and hence the baseline MPKI
+``mean_gap``          mean non-memory instructions between references
+``mlp``/``base_ipc``  timing-model factors (Figure 9/11)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Simulated physical layout (below the 3GB ceiling of Table 1; PVTables are
+#: reserved from the top of memory by AddressSpace and never collide).
+CODE_BASE = 0x1000_0000
+DATA_BASE = 0x2000_0000
+PER_CORE_STRIDE = 0x2000_0000  # 512MB of address space per core
+FILLER_OFFSET = 0x1800_0000    # filler pool sits 384MB into a core's window
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full parameterization of one synthetic workload."""
+
+    name: str
+    description: str
+    category: str
+    n_signatures: int
+    zipf_alpha: float
+    pattern_density: float
+    pattern_noise: float
+    regions_per_sig: int
+    region_reuse: float
+    concurrency: int
+    filler_fraction: float
+    filler_blocks: int
+    write_fraction: float
+    mean_gap: float
+    rehit_fraction: float = 0.65
+    mlp: float = 1.6
+    base_ipc: float = 2.0
+    code_blocks: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_signatures <= 0:
+            raise ValueError("n_signatures must be positive")
+        if not 0.0 < self.pattern_density <= 1.0:
+            raise ValueError("pattern_density must be in (0, 1]")
+        for frac_name in ("pattern_noise", "region_reuse", "filler_fraction",
+                          "write_fraction", "rehit_fraction"):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{frac_name} must be in [0, 1]")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if self.regions_per_sig <= 0:
+            raise ValueError("regions_per_sig must be positive")
+
+    # ------------------------------------------------------------ layout
+
+    def core_data_base(self, core: int) -> int:
+        return DATA_BASE + core * PER_CORE_STRIDE
+
+    def core_filler_base(self, core: int) -> int:
+        return self.core_data_base(core) + FILLER_OFFSET
+
+    @property
+    def n_regions(self) -> int:
+        return self.n_signatures * self.regions_per_sig
+
+    def footprint_bytes(self, region_bytes: int = 2048) -> int:
+        """Per-core data footprint (regions + filler pool)."""
+        return self.n_regions * region_bytes + self.filler_blocks * 64
+
+    def describe(self) -> dict:
+        """Table 2-style row."""
+        return {
+            "workload": self.name,
+            "category": self.category,
+            "description": self.description,
+            "footprint_mb": round(self.footprint_bytes() / 2**20, 1),
+            "signatures": self.n_signatures,
+        }

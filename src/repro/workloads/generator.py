@@ -1,0 +1,246 @@
+"""The synthetic trace generator.
+
+Emits a per-core stream of :class:`~repro.cpu.trace.TraceRecord` tuples
+from a :class:`~repro.workloads.base.WorkloadProfile`.  The stream is a
+random interleaving of:
+
+* **spatial episodes** — a signature is drawn from the Zipf popularity
+  distribution, bound to a region (preferring the signature's most recent
+  region with probability ``region_reuse``), and walked: first the
+  triggering access at the signature's trigger offset, then the blocks of
+  the episode's (noise-perturbed) copy of the signature's canonical
+  pattern, in rotated ascending order;
+* **filler references** — single accesses into a large unpatterned pool,
+  modelling pointer chasing and other traffic SMS cannot learn.
+
+Determinism: the generator is fully seeded by ``(profile, seed, core)``;
+two generators with equal arguments produce identical streams, which the
+matched-pair measurement methodology (Section 4.1) relies on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.cpu.trace import TraceRecord
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.workloads.base import CODE_BASE, WorkloadProfile
+from repro.workloads.zipf import ZipfSampler
+
+_CHUNK = 8192
+
+
+class _RandomPool:
+    """Buffered draws from a numpy Generator (amortizes RNG call overhead)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._uniform = rng.random(_CHUNK)
+        self._u_pos = 0
+        self._ints = rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64)
+        self._i_pos = 0
+
+    def uniform(self) -> float:
+        if self._u_pos >= _CHUNK:
+            self._uniform = self._rng.random(_CHUNK)
+            self._u_pos = 0
+        value = self._uniform[self._u_pos]
+        self._u_pos += 1
+        return float(value)
+
+    def randint(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        if self._i_pos >= _CHUNK:
+            self._ints = self._rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64)
+            self._i_pos = 0
+        value = self._ints[self._i_pos]
+        self._i_pos += 1
+        return int(value) % bound
+
+
+class _Episode:
+    """One in-flight spatial episode: a precomputed list of accesses."""
+
+    __slots__ = ("addrs", "pos", "pc")
+
+    def __init__(self, addrs: List[int], pc: int) -> None:
+        self.addrs = addrs
+        self.pos = 0
+        self.pc = pc  # body PC: the loop walking this region
+
+    def next_addr(self) -> int:
+        addr = self.addrs[self.pos]
+        self.pos += 1
+        return addr
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.addrs)
+
+
+class WorkloadGenerator:
+    """Per-core synthetic reference stream for one workload profile."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        core: int = 0,
+        seed: int = 1,
+        region: Optional[SpatialRegionGeometry] = None,
+    ) -> None:
+        self.profile = profile
+        self.core = core
+        self.region = region or SpatialRegionGeometry()
+        # zlib.crc32 is stable across processes (str.hash is salted).
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([name_hash, seed, core])
+        )
+        self._pool = _RandomPool(self._rng)
+        self._zipf = ZipfSampler(profile.n_signatures, profile.zipf_alpha, self._rng)
+        self._zipf_buffer = self._zipf.sample(_CHUNK)
+        self._zipf_pos = 0
+
+        blocks = self.region.blocks_per_region
+        n = profile.n_signatures
+        self._sig_pc = (CODE_BASE + self._rng.permutation(n).astype(np.int64) * 4)
+        self._sig_offset = self._rng.integers(0, blocks, n, dtype=np.int64)
+        # Canonical patterns: each block set with probability pattern_density,
+        # trigger block always set.
+        bits = self._rng.random((n, blocks)) < profile.pattern_density
+        bits[np.arange(n), self._sig_offset] = True
+        self._sig_pattern = np.zeros(n, dtype=np.int64)
+        for b in range(blocks):
+            self._sig_pattern |= bits[:, b].astype(np.int64) << b
+        self._last_region: dict = {}
+        self._active: List[_Episode] = []
+        self._data_base = profile.core_data_base(core)
+        self._filler_base = profile.core_filler_base(core)
+        # Recency ring for word-level block reuse (rehit_fraction).
+        self._ring: List[tuple] = []
+        self._ring_pos = 0
+        self._ring_size = 128
+
+    # --------------------------------------------------------------- helpers
+
+    def _next_signature(self) -> int:
+        if self._zipf_pos >= _CHUNK:
+            self._zipf_buffer = self._zipf.sample(_CHUNK)
+            self._zipf_pos = 0
+        sig = self._zipf_buffer[self._zipf_pos]
+        self._zipf_pos += 1
+        return int(sig)
+
+    def _episode_pattern(self, sig: int) -> int:
+        """Perturb the canonical pattern with per-bit noise; keep the trigger."""
+        pattern = int(self._sig_pattern[sig])
+        noise = self.profile.pattern_noise
+        if noise > 0.0:
+            blocks = self.region.blocks_per_region
+            flips = 0
+            pool = self._pool
+            for b in range(blocks):
+                if pool.uniform() < noise:
+                    flips |= 1 << b
+            pattern ^= flips
+            pattern |= 1 << int(self._sig_offset[sig])
+        return pattern
+
+    def _start_episode(self) -> "tuple[int, int]":
+        """Begin a new episode; return (trigger_pc, trigger_addr)."""
+        profile = self.profile
+        sig = self._next_signature()
+        reuse = self._last_region.get(sig)
+        if reuse is not None and self._pool.uniform() < profile.region_reuse:
+            region_id = reuse
+        else:
+            region_id = sig * profile.regions_per_sig + self._pool.randint(
+                profile.regions_per_sig
+            )
+            self._last_region[sig] = region_id
+        base = self._data_base + region_id * self.region.region_bytes
+        offset = int(self._sig_offset[sig])
+        pattern = self._episode_pattern(sig)
+        blocks = self.region.blocks_per_region
+        block_size = self.region.block_size
+        # Rotated ascending walk starting just after the trigger offset.
+        addrs = []
+        for i in range(1, blocks + 1):
+            b = (offset + i) % blocks
+            if b != offset and pattern & (1 << b):
+                addrs.append(base + b * block_size)
+        trigger_pc = int(self._sig_pc[sig])
+        if addrs:
+            # Body accesses come from the loop just after the trigger load.
+            self._active.append(_Episode(addrs, trigger_pc + 4))
+        trigger_addr = base + offset * block_size
+        return trigger_pc, trigger_addr
+
+    def _body_pc(self, addr: int) -> int:
+        """Deterministic per-block body PC (only trigger PCs matter to SMS)."""
+        block = addr // self.region.block_size
+        return CODE_BASE + (block % (self.profile.code_blocks * 16)) * 4
+
+    def _gap(self) -> int:
+        mean = self.profile.mean_gap
+        if mean <= 0:
+            return 0
+        return self._pool.randint(int(2 * mean) + 1)
+
+    # ------------------------------------------------------------ the stream
+
+    def _remember(self, pc: int, addr: int) -> None:
+        ring = self._ring
+        if len(ring) < self._ring_size:
+            ring.append((pc, addr))
+        else:
+            ring[self._ring_pos] = (pc, addr)
+            self._ring_pos = (self._ring_pos + 1) % self._ring_size
+
+    def records(self, n: int) -> Iterator[TraceRecord]:
+        """Yield ``n`` trace records."""
+        profile = self.profile
+        pool = self._pool
+        filler_span = profile.filler_blocks
+        block_size = self.region.block_size
+        rehit = profile.rehit_fraction
+        wf = profile.write_fraction
+        ring = self._ring
+        for _ in range(n):
+            # Word-level reuse: revisit a recently touched block (L1 hit).
+            if ring and pool.uniform() < rehit:
+                pc, addr = ring[pool.randint(len(ring))]
+                write = pool.uniform() < wf
+                yield TraceRecord(pc, addr, write, self._gap())
+                continue
+            u = pool.uniform()
+            if u < profile.filler_fraction:
+                addr = self._filler_base + pool.randint(filler_span) * block_size
+                pc = self._body_pc(addr)
+                write = pool.uniform() < wf
+                self._remember(pc, addr)
+                yield TraceRecord(pc, addr, write, self._gap())
+                continue
+            if len(self._active) < profile.concurrency:
+                pc, addr = self._start_episode()
+                self._remember(pc + 4, addr)
+                yield TraceRecord(pc, addr, False, self._gap())
+                continue
+            slot = pool.randint(len(self._active))
+            episode = self._active[slot]
+            addr = episode.next_addr()
+            pc = episode.pc
+            if episode.done:
+                last = self._active.pop()
+                if slot < len(self._active):
+                    self._active[slot] = last
+            write = pool.uniform() < wf
+            self._remember(pc, addr)
+            yield TraceRecord(pc, addr, write, self._gap())
+
+    def __iter__(self) -> Iterator[TraceRecord]:  # pragma: no cover - sugar
+        while True:
+            yield from self.records(_CHUNK)

@@ -1,0 +1,30 @@
+"""Lookup of the eight paper workloads by name (Table 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.profiles import ALL_PROFILES
+
+WORKLOADS: Dict[str, WorkloadProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def workload_names() -> List[str]:
+    """The eight workloads, in the paper's figure order."""
+    return [p.name for p in ALL_PROFILES]
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Fetch a profile by (case-insensitive) name."""
+    for key, profile in WORKLOADS.items():
+        if key.lower() == name.lower():
+            return profile
+    raise KeyError(
+        f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+    )
+
+
+def table2_rows() -> List[dict]:
+    """Table 2: the workload inventory."""
+    return [p.describe() for p in ALL_PROFILES]

@@ -1,0 +1,86 @@
+"""ASCII bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import (
+    DEFAULT_CHART_COLUMNS,
+    bar,
+    render_bar_chart,
+    render_default_chart,
+    stacked_bar,
+)
+from repro.analysis.report import FigureData
+
+
+def fig(rows, name="Figure 9", title="demo"):
+    return FigureData(
+        name=name, title=title,
+        columns=list(rows[0]) if rows else [],
+        rows=rows,
+    )
+
+
+class TestBarPrimitives:
+    def test_full_scale_bar(self):
+        assert bar(1.0, 1.0, 10) == "#" * 10
+
+    def test_half_bar(self):
+        assert bar(0.5, 1.0, 10) == "#" * 5
+
+    def test_zero_scale_empty(self):
+        assert bar(0.5, 0.0, 10) == ""
+
+    def test_negative_clamped(self):
+        assert bar(-0.5, 1.0, 10) == ""
+
+    def test_stacked_segments_use_distinct_chars(self):
+        out = stacked_bar([0.3, 0.3], 1.0, 10)
+        assert out == "#" * 3 + "=" * 3
+
+
+class TestRenderBarChart:
+    def test_rows_rendered_with_labels(self):
+        figure = fig([
+            {"workload": "Qry1", "config": "1K-11a", "speedup": 0.6},
+            {"workload": "Qry1", "config": "8-11a", "speedup": 0.3},
+        ])
+        text = render_bar_chart(figure, ["speedup"])
+        assert "Qry1 1K-11a" in text
+        assert "60.0%" in text and "30.0%" in text
+
+    def test_widest_bar_fills_width(self):
+        figure = fig([{"workload": "a", "config": "x", "speedup": 0.5}])
+        text = render_bar_chart(figure, ["speedup"], width=20)
+        assert "#" * 20 in text
+
+    def test_stacked_totals(self):
+        figure = fig(
+            [{"workload": "a", "config": "x", "covered": 0.5,
+              "overpredictions": 0.25}],
+            name="Figure 4",
+        )
+        text = render_bar_chart(figure, ["covered", "overpredictions"], width=12)
+        assert "#" * 8 + "=" * 4 in text
+        assert "75.0%" in text
+
+    def test_none_values_treated_as_zero(self):
+        figure = fig([{"workload": "a", "config": "x", "speedup": None},
+                      {"workload": "b", "config": "y", "speedup": 0.2}])
+        text = render_bar_chart(figure, ["speedup"])
+        assert "0.0%" in text
+
+
+class TestDefaultLayouts:
+    def test_all_figures_have_layouts(self):
+        for name in ("Figure 4", "Figure 6", "Figure 7", "Figure 8",
+                     "Figure 9", "Figure 10", "Figure 11"):
+            assert name in DEFAULT_CHART_COLUMNS
+
+    def test_default_chart_renders(self):
+        figure = fig([{"workload": "a", "config": "x", "speedup": 0.2}])
+        assert "Figure 9" in render_default_chart(figure)
+
+    def test_unknown_figure_rejected(self):
+        figure = fig([{"workload": "a", "speedup": 0.2}], name="Figure 99")
+        with pytest.raises(KeyError):
+            render_default_chart(figure)

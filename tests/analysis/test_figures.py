@@ -1,0 +1,99 @@
+"""Figure drivers produce the right rows (tiny scale; shapes are checked
+in the integration tests, magnitudes in the benchmarks)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIG4_CONFIGS,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    pv_l2_fill_rates,
+)
+from repro.sim.experiment import ExperimentScale, clear_cache
+
+TINY = ExperimentScale(refs_per_core=1000, warmup_refs=500, window_refs=250)
+ONE = ["Qry1"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFigure4:
+    def test_rows_per_workload(self):
+        fig = figure4(workloads=ONE, scale=TINY)
+        assert len(fig.rows) == len(FIG4_CONFIGS)
+        assert {r["config"] for r in fig.rows} == {
+            "Infinite", "1K-16a", "1K-11a", "16-11a", "8-11a",
+        }
+
+    def test_fractions_bounded(self):
+        fig = figure4(workloads=ONE, scale=TINY)
+        for row in fig.rows:
+            assert 0 <= row["covered"] <= 1
+            assert row["covered"] + row["uncovered"] == pytest.approx(1.0)
+
+
+class TestFigure5:
+    def test_sweep_sizes(self):
+        fig = figure5(workloads=ONE, scale=TINY)
+        labels = [r["config"] for r in fig.rows]
+        assert "512-11a" in labels and "32-11a" in labels
+        assert len(labels) == 10  # Infinite + 1K-16a + 8 sweep points
+
+
+class TestFigure6:
+    def test_pv8_and_pv16_rows(self):
+        fig = figure6(workloads=ONE, scale=TINY)
+        assert [r["config"] for r in fig.rows] == ["PV-8", "PV-16"]
+        for row in fig.rows:
+            assert row["l2_request_increase"] > 0
+
+    def test_fill_rate_report(self):
+        fig = pv_l2_fill_rates(workloads=ONE, scale=TINY)
+        assert 0 <= fig.rows[0]["pv_l2_fill_rate"] <= 1
+
+
+class TestFigure7And8:
+    def test_figure7_components(self):
+        fig = figure7(workloads=ONE, scale=TINY)
+        for row in fig.rows:
+            assert row["total"] == pytest.approx(
+                row["l2_misses"] + row["l2_writebacks"]
+            )
+
+    def test_figure8_split(self):
+        fig = figure8(workloads=ONE, scale=TINY)
+        row = fig.rows[0]
+        assert {"miss_app", "miss_pv", "wb_app", "wb_pv"} <= set(row)
+
+
+class TestFigure9:
+    def test_configs_and_ci(self):
+        fig = figure9(workloads=ONE, scale=TINY)
+        assert [r["config"] for r in fig.rows] == [
+            "1K-11a", "16-11a", "8-11a", "PV8",
+        ]
+        assert all("ci95" in r for r in fig.rows)
+
+
+class TestFigure10:
+    def test_l2_sweep(self):
+        fig = figure10(workloads=ONE, scale=TINY)
+        assert [r["l2"] for r in fig.rows] == ["2MB", "4MB", "8MB"]
+
+
+class TestFigure11:
+    def test_two_configs(self):
+        fig = figure11(workloads=ONE, scale=TINY)
+        assert [r["config"] for r in fig.rows] == ["1K-11a", "PV8"]
+        assert "8/16" in fig.title

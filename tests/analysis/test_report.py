@@ -1,0 +1,66 @@
+"""FigureData containers and text rendering."""
+
+import pytest
+
+from repro.analysis.report import FigureData, render_figure, render_table
+
+
+def sample_figure():
+    return FigureData(
+        name="Figure X",
+        title="demo",
+        columns=["workload", "value"],
+        rows=[
+            {"workload": "Apache", "value": 0.25},
+            {"workload": "Oracle", "value": 0.05},
+        ],
+        notes=["paper: something"],
+    )
+
+
+class TestFigureData:
+    def test_column(self):
+        assert sample_figure().column("workload") == ["Apache", "Oracle"]
+
+    def test_filter(self):
+        rows = sample_figure().filter(workload="Apache")
+        assert len(rows) == 1 and rows[0]["value"] == 0.25
+
+    def test_value(self):
+        assert sample_figure().value("value", workload="Oracle") == 0.05
+
+    def test_value_requires_unique_match(self):
+        fig = sample_figure()
+        fig.rows.append({"workload": "Apache", "value": 0.5})
+        with pytest.raises(KeyError):
+            fig.value("value", workload="Apache")
+
+    def test_missing_match(self):
+        with pytest.raises(KeyError):
+            sample_figure().value("value", workload="Zeus")
+
+
+class TestRendering:
+    def test_fractions_rendered_as_percent(self):
+        text = render_figure(sample_figure())
+        assert "25.0%" in text
+        assert "5.0%" in text
+
+    def test_title_and_notes_present(self):
+        text = render_figure(sample_figure())
+        assert "Figure X" in text
+        assert "note: paper: something" in text
+
+    def test_header_alignment(self):
+        text = render_table(["a", "b"], [{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+
+    def test_large_floats_not_percent(self):
+        text = render_table(["x"], [{"x": 68.1}])
+        assert "68.1" in text and "%" not in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,47 @@
+"""Tables 1-3 and the Section 4.6 budget rendering."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
+
+
+class TestTable1:
+    def test_keys(self):
+        t = table1()
+        assert {"ISA & Pipeline", "L1D/L1I", "UL2", "Main Memory"} <= set(t)
+
+
+class TestTable2:
+    def test_eight_workloads(self):
+        assert len(table2()) == 8
+
+    def test_descriptions_mention_paper_setups(self):
+        text = " ".join(r["description"] for r in table2())
+        assert "TPC-C" in text and "TPC-H" in text and "SPECweb99" in text
+        assert "Oracle 10g" in text and "Zeus" in text
+
+
+class TestTable3:
+    def test_published_rows(self):
+        rows = table3_rows(published=True)
+        totals = {r["configuration"]: r["total"] for r in rows}
+        assert totals["1K-16"] == "86KB"
+        assert totals["1K-11"] == "59.125KB"
+        assert totals["16-11"] == "1.225KB"
+
+    def test_renders(self):
+        text = render_table(
+            ["configuration", "tags", "patterns", "total"], table3_rows()
+        )
+        assert "1K-11" in text
+
+
+class TestBudget:
+    def test_total_row(self):
+        rows = pvproxy_budget_table()
+        total = [r for r in rows if r["component"] == "Total per core"]
+        assert total[0]["bytes"] == 889.0
+
+    def test_reduction_row(self):
+        rows = pvproxy_budget_table()
+        reduction = [r for r in rows if "Reduction" in r["component"]]
+        assert abs(reduction[0]["bytes"] - 68.1) < 0.2

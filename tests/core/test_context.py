@@ -1,0 +1,94 @@
+"""Per-process PVTables and PVStart context switching (Sections 2.1/2.3)."""
+
+import pytest
+
+from repro.core.context import PredictorContextManager
+from repro.core.pvproxy import PVProxy, PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.memory.addr import AddressSpace
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+from repro.prefetch.pht import sms_pht_layout
+
+
+def make(pvcache_entries=8, l2_size=None):
+    cfg = HierarchyConfig(n_cores=1)
+    if l2_size:
+        cfg = HierarchyConfig(n_cores=1, l2_size=l2_size, l2_assoc=2)
+    hierarchy = MemorySystem(cfg)
+    space = AddressSpace()
+    layout = sms_pht_layout()
+    table = PVTable(layout, space.reserve(layout.table_bytes))
+    proxy = PVProxy(0, table, hierarchy,
+                    PVProxyConfig(pvcache_entries=pvcache_entries))
+    manager = PredictorContextManager(proxy, layout, space)
+    return manager, proxy, hierarchy, space
+
+
+class TestTableAllocation:
+    def test_each_process_gets_its_own_chunk(self):
+        manager, _, _, space = make()
+        a = manager.table_for("db")
+        b = manager.table_for("web")
+        assert a.pv_start != b.pv_start
+        assert space.is_reserved(a.pv_start) and space.is_reserved(b.pv_start)
+        assert manager.stats.tables_created == 2
+
+    def test_table_for_is_stable(self):
+        manager, _, _, _ = make()
+        assert manager.table_for("db") is manager.table_for("db")
+
+
+class TestSwitching:
+    def test_switch_changes_pvstart(self):
+        manager, proxy, _, _ = make()
+        manager.switch("db")
+        start_db = manager.pv_start
+        manager.switch("web")
+        assert manager.pv_start != start_db
+        assert manager.stats.switches == 2
+
+    def test_switch_to_same_pid_is_noop(self):
+        manager, _, _, _ = make()
+        manager.switch("db")
+        manager.switch("db")
+        assert manager.stats.switches == 1
+
+    def test_no_interference_between_processes(self):
+        """Per-process tables eliminate inter-process interference."""
+        manager, proxy, _, _ = make()
+        manager.switch("db")
+        proxy.store(0x123, 0xD8, now=0)
+        manager.switch("web")
+        # Same index, different process: a clean miss, no db state visible.
+        assert not proxy.lookup(0x123, now=1000).hit
+        proxy.store(0x123, 0x3E, now=2000)
+        # Switching back restores db's entry.
+        manager.switch("db")
+        assert proxy.lookup(0x123, now=500_000).value == 0xD8
+        manager.switch("web")
+        assert proxy.lookup(0x123, now=900_000).value == 0x3E
+
+    def test_switch_flushes_dirty_state(self):
+        manager, proxy, _, _ = make()
+        manager.switch("db")
+        proxy.store(0x123, 5, now=0)
+        manager.switch("web")
+        assert manager.stats.flush_writebacks >= 1
+        assert len(proxy.pvcache) == 0
+
+
+class TestEvictionRouting:
+    def test_switched_out_tables_still_commit_dirty_lines(self):
+        manager, proxy, hierarchy, _ = make(
+            pvcache_entries=2, l2_size=16 * 64
+        )
+        manager.switch("db")
+        proxy.store(0x0, 42, now=0)
+        manager.switch("web")  # db's dirty set now lives only in the L2
+        db_table = manager.table_for("db")
+        block = db_table.block_address(0)
+        n_sets = hierarchy.l2.geometry.n_sets
+        for i in range(1, 4):  # force the L2 to evict db's PV line
+            hierarchy.access(0, block + i * n_sets * 64)
+        assert db_table.commits == 1
+        assert db_table.read_set(0, from_memory=True)

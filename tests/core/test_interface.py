@@ -1,0 +1,51 @@
+"""TableGeometry index math and the PredictorTable contract."""
+
+import pytest
+
+from repro.core.interface import LookupResult, TableGeometry
+
+
+class TestGeometry:
+    def test_paper_pht_geometry(self):
+        g = TableGeometry(n_sets=1024, assoc=11, index_bits=21)
+        assert g.set_bits == 10
+        assert g.tag_bits == 11
+        assert g.entries == 11264
+
+    def test_split_join_roundtrip(self):
+        g = TableGeometry(n_sets=64, assoc=4, index_bits=16)
+        for index in (0, 1, 63, 64, 0xFFFF, 0x1234):
+            s, t = g.split(index)
+            assert g.join(s, t) == index
+            assert 0 <= s < 64
+
+    def test_split_rejects_out_of_range(self):
+        g = TableGeometry(n_sets=64, assoc=4, index_bits=16)
+        with pytest.raises(ValueError):
+            g.split(1 << 16)
+        with pytest.raises(ValueError):
+            g.split(-1)
+
+    def test_labels(self):
+        assert TableGeometry(1024, 16, 21).label() == "1K-16a"
+        assert TableGeometry(1024, 11, 21).label() == "1K-11a"
+        assert TableGeometry(16, 11, 21).label() == "16-11a"
+        assert TableGeometry(8, 11, 21).label() == "8-11a"
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            TableGeometry(n_sets=100, assoc=4, index_bits=16)
+
+    def test_rejects_more_sets_than_indices(self):
+        with pytest.raises(ValueError):
+            TableGeometry(n_sets=1024, assoc=4, index_bits=8)
+
+
+class TestLookupResult:
+    def test_defaults(self):
+        r = LookupResult(value=5, hit=True, ready_at=10)
+        assert r.pvcache_hit
+
+    def test_miss_shape(self):
+        r = LookupResult(value=None, hit=False, ready_at=3, pvcache_hit=False)
+        assert r.value is None and not r.hit

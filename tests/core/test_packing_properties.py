@@ -1,0 +1,70 @@
+"""Property-based tests: the bit-exact set codec round-trips (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pvtable import EntryCodec
+
+
+def codec_and_ways():
+    """Strategy producing (codec, ways) with in-range fields."""
+    return st.integers(min_value=2, max_value=16).flatmap(
+        lambda tag_bits: st.integers(min_value=2, max_value=40).flatmap(
+            lambda value_bits: st.tuples(
+                st.just(EntryCodec(tag_bits=tag_bits, value_bits=value_bits)),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, (1 << tag_bits) - 1),
+                        st.integers(0, (1 << value_bits) - 1),
+                    ),
+                    max_size=min(
+                        EntryCodec(tag_bits=tag_bits, value_bits=value_bits)
+                        .entries_per_block(64),
+                        11,
+                    ),
+                ),
+            )
+        )
+    )
+
+
+def _droppable(codec, ways):
+    """Remove entries that collide with the all-ones empty encoding."""
+    empty = (1 << codec.entry_bits) - 1
+    return [
+        (t, v) for t, v in ways if codec.pack_entry(t, v) != empty
+    ]
+
+
+@settings(max_examples=300, deadline=None)
+@given(codec_and_ways())
+def test_pack_unpack_roundtrip(case):
+    codec, ways = case
+    ways = _droppable(codec, ways)
+    assert codec.unpack_set(codec.pack_set(ways)) == ways
+
+
+@settings(max_examples=100, deadline=None)
+@given(codec_and_ways())
+def test_packed_block_is_always_block_sized(case):
+    codec, ways = case
+    ways = _droppable(codec, ways)
+    assert len(codec.pack_set(ways)) == 64
+
+
+@settings(max_examples=100, deadline=None)
+@given(codec_and_ways())
+def test_unpack_preserves_order(case):
+    codec, ways = case
+    ways = _droppable(codec, ways)
+    out = codec.unpack_set(codec.pack_set(ways))
+    assert out == ways  # slot order is way order
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=(1 << 11) - 1),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_sms_entry_roundtrip(tag, value):
+    codec = EntryCodec(tag_bits=11, value_bits=32)
+    assert codec.unpack_entry(codec.pack_entry(tag, value)) == (tag, value)

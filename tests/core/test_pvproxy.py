@@ -1,0 +1,210 @@
+"""The PVProxy: PVCache behaviour, fetch path, writebacks, drops."""
+
+import pytest
+
+from repro.core.pvproxy import PVCache, PVCacheEntry, PVProxy, PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+from repro.prefetch.pht import sms_pht_layout
+
+PV_START = 0x40000000
+
+
+def make_proxy(pvcache_entries=8, mshr=4, hierarchy=None, **cfg):
+    hierarchy = hierarchy or MemorySystem(HierarchyConfig(n_cores=1))
+    table = PVTable(sms_pht_layout(), PV_START)
+    proxy = PVProxy(
+        0,
+        table,
+        hierarchy,
+        PVProxyConfig(pvcache_entries=pvcache_entries, mshr_entries=mshr, **cfg),
+    )
+    return proxy, hierarchy
+
+
+class TestPVCacheStructure:
+    def test_lru_eviction(self):
+        cache = PVCache(2)
+        cache.install(PVCacheEntry(set_index=1))
+        cache.install(PVCacheEntry(set_index=2))
+        cache.get(1)  # refresh
+        victim = cache.install(PVCacheEntry(set_index=3))
+        assert victim.set_index == 2
+
+    def test_reinstall_replaces_without_eviction(self):
+        cache = PVCache(2)
+        cache.install(PVCacheEntry(set_index=1))
+        assert cache.install(PVCacheEntry(set_index=1)) is None
+        assert len(cache) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PVCache(0)
+
+
+class TestLookupPath:
+    def test_cold_lookup_misses_pvcache_and_predictor(self):
+        proxy, _ = make_proxy()
+        result = proxy.lookup(0x1234, now=0)
+        assert not result.hit
+        assert not result.pvcache_hit
+        assert proxy.stats.fetches == 1
+
+    def test_fetch_installs_set_for_reuse(self):
+        proxy, _ = make_proxy()
+        proxy.lookup(0x1234, now=0)
+        result = proxy.lookup(0x1234, now=1000)
+        assert result.pvcache_hit
+        assert proxy.stats.pvcache_hits == 1
+
+    def test_store_then_lookup_same_set(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x1234, 0xBEEF, now=0)
+        result = proxy.lookup(0x1234, now=10)
+        assert result.hit and result.value == 0xBEEF
+
+    def test_lookup_latency_reflects_memory_round_trip(self):
+        proxy, hierarchy = make_proxy()
+        result = proxy.lookup(0x1234, now=100)
+        # L2 miss -> memory: tag(6) + 400, plus 1 cycle PVCache.
+        assert result.ready_at == 100 + 1 + 6 + 400
+
+    def test_lookup_latency_on_l2_hit(self):
+        proxy, hierarchy = make_proxy()
+        proxy.lookup(0x1234, now=0)
+        # Evict from PVCache by touching 8 other sets (advancing time so
+        # each fetch's MSHR entry retires before the next request).
+        for i in range(1, 9):
+            proxy.lookup(0x1234 + i, now=i * 1000)
+        result = proxy.lookup(0x1234, now=100_000)
+        assert not result.pvcache_hit
+        assert result.ready_at == 100_000 + 1 + 6 + 12  # L2 tag+data
+
+    def test_pvcache_hit_is_one_cycle(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x1234, 7, now=0)
+        result = proxy.lookup(0x1234, now=600)
+        assert result.ready_at == 601
+
+
+class TestWaySemantics:
+    def test_different_tags_same_set_coexist(self):
+        proxy, _ = make_proxy()
+        set_bits = proxy.geometry.set_bits
+        a = 0x10  # set 0x10, tag 0
+        b = 0x10 | (1 << set_bits)  # same set, tag 1
+        proxy.store(a, 111, now=0)
+        proxy.store(b, 222, now=0)
+        assert proxy.lookup(a, now=1).value == 111
+        assert proxy.lookup(b, now=1).value == 222
+
+    def test_way_overflow_drops_lru_way(self):
+        proxy, _ = make_proxy()
+        set_bits = proxy.geometry.set_bits
+        assoc = proxy.geometry.assoc
+        base = 0x3
+        for tag in range(assoc + 1):
+            proxy.store(base | (tag << set_bits), tag, now=0)
+        assert not proxy.lookup(base, now=1).hit  # tag 0 displaced
+        assert proxy.lookup(base | (assoc << set_bits), now=1).hit
+
+    def test_store_updates_existing_way(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x55, 1, now=0)
+        proxy.store(0x55, 2, now=0)
+        assert proxy.lookup(0x55, now=1).value == 2
+
+
+class TestEvictionWriteback:
+    def test_dirty_eviction_writes_to_l2(self):
+        proxy, hierarchy = make_proxy(pvcache_entries=2)
+        proxy.store(0x0, 10, now=0)  # set 0, dirty
+        proxy.lookup(0x1, now=0)     # set 1
+        proxy.lookup(0x2, now=0)     # set 2 -> evicts set 0 (dirty)
+        assert proxy.stats.writebacks == 1
+        line = hierarchy.l2.lookup(proxy.table.block_address(0))
+        assert line is not None and line.dirty and line.is_pv
+
+    def test_clean_eviction_discarded(self):
+        proxy, hierarchy = make_proxy(pvcache_entries=2)
+        proxy.lookup(0x0, now=0)
+        proxy.lookup(0x1, now=0)
+        before = hierarchy.l2.stats.pv_hits + hierarchy.l2.stats.pv_misses
+        proxy.lookup(0x2, now=0)  # evicts clean set 0: no write
+        after = hierarchy.l2.stats.pv_hits + hierarchy.l2.stats.pv_misses
+        assert proxy.stats.writebacks == 0
+        assert after == before + 1  # only the fetch for set 2
+
+    def test_written_back_set_survives_round_trip(self):
+        proxy, _ = make_proxy(pvcache_entries=2)
+        proxy.store(0x0, 42, now=0)
+        proxy.lookup(0x1, now=0)
+        proxy.lookup(0x2, now=0)  # evict set 0 to L2
+        result = proxy.lookup(0x0, now=100)  # fetch back from L2
+        assert result.hit and result.value == 42
+
+
+class TestDropBehaviour:
+    def test_mshr_full_drops_lookup(self):
+        proxy, _ = make_proxy(mshr=1)
+        # Keep one outstanding fetch alive far in the future.
+        proxy.lookup(0x0, now=0)
+        result = proxy.lookup(0x1, now=0)  # MSHR still holds set 0's fetch
+        assert not result.hit
+        assert proxy.stats.dropped_lookups == 1
+
+    def test_mshr_drains_with_time(self):
+        proxy, _ = make_proxy(mshr=1)
+        proxy.lookup(0x0, now=0)
+        result = proxy.lookup(0x1, now=10_000)  # fetch long since completed
+        assert proxy.stats.dropped_lookups == 0
+        assert result.pvcache_hit is False
+
+    def test_pattern_buffer_full_drops_store(self):
+        proxy, _ = make_proxy(pattern_buffer_entries=0)
+        proxy.store(0x0, 1, now=0)
+        assert proxy.stats.dropped_stores == 1
+        assert not proxy.lookup(0x0, now=1).hit
+
+
+class TestReportMissMode:
+    def test_report_miss_on_fetch(self):
+        proxy, _ = make_proxy(report_miss_on_fetch=True)
+        proxy.store(0x0, 9, now=0)
+        # Evict set 0 so the next lookup must fetch.
+        for i in range(1, 9):
+            proxy.lookup(i, now=i * 1000)
+        result = proxy.lookup(0x0, now=100_000)
+        assert not result.hit            # reported as a miss...
+        assert proxy.stats.reported_misses >= 1
+        again = proxy.lookup(0x0, now=200_000)
+        assert again.hit and again.value == 9  # ...but the set was installed
+
+
+class TestL2EvictionCallback:
+    def test_dirty_pv_l2_eviction_commits_to_memory(self):
+        hierarchy = MemorySystem(
+            HierarchyConfig(n_cores=1, l2_size=16 * 64, l2_assoc=2)
+        )
+        table = PVTable(sms_pht_layout(), PV_START)
+        proxy = PVProxy(0, table, hierarchy, PVProxyConfig(pvcache_entries=2))
+        proxy.store(0x0, 77, now=0)
+        proxy.lookup(0x1, now=0)
+        proxy.lookup(0x2, now=0)  # set 0 written back to L2 (dirty)
+        # Now force the L2 to evict that PV line.
+        block = table.block_address(0)
+        n_sets = hierarchy.l2.geometry.n_sets
+        for i in range(1, 4):
+            hierarchy.access(0, block + i * n_sets * 64)
+        assert table.commits == 1
+        assert table.read_set(0, from_memory=True) != []
+
+
+class TestFlush:
+    def test_flush_writes_dirty_entries(self):
+        proxy, hierarchy = make_proxy()
+        proxy.store(0x0, 5, now=0)
+        proxy.store(0x1, 6, now=0)
+        proxy.flush()
+        assert proxy.stats.writebacks == 2
+        assert len(proxy.pvcache) == 0

@@ -1,0 +1,137 @@
+"""PVTable layout, entry packing, and backing-store semantics."""
+
+import pytest
+
+from repro.core.interface import TableGeometry
+from repro.core.pvtable import EntryCodec, PVTable, PVTableLayout
+from repro.prefetch.pht import sms_pht_layout
+
+
+class TestEntryCodec:
+    def test_paper_entry_width(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        assert codec.entry_bits == 43
+        assert codec.entries_per_block(64) == 11
+
+    def test_pack_unpack_entry(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        word = codec.pack_entry(0x5A5, 0xDEADBEEF)
+        assert codec.unpack_entry(word) == (0x5A5, 0xDEADBEEF)
+
+    def test_pack_rejects_oversized_fields(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        with pytest.raises(ValueError):
+            codec.pack_entry(1 << 11, 0)
+        with pytest.raises(ValueError):
+            codec.pack_entry(0, 1 << 32)
+
+    def test_pack_set_block_size(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        block = codec.pack_set([(1, 2), (3, 4)])
+        assert len(block) == 64
+
+    def test_pack_set_roundtrip(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        ways = [(i, i * 1000 + 7) for i in range(11)]
+        assert codec.unpack_set(codec.pack_set(ways)) == ways
+
+    def test_empty_slots_skipped(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        ways = [(5, 99)]
+        assert codec.unpack_set(codec.pack_set(ways)) == ways
+
+    def test_overfull_set_rejected(self):
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        with pytest.raises(ValueError):
+            codec.pack_set([(i, 0) for i in range(12)])
+
+    def test_all_ones_entry_rejected(self):
+        codec = EntryCodec(tag_bits=4, value_bits=4)
+        with pytest.raises(ValueError):
+            codec.pack_set([(0xF, 0xF)])
+
+
+class TestLayout:
+    def test_sms_layout_matches_paper(self):
+        layout = sms_pht_layout()
+        assert layout.table_bytes == 64 * 1024  # 64KB per core (Section 4.2)
+        assert layout.unused_bits_per_block() == 64 * 8 - 11 * 43  # 39 trailing
+
+    def test_address_calculation(self):
+        layout = sms_pht_layout()
+        # Figure 3b: set index padded with six zeros plus PVStart.
+        assert layout.block_address(0x1000, 0) == 0x1000
+        assert layout.block_address(0x1000, 5) == 0x1000 + 5 * 64
+        assert layout.set_of_address(0x1000, 0x1000 + 320) == 5
+
+    def test_rejects_set_out_of_range(self):
+        layout = sms_pht_layout()
+        with pytest.raises(ValueError):
+            layout.block_address(0, 1024)
+
+    def test_rejects_mismatched_codec(self):
+        geometry = TableGeometry(1024, 11, 21)
+        bad = EntryCodec(tag_bits=9, value_bits=32)
+        with pytest.raises(ValueError):
+            PVTableLayout(geometry=geometry, codec=bad)
+
+    def test_rejects_assoc_that_cannot_pack(self):
+        geometry = TableGeometry(1024, 16, 21)  # 16 x 43 bits > 512
+        codec = EntryCodec(tag_bits=11, value_bits=32)
+        with pytest.raises(ValueError):
+            PVTableLayout(geometry=geometry, codec=codec)
+
+
+class TestPVTableStore:
+    def make(self):
+        return PVTable(sms_pht_layout(), pv_start=0x100000)
+
+    def test_empty_reads(self):
+        table = self.make()
+        assert table.read_set(0, from_memory=True) == []
+
+    def test_write_back_then_chip_read(self):
+        table = self.make()
+        table.write_back(3, [(1, 42)])
+        assert table.read_set(3, from_memory=False) == [(1, 42)]
+        # Main memory has not seen the data yet.
+        assert table.read_set(3, from_memory=True) == []
+
+    def test_commit_on_l2_eviction(self):
+        table = self.make()
+        table.write_back(3, [(1, 42)])
+        table.on_l2_eviction(3, dirty=True, pv_aware=False)
+        assert table.read_set(3, from_memory=True) == [(1, 42)]
+        assert table.commits == 1
+
+    def test_pv_aware_drop_loses_data(self):
+        """Section 2.2 design option: dropped dirty lines lose predictor state."""
+        table = self.make()
+        table.write_back(3, [(1, 42)])
+        table.on_l2_eviction(3, dirty=True, pv_aware=True)
+        assert table.read_set(3, from_memory=True) == []
+        assert table.drops == 1
+
+    def test_clean_eviction_is_noop(self):
+        table = self.make()
+        table.write_back(3, [(1, 42)])
+        table.on_l2_eviction(3, dirty=False, pv_aware=False)
+        assert table.read_set(3, from_memory=True) == []
+
+    def test_owns_address(self):
+        table = self.make()
+        assert table.owns_address(0x100000)
+        assert table.owns_address(0x100000 + 64 * 1024 - 1)
+        assert not table.owns_address(0x100000 - 1)
+        assert not table.owns_address(0x100000 + 64 * 1024)
+
+    def test_unaligned_start_rejected(self):
+        with pytest.raises(ValueError):
+            PVTable(sms_pht_layout(), pv_start=100)
+
+    def test_packed_block_matches_memory_contents(self):
+        table = self.make()
+        table.write_back(7, [(2, 0xABC)])
+        table.on_l2_eviction(7, dirty=True, pv_aware=False)
+        codec = table.layout.codec
+        assert codec.unpack_set(table.packed_block(7)) == [(2, 0xABC)]

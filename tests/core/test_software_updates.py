@@ -1,0 +1,92 @@
+"""Software-visible predictor updates (Section 2.3)."""
+
+import pytest
+
+from repro.core.pvproxy import PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+from repro.prefetch.pht import sms_pht_layout
+
+PV_START = 0x40000000
+
+
+def make():
+    hierarchy = MemorySystem(HierarchyConfig(n_cores=1))
+    table = PVTable(sms_pht_layout(), PV_START)
+    pht = VirtualizedPredictorTable(
+        0, table, hierarchy, PVProxyConfig(pvcache_entries=8)
+    )
+    return pht, table, hierarchy
+
+
+class TestPVTableSoftwareUpdate:
+    def test_insert_new_way(self):
+        _, table, _ = make()
+        table.software_update(3, tag=7, value=0xAA)
+        assert table.read_set(3, from_memory=True) == [(7, 0xAA)]
+
+    def test_update_existing_way_in_place(self):
+        _, table, _ = make()
+        table.software_update(3, tag=7, value=0xAA)
+        table.software_update(3, tag=7, value=0xBB)
+        assert table.read_set(3, from_memory=True) == [(7, 0xBB)]
+
+    def test_overflow_displaces_oldest(self):
+        _, table, _ = make()
+        assoc = table.layout.geometry.assoc
+        for tag in range(assoc + 1):
+            table.software_update(3, tag=tag, value=tag)
+        ways = table.read_set(3, from_memory=True)
+        assert len(ways) == assoc
+        assert (0, 0) not in ways
+
+    def test_supersedes_chip_overlay(self):
+        _, table, _ = make()
+        table.write_back(3, [(1, 111)])          # dirty proxy copy on chip
+        table.software_update(3, tag=1, value=222)
+        assert table.read_set(3, from_memory=False) == [(1, 222)]
+
+
+class TestGuaranteedDelivery:
+    def test_store_visible_after_pvcache_coherence(self):
+        """With software updates enabled, the engine observes the new value
+        even when the old set was resident in the PVCache."""
+        pht, _, _ = make()
+        pht.enable_software_updates()
+        pht.store(0x55, 1, now=0)
+        assert pht.lookup(0x55, now=1000).value == 1
+        pht.software_store(0x55, 99, now=2000)
+        result = pht.lookup(0x55, now=3000)
+        assert result.value == 99
+
+    def test_without_coherence_stale_value_may_linger(self):
+        """The paper's caveat: without PVCache coherence there is no
+        guaranteed delivery — the resident set keeps the stale value."""
+        pht, _, _ = make()
+        pht.store(0x55, 1, now=0)
+        pht.software_store(0x55, 99, now=2000)
+        result = pht.lookup(0x55, now=3000)
+        assert result.value == 1  # stale: set still in PVCache
+
+    def test_software_invalidations_counted(self):
+        pht, _, _ = make()
+        pht.enable_software_updates()
+        pht.store(0x55, 1, now=0)
+        pht.software_store(0x55, 99, now=2000)
+        assert pht.proxy.stats.software_invalidations == 1
+
+    def test_update_to_nonresident_set_needs_no_invalidation(self):
+        pht, _, _ = make()
+        pht.enable_software_updates()
+        pht.software_store(0x55, 99, now=0)
+        assert pht.proxy.stats.software_invalidations == 0
+        assert pht.lookup(0x55, now=1000).value == 99
+
+    def test_unrelated_writes_do_not_disturb(self):
+        pht, _, hierarchy = make()
+        pht.enable_software_updates()
+        pht.store(0x55, 1, now=0)
+        hierarchy.access(0, 0x1000, write=True)  # app data, not PV range
+        assert pht.proxy.stats.software_invalidations == 0
+        assert pht.lookup(0x55, now=1000).value == 1

@@ -1,0 +1,87 @@
+"""The storage-cost model must reproduce Table 3 and Section 4.6 exactly."""
+
+import pytest
+
+from repro.core.storage import (
+    TABLE3_GEOMETRIES,
+    pht_storage,
+    pvproxy_budget,
+    reduction_factor,
+    table3,
+)
+
+
+class TestTable3Published:
+    """The rows exactly as printed in the paper."""
+
+    def test_1k_16(self):
+        row = pht_storage(1024, 16, published=True)
+        assert row.tag_bytes == 22 * 1024
+        assert row.pattern_bytes == 64 * 1024
+        assert row.total_kb == pytest.approx(86.0)
+
+    def test_1k_11(self):
+        row = pht_storage(1024, 11, published=True)
+        assert row.tag_bytes == pytest.approx(15.125 * 1024)
+        assert row.pattern_bytes == 44 * 1024
+        assert row.total_kb == pytest.approx(59.125)
+
+    def test_16_11(self):
+        row = pht_storage(16, 11, published=True)
+        assert row.tag_bytes == 374
+        assert row.pattern_bytes == 880
+        assert row.total_kb == pytest.approx(1.225, abs=0.001)
+
+    def test_8_11(self):
+        row = pht_storage(8, 11, published=True)
+        assert row.tag_bytes == 198
+        assert row.pattern_bytes == 440
+        assert row.total_bytes == pytest.approx(638)
+
+    def test_all_rows_present(self):
+        rows = table3()
+        assert [(\
+            r.n_sets, r.assoc) for r in rows] == TABLE3_GEOMETRIES
+
+
+class TestTable3Uniform:
+    """With a uniform 32-bit pattern, small tables shrink a little."""
+
+    def test_small_tables_use_32_bit_patterns(self):
+        row = pht_storage(16, 11, published=False)
+        assert row.pattern_bytes == 176 * 4
+
+    def test_large_rows_unchanged(self):
+        assert pht_storage(1024, 11, published=False).total_kb == pytest.approx(
+            pht_storage(1024, 11, published=True).total_kb
+        )
+
+
+class TestPVProxyBudget:
+    def test_paper_arithmetic(self):
+        budget = pvproxy_budget()
+        assert budget["pvcache_data_bytes"] == 473.0
+        assert budget["tag_bytes"] == 11.0
+        assert budget["dirty_bytes"] == 1.0
+        assert budget["mshr_bytes"] == 84.0
+        assert budget["evict_buffer_bytes"] == 256.0
+        assert budget["pattern_buffer_bytes"] == 64.0
+        assert budget["total_bytes"] == 889.0
+
+    def test_reduction_factor_is_68x(self):
+        assert reduction_factor() == pytest.approx(68.1, abs=0.1)
+
+    def test_sub_kilobyte_claim(self):
+        """Abstract: 'less than one kilobyte' of dedicated storage."""
+        assert pvproxy_budget()["total_bytes"] < 1024
+
+    def test_budget_scales_with_pvcache(self):
+        small = pvproxy_budget(pvcache_sets=8)
+        large = pvproxy_budget(pvcache_sets=16)
+        assert large["total_bytes"] > small["total_bytes"]
+
+
+class TestLabels:
+    def test_paper_labels(self):
+        assert pht_storage(1024, 16).label == "1K-16"
+        assert pht_storage(8, 11).label == "8-11"

@@ -1,0 +1,32 @@
+"""Round-robin interleaving of per-core trace streams."""
+
+from repro.cpu.cmp import round_robin
+
+
+class TestRoundRobin:
+    def test_equal_streams(self):
+        out = list(round_robin([[1, 2], [10, 20]]))
+        assert out == [(0, 1), (1, 10), (0, 2), (1, 20)]
+
+    def test_uneven_streams(self):
+        out = list(round_robin([[1], [10, 20, 30]]))
+        assert out == [(0, 1), (1, 10), (1, 20), (1, 30)]
+
+    def test_empty_streams(self):
+        assert list(round_robin([[], []])) == []
+
+    def test_single_stream(self):
+        assert list(round_robin([[5, 6]])) == [(0, 5), (0, 6)]
+
+    def test_generators_supported(self):
+        def gen(n):
+            yield from range(n)
+
+        out = list(round_robin([gen(2), gen(2)]))
+        assert out == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_order_is_stable_per_round(self):
+        out = list(round_robin([[1, 2, 3], [4, 5, 6], [7, 8, 9]]))
+        rounds = [out[i : i + 3] for i in range(0, 9, 3)]
+        for r in rounds:
+            assert [c for c, _ in r] == [0, 1, 2]

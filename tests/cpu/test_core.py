@@ -1,0 +1,74 @@
+"""The analytic core timing model and the paper's aggregate-IPC metric."""
+
+import pytest
+
+from repro.cpu.core import CoreTimingModel, aggregate_ipc, speedup
+
+
+class TestAdvance:
+    def test_base_ipc(self):
+        core = CoreTimingModel(base_ipc=2.0)
+        core.advance(100)
+        assert core.cycles == pytest.approx(50.0)
+        assert core.instructions == 100
+
+    def test_negative_rejected(self):
+        core = CoreTimingModel()
+        with pytest.raises(ValueError):
+            core.advance(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(base_ipc=0)
+        with pytest.raises(ValueError):
+            CoreTimingModel(mlp=0.5)
+
+
+class TestMemoryAccess:
+    def test_l1_hit_is_free(self):
+        core = CoreTimingModel(hidden_latency=2)
+        core.memory_access(2)
+        assert core.stall_cycles == 0
+
+    def test_exposed_latency_divided_by_mlp(self):
+        core = CoreTimingModel(mlp=2.0, hidden_latency=2)
+        core.memory_access(402)
+        assert core.stall_cycles == pytest.approx(200.0)
+
+    def test_extra_stall(self):
+        core = CoreTimingModel(mlp=2.0)
+        core.extra_stall(100)
+        assert core.cycles == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            core.extra_stall(-1)
+
+    def test_ipc_property(self):
+        core = CoreTimingModel(base_ipc=2.0, mlp=1.0, hidden_latency=0)
+        core.advance(100)   # 50 cycles
+        core.memory_access(50)  # +50 cycles
+        assert core.ipc == pytest.approx(1.0)
+
+
+class TestAggregateIPC:
+    def test_paper_definition(self):
+        """Sum of committed instructions over the slowest core's cycles."""
+        a = CoreTimingModel()
+        b = CoreTimingModel()
+        a.advance(100)  # 50 cycles
+        b.advance(200)  # 100 cycles
+        assert aggregate_ipc([a, b]) == pytest.approx(300 / 100.0)
+
+    def test_empty(self):
+        assert aggregate_ipc([]) == 0.0
+
+    def test_speedup(self):
+        base = [CoreTimingModel()]
+        base[0].advance(100)
+        base[0].extra_stall(100)  # 50+62.5 = ...
+        fast = [CoreTimingModel()]
+        fast[0].advance(100)
+        assert speedup(base, fast) > 0
+
+    def test_speedup_requires_progress(self):
+        with pytest.raises(ValueError):
+            speedup([CoreTimingModel()], [CoreTimingModel()])

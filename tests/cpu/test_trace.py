@@ -1,0 +1,68 @@
+"""Trace records and binary round-tripping."""
+
+import io
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.trace import TraceReader, TraceRecord, TraceWriter, roundtrip
+
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        pc=st.integers(0, (1 << 48) - 1),
+        addr=st.integers(0, (1 << 48) - 1),
+        write=st.booleans(),
+        gap=st.integers(0, 0xFFFF),
+    ),
+    max_size=50,
+)
+
+
+class TestRecord:
+    def test_instructions_includes_self(self):
+        assert TraceRecord(0, 0, False, gap=3).instructions == 4
+        assert TraceRecord(0, 0, False, gap=0).instructions == 1
+
+
+class TestBinaryIO:
+    def test_roundtrip_simple(self):
+        recs = [
+            TraceRecord(0x400, 0x1000, False, 3),
+            TraceRecord(0x404, 0x2040, True, 0),
+        ]
+        assert list(roundtrip(recs)) == recs
+
+    @settings(max_examples=100, deadline=None)
+    @given(records_strategy)
+    def test_roundtrip_property(self, recs):
+        assert list(roundtrip(recs)) == recs
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReader(io.BytesIO(b"XXXX\x01" + b"\x00" * 32))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReader(io.BytesIO(b"PVTR\x09"))
+
+    def test_truncated_tail_ignored(self):
+        buffer = io.BytesIO()
+        TraceWriter(buffer).write(TraceRecord(1, 2, False, 0))
+        data = buffer.getvalue()[:-3]  # chop the last record short
+        assert list(TraceReader(io.BytesIO(data))) == []
+
+    def test_writer_counts(self):
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer)
+        n = writer.write_all(TraceRecord(i, i, False, 0) for i in range(7))
+        assert n == 7
+
+    def test_gap_saturates_at_16_bits(self):
+        buffer = io.BytesIO()
+        TraceWriter(buffer).write(TraceRecord(0, 0, False, gap=1 << 20))
+        buffer.seek(0)
+        rec = next(iter(TraceReader(buffer)))
+        assert rec.gap == 0xFFFF

@@ -1,0 +1,69 @@
+"""Trace capture/replay and stream summarization."""
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracetools import capture, replay, trace_stats
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.registry import get_workload
+
+
+class TestCaptureReplay:
+    def test_roundtrip_matches_generator(self, tmp_path):
+        profile = get_workload("Qry1")
+        path = tmp_path / "qry1.trace"
+        n = capture(profile, path, refs=500, core=0, seed=3)
+        assert n == 500
+        replayed = list(replay(path))
+        direct = list(WorkloadGenerator(profile, core=0, seed=3).records(500))
+        assert replayed == direct
+
+    def test_capture_different_cores_differ(self, tmp_path):
+        profile = get_workload("Qry1")
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b.trace"
+        capture(profile, a, refs=300, core=0)
+        capture(profile, b, refs=300, core=1)
+        assert list(replay(a)) != list(replay(b))
+
+
+class TestTraceStats:
+    def test_counts(self):
+        records = [
+            TraceRecord(0x400, 0, False, 3),
+            TraceRecord(0x404, 64, True, 1),
+            TraceRecord(0x404, 64, False, 0),
+            TraceRecord(0x408, 4096, False, 2),
+        ]
+        stats = trace_stats(records)
+        assert stats.refs == 4
+        assert stats.writes == 1
+        assert stats.instructions == 4 + 2 + 1 + 3
+        assert stats.unique_blocks == 3
+        assert stats.unique_regions == 2  # region 0 and region 2
+        assert stats.footprint_bytes == 3 * 64
+
+    def test_ratios(self):
+        records = [TraceRecord(0, i * 64, i % 2 == 0, 9) for i in range(10)]
+        stats = trace_stats(records)
+        assert stats.write_fraction == pytest.approx(0.5)
+        assert stats.refs_per_kilo_instruction == pytest.approx(100.0)
+
+    def test_empty_stream(self):
+        stats = trace_stats([])
+        assert stats.refs == 0
+        assert stats.write_fraction == 0.0
+        assert stats.blocks_per_region == 0.0
+
+    def test_as_dict_keys(self):
+        stats = trace_stats([TraceRecord(0, 0, False, 0)])
+        d = stats.as_dict()
+        assert {"refs", "unique_blocks", "footprint_kb", "refs_per_ki"} <= set(d)
+
+    def test_real_workload_summary(self):
+        profile = get_workload("Oracle")
+        gen = WorkloadGenerator(profile, core=0)
+        stats = trace_stats(gen.records(3000))
+        assert stats.refs == 3000
+        assert 0 < stats.write_fraction < 0.5
+        assert stats.unique_regions > 50

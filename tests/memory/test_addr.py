@@ -1,0 +1,99 @@
+"""Address arithmetic and physical address-space carving."""
+
+import pytest
+
+from repro.memory.addr import (
+    AddressSpace,
+    block_address,
+    block_index,
+    block_offset_in_region,
+    region_base,
+    region_index,
+)
+
+
+class TestBlockMath:
+    def test_block_index_of_zero(self):
+        assert block_index(0) == 0
+
+    def test_block_index_within_block(self):
+        assert block_index(63) == 0
+        assert block_index(64) == 1
+
+    def test_block_address_rounds_down(self):
+        assert block_address(130) == 128
+
+    def test_block_address_is_idempotent(self):
+        assert block_address(block_address(12345)) == block_address(12345)
+
+    def test_custom_block_size(self):
+        assert block_index(256, block_size=128) == 2
+        assert block_address(257, block_size=128) == 256
+
+
+class TestRegionMath:
+    def test_region_index(self):
+        # 32 blocks x 64B = 2KB regions.
+        assert region_index(0) == 0
+        assert region_index(2047) == 0
+        assert region_index(2048) == 1
+
+    def test_region_base(self):
+        assert region_base(5000) == 4096
+
+    def test_block_offset_in_region(self):
+        assert block_offset_in_region(0) == 0
+        assert block_offset_in_region(64) == 1
+        assert block_offset_in_region(2048 + 31 * 64) == 31
+
+    def test_offset_is_region_relative(self):
+        addr = 7 * 2048 + 5 * 64 + 13
+        assert block_offset_in_region(addr) == 5
+
+
+class TestAddressSpace:
+    def test_reservations_come_from_the_top(self):
+        space = AddressSpace(total_bytes=1 << 20)
+        start = space.reserve(64 * 1024)
+        assert start == (1 << 20) - 64 * 1024
+
+    def test_reservations_do_not_overlap(self):
+        space = AddressSpace(total_bytes=1 << 20)
+        first = space.reserve(1024)
+        second = space.reserve(1024)
+        assert second + 1024 <= first
+
+    def test_reserve_rounds_to_blocks(self):
+        space = AddressSpace(total_bytes=1 << 20)
+        start = space.reserve(100)  # rounded to 128? no: to one 64B block => 128
+        assert start % 64 == 0
+        assert space.reservations[0][1] == 128
+
+    def test_is_reserved(self):
+        space = AddressSpace(total_bytes=1 << 20)
+        start = space.reserve(4096)
+        assert space.is_reserved(start)
+        assert space.is_reserved(start + 4095)
+        assert not space.is_reserved(start - 1)
+
+    def test_app_region_shrinks(self):
+        space = AddressSpace(total_bytes=1 << 20)
+        space.reserve(4096)
+        start, size = space.app_region()
+        assert start == 0
+        assert size == (1 << 20) - 4096
+
+    def test_exhaustion_raises(self):
+        space = AddressSpace(total_bytes=4096)
+        with pytest.raises(MemoryError):
+            space.reserve(8192)
+
+    def test_bad_sizes_raise(self):
+        space = AddressSpace(total_bytes=4096)
+        with pytest.raises(ValueError):
+            space.reserve(0)
+        with pytest.raises(ValueError):
+            space.reserve(-64)
+
+    def test_default_is_three_gb(self):
+        assert AddressSpace().total_bytes == 3 * 1024**3

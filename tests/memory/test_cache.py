@@ -1,0 +1,240 @@
+"""The set-associative LRU cache model."""
+
+import pytest
+
+from repro.memory.cache import AccessKind, Cache, CacheGeometry
+
+
+def make_cache(size=1024, assoc=2, block=64, name="c"):
+    return Cache(name, CacheGeometry(size, assoc, block))
+
+
+class TestGeometry:
+    def test_derived_sets(self):
+        g = CacheGeometry(64 * 1024, 4, 64)
+        assert g.n_sets == 256
+        assert g.n_blocks == 1024
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 64 * 2, 2, 64)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 2, 48)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 2, 64)
+
+    def test_set_index_and_tag_roundtrip(self):
+        g = CacheGeometry(8 * 1024, 4, 64)
+        addr = 0x12345 * 64
+        set_idx = g.set_index(addr)
+        tag = g.tag(addr)
+        assert tag * g.n_sets + set_idx == addr // 64
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access(0, AccessKind.DEMAND_READ) is None
+        c.fill(0)
+        assert c.access(0, AccessKind.DEMAND_READ) is not None
+
+    def test_same_block_different_bytes_hit(self):
+        c = make_cache()
+        c.fill(128)
+        assert c.access(191, AccessKind.DEMAND_READ) is not None
+
+    def test_stats_split_by_kind(self):
+        c = make_cache()
+        c.access(0, AccessKind.DEMAND_READ)
+        c.access(0, AccessKind.DEMAND_WRITE)
+        c.access(0, AccessKind.IFETCH)
+        c.access(0, AccessKind.PV_READ)
+        assert c.stats.demand_read_misses == 1
+        assert c.stats.demand_write_misses == 1
+        assert c.stats.ifetch_misses == 1
+        assert c.stats.pv_misses == 1
+        assert c.stats.misses == 4
+
+    def test_miss_rate(self):
+        c = make_cache()
+        c.access(0, AccessKind.DEMAND_READ)
+        c.fill(0)
+        c.access(0, AccessKind.DEMAND_READ)
+        assert c.stats.miss_rate() == pytest.approx(0.5)
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        # Direct-mapped-per-set behaviour: 2 ways, fill 3 conflicting blocks.
+        c = make_cache(size=128 * 2, assoc=2, block=64)  # 2 sets
+        a, b, d = 0, 128, 256  # all map to set 0
+        c.fill(a)
+        c.fill(b)
+        victim = c.fill(d)
+        assert victim is not None and victim.block_addr == a
+
+    def test_access_refreshes_lru(self):
+        c = make_cache(size=128 * 2, assoc=2, block=64)
+        a, b, d = 0, 128, 256
+        c.fill(a)
+        c.fill(b)
+        c.access(a, AccessKind.DEMAND_READ)  # a becomes MRU
+        victim = c.fill(d)
+        assert victim.block_addr == b
+
+    def test_fill_existing_refreshes_lru(self):
+        c = make_cache(size=128 * 2, assoc=2, block=64)
+        a, b, d = 0, 128, 256
+        c.fill(a)
+        c.fill(b)
+        c.fill(a)  # refresh
+        victim = c.fill(d)
+        assert victim.block_addr == b
+
+
+class TestDirty:
+    def test_write_sets_dirty(self):
+        c = make_cache()
+        c.fill(0)
+        line = c.access(0, AccessKind.DEMAND_WRITE, write=True)
+        assert line.dirty
+
+    def test_dirty_eviction_counted(self):
+        c = make_cache(size=64, assoc=1, block=64)  # 1 block total
+        c.fill(0, dirty=True)
+        victim = c.fill(64)
+        assert victim.dirty
+        assert c.stats.dirty_evictions == 1
+
+    def test_fill_does_not_clear_dirty(self):
+        c = make_cache()
+        c.fill(0, dirty=True)
+        c.fill(0, dirty=False)
+        assert c.lookup(0).dirty
+
+
+class TestPrefetchedFlags:
+    def test_read_of_prefetched_line_is_covered(self):
+        c = make_cache()
+        c.fill(0, prefetched=True)
+        c.access(0, AccessKind.DEMAND_READ)
+        assert c.stats.covered_misses == 1
+        assert not c.lookup(0).prefetched
+
+    def test_covered_counted_once(self):
+        c = make_cache()
+        c.fill(0, prefetched=True)
+        c.access(0, AccessKind.DEMAND_READ)
+        c.access(0, AccessKind.DEMAND_READ)
+        assert c.stats.covered_misses == 1
+
+    def test_write_consumes_but_does_not_cover(self):
+        c = make_cache()
+        c.fill(0, prefetched=True)
+        c.access(0, AccessKind.DEMAND_WRITE, write=True)
+        assert c.stats.covered_misses == 0
+        assert not c.lookup(0).prefetched
+
+    def test_unused_prefetch_evicted_is_overprediction(self):
+        c = make_cache(size=64, assoc=1, block=64)
+        c.fill(0, prefetched=True)
+        c.fill(64)
+        assert c.stats.overpredictions == 1
+
+    def test_used_prefetch_evicted_is_not_overprediction(self):
+        c = make_cache(size=64, assoc=1, block=64)
+        c.fill(0, prefetched=True)
+        c.access(0, AccessKind.DEMAND_READ)
+        c.fill(64)
+        assert c.stats.overpredictions == 0
+
+    def test_invalidation_of_unused_prefetch_is_overprediction(self):
+        c = make_cache()
+        c.fill(0, prefetched=True)
+        c.invalidate(0)
+        assert c.stats.overpredictions == 1
+
+    def test_prefetch_access_kind_does_not_consume(self):
+        c = make_cache()
+        c.fill(0, prefetched=True)
+        c.access(0, AccessKind.PREFETCH)
+        assert c.lookup(0).prefetched
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        c = make_cache()
+        c.fill(0)
+        assert c.invalidate(0) is not None
+        assert not c.contains(0)
+
+    def test_invalidate_missing_returns_none(self):
+        c = make_cache()
+        assert c.invalidate(0) is None
+
+    def test_invalidate_reports_dirty_state(self):
+        c = make_cache()
+        c.fill(0, dirty=True)
+        evicted = c.invalidate(0)
+        assert evicted.dirty
+
+    def test_invalidation_not_counted_as_eviction(self):
+        c = make_cache()
+        c.fill(0)
+        c.invalidate(0)
+        assert c.stats.evictions == 0
+        assert c.stats.invalidations == 1
+
+
+class TestListeners:
+    def test_listener_fires_on_eviction(self):
+        c = make_cache(size=64, assoc=1, block=64)
+        seen = []
+        c.eviction_listeners.append(lambda e: seen.append(e.block_addr))
+        c.fill(0)
+        c.fill(64)
+        assert seen == [0]
+
+    def test_listener_fires_on_invalidation(self):
+        c = make_cache()
+        seen = []
+        c.eviction_listeners.append(lambda e: seen.append(e.block_addr))
+        c.fill(0)
+        c.invalidate(0)
+        assert seen == [0]
+
+
+class TestPVFlags:
+    def test_pv_eviction_counters(self):
+        c = make_cache(size=64, assoc=1, block=64)
+        c.fill(0, is_pv=True, dirty=True)
+        c.fill(64)
+        assert c.stats.pv_evictions == 1
+        assert c.stats.pv_dirty_evictions == 1
+
+    def test_pv_occupancy(self):
+        c = make_cache()
+        c.fill(0, is_pv=True)
+        c.fill(64)
+        assert c.pv_occupancy() == 1
+        assert c.occupancy() == 2
+
+
+class TestFlush:
+    def test_flush_empties_and_reports(self):
+        c = make_cache()
+        c.fill(0)
+        c.fill(64)
+        evicted = c.flush()
+        assert len(evicted) == 2
+        assert c.occupancy() == 0
+
+    def test_resident_blocks(self):
+        c = make_cache()
+        c.fill(0)
+        c.fill(4096)
+        assert sorted(c.resident_blocks()) == [0, 4096]

@@ -1,0 +1,120 @@
+"""Property-based tests of the cache model's invariants (hypothesis)."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import AccessKind, Cache, CacheGeometry
+
+BLOCK = 64
+N_SETS = 4
+ASSOC = 2
+SIZE = N_SETS * ASSOC * BLOCK
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "fill", "invalidate"]),
+        st.integers(min_value=0, max_value=31),  # block numbers
+    ),
+    max_size=200,
+)
+
+
+class ReferenceLRU:
+    """An obviously-correct model: one OrderedDict per set."""
+
+    def __init__(self):
+        self.sets = [OrderedDict() for _ in range(N_SETS)]
+
+    def _where(self, block):
+        return self.sets[block % N_SETS], block // N_SETS
+
+    def access(self, block):
+        ways, tag = self._where(block)
+        if tag in ways:
+            ways.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, block):
+        ways, tag = self._where(block)
+        if tag in ways:
+            ways.move_to_end(tag)
+            return
+        if len(ways) >= ASSOC:
+            ways.popitem(last=False)
+        ways[tag] = True
+
+    def invalidate(self, block):
+        ways, tag = self._where(block)
+        ways.pop(tag, None)
+
+    def resident(self):
+        out = set()
+        for idx, ways in enumerate(self.sets):
+            for tag in ways:
+                out.add((tag * N_SETS + idx) * BLOCK)
+        return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops)
+def test_cache_matches_reference_model(operations):
+    """Residency after any op sequence equals the reference LRU model."""
+    cache = Cache("t", CacheGeometry(SIZE, ASSOC, BLOCK))
+    model = ReferenceLRU()
+    for op, block in operations:
+        addr = block * BLOCK
+        if op == "access":
+            hit_model = model.access(block)
+            hit_cache = cache.access(addr, AccessKind.DEMAND_READ) is not None
+            assert hit_cache == hit_model
+        elif op == "fill":
+            model.fill(block)
+            cache.fill(addr)
+        else:
+            model.invalidate(block)
+            cache.invalidate(addr)
+        assert set(cache.resident_blocks()) == model.resident()
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops)
+def test_occupancy_never_exceeds_capacity(operations):
+    cache = Cache("t", CacheGeometry(SIZE, ASSOC, BLOCK))
+    for op, block in operations:
+        addr = block * BLOCK
+        if op == "fill":
+            cache.fill(addr)
+        elif op == "invalidate":
+            cache.invalidate(addr)
+        else:
+            cache.access(addr, AccessKind.DEMAND_READ)
+        assert cache.occupancy() <= N_SETS * ASSOC
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops)
+def test_hits_plus_misses_equals_accesses(operations):
+    cache = Cache("t", CacheGeometry(SIZE, ASSOC, BLOCK))
+    accesses = 0
+    for op, block in operations:
+        if op == "access":
+            cache.access(block * BLOCK, AccessKind.DEMAND_READ)
+            accesses += 1
+        elif op == "fill":
+            cache.fill(block * BLOCK)
+    assert cache.stats.accesses == accesses
+    assert cache.stats.hits + cache.stats.misses == accesses
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=150))
+def test_fills_minus_evictions_equals_occupancy(blocks):
+    """Conservation: every filled line is either resident or was retired."""
+    cache = Cache("t", CacheGeometry(SIZE, ASSOC, BLOCK))
+    for block in blocks:
+        cache.fill(block * BLOCK)
+    retired = cache.stats.evictions + cache.stats.invalidations
+    distinct_fills = cache.stats.fills
+    assert distinct_fills - retired == cache.occupancy()

@@ -1,0 +1,91 @@
+"""Inter-L1 coherence: invalidation on write, downgrade on read."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+
+
+def system(**overrides):
+    defaults = dict(n_cores=4)
+    defaults.update(overrides)
+    return MemorySystem(HierarchyConfig(**defaults))
+
+
+class TestWriteInvalidation:
+    def test_write_invalidates_remote_readers(self):
+        sys = system()
+        sys.access(0, 0x1000)
+        sys.access(1, 0x1000)
+        assert sys.l1d[0].contains(0x1000)
+        sys.access(2, 0x1000, write=True)
+        assert not sys.l1d[0].contains(0x1000)
+        assert not sys.l1d[1].contains(0x1000)
+        assert sys.l1d[2].contains(0x1000)
+        assert sys.stats.coherence_invalidations == 2
+
+    def test_write_hit_upgrade_invalidates_sharers(self):
+        sys = system()
+        sys.access(0, 0x1000)
+        sys.access(1, 0x1000)
+        # Core 0 hits its own copy but must still kill core 1's.
+        sys.access(0, 0x1000, write=True)
+        assert not sys.l1d[1].contains(0x1000)
+        assert sys.stats.write_upgrades == 1
+
+    def test_remote_dirty_copy_merges_before_write(self):
+        sys = system()
+        sys.access(0, 0x1000, write=True)  # core 0 holds it dirty
+        sys.access(1, 0x1000, write=True)  # core 1 takes ownership
+        # Core 0's dirty data reached the L2, so the block is dirty there.
+        assert sys.l2.lookup(0x1000).dirty
+
+    def test_private_writes_have_no_coherence_cost(self):
+        sys = system()
+        sys.access(0, 0x1000, write=True)
+        sys.access(0, 0x1000, write=True)
+        assert sys.stats.coherence_invalidations == 0
+        assert sys.stats.write_upgrades == 0
+
+
+class TestReadDowngrade:
+    def test_reader_downgrades_remote_dirty_copy(self):
+        sys = system()
+        sys.access(0, 0x1000, write=True)
+        sys.access(1, 0x1000)  # read by another core
+        assert sys.stats.coherence_downgrades == 1
+        # Both keep a (now clean) copy; the L2 holds the dirty data.
+        assert sys.l1d[0].contains(0x1000)
+        assert not sys.l1d[0].lookup(0x1000).dirty
+        assert sys.l2.lookup(0x1000).dirty
+
+    def test_downgraded_copy_not_written_back_twice(self):
+        sys = system()
+        sys.access(0, 0x1000, write=True)
+        sys.access(1, 0x1000)
+        before = sys.stats.l1_writebacks
+        # Evict core 0's now-clean copy: no L1 writeback should occur.
+        for i in range(1, 6):
+            sys.access(0, 0x1000 + i * 64 * sys.l1d[0].geometry.n_sets)
+        assert sys.stats.l1_writebacks == before
+
+    def test_clean_sharing_is_free(self):
+        sys = system()
+        sys.access(0, 0x1000)
+        sys.access(1, 0x1000)
+        sys.access(2, 0x1000)
+        assert sys.stats.coherence_downgrades == 0
+        assert sys.stats.coherence_invalidations == 0
+
+
+class TestSMSGenerationInteraction:
+    def test_coherence_invalidation_ends_generations(self):
+        """Paper Section 3.1: a generation ends when any accessed block is
+        removed by replacement *or invalidation*."""
+        sys = system()
+        removed = []
+        sys.l1d[0].eviction_listeners.append(
+            lambda e: removed.append(e.block_addr)
+        )
+        sys.access(0, 0x1000)
+        sys.access(1, 0x1000, write=True)  # invalidates core 0's copy
+        assert 0x1000 in removed

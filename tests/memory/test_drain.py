@@ -1,0 +1,49 @@
+"""MemorySystem.drain_l2: the pre-migration cache flush."""
+
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+
+
+def system():
+    return MemorySystem(HierarchyConfig(n_cores=2))
+
+
+class TestDrain:
+    def test_drain_empties_the_l2(self):
+        sys = system()
+        for i in range(16):
+            sys.access(0, i * 64)
+        drained = sys.drain_l2()
+        assert drained == sys.l2.stats.fills
+        assert sys.l2.occupancy() == 0
+
+    def test_drain_back_invalidates_l1s(self):
+        sys = system()
+        sys.access(0, 0x1000)
+        sys.access(1, 0x1000)
+        sys.drain_l2()
+        assert not sys.l1d[0].contains(0x1000)
+        assert not sys.l1d[1].contains(0x1000)
+
+    def test_drain_writes_dirty_data_to_memory(self):
+        sys = system()
+        sys.access(0, 0x1000, write=True)
+        before = sys.memory.writes
+        sys.drain_l2()
+        assert sys.memory.writes > before
+
+    def test_drain_commits_dirty_pv_lines(self):
+        sys = system()
+        sys.pv_access(0, 0x8000, write=True)
+        sys.drain_l2()
+        assert sys.memory.pv_writes == 1
+
+    def test_drain_fires_pv_listeners(self):
+        sys = system()
+        seen = []
+        sys.pv_eviction_listeners.append(lambda e: seen.append(e.block_addr))
+        sys.pv_access(0, 0x8000)
+        sys.drain_l2()
+        assert seen == [0x8000]
+
+    def test_drain_empty_l2_is_noop(self):
+        assert system().drain_l2() == 0

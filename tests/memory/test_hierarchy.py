@@ -1,0 +1,237 @@
+"""The CMP memory hierarchy: demand path, prefetch path, PV port, inclusivity."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem, ServedBy
+
+
+def small_system(**overrides):
+    """A tiny hierarchy so evictions are easy to provoke."""
+    defaults = dict(
+        n_cores=2,
+        l1d_size=4 * 64,   # 4 blocks, 1-way... keep assoc 2 -> 2 sets
+        l1d_assoc=2,
+        l1i_size=4 * 64,
+        l1i_assoc=2,
+        l2_size=16 * 64,
+        l2_assoc=2,
+        memory_latency=400,
+    )
+    defaults.update(overrides)
+    return MemorySystem(HierarchyConfig(**defaults))
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_memory(self):
+        sys = small_system()
+        latency, served = sys.access(0, 0x1000)
+        assert served is ServedBy.MEM
+        assert latency == 2 + 6 + 400
+
+    def test_second_access_hits_l1(self):
+        sys = small_system()
+        sys.access(0, 0x1000)
+        latency, served = sys.access(0, 0x1000)
+        assert served is ServedBy.L1
+        assert latency == 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        sys = small_system()
+        sys.access(0, 0x1000)
+        # Evict 0x1000 from L1 (same set), but it stays in the bigger L2.
+        sys.access(0, 0x1000 + 4 * 64)
+        sys.access(0, 0x1000 + 8 * 64)
+        latency, served = sys.access(0, 0x1000)
+        assert served is ServedBy.L2
+        assert latency == 2 + 6 + 12
+
+    def test_other_core_miss_hits_shared_l2(self):
+        sys = small_system()
+        sys.access(0, 0x1000)
+        _, served = sys.access(1, 0x1000)
+        assert served is ServedBy.L2
+
+    def test_ifetch_goes_to_l1i(self):
+        sys = small_system()
+        sys.access(0, 0x2000, ifetch=True)
+        assert sys.l1i[0].contains(0x2000)
+        assert not sys.l1d[0].contains(0x2000)
+
+    def test_write_marks_l1_dirty(self):
+        sys = small_system()
+        sys.access(0, 0x1000, write=True)
+        assert sys.l1d[0].lookup(0x1000).dirty
+
+
+class TestWritebackPath:
+    def test_dirty_l1_victim_writes_into_l2(self):
+        sys = small_system()
+        sys.access(0, 0x1000, write=True)
+        sys.access(0, 0x1000 + 4 * 64)
+        sys.access(0, 0x1000 + 8 * 64)  # evicts dirty 0x1000
+        assert sys.stats.l1_writebacks == 1
+        assert sys.l2.lookup(0x1000).dirty
+
+    def test_dirty_l2_victim_writes_to_memory(self):
+        sys = small_system()
+        sys.access(0, 0x1000, write=True)
+        # Overflow the whole L2 set containing 0x1000 with dirty data.
+        for i in range(1, 24):
+            sys.access(0, 0x1000 + i * 8 * 64 * 64, write=True)
+        assert sys.memory.writes >= 1
+        assert sys.stats.l2_writebacks >= 1
+
+
+class TestInclusivity:
+    def test_l2_eviction_back_invalidates_l1(self):
+        sys = small_system()
+        sys.access(0, 0x1000)
+        assert sys.l1d[0].contains(0x1000)
+        # Blow the L2 set that 0x1000 lives in.
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.access(1, 0x1000 + i * stride)
+        assert not sys.l1d[0].contains(0x1000)
+        assert sys.stats.back_invalidations >= 1
+
+    def test_l1_dirty_copy_merges_on_back_invalidation(self):
+        sys = small_system()
+        sys.access(0, 0x1000, write=True)
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.access(1, 0x1000 + i * stride)
+        # The dirty L1 copy must have reached memory despite the L2 copy
+        # being clean.
+        assert sys.memory.writes >= 1
+
+
+class TestPrefetchPath:
+    def test_prefetch_installs_flagged_line(self):
+        sys = small_system()
+        latency, served = sys.prefetch_fill(0, 0x3000)
+        assert served is ServedBy.MEM
+        assert sys.l1d[0].lookup(0x3000).prefetched
+
+    def test_prefetch_of_resident_block_is_free(self):
+        sys = small_system()
+        sys.access(0, 0x3000)
+        latency, served = sys.prefetch_fill(0, 0x3000)
+        assert served is None
+        assert latency == 0
+
+    def test_prefetch_populates_l2_too(self):
+        sys = small_system()
+        sys.prefetch_fill(0, 0x3000)
+        assert sys.l2.contains(0x3000)
+
+    def test_ifetch_prefetch_targets_l1i(self):
+        sys = small_system()
+        sys.prefetch_fill_ifetch(0, 0x4000)
+        assert sys.l1i[0].lookup(0x4000).prefetched
+        assert not sys.l1d[0].contains(0x4000)
+
+
+class TestPVPort:
+    def test_pv_read_misses_to_memory_marked_pv(self):
+        sys = small_system()
+        latency, served = sys.pv_access(0, 0x8000)
+        assert served is ServedBy.MEM
+        assert latency == 6 + 400
+        assert sys.memory.pv_reads == 1
+        assert sys.l2.lookup(0x8000).is_pv
+
+    def test_pv_read_hit_in_l2(self):
+        sys = small_system()
+        sys.pv_access(0, 0x8000)
+        latency, served = sys.pv_access(0, 0x8000)
+        assert served is ServedBy.L2
+        assert latency == 6 + 12
+
+    def test_pv_never_touches_l1(self):
+        sys = small_system()
+        sys.pv_access(0, 0x8000)
+        assert not sys.l1d[0].contains(0x8000)
+        assert not sys.l1i[0].contains(0x8000)
+
+    def test_pv_write_deposits_dirty_line(self):
+        sys = small_system()
+        sys.pv_access(0, 0x8000, write=True)
+        line = sys.l2.lookup(0x8000)
+        assert line.dirty and line.is_pv
+
+    def test_dirty_pv_victim_written_back_by_default(self):
+        sys = small_system()
+        sys.pv_access(0, 0x8000, write=True)
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.access(0, 0x8000 + i * stride)
+        assert sys.memory.pv_writes == 1
+        assert sys.stats.l2_pv_writebacks == 1
+
+    def test_pv_aware_drops_dirty_pv_victims(self):
+        sys = small_system(pv_aware_caches=True)
+        sys.pv_access(0, 0x8000, write=True)
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.access(0, 0x8000 + i * stride)
+        assert sys.memory.pv_writes == 0
+        assert sys.stats.pv_dirty_dropped == 1
+
+    def test_pv_eviction_listener_fires(self):
+        sys = small_system()
+        seen = []
+        sys.pv_eviction_listeners.append(lambda e: seen.append(e.block_addr))
+        sys.pv_access(0, 0x8000)
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.access(0, 0x8000 + i * stride)
+        assert seen == [0x8000]
+
+    def test_pv_eviction_does_not_back_invalidate(self):
+        """PV lines have no L1 copies; eviction must not probe L1s."""
+        sys = small_system()
+        sys.pv_access(0, 0x8000)
+        before = sys.stats.back_invalidations
+        n_sets = sys.l2.geometry.n_sets
+        stride = n_sets * 64
+        for i in range(1, 4):
+            sys.pv_access(0, 0x8000 + i * stride)
+        assert sys.stats.back_invalidations == before
+
+
+class TestMetrics:
+    def test_l2_requests_counts_all_kinds(self):
+        sys = small_system()
+        sys.access(0, 0x1000)          # demand fill
+        sys.prefetch_fill(0, 0x2000)   # prefetch
+        sys.pv_access(0, 0x8000)       # pv
+        assert sys.l2_requests() == 3
+        assert sys.l2_pv_requests() == 1
+
+    def test_l2_requests_excludes_writebacks(self):
+        sys = small_system()
+        sys.access(0, 0x1000, write=True)
+        sys.access(0, 0x1000 + 4 * 64)
+        sys.access(0, 0x1000 + 8 * 64)  # dirty writeback into L2
+        assert sys.l2_requests() == 3  # three demand fills only
+
+    def test_pv_l2_fill_rate(self):
+        sys = small_system()
+        sys.pv_access(0, 0x8000)   # miss
+        sys.pv_access(0, 0x8000)   # hit
+        sys.pv_access(0, 0x8000)   # hit
+        assert sys.pv_l2_fill_rate() == pytest.approx(2 / 3)
+
+    def test_offchip_transfers_split(self):
+        sys = small_system()
+        sys.access(0, 0x1000)
+        sys.pv_access(0, 0x8000)
+        t = sys.offchip_transfers()
+        assert t["reads"] == 2
+        assert t["pv_reads"] == 1
+        assert t["app_reads"] == 1

@@ -1,0 +1,46 @@
+"""Main-memory latency and traffic accounting."""
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestLatency:
+    def test_read_returns_latency(self):
+        mem = MainMemory(latency=400)
+        assert mem.read(0) == 400
+
+    def test_custom_latency(self):
+        assert MainMemory(latency=250).read(0) == 250
+
+
+class TestTrafficSplit:
+    def test_reads_and_writes_counted(self):
+        mem = MainMemory()
+        mem.read(0)
+        mem.read(64)
+        mem.write(128)
+        assert mem.reads == 2
+        assert mem.writes == 1
+        assert mem.total_transfers == 3
+
+    def test_pv_split(self):
+        mem = MainMemory()
+        mem.read(0, is_pv=True)
+        mem.read(64)
+        mem.write(128, is_pv=True)
+        mem.write(192)
+        assert mem.pv_reads == 1
+        assert mem.app_reads == 1
+        assert mem.pv_writes == 1
+        assert mem.app_writes == 1
+
+    def test_bytes_transferred(self):
+        mem = MainMemory(block_size=64)
+        mem.read(0)
+        mem.write(64)
+        assert mem.bytes_transferred() == 128
+
+    def test_snapshot_keys(self):
+        snap = MainMemory().snapshot()
+        assert set(snap) == {
+            "reads", "writes", "pv_reads", "pv_writes", "app_reads", "app_writes",
+        }

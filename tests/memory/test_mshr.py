@@ -1,0 +1,88 @@
+"""MSHR file: allocation, coalescing, capacity, retirement."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_find(self):
+        m = MSHRFile(4)
+        entry = m.allocate(0x100, issued_at=5, ready_at=50)
+        assert entry is not None
+        assert m.find(0x100) is entry
+        assert len(m) == 1
+
+    def test_capacity_rejection(self):
+        m = MSHRFile(2)
+        assert m.allocate(0, 0, 10) is not None
+        assert m.allocate(64, 0, 10) is not None
+        assert m.allocate(128, 0, 10) is None
+        assert m.rejected == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_peak_occupancy(self):
+        m = MSHRFile(4)
+        m.allocate(0, 0, 10)
+        m.allocate(64, 0, 10)
+        m.complete(0)
+        m.allocate(128, 0, 10)
+        assert m.peak_occupancy == 2
+
+
+class TestCoalescing:
+    def test_same_block_coalesces(self):
+        m = MSHRFile(2)
+        first = m.allocate(0x40, 0, 100)
+        second = m.allocate(0x40, 5, 100)
+        assert second is first
+        assert m.coalesced == 1
+        assert len(m) == 1
+
+    def test_coalescing_works_even_when_full(self):
+        m = MSHRFile(1)
+        m.allocate(0, 0, 10)
+        assert m.allocate(0, 1, 10) is not None  # coalesce, not reject
+        assert m.rejected == 0
+
+    def test_waiters_attach(self):
+        m = MSHRFile(2)
+        entry = m.allocate(0, 0, 10)
+        entry.attach("waiter-a")
+        entry.attach("waiter-b")
+        assert m.complete(0).waiters == ["waiter-a", "waiter-b"]
+
+
+class TestRetirement:
+    def test_complete_removes(self):
+        m = MSHRFile(2)
+        m.allocate(0, 0, 10)
+        assert m.complete(0) is not None
+        assert m.find(0) is None
+
+    def test_complete_missing_returns_none(self):
+        m = MSHRFile(2)
+        assert m.complete(0xDEAD) is None
+
+    def test_retire_ready_by_time(self):
+        m = MSHRFile(4)
+        m.allocate(0, 0, 10)
+        m.allocate(64, 0, 20)
+        m.allocate(128, 0, 30)
+        ready = m.retire_ready(now=20)
+        assert sorted(e.block_addr for e in ready) == [0, 64]
+        assert len(m) == 1
+
+    def test_retire_ready_empty(self):
+        m = MSHRFile(4)
+        m.allocate(0, 0, 100)
+        assert m.retire_ready(now=5) == []
+
+    def test_outstanding_listing(self):
+        m = MSHRFile(4)
+        m.allocate(0, 0, 10)
+        m.allocate(64, 0, 10)
+        assert len(m.outstanding()) == 2

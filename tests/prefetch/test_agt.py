@@ -1,0 +1,158 @@
+"""The Active Generation Table: filter/accumulation life-cycle."""
+
+import pytest
+
+from repro.prefetch.agt import (
+    AccumulationEntry,
+    ActiveGenerationTable,
+    FilterEntry,
+    FilterTable,
+)
+from repro.prefetch.regions import SpatialRegionGeometry
+
+G = SpatialRegionGeometry()
+
+
+def make_agt(filter_entries=32, accumulation_entries=64, **kw):
+    stored = []
+    agt = ActiveGenerationTable(
+        geometry=G,
+        filter_entries=filter_entries,
+        accumulation_entries=accumulation_entries,
+        on_generation_end=lambda pc, off, pat: stored.append((pc, off, pat)),
+        **kw,
+    )
+    return agt, stored
+
+
+def addr(region, offset):
+    return region * G.region_bytes + offset * G.block_size
+
+
+class TestTriggering:
+    def test_first_access_is_trigger(self):
+        agt, _ = make_agt()
+        assert agt.record_access(0x400, addr(1, 5)) == (0x400, 5)
+
+    def test_second_access_same_block_is_not_trigger(self):
+        agt, _ = make_agt()
+        agt.record_access(0x400, addr(1, 5))
+        assert agt.record_access(0x404, addr(1, 5) + 8) is None
+
+    def test_second_access_other_block_promotes(self):
+        agt, _ = make_agt()
+        agt.record_access(0x400, addr(1, 5))
+        assert agt.record_access(0x404, addr(1, 7)) is None
+        assert len(agt.accumulation) == 1
+        assert len(agt.filter) == 0
+        assert agt.stats.promotions == 1
+
+    def test_new_region_is_new_trigger(self):
+        agt, _ = make_agt()
+        agt.record_access(0x400, addr(1, 5))
+        assert agt.record_access(0x500, addr(2, 0)) == (0x500, 0)
+
+
+class TestPatternAccumulation:
+    def test_pattern_collects_bits(self):
+        agt, stored = make_agt()
+        agt.record_access(0x400, addr(1, 5))
+        agt.record_access(0x404, addr(1, 7))
+        agt.record_access(0x408, addr(1, 9))
+        agt.block_removed(addr(1, 5))
+        assert stored == [(0x400, 5, (1 << 5) | (1 << 7) | (1 << 9))]
+
+    def test_pattern_keeps_trigger_pc(self):
+        agt, stored = make_agt()
+        agt.record_access(0xAAAA, addr(3, 0))
+        agt.record_access(0xBBBB, addr(3, 1))
+        agt.block_removed(addr(3, 1))
+        assert stored[0][0] == 0xAAAA
+
+
+class TestGenerationEnd:
+    def test_eviction_of_accessed_block_ends_generation(self):
+        agt, stored = make_agt()
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(2, addr(1, 1))
+        result = agt.block_removed(addr(1, 1))
+        assert result is not None
+        assert len(stored) == 1
+        assert len(agt.accumulation) == 0
+
+    def test_eviction_of_untouched_block_does_not_end(self):
+        agt, stored = make_agt()
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(2, addr(1, 1))
+        assert agt.block_removed(addr(1, 30)) is None
+        assert stored == []
+        assert len(agt.accumulation) == 1
+
+    def test_filter_only_generation_stores_nothing(self):
+        """Single-access regions are filtered out (Section 3.1)."""
+        agt, stored = make_agt()
+        agt.record_access(1, addr(1, 4))
+        assert agt.block_removed(addr(1, 4)) is None
+        assert stored == []
+        assert agt.stats.filter_generations_ended == 1
+
+    def test_filter_survives_other_block_eviction(self):
+        agt, _ = make_agt()
+        agt.record_access(1, addr(1, 4))
+        agt.block_removed(addr(1, 5))
+        assert len(agt.filter) == 1
+
+    def test_next_access_after_end_is_new_trigger(self):
+        agt, _ = make_agt()
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(2, addr(1, 1))
+        agt.block_removed(addr(1, 0))
+        assert agt.record_access(3, addr(1, 2)) == (3, 2)
+
+
+class TestCapacity:
+    def test_filter_lru_eviction(self):
+        agt, _ = make_agt(filter_entries=2)
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(2, addr(2, 0))
+        agt.record_access(3, addr(3, 0))
+        assert len(agt.filter) == 2
+        assert agt.stats.filter_lru_evictions == 1
+
+    def test_accumulation_lru_drop_by_default(self):
+        agt, stored = make_agt(accumulation_entries=1)
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(1, addr(1, 1))
+        agt.record_access(2, addr(2, 0))
+        agt.record_access(2, addr(2, 1))  # displaces region 1
+        assert stored == []
+        assert agt.stats.accumulation_lru_evictions == 1
+
+    def test_accumulation_transfer_on_evict_option(self):
+        agt, stored = make_agt(accumulation_entries=1, transfer_on_evict=True)
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(1, addr(1, 1))
+        agt.record_access(2, addr(2, 0))
+        agt.record_access(2, addr(2, 1))
+        assert len(stored) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FilterTable(0)
+
+
+class TestBookkeeping:
+    def test_active_regions(self):
+        agt, _ = make_agt()
+        agt.record_access(1, addr(1, 0))
+        agt.record_access(1, addr(2, 0))
+        agt.record_access(1, addr(2, 1))
+        assert agt.active_regions() == 2
+        assert agt.is_active(addr(1, 9))
+        assert not agt.is_active(addr(9, 0))
+
+    def test_storage_under_a_kilobyte(self):
+        """Paper Section 3.2: the AGT needs less than 1KB of storage."""
+        agt, _ = make_agt()
+        assert agt.storage_bits() < 8 * 1024 * 8 / 8  # < 1KB in bits? see below
+        assert agt.storage_bits() / 8 < 1024

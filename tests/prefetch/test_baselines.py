@@ -1,0 +1,116 @@
+"""Next-line, stride, and BTB baselines."""
+
+import pytest
+
+from repro.core.pvproxy import PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+from repro.prefetch.btb import BranchTargetBuffer, btb_index, btb_layout
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pht import DedicatedPHT
+from repro.prefetch.stride import StridePrefetcher
+
+
+class TestNextLine:
+    def test_prefetches_next_block(self):
+        nl = NextLinePrefetcher()
+        assert nl.on_fetch(0x1000) == [0x1040]
+
+    def test_same_block_filtered(self):
+        nl = NextLinePrefetcher()
+        nl.on_fetch(0x1000)
+        assert nl.on_fetch(0x1004) == []
+        assert nl.on_fetch(0x1040) == [0x1080]
+
+    def test_degree(self):
+        nl = NextLinePrefetcher(degree=2)
+        assert nl.on_fetch(0) == [64, 128]
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        sp = StridePrefetcher(degree=1, threshold=2)
+        targets = []
+        for i in range(6):
+            targets = sp.on_access(0x400, 0x1000 + i * 256)
+        assert targets  # confident by now
+        assert targets[0] == 0x1000 + 5 * 256 + 256
+
+    def test_no_prefetch_for_random_addresses(self):
+        sp = StridePrefetcher()
+        out = []
+        for a in [0, 999, 40, 7777, 123, 90210]:
+            out.extend(sp.on_access(0x400, a))
+        assert out == []
+
+    def test_zero_stride_never_prefetches(self):
+        sp = StridePrefetcher()
+        for _ in range(10):
+            targets = sp.on_access(0x400, 0x5000)
+        assert targets == []
+
+    def test_table_is_bounded(self):
+        sp = StridePrefetcher(table_entries=4)
+        for pc in range(100):
+            sp.on_access(pc, pc * 64)
+        assert len(sp._table) <= 4
+
+    def test_distinct_pcs_tracked_separately(self):
+        sp = StridePrefetcher(degree=1, threshold=1)
+        for i in range(4):
+            sp.on_access(1, 0x1000 + i * 64)
+            sp.on_access(2, 0x9000 + i * 128)
+        a = sp.on_access(1, 0x1000 + 4 * 64)
+        b = sp.on_access(2, 0x9000 + 4 * 128)
+        assert a and b and a != b
+
+
+class TestBTB:
+    def test_predict_after_update(self):
+        btb = BranchTargetBuffer(DedicatedPHT(n_sets=64, assoc=4, index_bits=16))
+        btb.update(0x4000, 0x5000, predicted=None)
+        assert btb.predict(0x4000) == 0x5000
+
+    def test_accuracy_tracking(self):
+        btb = BranchTargetBuffer(DedicatedPHT(n_sets=64, assoc=4, index_bits=16))
+        first = btb.predict(0x4000)          # cold miss
+        btb.update(0x4000, 0x5000, first)
+        second = btb.predict(0x4000)         # hit
+        btb.update(0x4000, 0x5000, second)
+        assert btb.stats.correct == 1
+        assert btb.stats.hit_rate == pytest.approx(0.5)  # 1 of 2 lookups hit
+
+    def test_btb_layout_packs(self):
+        layout = btb_layout()
+        assert layout.codec.entry_bits == 39
+        assert layout.geometry.assoc <= layout.codec.entries_per_block()
+
+    def test_virtualized_btb_behaves_like_dedicated(self):
+        """Section 6: branch target prediction virtualizes naturally."""
+        hierarchy = MemorySystem(HierarchyConfig(n_cores=1))
+        table = PVTable(btb_layout(), 0x40000000)
+        virtualized = VirtualizedPredictorTable(
+            0, table, hierarchy, PVProxyConfig(pvcache_entries=512, mshr_entries=64)
+        )
+        dedicated = BranchTargetBuffer(
+            DedicatedPHT(n_sets=512, assoc=8, index_bits=16)
+        )
+        virtual = BranchTargetBuffer(virtualized)
+        branches = [(0x4000 + i * 8, 0x9000 + i * 16) for i in range(200)]
+        for step, (pc, target) in enumerate(branches * 2):
+            now = step * 1000  # let every PVTable fetch complete
+            dp = dedicated.predict(pc)
+            vp = virtual.predict(pc, now=now)
+            assert dp == vp
+            dedicated.update(pc, target, dp)
+            virtual.update(pc, target, vp, now=now)
+        assert dedicated.stats.correct == virtual.stats.correct
+
+    def test_index_is_word_aligned(self):
+        assert btb_index(0x4000) == btb_index(0x4002)
+        assert btb_index(0x4000) != btb_index(0x4004)

@@ -1,0 +1,113 @@
+"""PHT index function and the dedicated/infinite implementations."""
+
+import pytest
+
+from repro.prefetch.pht import (
+    DedicatedPHT,
+    InfinitePHT,
+    PHT_INDEX_BITS,
+    pht_index,
+    sms_pht_layout,
+)
+
+
+class TestIndex:
+    def test_concatenation(self):
+        # Figure 3b: 16 PC bits ++ 5 offset bits.
+        assert pht_index(0x1, 0) == 1 << 5
+        assert pht_index(0x0, 31) == 31
+        assert pht_index(0xFFFF, 31) == (1 << 21) - 1
+
+    def test_pc_truncated_to_16_bits(self):
+        assert pht_index(0x1_0000, 0) == pht_index(0x0, 0)
+        assert pht_index(0x1_2345, 3) == pht_index(0x2345, 3)
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            pht_index(0, 32)
+
+    def test_width(self):
+        assert PHT_INDEX_BITS == 21
+
+
+class TestDedicated:
+    def test_store_lookup(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        pht.store(5, 0xABC)
+        result = pht.lookup(5)
+        assert result.hit and result.value == 0xABC
+
+    def test_miss(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        assert not pht.lookup(5).hit
+
+    def test_lru_within_set(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        a, b, c = 3, 3 + 16, 3 + 32  # same set, different tags
+        pht.store(a, 1)
+        pht.store(b, 2)
+        pht.lookup(a)
+        pht.store(c, 3)  # evicts b (LRU)
+        assert pht.lookup(a).hit
+        assert not pht.lookup(b).hit
+        assert pht.lookup(c).hit
+        assert pht.stats.replacements == 1
+
+    def test_store_update_in_place(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        pht.store(5, 1)
+        pht.store(5, 2)
+        assert pht.lookup(5).value == 2
+        assert pht.occupancy() == 1
+
+    def test_latency_is_uniform(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2, latency=1)
+        pht.store(5, 1)
+        assert pht.lookup(5, now=100).ready_at == 101
+
+    def test_storage_bits_matches_table3(self):
+        # 1K-11a: 59.125 KB = 484352 bits.
+        pht = DedicatedPHT(n_sets=1024, assoc=11)
+        assert pht.storage_bits() == int(59.125 * 1024 * 8)
+
+    def test_reset(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        pht.store(5, 1)
+        pht.reset()
+        assert not pht.lookup(5).hit
+
+    def test_hit_rate(self):
+        pht = DedicatedPHT(n_sets=16, assoc=2)
+        pht.store(5, 1)
+        pht.lookup(5)
+        pht.lookup(6)
+        assert pht.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestInfinite:
+    def test_never_evicts(self):
+        pht = InfinitePHT()
+        for i in range(100_000):
+            pht.store(i % (1 << 21), i)
+        assert len(pht) == min(100_000, 1 << 21)
+
+    def test_lookup(self):
+        pht = InfinitePHT()
+        pht.store(7, 9)
+        assert pht.lookup(7).value == 9
+        assert not pht.lookup(8).hit
+
+    def test_reset(self):
+        pht = InfinitePHT()
+        pht.store(7, 9)
+        pht.reset()
+        assert len(pht) == 0
+
+
+class TestLayoutHelper:
+    def test_default_layout_is_the_paper_design(self):
+        layout = sms_pht_layout()
+        assert layout.geometry.n_sets == 1024
+        assert layout.geometry.assoc == 11
+        assert layout.codec.entry_bits == 43
+        assert layout.table_bytes == 65536

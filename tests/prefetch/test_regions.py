@@ -1,0 +1,82 @@
+"""Spatial-region geometry and pattern helpers."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.regions import SpatialRegionGeometry
+
+
+class TestGeometry:
+    def test_paper_defaults(self):
+        g = SpatialRegionGeometry()
+        assert g.blocks_per_region == 32
+        assert g.region_bytes == 2048
+        assert g.offset_bits == 5
+
+    def test_region_of(self):
+        g = SpatialRegionGeometry()
+        assert g.region_of(0) == 0
+        assert g.region_of(2047) == 0
+        assert g.region_of(2048) == 1
+
+    def test_offset_of(self):
+        g = SpatialRegionGeometry()
+        assert g.offset_of(0) == 0
+        assert g.offset_of(64) == 1
+        assert g.offset_of(2048 + 31 * 64 + 63) == 31
+
+    def test_block_address(self):
+        g = SpatialRegionGeometry()
+        assert g.block_address(4096, 3) == 4096 + 192
+
+    def test_block_address_rejects_bad_offset(self):
+        g = SpatialRegionGeometry()
+        with pytest.raises(ValueError):
+            g.block_address(0, 32)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SpatialRegionGeometry(blocks_per_region=30)
+
+
+class TestPatterns:
+    def test_pattern_of_offsets(self):
+        g = SpatialRegionGeometry()
+        assert g.pattern_of_offsets([0, 2, 31]) == (1 | 4 | (1 << 31))
+
+    def test_offsets_of_pattern(self):
+        g = SpatialRegionGeometry()
+        assert g.offsets_of_pattern(0b1011) == [0, 1, 3]
+
+    def test_pattern_density(self):
+        assert SpatialRegionGeometry.pattern_density(0b1011) == 3
+
+    def test_rejects_out_of_range_offset(self):
+        g = SpatialRegionGeometry()
+        with pytest.raises(ValueError):
+            g.pattern_of_offsets([32])
+
+    def test_rejects_wide_pattern(self):
+        g = SpatialRegionGeometry()
+        with pytest.raises(ValueError):
+            g.offsets_of_pattern(1 << 32)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.sets(st.integers(0, 31)))
+    def test_offsets_pattern_roundtrip(self, offsets):
+        g = SpatialRegionGeometry()
+        assert g.offsets_of_pattern(g.pattern_of_offsets(offsets)) == sorted(offsets)
+
+
+class TestPrefetchAddresses:
+    def test_excludes_trigger(self):
+        g = SpatialRegionGeometry()
+        pattern = g.pattern_of_offsets([0, 1, 2])
+        addrs = list(g.prefetch_addresses(4096, pattern, exclude_offset=1))
+        assert addrs == [4096, 4096 + 128]
+
+    def test_full_pattern_without_exclusion(self):
+        g = SpatialRegionGeometry()
+        pattern = g.pattern_of_offsets([5])
+        assert list(g.prefetch_addresses(0, pattern)) == [5 * 64]

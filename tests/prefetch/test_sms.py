@@ -1,0 +1,138 @@
+"""The SMS optimization engine over a PredictorTable."""
+
+import pytest
+
+from repro.prefetch.pht import DedicatedPHT, InfinitePHT, pht_index
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.prefetch.sms import SMSConfig, SMSPrefetcher
+
+G = SpatialRegionGeometry()
+
+
+def addr(region, offset):
+    return region * G.region_bytes + offset * G.block_size
+
+
+def make_sms(table=None, **cfg):
+    return SMSPrefetcher(table or InfinitePHT(), SMSConfig(**cfg))
+
+
+def train_pattern(sms, pc, region, offsets):
+    """Run one full generation: trigger + body accesses + ending eviction."""
+    sms.on_access(pc, addr(region, offsets[0]))
+    for off in offsets[1:]:
+        sms.on_access(pc + 4, addr(region, off))
+    sms.on_block_removed(addr(region, offsets[0]))
+
+
+class TestTrainThenPredict:
+    def test_learned_pattern_is_prefetched_in_new_region(self):
+        sms = make_sms()
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5, 9])
+        prefetches = sms.on_access(0x400, addr(7, 2))
+        targets = sorted(block for block, _ in prefetches)
+        assert targets == [addr(7, 5), addr(7, 9)]
+
+    def test_trigger_block_is_excluded(self):
+        sms = make_sms()
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        prefetches = sms.on_access(0x400, addr(7, 2))
+        assert addr(7, 2) not in [b for b, _ in prefetches]
+
+    def test_prediction_requires_matching_pc_and_offset(self):
+        sms = make_sms()
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        # Same PC, different trigger offset: different PHT index.
+        assert sms.on_access(0x400, addr(8, 3)) == []
+        # Different PC, same offset.
+        assert sms.on_access(0x500, addr(9, 2)) == []
+
+    def test_no_prediction_without_training(self):
+        sms = make_sms()
+        assert sms.on_access(0x400, addr(1, 0)) == []
+
+    def test_non_trigger_accesses_do_not_predict(self):
+        sms = make_sms()
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        sms.on_access(0x400, addr(7, 2))
+        # Region 7 is active now; further accesses are not triggers.
+        assert sms.on_access(0x400, addr(7, 5)) == []
+
+    def test_single_block_generations_never_stored(self):
+        sms = make_sms()
+        sms.on_access(0x400, addr(1, 2))
+        sms.on_block_removed(addr(1, 2))
+        assert sms.on_access(0x400, addr(7, 2)) == []
+        assert sms.stats.patterns_stored == 0
+
+
+class TestLatencyPropagation:
+    def test_prefetches_carry_pht_ready_time(self):
+        class SlowTable(InfinitePHT):
+            def lookup(self, index, now=0):
+                result = super().lookup(index, now)
+                result.ready_at = now + 123
+                return result
+
+        sms = SMSPrefetcher(SlowTable())
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        prefetches = sms.on_access(0x400, addr(7, 2), now=1000)
+        assert prefetches[0][1] == 1123
+
+
+class TestIssueCallback:
+    def test_callback_receives_prefetches(self):
+        issued = []
+        sms = SMSPrefetcher(
+            InfinitePHT(), issue_prefetch=lambda b, t: issued.append(b)
+        )
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5, 6])
+        sms.on_access(0x400, addr(7, 2))
+        assert sorted(issued) == [addr(7, 5), addr(7, 6)]
+
+
+class TestPrefetchCap:
+    def test_max_prefetches_per_prediction(self):
+        sms = make_sms(max_prefetches_per_prediction=3)
+        train_pattern(sms, pc=0x400, region=1, offsets=list(range(12)))
+        prefetches = sms.on_access(0x400, addr(7, 0))
+        assert len(prefetches) == 3
+
+
+class TestStatsAndStorage:
+    def test_stats_counters(self):
+        sms = make_sms()
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        sms.on_access(0x400, addr(7, 2))
+        assert sms.stats.patterns_stored == 1
+        assert sms.stats.trigger_lookups >= 2
+        assert sms.stats.predictions == 1
+        assert sms.stats.prefetches_issued == 1
+
+    def test_storage_dominated_by_pht(self):
+        """Section 3.2: the PHT consumes the bulk of SMS's resources."""
+        sms = SMSPrefetcher(DedicatedPHT(n_sets=1024, assoc=11))
+        pht_bits = sms.table.storage_bits()
+        agt_bits = sms.agt.storage_bits()
+        assert pht_bits > 50 * agt_bits
+
+    def test_stored_pattern_lands_at_trigger_index(self):
+        table = InfinitePHT()
+        sms = SMSPrefetcher(table)
+        train_pattern(sms, pc=0x400, region=1, offsets=[2, 5])
+        index = pht_index(0x400, 2)
+        assert table.lookup(index).hit
+
+
+class TestDedicatedIntegration:
+    def test_tiny_pht_forgets_under_pressure(self):
+        """The Figure 4 mechanism: small tables lose patterns to LRU."""
+        table = DedicatedPHT(n_sets=8, assoc=2)  # 16 entries
+        sms = SMSPrefetcher(table)
+        for i in range(64):
+            train_pattern(sms, pc=0x4000 + i * 4, region=i + 1, offsets=[1, 2])
+        hits = 0
+        for i in range(64):
+            if sms.on_access(0x4000 + i * 4, addr(100 + i, 1)):
+                hits += 1
+        assert hits < 32  # most early patterns were displaced

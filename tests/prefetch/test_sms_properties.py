@@ -1,0 +1,91 @@
+"""Property-based SMS invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.pht import InfinitePHT
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.prefetch.sms import SMSConfig, SMSPrefetcher
+
+G = SpatialRegionGeometry()
+
+# Random interleavings of accesses and evictions over a small region space.
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "evict"]),
+        st.integers(min_value=0, max_value=7),    # region
+        st.integers(min_value=0, max_value=31),   # offset
+        st.integers(min_value=0, max_value=15),   # pc selector
+    ),
+    max_size=300,
+)
+
+
+def drive(sms, operations):
+    stored = []
+    original = sms._store_pattern
+
+    def spy(pc, offset, pattern):
+        stored.append((pc, offset, pattern))
+        original(pc, offset, pattern)
+
+    sms._store_pattern = spy
+    sms.agt.on_generation_end = spy
+    for kind, region, offset, pc_sel in operations:
+        addr = region * G.region_bytes + offset * G.block_size
+        if kind == "access":
+            sms.on_access(0x4000 + pc_sel * 4, addr)
+        else:
+            sms.on_block_removed(addr)
+    return stored
+
+
+@settings(max_examples=150, deadline=None)
+@given(events)
+def test_stored_patterns_always_include_trigger_bit(operations):
+    """Every pattern handed to the PHT covers its own triggering block."""
+    sms = SMSPrefetcher(InfinitePHT(), SMSConfig(filter_entries=4,
+                                                 accumulation_entries=8))
+    for pc, offset, pattern in drive(sms, operations):
+        assert pattern & (1 << offset)
+
+
+@settings(max_examples=150, deadline=None)
+@given(events)
+def test_stored_patterns_have_at_least_two_blocks(operations):
+    """Single-access generations are filtered out (Section 3.1)."""
+    sms = SMSPrefetcher(InfinitePHT(), SMSConfig(filter_entries=4,
+                                                 accumulation_entries=8))
+    for _, _, pattern in drive(sms, operations):
+        assert bin(pattern).count("1") >= 2
+
+
+@settings(max_examples=150, deadline=None)
+@given(events)
+def test_agt_capacity_invariant(operations):
+    """The AGT never exceeds its configured capacities."""
+    sms = SMSPrefetcher(InfinitePHT(), SMSConfig(filter_entries=4,
+                                                 accumulation_entries=8))
+    for kind, region, offset, pc_sel in operations:
+        addr = region * G.region_bytes + offset * G.block_size
+        if kind == "access":
+            sms.on_access(0x4000 + pc_sel * 4, addr)
+        else:
+            sms.on_block_removed(addr)
+        assert len(sms.agt.filter) <= 4
+        assert len(sms.agt.accumulation) <= 8
+
+
+@settings(max_examples=100, deadline=None)
+@given(events)
+def test_prefetches_never_target_the_trigger_block(operations):
+    sms = SMSPrefetcher(InfinitePHT(), SMSConfig(filter_entries=4,
+                                                 accumulation_entries=8))
+    for kind, region, offset, pc_sel in operations:
+        addr = region * G.region_bytes + offset * G.block_size
+        if kind == "access":
+            for block, _ in sms.on_access(0x4000 + pc_sel * 4, addr):
+                assert block != addr - (addr % G.block_size)
+                # Prefetches stay inside the trigger's spatial region.
+                assert G.region_of(block) == G.region_of(addr)
+        else:
+            sms.on_block_removed(addr)

@@ -1,0 +1,115 @@
+"""Last-value predictor: encoding, confidence, and virtualization."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pvproxy import PVProxyConfig
+from repro.core.pvtable import PVTable
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.memory.hierarchy import HierarchyConfig, MemorySystem
+from repro.prefetch.pht import DedicatedPHT
+from repro.prefetch.value import (
+    LVP_CONF_MAX,
+    LVP_INDEX_BITS,
+    LastValuePredictor,
+    lvp_index,
+    lvp_layout,
+    pack_lvp_entry,
+    unpack_lvp_entry,
+)
+
+
+def dedicated_lvp(threshold=2):
+    return LastValuePredictor(
+        DedicatedPHT(n_sets=256, assoc=8, index_bits=LVP_INDEX_BITS),
+        threshold=threshold,
+    )
+
+
+class TestEncoding:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, LVP_CONF_MAX))
+    def test_pack_unpack_roundtrip(self, value, confidence):
+        assert unpack_lvp_entry(pack_lvp_entry(value, confidence)) == (
+            value, confidence,
+        )
+
+    def test_confidence_range_checked(self):
+        with pytest.raises(ValueError):
+            pack_lvp_entry(0, LVP_CONF_MAX + 1)
+
+    def test_index_word_aligned(self):
+        assert lvp_index(0x4000) == lvp_index(0x4002)
+        assert lvp_index(0x4000) != lvp_index(0x4004)
+
+    def test_layout_packs(self):
+        layout = lvp_layout()
+        assert layout.codec.entry_bits == 40
+        assert layout.geometry.assoc <= layout.codec.entries_per_block()
+
+
+class TestConfidence:
+    def test_no_prediction_until_confident(self):
+        lvp = dedicated_lvp(threshold=2)
+        lvp.update(0x400, 7, None)        # confidence 1
+        assert lvp.predict(0x400) is None
+        lvp.update(0x400, 7, None)        # confidence 2
+        assert lvp.predict(0x400) == 7
+
+    def test_changing_value_decays_confidence(self):
+        lvp = dedicated_lvp(threshold=2)
+        for _ in range(3):
+            lvp.update(0x400, 7, None)
+        assert lvp.predict(0x400) == 7
+        lvp.update(0x400, 8, None)        # mispredicted value: decay
+        lvp.update(0x400, 8, None)
+        lvp.update(0x400, 8, None)        # confidence reaches 0 -> retrain
+        lvp.update(0x400, 8, None)
+        lvp.update(0x400, 8, None)
+        assert lvp.predict(0x400) == 8
+
+    def test_stats_accuracy(self):
+        lvp = dedicated_lvp(threshold=1)
+        lvp.update(0x400, 7, None)
+        p = lvp.predict(0x400)
+        lvp.update(0x400, 7, p)
+        assert lvp.stats.correct == 1
+        assert lvp.stats.accuracy == 1.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            dedicated_lvp(threshold=0)
+
+
+class TestVirtualizedLVP:
+    def test_virtualized_matches_dedicated(self):
+        """The engine is agnostic to the table implementation."""
+        hierarchy = MemorySystem(HierarchyConfig(n_cores=1))
+        table = PVTable(lvp_layout(), 0x40000000)
+        virtual = LastValuePredictor(
+            VirtualizedPredictorTable(
+                0, table, hierarchy,
+                PVProxyConfig(pvcache_entries=256, mshr_entries=64),
+            )
+        )
+        dedicated = dedicated_lvp()
+        loads = [(0x4000 + (i % 40) * 8, (i % 40) * 3) for i in range(400)]
+        for step, (pc, value) in enumerate(loads):
+            now = step * 1000
+            dp = dedicated.predict(pc)
+            vp = virtual.predict(pc, now=now)
+            assert dp == vp
+            dedicated.update(pc, value, dp)
+            virtual.update(pc, value, vp, now=now)
+        assert dedicated.stats.correct == virtual.stats.correct
+        assert virtual.stats.correct > 0
+
+    def test_stable_loads_become_predictable(self):
+        lvp = dedicated_lvp()
+        for _ in range(4):
+            for pc in (0x400, 0x500, 0x600):
+                predicted = lvp.predict(pc)
+                lvp.update(pc, pc * 2, predicted)
+        assert lvp.stats.accuracy == 1.0  # every offered prediction correct
+        assert lvp.predict(0x400) == 0x800

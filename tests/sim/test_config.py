@@ -1,0 +1,77 @@
+"""System and prefetcher configuration (Table 1)."""
+
+import pytest
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+
+
+class TestPrefetcherConfig:
+    def test_labels(self):
+        assert PrefetcherConfig.none().label == "NoPF"
+        assert PrefetcherConfig.infinite().label == "Infinite"
+        assert PrefetcherConfig.dedicated(1024, 11).label == "1K-11a"
+        assert PrefetcherConfig.dedicated(16, 11).label == "16-11a"
+        assert PrefetcherConfig.virtualized(8).label == "PV8"
+        assert PrefetcherConfig.virtualized(16).label == "PV16"
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            PrefetcherConfig(mode="magic")
+
+    def test_sets_validation(self):
+        with pytest.raises(ValueError):
+            PrefetcherConfig(mode="dedicated", pht_sets=100)
+
+    def test_frozen_and_hashable(self):
+        a = PrefetcherConfig.virtualized(8)
+        b = PrefetcherConfig.virtualized(8)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSystemConfig:
+    def test_table1_defaults(self):
+        cfg = SystemConfig.baseline()
+        h = cfg.hierarchy
+        assert h.n_cores == 4
+        assert h.l1d_size == 64 * 1024 and h.l1d_assoc == 4
+        assert h.l1_latency == 2
+        assert h.l2_size == 8 * 1024 * 1024 and h.l2_assoc == 16
+        assert h.l2_tag_latency == 6 and h.l2_data_latency == 12
+        assert h.memory_latency == 400
+        assert cfg.clock_ghz == 4.0
+
+    def test_table1_rendering(self):
+        table = SystemConfig.baseline().table1()
+        assert "64kB 4-way" in table["L1D/L1I"]
+        assert "8MB, 16-way" in table["UL2"]
+        assert "400 cycles" in table["Main Memory"]
+
+    def test_with_l2_size(self):
+        cfg = SystemConfig.baseline().with_l2(size_bytes=2 * 1024**2)
+        assert cfg.hierarchy.l2_size == 2 * 1024**2
+        # Other parameters untouched.
+        assert cfg.hierarchy.l2_tag_latency == 6
+
+    def test_with_l2_latency(self):
+        cfg = SystemConfig.baseline().with_l2(tag_latency=8, data_latency=16)
+        assert cfg.hierarchy.l2_tag_latency == 8
+        assert cfg.hierarchy.l2_data_latency == 16
+        assert cfg.hierarchy.l2_size == 8 * 1024**2
+
+    def test_with_l2_does_not_mutate_original(self):
+        cfg = SystemConfig.baseline()
+        cfg.with_l2(size_bytes=1024 * 1024)
+        assert cfg.hierarchy.l2_size == 8 * 1024**2
+
+    def test_sms_defaults_match_paper(self):
+        cfg = SystemConfig.baseline()
+        assert cfg.sms.filter_entries == 32
+        assert cfg.sms.accumulation_entries == 64
+        assert cfg.sms.region.blocks_per_region == 32
+
+    def test_pvproxy_defaults_match_section_4_6(self):
+        cfg = SystemConfig.baseline()
+        assert cfg.pvproxy.pvcache_entries == 8
+        assert cfg.pvproxy.pattern_buffer_entries == 16
+        assert cfg.pvproxy.evict_buffer_entries == 4

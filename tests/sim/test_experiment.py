@@ -1,0 +1,79 @@
+"""The cached experiment runner."""
+
+import pytest
+
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale, clear_cache, run_experiment
+
+SMALL = ExperimentScale(refs_per_core=1200, warmup_refs=600, window_refs=400)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCaching:
+    def test_same_spec_is_cached(self):
+        a = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        b = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        assert a is b
+
+    def test_cache_can_be_bypassed(self):
+        a = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        b = run_experiment(
+            "Qry1", PrefetcherConfig.none(), scale=SMALL, use_cache=False
+        )
+        assert a is not b
+        assert a.uncovered == b.uncovered  # still deterministic
+
+    def test_distinct_specs_not_conflated(self):
+        a = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        b = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL, l2_size=1024**2)
+        assert a is not b
+
+
+class TestOverrides:
+    def test_l2_size_override_changes_traffic(self):
+        big = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        small = run_experiment(
+            "Qry1", PrefetcherConfig.none(), scale=SMALL, l2_size=128 * 1024
+        )
+        assert small.offchip_transfers > big.offchip_transfers
+
+    def test_latency_override_slows_l2(self):
+        fast = run_experiment("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        slow = run_experiment(
+            "Qry1", PrefetcherConfig.none(), scale=SMALL,
+            l2_tag_latency=8, l2_data_latency=16,
+        )
+        assert slow.aggregate_ipc <= fast.aggregate_ipc
+
+    def test_pv_aware_flag(self):
+        aware = run_experiment(
+            "Zeus", PrefetcherConfig.virtualized(8), scale=SMALL, pv_aware=True
+        )
+        assert aware.offchip_pv_writes == 0
+
+
+class TestScale:
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REFS", raising=False)
+        monkeypatch.delenv("REPRO_WARMUP", raising=False)
+        scale = ExperimentScale.from_env()
+        assert scale.refs_per_core == 16_000
+        assert scale.warmup_refs == 20_000
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "4000")
+        monkeypatch.setenv("REPRO_WARMUP", "1000")
+        scale = ExperimentScale.from_env()
+        assert scale.refs_per_core == 4000
+        assert scale.warmup_refs == 1000
+
+    def test_warmup_derived_from_refs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "8000")
+        monkeypatch.delenv("REPRO_WARMUP", raising=False)
+        assert ExperimentScale.from_env().warmup_refs == 10_000

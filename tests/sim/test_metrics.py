@@ -1,0 +1,81 @@
+"""SimResult derived metrics."""
+
+import pytest
+
+from repro.sim.metrics import SimResult
+
+
+def result(**kw):
+    base = dict(workload="w", config_label="c", n_cores=4, refs=1000)
+    base.update(kw)
+    return SimResult(**base)
+
+
+class TestCoverage:
+    def test_coverage_definition(self):
+        r = result(covered=30, uncovered=70)
+        assert r.coverage == pytest.approx(0.30)
+        assert r.uncovered_fraction == pytest.approx(0.70)
+        assert r.baseline_read_misses == 100
+
+    def test_overprediction_rate(self):
+        r = result(covered=30, uncovered=70, overpredictions=15)
+        assert r.overprediction_rate == pytest.approx(0.15)
+
+    def test_zero_misses(self):
+        r = result()
+        assert r.coverage == 0.0
+        assert r.uncovered_fraction == 1.0
+
+
+class TestTiming:
+    def test_aggregate_ipc(self):
+        r = result(instructions=4000, elapsed_cycles=2000.0)
+        assert r.aggregate_ipc == pytest.approx(2.0)
+
+    def test_speedup(self):
+        base = result(instructions=1000, elapsed_cycles=1000.0)
+        fast = result(instructions=1000, elapsed_cycles=800.0)
+        assert fast.speedup_vs(base) == pytest.approx(0.25)
+
+    def test_speedup_requires_baseline_progress(self):
+        with pytest.raises(ValueError):
+            result().speedup_vs(result())
+
+
+class TestTraffic:
+    def test_l2_request_increase(self):
+        ref = result(l2_requests=1000)
+        pv = result(l2_requests=1330)
+        assert pv.l2_request_increase(ref) == pytest.approx(0.33)
+
+    def test_offchip_increase_components_sum(self):
+        ref = result(offchip_reads=800, offchip_writes=200)
+        pv = result(offchip_reads=816, offchip_writes=214)
+        inc = pv.offchip_increase(ref)
+        assert inc["misses"] + inc["writebacks"] == pytest.approx(inc["total"])
+        assert inc["total"] == pytest.approx(0.03)
+
+    def test_offchip_split_app_vs_pv(self):
+        ref = result(offchip_reads=800, offchip_writes=200)
+        pv = result(
+            offchip_reads=820, offchip_writes=210,
+            offchip_pv_reads=15, offchip_pv_writes=8,
+        )
+        split = pv.offchip_split_increase(ref)
+        assert split["miss_pv"] == pytest.approx(15 / 1000)
+        assert split["miss_app"] == pytest.approx(5 / 1000)
+        assert split["wb_pv"] == pytest.approx(8 / 1000)
+        assert split["wb_app"] == pytest.approx(2 / 1000)
+
+    def test_increase_requires_reference_traffic(self):
+        with pytest.raises(ValueError):
+            result().l2_request_increase(result())
+        with pytest.raises(ValueError):
+            result().offchip_increase(result())
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        s = result(covered=1, uncovered=1).summary()
+        assert {"coverage", "ipc", "l2_requests", "offchip"} <= set(s)

@@ -1,0 +1,73 @@
+"""SMARTS-style statistics: batch means, CIs, matched-pair comparison."""
+
+import math
+
+import pytest
+
+from repro.sim.sampling import confidence_interval, matched_pair
+
+
+class TestConfidenceInterval:
+    def test_mean(self):
+        s = confidence_interval([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.n == 3
+
+    def test_zero_variance_zero_width(self):
+        s = confidence_interval([5.0] * 10)
+        assert s.half_width == pytest.approx(0.0)
+
+    def test_single_sample_infinite_width(self):
+        s = confidence_interval([5.0])
+        assert math.isinf(s.half_width)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_width_shrinks_with_samples(self):
+        noisy = [1.0, 2.0] * 4
+        wider = confidence_interval(noisy[:4])
+        narrower = confidence_interval(noisy * 8)
+        assert narrower.half_width < wider.half_width
+
+    def test_bounds(self):
+        s = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert s.lower == pytest.approx(s.mean - s.half_width)
+        assert s.upper == pytest.approx(s.mean + s.half_width)
+
+    def test_95_percent_default(self):
+        assert confidence_interval([1.0, 2.0]).confidence == 0.95
+
+    def test_t_quantile_value(self):
+        # n=5, 95%: t = 2.776; samples with known variance.
+        s = confidence_interval([0.0, 0.0, 0.0, 0.0, 5.0])
+        var = (4 * 1.0**2 + (5 - 1.0) ** 2) / 4
+        expected = 2.7764 * math.sqrt(var / 5)
+        assert s.half_width == pytest.approx(expected, rel=1e-3)
+
+
+class TestMatchedPair:
+    def test_constant_delta_is_exact(self):
+        """Matched-pair cancels per-window variation entirely when the
+        improvement is uniform — the methodology's whole point."""
+        base = [1.0, 3.0, 2.0, 4.0]  # very noisy windows
+        new = [x * 1.10 for x in base]
+        pair = matched_pair(base, new)
+        assert pair.relative_delta == pytest.approx(0.10)
+        # CI of the deltas is far narrower than the raw variation.
+        raw = confidence_interval(new)
+        assert pair.delta.half_width < raw.half_width
+
+    def test_unequal_lengths_truncate(self):
+        pair = matched_pair([1.0, 1.0, 9.9], [2.0, 2.0])
+        assert pair.delta.mean == pytest.approx(1.0)
+        assert pair.delta.n == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            matched_pair([], [1.0])
+
+    def test_negative_delta(self):
+        pair = matched_pair([2.0, 2.0], [1.0, 1.0])
+        assert pair.relative_delta == pytest.approx(-0.5)

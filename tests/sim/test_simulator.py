@@ -1,0 +1,153 @@
+"""End-to-end behaviour of the CMP simulator on small runs."""
+
+import pytest
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+REFS = 2500
+WARMUP = 1500
+
+
+def run(workload="Qry1", prefetcher=None, refs=REFS, warmup=WARMUP, **kw):
+    sim = CMPSimulator(
+        get_workload(workload), prefetcher or PrefetcherConfig.none(), **kw
+    )
+    return sim.run(refs, warmup_refs=warmup)
+
+
+class TestBaseline:
+    def test_baseline_has_no_prefetches(self):
+        r = run()
+        assert r.prefetches_issued == 0
+        assert r.covered == 0
+        assert r.uncovered > 0
+
+    def test_instructions_accumulate(self):
+        r = run()
+        assert r.instructions > 4 * REFS  # gaps make instrs >> refs
+
+    def test_per_core_cycles_reported(self):
+        r = run()
+        assert len(r.per_core_cycles) == 4
+        assert all(c > 0 for c in r.per_core_cycles)
+
+    def test_deterministic(self):
+        a = run()
+        b = run()
+        assert a.uncovered == b.uncovered
+        assert a.elapsed_cycles == b.elapsed_cycles
+
+
+class TestSMS:
+    def test_sms_covers_misses(self):
+        r = run(prefetcher=PrefetcherConfig.dedicated(1024))
+        assert r.covered > 0
+        assert r.prefetches_issued > 0
+        assert r.patterns_stored > 0
+
+    def test_sms_improves_ipc(self):
+        # Short run: the PHT is barely trained, so expect a small but
+        # strictly positive speedup (full-scale speedups live in the
+        # integration shape tests).
+        base = run()
+        sms = run(prefetcher=PrefetcherConfig.dedicated(1024))
+        assert sms.speedup_vs(base) > 0.01
+
+    def test_infinite_at_least_as_good_as_tiny(self):
+        inf = run(prefetcher=PrefetcherConfig.infinite())
+        tiny = run(prefetcher=PrefetcherConfig.dedicated(8))
+        assert inf.coverage >= tiny.coverage
+
+    def test_coverage_bounded(self):
+        r = run(prefetcher=PrefetcherConfig.infinite())
+        assert 0.0 <= r.coverage <= 1.0
+
+
+class TestVirtualized:
+    def test_pv_generates_l2_pv_requests(self):
+        r = run(prefetcher=PrefetcherConfig.virtualized(8))
+        assert r.l2_pv_requests > 0
+        assert 0.0 < r.pvcache_hit_rate < 1.0
+
+    def test_pv_coverage_close_to_dedicated(self):
+        pv = run(prefetcher=PrefetcherConfig.virtualized(8))
+        ded = run(prefetcher=PrefetcherConfig.dedicated(1024))
+        assert pv.coverage == pytest.approx(ded.coverage, abs=0.05)
+
+    def test_pv_increases_l2_requests(self):
+        pv = run(prefetcher=PrefetcherConfig.virtualized(8))
+        ded = run(prefetcher=PrefetcherConfig.dedicated(1024))
+        assert pv.l2_requests > ded.l2_requests
+
+    def test_pv_fill_rate_reported(self):
+        r = run(prefetcher=PrefetcherConfig.virtualized(8))
+        assert 0.5 < r.pv_l2_fill_rate <= 1.0
+
+    def test_pv_tables_live_in_reserved_space(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.virtualized(8))
+        for pht in sim.phts:
+            start = pht.proxy.table.pv_start
+            assert sim.address_space.is_reserved(start)
+
+
+class TestWarmup:
+    def test_warmup_resets_counters_keeps_state(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.dedicated(1024))
+        r = sim.run(REFS, warmup_refs=WARMUP)
+        # Post-warmup coverage benefits from warmed PHT state.
+        cold = CMPSimulator(
+            get_workload("Qry1"), PrefetcherConfig.dedicated(1024)
+        ).run(REFS, warmup_refs=0)
+        assert r.coverage > cold.coverage
+
+    def test_zero_warmup_allowed(self):
+        r = run(warmup=0)
+        assert r.uncovered > 0
+
+
+class TestWindows:
+    def test_window_samples_collected(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.none())
+        r = sim.run(2000, warmup_refs=500, window_refs=500)
+        assert len(r.window_ipcs) == 4
+        assert all(w > 0 for w in r.window_ipcs)
+
+    def test_windows_align_across_configs(self):
+        a = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.none()).run(
+            2000, warmup_refs=500, window_refs=500
+        )
+        b = CMPSimulator(
+            get_workload("Qry1"), PrefetcherConfig.dedicated(1024)
+        ).run(2000, warmup_refs=500, window_refs=500)
+        assert len(a.window_ipcs) == len(b.window_ipcs)
+
+
+class TestConfigSensitivity:
+    def test_smaller_l2_more_offchip(self):
+        # At this trace length the touched footprint is a few hundred KB,
+        # so contrast an L2 smaller than that against the 8MB default.
+        big = run()
+        small = run(system=SystemConfig.baseline().with_l2(size_bytes=128 * 1024))
+        assert small.offchip_transfers > big.offchip_transfers
+
+    def test_ifetch_can_be_disabled(self):
+        from dataclasses import replace
+
+        system = replace(SystemConfig.baseline(), model_ifetch=False)
+        r = run(system=system)
+        assert r.uncovered > 0
+
+    def test_pv_aware_reduces_pv_writes(self):
+        from dataclasses import replace
+
+        sys_aware = SystemConfig.baseline()
+        sys_aware = replace(
+            sys_aware, hierarchy=replace(sys_aware.hierarchy, pv_aware_caches=True)
+        )
+        aware = run(
+            workload="Zeus", prefetcher=PrefetcherConfig.virtualized(8),
+            system=sys_aware,
+        )
+        assert aware.offchip_pv_writes == 0

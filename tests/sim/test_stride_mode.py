@@ -1,0 +1,40 @@
+"""The stride-prefetcher simulator mode (extra baseline)."""
+
+import pytest
+
+from repro.sim.config import PrefetcherConfig
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+
+class TestStrideMode:
+    def test_label(self):
+        assert PrefetcherConfig.stride().label == "Stride"
+
+    def test_stride_runs_and_prefetches(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        r = sim.run(2500, warmup_refs=1000)
+        assert r.prefetches_issued > 0
+
+    def test_stride_covers_some_scan_misses(self):
+        """Qry1's episodes walk regions in ascending order, which a stride
+        prefetcher can partially follow."""
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        r = sim.run(2500, warmup_refs=1000)
+        assert r.covered > 0
+
+    def test_sms_beats_stride_on_commercial_patterns(self):
+        """The paper's premise: spatial patterns, not strides, dominate
+        commercial workloads — SMS should out-cover a stride prefetcher."""
+        stride = CMPSimulator(
+            get_workload("Apache"), PrefetcherConfig.stride()
+        ).run(4000, warmup_refs=4000)
+        sms = CMPSimulator(
+            get_workload("Apache"), PrefetcherConfig.dedicated(1024)
+        ).run(4000, warmup_refs=4000)
+        assert sms.coverage > stride.coverage
+
+    def test_no_sms_state_in_stride_mode(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        assert all(engine is None for engine in sim.sms)
+        assert all(s is not None for s in sim.stride)

@@ -1,0 +1,73 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_COMMANDS, PREFETCHERS, build_parser, main
+
+
+class TestParser:
+    def test_all_table_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "budget"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_all_figure_commands_registered(self):
+        parser = build_parser()
+        for cmd in FIGURE_COMMANDS:
+            args = parser.parse_args([cmd, "--refs", "100"])
+            assert args.command == cmd
+            assert args.refs == 100
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "Qry1", "pv8", "--refs", "50"])
+        assert args.workload == "Qry1"
+        assert args.prefetcher == "pv8"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_prefetcher_choices_cover_paper_configs(self):
+        assert {"none", "sms-1k", "sms-16", "sms-8", "pv8", "pv16"} <= set(
+            PREFETCHERS
+        )
+
+
+class TestExecution:
+    def test_table3_output(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "59.125KB" in out
+
+    def test_budget_output(self, capsys):
+        main(["budget"])
+        out = capsys.readouterr().out
+        assert "889" in out
+
+    def test_table2_output(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "Oracle" in out and "Apache" in out
+
+    def test_run_output(self, capsys):
+        main(["run", "Qry1", "none", "--refs", "400", "--warmup", "200"])
+        out = capsys.readouterr().out
+        assert "coverage" in out and "Qry1" in out
+
+    def test_figure_with_subset_and_scale(self, capsys):
+        main(["figure6", "--workloads", "Qry1", "--refs", "800",
+              "--warmup", "400"])
+        out = capsys.readouterr().out
+        assert "PV-8" in out and "Qry1" in out
+
+    def test_figure_chart_mode(self, capsys):
+        main(["figure9", "--workloads", "Qry1", "--refs", "600",
+              "--warmup", "300", "--chart"])
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "|" in out  # bars
+
+    def test_trace_stats(self, capsys):
+        main(["trace-stats", "Qry1", "--refs", "500"])
+        out = capsys.readouterr().out
+        assert "unique_blocks" in out

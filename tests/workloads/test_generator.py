@@ -1,0 +1,131 @@
+"""The synthetic workload generator: determinism, structure, and knobs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.generator import WorkloadGenerator
+
+G = SpatialRegionGeometry()
+
+
+def tiny_profile(**overrides):
+    base = dict(
+        name="tiny",
+        description="test profile",
+        category="test",
+        n_signatures=20,
+        zipf_alpha=0.5,
+        pattern_density=0.4,
+        pattern_noise=0.0,
+        regions_per_sig=2,
+        region_reuse=0.3,
+        concurrency=4,
+        filler_fraction=0.2,
+        filler_blocks=1000,
+        write_fraction=0.2,
+        mean_gap=3.0,
+        rehit_fraction=0.3,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+def take(profile, n, core=0, seed=1):
+    return list(WorkloadGenerator(profile, core=core, seed=seed).records(n))
+
+
+class TestDeterminism:
+    def test_same_seed_identical_streams(self):
+        assert take(tiny_profile(), 500) == take(tiny_profile(), 500)
+
+    def test_different_seeds_differ(self):
+        assert take(tiny_profile(), 500, seed=1) != take(tiny_profile(), 500, seed=2)
+
+    def test_different_cores_differ(self):
+        assert take(tiny_profile(), 500, core=0) != take(tiny_profile(), 500, core=1)
+
+    def test_chunked_equals_single_call(self):
+        gen_a = WorkloadGenerator(tiny_profile(), seed=9)
+        gen_b = WorkloadGenerator(tiny_profile(), seed=9)
+        chunked = list(gen_a.records(200)) + list(gen_a.records(300))
+        assert chunked == list(gen_b.records(500))
+
+
+class TestAddressLayout:
+    def test_cores_occupy_disjoint_data_windows(self):
+        a = {r.addr for r in take(tiny_profile(), 2000, core=0)}
+        b = {r.addr for r in take(tiny_profile(), 2000, core=1)}
+        assert not (a & b)
+
+    def test_addresses_below_reserved_ceiling(self):
+        records = take(tiny_profile(), 2000, core=3)
+        assert max(r.addr for r in records) < 3 * 1024**3 - 64 * 1024 * 4
+
+    def test_footprint_estimate_positive(self):
+        assert tiny_profile().footprint_bytes() > 0
+
+
+class TestStructure:
+    def test_write_fraction_respected(self):
+        records = take(tiny_profile(write_fraction=0.0), 2000)
+        assert not any(r.write for r in records)
+
+    def test_gap_mean_tracks_profile(self):
+        records = take(tiny_profile(mean_gap=10.0), 5000)
+        mean = sum(r.gap for r in records) / len(records)
+        assert 7 < mean < 13
+
+    def test_zero_gap_profile(self):
+        records = take(tiny_profile(mean_gap=0.0), 100)
+        assert all(r.gap == 0 for r in records)
+
+    def test_rehit_produces_repeated_blocks(self):
+        records = take(tiny_profile(rehit_fraction=0.8), 3000)
+        blocks = [r.addr // 64 for r in records]
+        assert len(set(blocks)) < len(blocks) * 0.5
+
+    def test_no_rehit_mostly_unique_blocks(self):
+        records = take(
+            tiny_profile(rehit_fraction=0.0, filler_blocks=100_000,
+                         n_signatures=500, regions_per_sig=8,
+                         region_reuse=0.0),
+            3000,
+        )
+        blocks = [r.addr // 64 for r in records]
+        assert len(set(blocks)) > len(blocks) * 0.7
+
+    def test_spatial_episodes_share_regions(self):
+        """Non-filler accesses cluster into 2KB regions."""
+        records = take(tiny_profile(filler_fraction=0.0, rehit_fraction=0.0), 2000)
+        regions = {}
+        for r in records:
+            regions.setdefault(G.region_of(r.addr), set()).add(G.offset_of(r.addr))
+        multi = [s for s in regions.values() if len(s) >= 2]
+        assert len(multi) > len(regions) * 0.5
+
+    def test_triggers_repeat_pc_per_signature(self):
+        """The same signature reuses its trigger PC across regions (the
+        property the PHT exploits)."""
+        profile = tiny_profile(n_signatures=3, filler_fraction=0.0,
+                               rehit_fraction=0.0, zipf_alpha=0.0)
+        records = take(profile, 3000)
+        trigger_pcs = {r.pc for r in records if not r.write}
+        # 3 signature trigger PCs + 3 body PCs (+4 offsets) dominate.
+        assert len(trigger_pcs) <= 8
+
+
+class TestValidationOfProfiles:
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            tiny_profile(pattern_density=0.0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            tiny_profile(filler_fraction=1.5)
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ValueError):
+            tiny_profile(concurrency=0)

@@ -1,0 +1,64 @@
+"""The Table 2 workload registry and the eight calibrated profiles."""
+
+import pytest
+
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.profiles import ALL_PROFILES
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    table2_rows,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_eight_paper_workloads(self):
+        assert workload_names() == [
+            "Apache", "Zeus", "DB2", "Oracle", "Qry1", "Qry2", "Qry16", "Qry17",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("oracle") is WORKLOADS["Oracle"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("SPECjbb")
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+        assert {"workload", "category", "description"} <= set(rows[0])
+
+
+class TestProfileSanity:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_categories(self, profile):
+        assert profile.category in ("Web", "OLTP", "DSS")
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_footprint_pressures_the_l2(self, profile):
+        """Per-core footprint must exceed the per-core L2 share (2MB) so
+        PV and application data genuinely compete (Figures 7/8/10)."""
+        assert profile.footprint_bytes() > 2 * 1024**2
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_footprint_fits_the_core_window(self, profile):
+        from repro.workloads.base import FILLER_OFFSET
+
+        assert profile.n_regions * 2048 < FILLER_OFFSET
+
+    def test_oracle_has_largest_signature_population(self):
+        """Oracle is the paper's most size-sensitive workload."""
+        oracle = get_workload("Oracle")
+        assert oracle.n_signatures == max(p.n_signatures for p in ALL_PROFILES)
+
+    def test_qry1_is_smallest_and_densest(self):
+        qry1 = get_workload("Qry1")
+        assert qry1.n_signatures == min(p.n_signatures for p in ALL_PROFILES)
+        assert qry1.pattern_density == max(p.pattern_density for p in ALL_PROFILES)
+
+    def test_zeus_writes_most(self):
+        """Zeus is the paper's writeback worst case."""
+        zeus = get_workload("Zeus")
+        assert zeus.write_fraction == max(p.write_fraction for p in ALL_PROFILES)

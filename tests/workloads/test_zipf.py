@@ -1,0 +1,80 @@
+"""The Zipf popularity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import ZipfSampler
+
+
+def make(n=100, alpha=1.0, seed=7):
+    return ZipfSampler(n, alpha, np.random.default_rng(seed))
+
+
+class TestValidation:
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            make(n=0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            make(alpha=-1)
+
+    def test_rejects_zero_draws(self):
+        with pytest.raises(ValueError):
+            make().sample(0)
+
+
+class TestDistribution:
+    def test_samples_in_range(self):
+        samples = make().sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_rank_zero_is_hottest(self):
+        samples = make(alpha=1.2).sample(50_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts[0] == counts.max()
+
+    def test_alpha_zero_is_uniform(self):
+        samples = make(alpha=0.0).sample(100_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts.std() / counts.mean() < 0.1
+
+    def test_pmf_sums_to_one(self):
+        sampler = make(n=50)
+        assert sum(sampler.pmf(r) for r in range(50)) == pytest.approx(1.0)
+
+    def test_pmf_matches_zipf_ratio(self):
+        sampler = make(n=10, alpha=1.0)
+        assert sampler.pmf(0) / sampler.pmf(1) == pytest.approx(2.0)
+
+    def test_pmf_range_checked(self):
+        with pytest.raises(ValueError):
+            make(n=10).pmf(10)
+
+
+class TestExpectedUnique:
+    def test_bounds(self):
+        sampler = make(n=100, alpha=0.5)
+        assert 0 < sampler.expected_unique(10) <= 10
+        assert sampler.expected_unique(100_000) <= 100
+
+    def test_monotone_in_draws(self):
+        sampler = make(n=100, alpha=0.5)
+        assert sampler.expected_unique(200) > sampler.expected_unique(50)
+
+    def test_matches_empirical(self):
+        sampler = make(n=200, alpha=0.8, seed=3)
+        expected = sampler.expected_unique(500)
+        empirical = np.mean(
+            [len(set(make(200, 0.8, seed=s).sample(500))) for s in range(20)]
+        )
+        assert expected == pytest.approx(empirical, rel=0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert (make(seed=5).sample(100) == make(seed=5).sample(100)).all()
+
+    def test_different_seed_differs(self):
+        assert (make(seed=5).sample(100) != make(seed=6).sample(100)).any()
