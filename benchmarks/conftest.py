@@ -7,17 +7,28 @@ EXPERIMENTS.md can be refreshed from a single run of::
 
     pytest benchmarks/ --benchmark-only
 
-Simulations are shared across benches through the in-process experiment
-cache, so the figure drivers never repeat a configuration.
+Simulations are shared across benches through the sweep runner (the
+session-local store-backed runner installed by the root conftest) and the
+in-process experiment cache, so the figure drivers never repeat a
+configuration.  Set ``REPRO_JOBS`` to fan misses across a process pool;
+persistence stays session-local under pytest so stale stored results can
+never satisfy the assertions (use ``--store`` with
+``scripts/reproduce_all.py`` for durable result reuse).
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import List, Optional
 
 import pytest
 
+from repro.sim.experiment import ExperimentScale, clear_cache
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The env-derived scale of the previous bench, for cross-scale isolation.
+_LAST_SCALE: List[Optional[ExperimentScale]] = [None]
 
 
 def save_result(name: str, text: str) -> None:
@@ -25,6 +36,22 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+@pytest.fixture(autouse=True)
+def _isolate_scales():
+    """Drop cached results whenever the env scale changed between benches.
+
+    Spec keys embed the scale, so results from different ``REPRO_REFS``
+    settings can never be conflated — but a scale switch mid-session would
+    silently keep the old scale's results alive in memory.  Clearing on
+    change keeps one session = one scale's working set.
+    """
+    scale = ExperimentScale.from_env()
+    if _LAST_SCALE[0] is not None and _LAST_SCALE[0] != scale:
+        clear_cache()
+    _LAST_SCALE[0] = scale
+    yield
 
 
 @pytest.fixture

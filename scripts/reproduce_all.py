@@ -1,15 +1,21 @@
 """Regenerate every table and figure without pytest.
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the assertions:
-runs all experiment drivers (sharing simulations through the in-process
-cache), prints each artifact, and archives them under
-``benchmarks/results/``.
+runs all experiment drivers through the shared sweep runner, prints each
+artifact, and archives them under ``benchmarks/results/``.
+
+With ``--store DIR`` every simulation is persisted to (and reloaded from)
+a content-addressed result store, so a second full reproduction is pure
+JSON loading; with ``--jobs N`` cache/store misses fan out across a
+process pool.
 
 Usage::
 
-    REPRO_REFS=16000 python scripts/reproduce_all.py [results_dir]
+    REPRO_REFS=16000 python scripts/reproduce_all.py [results_dir] \
+        [--jobs N] [--store DIR]
 """
 
+import argparse
 import pathlib
 import sys
 import time
@@ -17,35 +23,56 @@ import time
 from repro.analysis import figures
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
-
-RESULTS = pathlib.Path(
-    sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results"
-)
+from repro.cli import positive_int
+from repro.runner import context as runner_context
 
 
-def save(name: str, text: str) -> None:
-    RESULTS.mkdir(parents=True, exist_ok=True)
-    (RESULTS / f"{name}.txt").write_text(text + "\n")
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", nargs="?", default="benchmarks/results",
+                        help="where rendered artifacts are archived")
+    parser.add_argument("--jobs", type=positive_int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--store", default=None,
+                        help="persistent result-store directory "
+                             "(default: REPRO_STORE or none)")
+    return parser.parse_args(argv)
+
+
+def save(results: pathlib.Path, name: str, text: str) -> None:
+    results.mkdir(parents=True, exist_ok=True)
+    (results / f"{name}.txt").write_text(text + "\n")
     print(text)
     print()
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    results = pathlib.Path(args.results_dir)
+    if args.jobs is not None or args.store:
+        runner_context.configure(jobs=args.jobs, store=args.store)
+    runner = runner_context.get_runner()
+    print(
+        f"sweep runner: jobs={runner.jobs}, "
+        f"store={runner.store.root if runner.store is not None else 'off'}",
+        file=sys.stderr,
+    )
+
     started = time.time()
-    save("table1", render_table(
+    save(results, "table1", render_table(
         ["parameter", "value"],
         [{"parameter": k, "value": v} for k, v in table1().items()],
         title="Table 1: Base processor configuration",
     ))
-    save("table2", render_table(
+    save(results, "table2", render_table(
         ["workload", "category", "footprint_mb", "signatures", "description"],
         table2(), title="Table 2: Workloads",
     ))
-    save("table3", render_table(
+    save(results, "table3", render_table(
         ["configuration", "tags", "patterns", "total"],
         table3_rows(), title="Table 3: Predictor storage",
     ))
-    save("section4_6_budget", render_table(
+    save(results, "section4_6_budget", render_table(
         ["component", "bytes"], pvproxy_budget_table(),
         title="Section 4.6: PVProxy space requirements",
     ))
@@ -62,10 +89,10 @@ def main() -> None:
     ]
     for name, driver in drivers:
         t = time.time()
-        save(name, render_figure(driver()))
+        save(results, name, render_figure(driver()))
         print(f"[{name} in {time.time() - t:.0f}s]\n", file=sys.stderr)
     print(f"all artifacts regenerated in {time.time() - started:.0f}s "
-          f"-> {RESULTS}", file=sys.stderr)
+          f"-> {results}", file=sys.stderr)
 
 
 if __name__ == "__main__":

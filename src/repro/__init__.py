@@ -22,6 +22,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.prefetch`  — SMS (AGT + PHT) and baseline prefetchers;
 * :mod:`repro.workloads` — the eight synthetic Table 2 workloads;
 * :mod:`repro.sim`       — simulator, experiment runner, SMARTS sampling;
+* :mod:`repro.runner`    — sweep orchestration: content-hashed experiment
+  specs, the persistent result store, the parallel sweep runner;
 * :mod:`repro.analysis`  — per-figure/table reproduction drivers.
 """
 
@@ -34,6 +36,7 @@ from repro.core import (
 )
 from repro.memory import MemorySystem
 from repro.prefetch import DedicatedPHT, InfinitePHT, SMSPrefetcher
+from repro.runner import ExperimentSpec, ResultStore, SweepRunner
 from repro.sim import (
     CMPSimulator,
     ExperimentScale,
@@ -50,6 +53,7 @@ __all__ = [
     "CMPSimulator",
     "DedicatedPHT",
     "ExperimentScale",
+    "ExperimentSpec",
     "InfinitePHT",
     "MemorySystem",
     "PVProxy",
@@ -57,8 +61,10 @@ __all__ = [
     "PVTable",
     "PredictorTable",
     "PrefetcherConfig",
+    "ResultStore",
     "SMSPrefetcher",
     "SimResult",
+    "SweepRunner",
     "SystemConfig",
     "VirtualizedPredictorTable",
     "WORKLOADS",

@@ -5,6 +5,12 @@ cache, so e.g. the SMS-1K run of a workload is simulated once even though
 five figures reference it.  All drivers accept an
 :class:`~repro.sim.experiment.ExperimentScale` so callers control cost.
 
+Before reading any result, a driver hands its full spec list to the active
+:class:`~repro.runner.sweep.SweepRunner` (see :mod:`repro.runner.context`),
+which resolves them through the persistent store and/or a process pool and
+merges everything into the experiment cache — the ``run_experiment`` calls
+below then always hit that cache.
+
 Paper-vs-measured comparisons live in EXPERIMENTS.md; the ``notes`` field
 of each returned :class:`FigureData` restates the paper's headline claim
 for that figure so the shape can be checked at a glance.
@@ -15,6 +21,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import FigureData
+from repro.runner.context import get_runner
+from repro.runner.spec import ExperimentSpec
 from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale, run_experiment
 from repro.sim.sampling import matched_pair
@@ -46,6 +54,20 @@ def _workloads(workloads: Optional[Sequence[str]]) -> List[str]:
     return list(workloads) if workloads is not None else workload_names()
 
 
+def _spec(
+    workload: str,
+    config: PrefetcherConfig,
+    scale: Optional[ExperimentScale],
+    **overrides,
+) -> ExperimentSpec:
+    return ExperimentSpec.build(workload, config, scale=scale, **overrides)
+
+
+def _sweep(specs: Sequence[ExperimentSpec]) -> None:
+    """Resolve ``specs`` through the active runner into the shared cache."""
+    get_runner().run(specs)
+
+
 # --------------------------------------------------------------------- Fig 4
 
 
@@ -55,7 +77,9 @@ def figure4(
 ) -> FigureData:
     """SMS performance potential vs. predictor table size (Figure 4)."""
     rows = []
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    _sweep([_spec(n, c, scale) for n in names for c in FIG4_CONFIGS])
+    for name in names:
         for config in FIG4_CONFIGS:
             r = run_experiment(name, config, scale=scale)
             rows.append(
@@ -88,9 +112,11 @@ def figure5(
 ) -> FigureData:
     """Coverage across all intermediate table sizes (Figure 5)."""
     rows = []
-    for name in _workloads(workloads) if workloads is not None else FIG5_WORKLOADS:
-        configs = [PrefetcherConfig.infinite(), PrefetcherConfig.dedicated(1024, 16)]
-        configs += [PrefetcherConfig.dedicated(s, 11) for s in FIG5_SET_SWEEP]
+    names = _workloads(workloads) if workloads is not None else FIG5_WORKLOADS
+    configs = [PrefetcherConfig.infinite(), PrefetcherConfig.dedicated(1024, 16)]
+    configs += [PrefetcherConfig.dedicated(s, 11) for s in FIG5_SET_SWEEP]
+    _sweep([_spec(n, c, scale) for n in names for c in configs])
+    for name in names:
         for config in configs:
             r = run_experiment(name, config, scale=scale)
             rows.append(
@@ -121,7 +147,10 @@ def figure6(
     """Increase in L2 requests due to virtualization (Figure 6)."""
     rows = []
     reference = PrefetcherConfig.dedicated(1024, 11)
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    configs = [reference] + [PrefetcherConfig.virtualized(e) for e in (8, 16)]
+    _sweep([_spec(n, c, scale) for n in names for c in configs])
+    for name in names:
         ref = run_experiment(name, reference, scale=scale)
         for entries in (8, 16):
             pv = run_experiment(
@@ -153,7 +182,9 @@ def pv_l2_fill_rates(
 ) -> FigureData:
     """Section 4.3 claim: >98% of PVProxy requests are filled by the L2."""
     rows = []
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    _sweep([_spec(n, PrefetcherConfig.virtualized(8), scale) for n in names])
+    for name in names:
         pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
         rows.append(
             {
@@ -181,7 +212,10 @@ def figure7(
     """Off-chip bandwidth increase, split into L2 misses and writebacks."""
     rows = []
     reference = PrefetcherConfig.dedicated(1024, 11)
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    configs = [reference] + [PrefetcherConfig.virtualized(e) for e in (8, 16)]
+    _sweep([_spec(n, c, scale) for n in names for c in configs])
+    for name in names:
         ref = run_experiment(name, reference, scale=scale)
         for entries in (8, 16):
             pv = run_experiment(
@@ -219,7 +253,10 @@ def figure8(
     """Figure 7's PV-8 increase split into application vs PV data."""
     rows = []
     reference = PrefetcherConfig.dedicated(1024, 11)
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    configs = [reference, PrefetcherConfig.virtualized(8)]
+    _sweep([_spec(n, c, scale) for n in names for c in configs])
+    for name in names:
         ref = run_experiment(name, reference, scale=scale)
         pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
         split = pv.offchip_split_increase(ref)
@@ -260,7 +297,10 @@ def figure9(
 ) -> FigureData:
     """Speedup over the no-prefetch baseline (Figure 9), with matched-pair CIs."""
     rows = []
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    configs = [PrefetcherConfig.none()] + FIG9_CONFIGS
+    _sweep([_spec(n, c, scale) for n in names for c in configs])
+    for name in names:
         base = run_experiment(name, PrefetcherConfig.none(), scale=scale)
         for config in FIG9_CONFIGS:
             r = run_experiment(name, config, scale=scale)
@@ -295,7 +335,14 @@ def figure10(
     """Off-chip bandwidth increase vs. L2 capacity (Figure 10)."""
     rows = []
     reference = PrefetcherConfig.dedicated(1024, 11)
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    _sweep([
+        _spec(n, c, scale, l2_size=l2)
+        for n in names
+        for l2 in FIG10_L2_SIZES
+        for c in (reference, PrefetcherConfig.virtualized(8))
+    ])
+    for name in names:
         for l2_size in FIG10_L2_SIZES:
             ref = run_experiment(name, reference, scale=scale, l2_size=l2_size)
             pv = run_experiment(
@@ -330,7 +377,18 @@ def figure11(
     """Speedups with a slower L2 (8/16-cycle tag/data, Figure 11)."""
     tag, data = FIG11_L2_LATENCY
     rows = []
-    for name in _workloads(workloads):
+    names = _workloads(workloads)
+    configs = [
+        PrefetcherConfig.none(),
+        PrefetcherConfig.dedicated(1024, 11),
+        PrefetcherConfig.virtualized(8),
+    ]
+    _sweep([
+        _spec(n, c, scale, l2_tag_latency=tag, l2_data_latency=data)
+        for n in names
+        for c in configs
+    ])
+    for name in names:
         base = run_experiment(
             name, PrefetcherConfig.none(), scale=scale,
             l2_tag_latency=tag, l2_data_latency=data,

@@ -7,11 +7,14 @@ Commands mirror the deliverables:
   (optionally as ASCII bar charts with ``--chart``);
 * ``run``                                           — one simulation with a
   chosen workload and prefetcher configuration;
+* ``sweep``                                         — resolve a workload x
+  configuration lattice through the parallel sweep runner;
 * ``trace-stats``                                   — summarize a workload's
   synthetic reference stream.
 
 All figure commands accept ``--workloads`` (comma-separated), ``--refs``
-and ``--warmup`` to control scale.
+and ``--warmup`` to control scale, plus ``--jobs N`` (process-pool width)
+and ``--store DIR`` (persistent result store) to control execution.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.analysis import figures as _figures
 from repro.analysis.charts import render_default_chart
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
+from repro.runner import ExperimentSpec, context as _runner_context
 from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale
 from repro.sim.simulator import CMPSimulator
@@ -73,6 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warmup references per core")
         p.add_argument("--chart", action="store_true",
                        help="render as an ASCII bar chart")
+        _add_runner_flags(p)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="resolve a workload x configuration lattice via the sweep runner",
+    )
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated subset (default: all eight)")
+    sweep.add_argument("--configs", default="none,sms-1k,sms-16,sms-8,pv8",
+                       help="comma-separated prefetcher names "
+                            f"(choices: {','.join(sorted(PREFETCHERS))})")
+    sweep.add_argument("--refs", type=int, default=None,
+                       help="references per core")
+    sweep.add_argument("--warmup", type=int, default=None,
+                       help="warmup references per core")
+    sweep.add_argument("--seed", type=int, default=1)
+    _add_runner_flags(sweep)
 
     run = sub.add_parser("run", help="run one simulation and print a summary")
     run.add_argument("workload", choices=workload_names())
@@ -88,6 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--jobs``)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=positive_int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--store", default=None,
+                        help="persistent result-store directory "
+                             "(default: REPRO_STORE or none)")
+
+
+def _configure_runner(args) -> None:
+    """Install the sweep runner the figure drivers will resolve through."""
+    if getattr(args, "jobs", None) is not None or getattr(args, "store", None):
+        _runner_context.configure(jobs=args.jobs, store=args.store)
+
+
 def _scale(args) -> Optional[ExperimentScale]:
     if args.refs is None and args.warmup is None:
         return None
@@ -99,6 +142,7 @@ def _scale(args) -> Optional[ExperimentScale]:
 
 
 def _run_figure(args) -> str:
+    _configure_runner(args)
     driver = FIGURE_COMMANDS[args.command]
     workloads = args.workloads.split(",") if args.workloads else None
     figure = driver(workloads=workloads, scale=_scale(args))
@@ -119,6 +163,54 @@ def _run_simulation(args) -> str:
     rows = [{"metric": k, "value": v} for k, v in result.summary().items()]
     title = f"{workload.name} / {config.label} ({args.refs} refs/core)"
     return render_table(["metric", "value"], rows, title=title)
+
+
+def _run_sweep(args) -> str:
+    _configure_runner(args)
+    workloads = args.workloads.split(",") if args.workloads else workload_names()
+    try:
+        configs = [PREFETCHERS[name]() for name in args.configs.split(",")]
+    except KeyError as exc:
+        raise SystemExit(f"unknown prefetcher {exc.args[0]!r}; "
+                         f"choices: {', '.join(sorted(PREFETCHERS))}")
+    scale = _scale(args)
+    specs = [
+        ExperimentSpec.build(w, c, scale=scale, seed=args.seed)
+        for w in workloads
+        for c in configs
+    ]
+    sources = {}
+
+    def observe(progress):
+        sources[progress.spec.key] = progress.source
+        print(
+            f"[{progress.done}/{progress.total}] "
+            f"{progress.spec.workload:<8} {progress.spec.prefetcher.label:<10} "
+            f"({progress.source})",
+            file=sys.stderr,
+        )
+
+    runner = _runner_context.get_runner()
+    results = runner.run(specs, observer=observe)
+    rows = [
+        {
+            "workload": spec.workload,
+            "config": spec.prefetcher.label,
+            "source": sources.get(spec.key, "cache"),
+            "ipc": round(result.aggregate_ipc, 4),
+            "coverage": round(result.coverage, 4),
+            "offchip": result.offchip_transfers,
+        }
+        for spec, result in zip(specs, results)
+    ]
+    title = (
+        f"Sweep: {len(specs)} specs, jobs={runner.jobs}, "
+        f"store={'on' if runner.store is not None else 'off'}"
+    )
+    return render_table(
+        ["workload", "config", "source", "ipc", "coverage", "offchip"],
+        rows, title=title,
+    )
 
 
 def _run_trace_stats(args) -> str:
@@ -157,6 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_figure(args))
     elif args.command == "run":
         print(_run_simulation(args))
+    elif args.command == "sweep":
+        print(_run_sweep(args))
     elif args.command == "trace-stats":
         print(_run_trace_stats(args))
     return 0

@@ -1,0 +1,49 @@
+"""Sweep orchestration: specs, persistent results, parallel execution.
+
+* :mod:`repro.runner.spec`      — :class:`ExperimentSpec`, the frozen
+  content-hashed description of one run (and :class:`ExperimentScale`);
+* :mod:`repro.runner.serialize` — strict SimResult <-> JSON round-trip;
+* :mod:`repro.runner.store`     — :class:`ResultStore`, atomic on-disk
+  persistence keyed by spec hash;
+* :mod:`repro.runner.sweep`     — :class:`SweepRunner`, the parallel
+  load-or-compute engine;
+* :mod:`repro.runner.context`   — the process-wide active runner
+  (``REPRO_JOBS`` / ``REPRO_STORE``, ``--jobs`` / ``--store``).
+"""
+
+from repro.runner.context import (
+    active_runner,
+    configure,
+    get_runner,
+    reset,
+    set_runner,
+)
+from repro.runner.serialize import (
+    ResultSchemaError,
+    canonical_result_json,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.runner.spec import SPEC_SCHEMA, ExperimentScale, ExperimentSpec
+from repro.runner.store import STORE_SCHEMA, ResultStore
+from repro.runner.sweep import SweepObserver, SweepProgress, SweepRunner
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "STORE_SCHEMA",
+    "ExperimentScale",
+    "ExperimentSpec",
+    "ResultSchemaError",
+    "ResultStore",
+    "SweepObserver",
+    "SweepProgress",
+    "SweepRunner",
+    "active_runner",
+    "canonical_result_json",
+    "configure",
+    "get_runner",
+    "reset",
+    "result_from_dict",
+    "result_to_dict",
+    "set_runner",
+]

@@ -1,0 +1,75 @@
+"""The process-wide active :class:`SweepRunner`.
+
+Figure drivers, benches and scripts all resolve their simulations through
+``get_runner()`` so one knob configures the whole process.  The default
+runner is built from the environment:
+
+* ``REPRO_JOBS``  — worker processes (default 1: serial, in-process);
+* ``REPRO_STORE`` — directory of the persistent result store (default:
+  no persistence, in-process cache only).
+
+CLI flags (``--jobs`` / ``--store``) call :func:`configure` to override.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.runner.store import ResultStore
+from repro.runner.sweep import SweepObserver, SweepRunner
+
+_active: Optional[SweepRunner] = None
+
+
+def default_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def default_store() -> Optional[ResultStore]:
+    path = os.environ.get("REPRO_STORE")
+    return ResultStore(path) if path else None
+
+
+def get_runner() -> SweepRunner:
+    """The active runner, creating the env-configured default on first use."""
+    global _active
+    if _active is None:
+        _active = SweepRunner(jobs=default_jobs(), store=default_store())
+    return _active
+
+
+def active_runner() -> Optional[SweepRunner]:
+    """The currently installed runner, without creating one."""
+    return _active
+
+
+def set_runner(runner: Optional[SweepRunner]) -> None:
+    global _active
+    _active = runner
+
+
+def configure(
+    jobs: Optional[int] = None,
+    store: Union[ResultStore, str, os.PathLike, None] = None,
+    observer: Optional[SweepObserver] = None,
+) -> SweepRunner:
+    """Install (and return) a runner; unset arguments fall back to the env."""
+    if store is None:
+        resolved_store: Optional[ResultStore] = default_store()
+    elif isinstance(store, ResultStore):
+        resolved_store = store
+    else:
+        resolved_store = ResultStore(store)
+    runner = SweepRunner(
+        jobs=jobs if jobs is not None else default_jobs(),
+        store=resolved_store,
+        observer=observer,
+    )
+    set_runner(runner)
+    return runner
+
+
+def reset() -> None:
+    """Drop the active runner; the next ``get_runner`` rebuilds from env."""
+    set_runner(None)

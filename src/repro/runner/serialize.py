@@ -1,0 +1,48 @@
+"""JSON (de)serialization of :class:`~repro.sim.metrics.SimResult`.
+
+The store and the multiprocessing sweep both move results as plain dicts:
+every field of the dataclass, nothing else.  Deserialization is strict —
+missing or unknown fields raise — so a schema drift between writer and
+reader surfaces as a versioned store miss instead of a half-populated
+result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+from typing import Any, Dict
+
+from repro.sim.metrics import SimResult
+
+
+class ResultSchemaError(ValueError):
+    """A serialized result does not match the current SimResult schema."""
+
+
+def result_to_dict(result: SimResult) -> Dict[str, Any]:
+    """Every counter of one result as a plain-JSON dict."""
+    return asdict(result)
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimResult:
+    """Strictly rebuild a :class:`SimResult` from :func:`result_to_dict`."""
+    known = {f.name for f in fields(SimResult)}
+    unknown = set(data) - known
+    missing = {
+        f.name for f in fields(SimResult) if f.name not in data
+    }
+    if unknown or missing:
+        raise ResultSchemaError(
+            f"result payload mismatch: unknown={sorted(unknown)} "
+            f"missing={sorted(missing)}"
+        )
+    return SimResult(**data)
+
+
+def canonical_result_json(result: SimResult) -> str:
+    """Byte-stable serialized payload (used by the determinism tests)."""
+    return json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )

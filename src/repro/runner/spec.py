@@ -1,0 +1,159 @@
+"""Frozen, content-addressed description of one simulation run.
+
+An :class:`ExperimentSpec` captures everything that determines a
+:class:`~repro.sim.metrics.SimResult`: workload, prefetcher configuration,
+scale, L2 sensitivity overrides, the pv-aware ablation flag and the seed.
+Equal specs therefore name equal results, and the stable content hash
+(:attr:`ExperimentSpec.key`) is the single identity shared by the
+in-process experiment cache, the on-disk :class:`~repro.runner.store.ResultStore`
+and the :class:`~repro.runner.sweep.SweepRunner`.
+
+The hash is computed over the canonical JSON form (sorted keys, no
+whitespace) of :meth:`ExperimentSpec.to_dict`, together with a spec schema
+version, so it is independent of field ordering, process, platform and
+dict insertion order — and changes deliberately whenever the spec schema
+itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+
+#: Bump whenever the meaning of a spec field changes: every key (and hence
+#: every store entry) derived from the old schema is invalidated at once.
+SPEC_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much work each simulation does."""
+
+    refs_per_core: int = 16_000
+    warmup_refs: int = 20_000
+    window_refs: int = 1_600
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Default scale, overridable via REPRO_REFS / REPRO_WARMUP."""
+        refs = int(os.environ.get("REPRO_REFS", "16000"))
+        warmup = int(os.environ.get("REPRO_WARMUP", str(max(refs * 5 // 4, 1))))
+        window = max(refs // 10, 1)
+        return cls(refs_per_core=refs, warmup_refs=warmup, window_refs=window)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of the design space: everything one simulation depends on."""
+
+    workload: str
+    prefetcher: PrefetcherConfig
+    scale: ExperimentScale
+    l2_size: Optional[int] = None
+    l2_tag_latency: Optional[int] = None
+    l2_data_latency: Optional[int] = None
+    pv_aware: bool = False
+    seed: int = 1
+
+    # ------------------------------------------------------------- identity
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (nested configs become dicts)."""
+        d = asdict(self)
+        d["schema"] = SPEC_SCHEMA
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (any key order)."""
+        data = dict(data)
+        schema = data.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"spec schema {schema} not supported (current {SPEC_SCHEMA})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        data["prefetcher"] = PrefetcherConfig(**data["prefetcher"])
+        data["scale"] = ExperimentScale(**data["scale"])
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Canonical serialized form the content hash is computed over."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable content hash: the spec's identity everywhere."""
+        return hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
+
+    # ---------------------------------------------------------- convenience
+
+    @classmethod
+    def build(
+        cls,
+        workload: str,
+        prefetcher: PrefetcherConfig,
+        scale: Optional[ExperimentScale] = None,
+        l2_size: Optional[int] = None,
+        l2_tag_latency: Optional[int] = None,
+        l2_data_latency: Optional[int] = None,
+        pv_aware: bool = False,
+        seed: int = 1,
+    ) -> "ExperimentSpec":
+        """The spec ``run_experiment`` would run for these arguments."""
+        return cls(
+            workload=workload,
+            prefetcher=prefetcher,
+            scale=scale or ExperimentScale.from_env(),
+            l2_size=l2_size,
+            l2_tag_latency=l2_tag_latency,
+            l2_data_latency=l2_data_latency,
+            pv_aware=pv_aware,
+            seed=seed,
+        )
+
+    def system_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` this spec simulates."""
+        system = SystemConfig.baseline()
+        if (
+            self.l2_size is not None
+            or self.l2_tag_latency is not None
+            or self.l2_data_latency is not None
+        ):
+            system = system.with_l2(
+                size_bytes=self.l2_size,
+                tag_latency=self.l2_tag_latency,
+                data_latency=self.l2_data_latency,
+            )
+        if self.pv_aware:
+            system = replace(
+                system, hierarchy=replace(system.hierarchy, pv_aware_caches=True)
+            )
+        return system
+
+    def execute(self):
+        """Run the simulation this spec describes (no caching)."""
+        from repro.sim.simulator import CMPSimulator
+        from repro.workloads.registry import get_workload
+
+        simulator = CMPSimulator(
+            get_workload(self.workload),
+            self.prefetcher,
+            system=self.system_config(),
+            seed=self.seed,
+        )
+        return simulator.run(
+            self.scale.refs_per_core,
+            warmup_refs=self.scale.warmup_refs,
+            window_refs=self.scale.window_refs,
+        )

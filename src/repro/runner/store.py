@@ -1,0 +1,139 @@
+"""Persistent, content-addressed result store.
+
+One :class:`SimResult` per file, keyed by the spec's content hash and
+sharded by its first two hex digits::
+
+    <root>/
+      ab/
+        ab3f...e1.json        {"store_schema": 1, "key": ..., "spec": {...},
+                               "result": {...}}
+
+Writes are atomic (unique temp file in the final directory, then
+``os.replace``), so any number of concurrent writers — sweep workers,
+parallel pytest sessions, several reproduction scripts — can share one
+store: the worst case is the same result computed twice, never a torn or
+half-written file.  Reads treat corrupt, foreign-schema or key-mismatched
+files as misses, so an old store survives schema bumps silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Iterator, Optional, Union
+
+from repro.runner.serialize import (
+    ResultSchemaError,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.runner.spec import ExperimentSpec
+from repro.sim.metrics import SimResult
+
+#: Bump when the on-disk envelope changes; old entries become misses.
+STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """Load-or-compute persistence for simulation results."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+
+    # -------------------------------------------------------------- layout
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every readable entry currently in the store."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec.key).is_file()
+
+    # ---------------------------------------------------------------- read
+
+    def get(self, spec: ExperimentSpec) -> Optional[SimResult]:
+        """The stored result for ``spec``, or None (miss/corrupt/foreign)."""
+        return self.get_by_key(spec.key)
+
+    def get_by_key(self, key: str) -> Optional[SimResult]:
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("store_schema") != STORE_SCHEMA:
+            return None
+        if envelope.get("key") != key:
+            return None
+        try:
+            return result_from_dict(envelope["result"])
+        except (KeyError, TypeError, ResultSchemaError):
+            return None
+
+    # --------------------------------------------------------------- write
+
+    def put(self, spec: ExperimentSpec, result: SimResult) -> pathlib.Path:
+        """Atomically persist ``result`` under ``spec``'s key."""
+        path = self.path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "store_schema": STORE_SCHEMA,
+            "key": spec.key,
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        }
+        payload = json.dumps(envelope, sort_keys=True, allow_nan=False)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{spec.key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_or_compute(self, spec: ExperimentSpec, compute=None) -> SimResult:
+        """Stored result if present, else compute, persist and return it."""
+        hit = self.get(spec)
+        if hit is not None:
+            return hit
+        result = compute() if compute is not None else spec.execute()
+        self.put(spec, result)
+        return result
+
+    # ----------------------------------------------------------------- mgmt
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"

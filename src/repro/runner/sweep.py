@@ -1,0 +1,161 @@
+"""Fan a list of :class:`ExperimentSpec` across a process pool.
+
+The runner resolves each spec through three layers, cheapest first:
+
+1. the in-process experiment cache (`repro.sim.experiment`);
+2. the persistent :class:`~repro.runner.store.ResultStore`, if configured;
+3. simulation — serially for ``jobs<=1``, otherwise chunked across a
+   ``multiprocessing`` pool.
+
+Workers receive spec dicts and return result dicts (the same payloads the
+store persists), so a parallel run produces byte-identical payloads to a
+serial one.  Completion order is irrelevant to the outcome: computed
+results are persisted (and progress reported) as they arrive, then merged
+into the in-process cache in input-spec order, and ``run`` returns
+results aligned with its argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.serialize import result_from_dict, result_to_dict
+from repro.runner.spec import ExperimentSpec
+from repro.runner.store import ResultStore
+from repro.sim.metrics import SimResult
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One observer notification: a spec was resolved."""
+
+    done: int
+    total: int
+    spec: ExperimentSpec
+    source: str  # "cache" | "store" | "computed"
+
+
+#: Observer hook signature.
+SweepObserver = Callable[[SweepProgress], None]
+
+
+def _execute_payload(payload: dict) -> Tuple[str, dict]:
+    """Pool worker: simulate one spec dict, return (key, result dict)."""
+    spec = ExperimentSpec.from_dict(payload)
+    return spec.key, result_to_dict(spec.execute())
+
+
+def _pool_context():
+    # fork (Linux/macOS<=3.7 default) avoids re-importing the package per
+    # worker; fall back to the platform default where unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class SweepRunner:
+    """Runs design-space sweeps with caching, persistence and parallelism."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        chunksize: Optional[int] = None,
+        observer: Optional[SweepObserver] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        self.chunksize = chunksize
+        self.observer = observer
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        observer: Optional[SweepObserver] = None,
+    ) -> List[SimResult]:
+        """Resolve every spec; returns results aligned with ``specs``."""
+        from repro.sim import experiment  # deferred: experiment imports spec
+
+        specs = list(specs)
+        observer = observer or self.observer
+        resolved: Dict[str, SimResult] = {}
+        sources: Dict[str, str] = {}
+        unique: List[ExperimentSpec] = []
+        pending: List[ExperimentSpec] = []
+
+        for spec in specs:
+            key = spec.key
+            if key in sources:
+                continue
+            unique.append(spec)
+            hit = experiment.cache_get(key) if self.use_cache else None
+            if hit is not None:
+                resolved[key] = hit
+                sources[key] = "cache"
+                continue
+            if self.store is not None:
+                stored = self.store.get(spec)
+                if stored is not None:
+                    resolved[key] = stored
+                    sources[key] = "store"
+                    continue
+            pending.append(spec)
+            sources[key] = "pending"
+
+        # One notification per unique spec: hits up front, computed specs
+        # live as the pool delivers them (completion order).
+        total = len(unique)
+        done = 0
+        if observer is not None:
+            for spec in unique:
+                if sources[spec.key] != "pending":
+                    done += 1
+                    observer(SweepProgress(done, total, spec, sources[spec.key]))
+
+        if pending:
+            by_key = {spec.key: spec for spec in pending}
+            for key, result in self._compute(pending):
+                resolved[key] = result
+                sources[key] = "computed"
+                if self.store is not None:
+                    self.store.put(by_key[key], result)
+                done += 1
+                if observer is not None:
+                    observer(SweepProgress(done, total, by_key[key], "computed"))
+
+        # Deterministic merge: input order, independent of completion order.
+        if self.use_cache:
+            for spec in unique:
+                experiment.cache_put(spec.key, resolved[spec.key])
+        return [resolved[spec.key] for spec in specs]
+
+    # -------------------------------------------------------------- compute
+
+    def _compute(self, pending: List[ExperimentSpec]):
+        if self.jobs == 1:
+            for spec in pending:
+                yield spec.key, spec.execute()
+            return
+        chunksize = self.chunksize or max(1, len(pending) // (self.jobs * 4))
+        payloads = [spec.to_dict() for spec in pending]
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.jobs, len(pending))) as pool:
+            for key, payload in pool.imap_unordered(
+                _execute_payload, payloads, chunksize=chunksize
+            ):
+                yield key, result_from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepRunner(jobs={self.jobs}, store={self.store!r}, "
+            f"use_cache={self.use_cache})"
+        )

@@ -8,7 +8,12 @@ cached runner so the figure drivers share simulations.
 """
 
 from repro.sim.config import PrefetcherConfig, SystemConfig
-from repro.sim.experiment import ExperimentScale, run_experiment
+from repro.sim.experiment import (
+    ExperimentScale,
+    ExperimentSpec,
+    run_experiment,
+    run_spec,
+)
 from repro.sim.metrics import SimResult
 from repro.sim.sampling import MatchedPair, SampleStats, confidence_interval, matched_pair
 from repro.sim.simulator import CMPSimulator
@@ -16,6 +21,7 @@ from repro.sim.simulator import CMPSimulator
 __all__ = [
     "CMPSimulator",
     "ExperimentScale",
+    "ExperimentSpec",
     "MatchedPair",
     "PrefetcherConfig",
     "SampleStats",
@@ -24,4 +30,5 @@ __all__ = [
     "confidence_interval",
     "matched_pair",
     "run_experiment",
+    "run_spec",
 ]

@@ -3,8 +3,16 @@
 Every figure compares several configurations of the *same* workload; many
 figures share configurations (e.g. the SMS-1K dedicated run is the
 reference for Figures 6, 7, 8 and a bar in Figures 4 and 9).  The runner
-memoizes :class:`SimResult` by a full specification key so each simulation
-happens once per process.
+memoizes :class:`SimResult` by the :class:`ExperimentSpec` content hash so
+each simulation happens once per process — and, when a persistent
+:class:`~repro.runner.store.ResultStore` is routed in (``--store`` /
+``REPRO_STORE``), once per machine.
+
+``run_experiment`` is a thin wrapper: it builds the spec and resolves it
+through the same cache the :class:`~repro.runner.sweep.SweepRunner` merges
+into, so a sweep warm-up turns every subsequent ``run_experiment`` call
+into a cache hit.  ``clear_cache`` empties that one cache regardless of
+which path populated it.
 
 Scale: the paper simulates billions of cycles; a pure-Python reproduction
 cannot.  :class:`ExperimentScale` sets the trace length and warmup.  The
@@ -15,38 +23,64 @@ stable across scales; EXPERIMENTS.md records the scale used).
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.sim.config import PrefetcherConfig
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import CMPSimulator
-from repro.workloads.registry import get_workload
 
+__all__ = [
+    "ExperimentScale",
+    "ExperimentSpec",
+    "cache_get",
+    "cache_put",
+    "cache_size",
+    "clear_cache",
+    "run_experiment",
+    "run_spec",
+]
 
-@dataclass(frozen=True)
-class ExperimentScale:
-    """How much work each simulation does."""
-
-    refs_per_core: int = 16_000
-    warmup_refs: int = 20_000
-    window_refs: int = 1_600
-
-    @classmethod
-    def from_env(cls) -> "ExperimentScale":
-        """Default scale, overridable via REPRO_REFS / REPRO_WARMUP."""
-        refs = int(os.environ.get("REPRO_REFS", "16000"))
-        warmup = int(os.environ.get("REPRO_WARMUP", str(max(refs * 5 // 4, 1))))
-        window = max(refs // 10, 1)
-        return cls(refs_per_core=refs, warmup_refs=warmup, window_refs=window)
-
-
-_CACHE: Dict[Tuple, SimResult] = {}
+#: In-process result cache, keyed by ExperimentSpec.key.  The sweep runner
+#: and the store path merge into this same dict, so ``clear_cache`` always
+#: empties everything regardless of how a result arrived.
+_CACHE: Dict[str, SimResult] = {}
 
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def cache_get(key: str) -> Optional[SimResult]:
+    """The cached result for a spec key, if any."""
+    return _CACHE.get(key)
+
+
+def cache_put(key: str, result: SimResult) -> None:
+    """Merge one resolved result into the in-process cache."""
+    _CACHE[key] = result
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    use_cache: bool = True,
+    store=None,
+) -> SimResult:
+    """Resolve one spec: cache, then store (if given), then simulate."""
+    if use_cache:
+        hit = _CACHE.get(spec.key)
+        if hit is not None:
+            return hit
+    if store is not None:
+        result = store.load_or_compute(spec)
+    else:
+        result = spec.execute()
+    if use_cache:
+        _CACHE[spec.key] = result
+    return result
 
 
 def run_experiment(
@@ -59,47 +93,22 @@ def run_experiment(
     pv_aware: bool = False,
     seed: int = 1,
     use_cache: bool = True,
+    store=None,
 ) -> SimResult:
-    """Run (or fetch from cache) one simulation.
+    """Run (or fetch from cache/store) one simulation.
 
     ``l2_size``/``l2_*_latency`` support the Section 4.5 sensitivity
     studies; ``pv_aware`` enables the virtualization-aware-cache design
     option ablation.
     """
-    scale = scale or ExperimentScale.from_env()
-    key = (
+    spec = ExperimentSpec.build(
         workload,
         prefetcher,
-        scale,
-        l2_size,
-        l2_tag_latency,
-        l2_data_latency,
-        pv_aware,
-        seed,
+        scale=scale,
+        l2_size=l2_size,
+        l2_tag_latency=l2_tag_latency,
+        l2_data_latency=l2_data_latency,
+        pv_aware=pv_aware,
+        seed=seed,
     )
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-
-    system = SystemConfig.baseline()
-    if l2_size is not None or l2_tag_latency is not None or l2_data_latency is not None:
-        system = system.with_l2(
-            size_bytes=l2_size,
-            tag_latency=l2_tag_latency,
-            data_latency=l2_data_latency,
-        )
-    if pv_aware:
-        from dataclasses import replace
-
-        system = replace(system, hierarchy=replace(system.hierarchy, pv_aware_caches=True))
-
-    simulator = CMPSimulator(
-        get_workload(workload), prefetcher, system=system, seed=seed
-    )
-    result = simulator.run(
-        scale.refs_per_core,
-        warmup_refs=scale.warmup_refs,
-        window_refs=scale.window_refs,
-    )
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    return run_spec(spec, use_cache=use_cache, store=store)

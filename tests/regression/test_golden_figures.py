@@ -1,0 +1,159 @@
+"""Golden-metrics regression suite.
+
+Re-runs the headline artifacts — Figure 4 (coverage potential), Figure 9
+(speedups) and Table 3 / the Section 4.6 PVProxy budget (predictor
+storage) — and asserts their metrics against checked-in golden JSON under
+``tests/regression/golden/``.  The goldens pin the default bench scale, so
+any change to the simulator, the workload generators or the sweep/runner
+machinery that shifts a number is caught here byte-for-byte (floats to
+1e-9 relative).
+
+Regenerate after an intentional modelling change with::
+
+    PYTHONPATH=src python -m pytest tests/regression --update-golden
+
+In a full-suite run these simulations are warm: the bench drivers resolve
+the same specs through the shared sweep runner first.
+"""
+
+import json
+import pathlib
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis import figures
+from repro.analysis.tables import pvproxy_budget_table, table3_rows
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale, run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Scale the goldens were generated at when the env does not say otherwise.
+#: (Matches ExperimentScale defaults = the bench suite's default scale.)
+
+
+@pytest.fixture(scope="module")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+def _resolve(name: str, payload_fn, update: bool):
+    """Golden payload + fresh payload; regenerates when asked.
+
+    ``payload_fn(scale)`` computes the current payload at a given scale.
+    Returns ``(golden, actual)`` — identical (same object) right after an
+    update, so update runs trivially pass.
+    """
+    path = GOLDEN_DIR / f"{name}.json"
+    golden = None
+    if path.is_file() and not update:
+        golden = json.loads(path.read_text())
+    scale = (
+        ExperimentScale(**golden["scale"])
+        if golden is not None and "scale" in golden
+        else ExperimentScale.from_env()
+    )
+    actual = payload_fn(scale)
+    if golden is None:
+        if not update:
+            pytest.fail(
+                f"missing golden {path}; regenerate with "
+                "`python -m pytest tests/regression --update-golden`"
+            )
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        golden = actual
+    return golden, actual
+
+
+def _assert_rows_match(actual_rows, golden_rows):
+    assert len(actual_rows) == len(golden_rows)
+    for actual, golden in zip(actual_rows, golden_rows):
+        assert set(actual) == set(golden)
+        for column, expected in golden.items():
+            value = actual[column]
+            if isinstance(expected, float):
+                assert value == pytest.approx(expected, rel=1e-9, abs=1e-12), (
+                    f"{column}: {value} != golden {expected} in {golden}"
+                )
+            else:
+                assert value == expected, f"{column} drifted in {golden}"
+
+
+# ------------------------------------------------------------------ Table 3
+
+
+def test_table3_storage_golden(update_golden):
+    def payload(_scale):
+        return {
+            "table3": table3_rows(),
+            "pvproxy_budget": pvproxy_budget_table(),
+        }
+
+    golden, actual = _resolve("table3", payload, update_golden)
+    _assert_rows_match(actual["table3"], golden["table3"])
+    _assert_rows_match(actual["pvproxy_budget"], golden["pvproxy_budget"])
+
+    # Headline storage invariants: the dedicated 1K-11 PHT costs 59.125KB;
+    # the PVProxy keeps less than 1KB per core on chip.
+    by_config = {row["configuration"]: row for row in actual["table3"]}
+    assert by_config["1K-11"]["total"] == "59.125KB"
+    budget = {row["component"]: row["bytes"] for row in actual["pvproxy_budget"]}
+    total = budget["Total per core"]
+    assert 0 < total < 1024
+
+
+# ----------------------------------------------------------------- Figure 4
+
+
+def test_figure4_coverage_golden(update_golden):
+    def payload(scale):
+        fig = figures.figure4(scale=scale)
+        return {"scale": asdict(scale), "rows": fig.rows}
+
+    golden, actual = _resolve("figure4", payload, update_golden)
+    _assert_rows_match(actual["rows"], golden["rows"])
+
+
+# ----------------------------------------------------------------- Figure 9
+
+
+def test_figure9_speedup_golden(update_golden):
+    def payload(scale):
+        fig = figures.figure9(scale=scale)
+        offchip = {}
+        for workload in sorted({r["workload"] for r in fig.rows}):
+            sms = run_experiment(
+                workload, PrefetcherConfig.dedicated(1024, 11), scale=scale
+            )
+            pv = run_experiment(
+                workload, PrefetcherConfig.virtualized(8), scale=scale
+            )
+            offchip[workload] = {
+                "SMS-1K": sms.offchip_transfers,
+                "PV8": pv.offchip_transfers,
+            }
+        return {"scale": asdict(scale), "rows": fig.rows, "offchip": offchip}
+
+    golden, actual = _resolve("figure9", payload, update_golden)
+    _assert_rows_match(actual["rows"], golden["rows"])
+    assert actual["offchip"] == golden["offchip"]
+
+    # Speedup-ordering invariants (paper Section 4.4): the big dedicated
+    # table beats the small ones on average, and the virtualized PV-8
+    # design tracks SMS-1K far more closely than SMS-8 does.
+    def mean_speedup(config):
+        values = [r["speedup"] for r in actual["rows"] if r["config"] == config]
+        assert values, f"no rows for {config}"
+        return sum(values) / len(values)
+
+    sms1k, sms8, pv8 = map(mean_speedup, ["1K-11a", "8-11a", "PV8"])
+    assert sms1k > sms8
+    assert pv8 > sms8
+    assert abs(sms1k - pv8) < (sms1k - sms8)
+
+    # Off-chip traffic direction: virtualization adds traffic — PV-8 never
+    # moves fewer blocks off chip than the dedicated reference.
+    for workload, row in actual["offchip"].items():
+        assert row["PV8"] >= row["SMS-1K"], workload

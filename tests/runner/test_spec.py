@@ -1,0 +1,174 @@
+"""Property tests for ExperimentSpec identity and SimResult serialization."""
+
+import json
+import random
+from itertools import product
+
+import pytest
+
+from repro.runner.serialize import (
+    ResultSchemaError,
+    canonical_result_json,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.runner.spec import SPEC_SCHEMA, ExperimentScale, ExperimentSpec
+from repro.sim.config import PrefetcherConfig
+from repro.sim.metrics import SimResult
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the dev image
+    HAVE_HYPOTHESIS = False
+
+SMALL = ExperimentScale(refs_per_core=800, warmup_refs=400, window_refs=200)
+
+
+def _shuffled(mapping, seed):
+    """The same mapping rebuilt with a different key insertion order."""
+    rng = random.Random(seed)
+    items = list(mapping.items())
+    rng.shuffle(items)
+    return {
+        k: _shuffled(v, seed + 1) if isinstance(v, dict) else v
+        for k, v in items
+    }
+
+
+class TestSpecIdentity:
+    def test_key_is_stable_text(self):
+        spec = ExperimentSpec.build("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        assert spec.key == spec.key
+        assert len(spec.key) == 64
+        int(spec.key, 16)  # hex digest
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_hash_independent_of_field_ordering(self, seed):
+        spec = ExperimentSpec.build(
+            "Oracle", PrefetcherConfig.virtualized(8), scale=SMALL,
+            l2_size=2 * 1024**2, pv_aware=True, seed=7,
+        )
+        reordered = ExperimentSpec.from_dict(_shuffled(spec.to_dict(), seed))
+        assert reordered == spec
+        assert reordered.key == spec.key
+
+    def test_json_round_trip(self):
+        spec = ExperimentSpec.build(
+            "Apache", PrefetcherConfig.dedicated(16, 11), scale=SMALL,
+            l2_tag_latency=8, l2_data_latency=16,
+        )
+        back = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec and back.key == spec.key
+
+    def test_schema_version_participates_in_hash(self):
+        spec = ExperimentSpec.build("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        assert f'"schema":{SPEC_SCHEMA}' in spec.canonical_json()
+
+    def test_foreign_schema_rejected(self):
+        spec = ExperimentSpec.build("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        d = spec.to_dict()
+        d["schema"] = SPEC_SCHEMA + 1
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict(d)
+
+    def test_unknown_field_rejected(self):
+        spec = ExperimentSpec.build("Qry1", PrefetcherConfig.none(), scale=SMALL)
+        d = spec.to_dict()
+        d["turbo"] = True
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict(d)
+
+    def test_collision_free_across_spec_lattice(self):
+        """Every point of a mixed design-space lattice gets a distinct key."""
+        configs = [
+            PrefetcherConfig.none(),
+            PrefetcherConfig.infinite(),
+            PrefetcherConfig.dedicated(16, 11),
+            PrefetcherConfig.dedicated(1024, 11),
+            PrefetcherConfig.virtualized(8),
+            PrefetcherConfig.virtualized(16),
+        ]
+        scales = [SMALL, ExperimentScale(1600, 800, 400)]
+        lattice = [
+            ExperimentSpec.build(
+                w, c, scale=s, l2_size=l2, pv_aware=pv, seed=seed
+            )
+            for w, c, s in product(["Qry1", "Zeus"], configs, scales)
+            for l2 in (None, 2 * 1024**2)
+            for pv in (False, True)
+            for seed in (1, 2)
+        ]
+        keys = [spec.key for spec in lattice]
+        assert len(set(keys)) == len(keys) == len(lattice)
+
+
+_FLOATS = None
+if HAVE_HYPOTHESIS:
+    _FLOATS = st.floats(
+        allow_nan=False, allow_infinity=False, width=64,
+        min_value=-1e12, max_value=1e12,
+    )
+
+    def _result_strategy():
+        ints = st.integers(min_value=0, max_value=2**40)
+        return st.builds(
+            SimResult,
+            workload=st.sampled_from(["Qry1", "Apache", "Oracle"]),
+            config_label=st.sampled_from(["NoPF", "1K-11a", "PV8"]),
+            n_cores=st.integers(min_value=1, max_value=8),
+            refs=ints,
+            covered=ints,
+            uncovered=ints,
+            overpredictions=ints,
+            l2_requests=ints,
+            l2_pv_requests=ints,
+            offchip_reads=ints,
+            offchip_pv_reads=ints,
+            pv_l2_fill_rate=_FLOATS,
+            pvcache_hit_rate=_FLOATS,
+            instructions=ints,
+            elapsed_cycles=_FLOATS,
+            per_core_cycles=st.lists(_FLOATS, max_size=4),
+            window_ipcs=st.lists(_FLOATS, max_size=8),
+            extra=st.dictionaries(
+                st.text(min_size=1, max_size=12), _FLOATS, max_size=4
+            ),
+        )
+
+    class TestResultRoundTripProperties:
+        @settings(max_examples=60, deadline=None)
+        @given(result=_result_strategy())
+        def test_json_round_trip_preserves_everything(self, result):
+            payload = json.loads(json.dumps(result_to_dict(result)))
+            back = result_from_dict(payload)
+            assert back == result
+            assert canonical_result_json(back) == canonical_result_json(result)
+
+
+class TestResultRoundTrip:
+    def test_real_simulation_round_trips(self):
+        """A real result — nested cache/PVProxy stats included — survives JSON."""
+        spec = ExperimentSpec.build(
+            "Qry1", PrefetcherConfig.virtualized(8), scale=SMALL
+        )
+        result = spec.execute()
+        assert result.window_ipcs and result.per_core_cycles  # nested payloads
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        back = result_from_dict(payload)
+        assert back == result
+        assert back.summary() == result.summary()
+
+    def test_missing_field_rejected(self):
+        payload = result_to_dict(SimResult("Qry1", "NoPF", 4, 100))
+        payload.pop("covered")
+        with pytest.raises(ResultSchemaError):
+            result_from_dict(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = result_to_dict(SimResult("Qry1", "NoPF", 4, 100))
+        payload["bogus"] = 1
+        with pytest.raises(ResultSchemaError):
+            result_from_dict(payload)

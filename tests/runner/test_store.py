@@ -1,0 +1,124 @@
+"""The persistent result store: round-trips, versioning, atomicity."""
+
+import json
+
+import pytest
+
+from repro.runner.serialize import canonical_result_json, result_to_dict
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.store import STORE_SCHEMA, ResultStore
+from repro.sim.config import PrefetcherConfig
+from repro.sim.metrics import SimResult
+
+SMALL = ExperimentScale(refs_per_core=800, warmup_refs=400, window_refs=200)
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec.build("Qry1", PrefetcherConfig.none(), scale=SMALL)
+
+
+@pytest.fixture
+def result():
+    return SimResult(
+        "Qry1", "NoPF", 4, 800,
+        covered=10, uncovered=30, l2_requests=123,
+        instructions=3200, elapsed_cycles=1234.5,
+        window_ipcs=[1.0, 2.5], extra={"note": 1.0},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store, spec, result):
+        assert store.get(spec) is None
+        assert spec not in store
+        store.put(spec, result)
+        assert spec in store
+        loaded = store.get(spec)
+        assert loaded == result
+        assert canonical_result_json(loaded) == canonical_result_json(result)
+
+    def test_sharded_layout(self, store, spec, result):
+        path = store.put(spec, result)
+        assert path == store.path_for(spec.key)
+        assert path.parent.name == spec.key[:2]
+        assert list(store.keys()) == [spec.key]
+        assert len(store) == 1
+
+    def test_envelope_records_spec_and_schema(self, store, spec, result):
+        path = store.put(spec, result)
+        envelope = json.loads(path.read_text())
+        assert envelope["store_schema"] == STORE_SCHEMA
+        assert envelope["key"] == spec.key
+        assert ExperimentSpec.from_dict(envelope["spec"]) == spec
+        assert envelope["result"] == result_to_dict(result)
+
+    def test_no_temp_files_left_behind(self, store, spec, result):
+        store.put(spec, result)
+        leftovers = [p for p in store.root.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss(self, store, spec, result):
+        path = store.put(spec, result)
+        path.write_text("{not json")
+        assert store.get(spec) is None
+
+    def test_foreign_schema_is_a_miss(self, store, spec, result):
+        path = store.put(spec, result)
+        envelope = json.loads(path.read_text())
+        envelope["store_schema"] = STORE_SCHEMA + 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(spec) is None
+
+    def test_key_mismatch_is_a_miss(self, store, spec, result):
+        path = store.put(spec, result)
+        envelope = json.loads(path.read_text())
+        envelope["key"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+        assert store.get(spec) is None
+
+    def test_result_schema_drift_is_a_miss(self, store, spec, result):
+        path = store.put(spec, result)
+        envelope = json.loads(path.read_text())
+        envelope["result"].pop("covered")
+        path.write_text(json.dumps(envelope))
+        assert store.get(spec) is None
+
+    def test_missing_root_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "nope")
+        assert len(store) == 0
+        assert list(store.keys()) == []
+        assert store.clear() == 0
+
+
+class TestLoadOrCompute:
+    def test_computes_once_then_loads(self, store, spec, result):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return result
+
+        first = store.load_or_compute(spec, compute=compute)
+        second = store.load_or_compute(spec, compute=compute)
+        assert len(calls) == 1
+        assert first == result and second == result
+
+    def test_clear_forces_recompute(self, store, spec, result):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return result
+
+        store.load_or_compute(spec, compute=compute)
+        assert store.clear() == 1
+        store.load_or_compute(spec, compute=compute)
+        assert len(calls) == 2

@@ -1,0 +1,129 @@
+"""SweepRunner: parallel determinism, cache merge, store interplay."""
+
+from itertools import product
+
+import pytest
+
+from repro.runner.serialize import canonical_result_json
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.store import ResultStore
+from repro.runner.sweep import SweepRunner
+from repro.sim import experiment
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import clear_cache, run_experiment
+
+TINY = ExperimentScale(refs_per_core=600, warmup_refs=300, window_refs=200)
+
+#: All four paper prefetcher modes, mixed over two workloads.
+MIXED_SPECS = [
+    ExperimentSpec.build(workload, config, scale=TINY)
+    for workload, config in product(
+        ["Qry1", "Apache"],
+        [
+            PrefetcherConfig.none(),
+            PrefetcherConfig.dedicated(16, 11),
+            PrefetcherConfig.infinite(),
+            PrefetcherConfig.virtualized(8),
+        ],
+    )
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestDeterminismUnderParallelism:
+    def test_parallel_matches_serial_run_experiment_byte_for_byte(self):
+        serial = [
+            run_experiment(
+                spec.workload, spec.prefetcher, scale=spec.scale, use_cache=False
+            )
+            for spec in MIXED_SPECS
+        ]
+        clear_cache()
+        parallel = SweepRunner(jobs=4).run(MIXED_SPECS)
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert canonical_result_json(p) == canonical_result_json(s)
+
+    def test_store_round_trip_preserves_equality(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        computed = SweepRunner(jobs=4, store=store).run(MIXED_SPECS)
+        for spec, result in zip(MIXED_SPECS, computed):
+            reloaded = store.get(spec)
+            assert reloaded == result
+            assert canonical_result_json(reloaded) == canonical_result_json(result)
+
+    def test_results_aligned_with_input_order(self):
+        results = SweepRunner(jobs=4).run(MIXED_SPECS)
+        for spec, result in zip(MIXED_SPECS, results):
+            assert result.workload == spec.workload
+            assert result.config_label == spec.prefetcher.label
+
+
+class TestCacheMerge:
+    def test_sweep_warms_run_experiment(self):
+        specs = MIXED_SPECS[:2]
+        SweepRunner(jobs=2).run(specs)
+        assert experiment.cache_size() == 2
+        for spec in specs:
+            cached = run_experiment(spec.workload, spec.prefetcher, scale=spec.scale)
+            assert cached is experiment.cache_get(spec.key)
+
+    def test_clear_cache_empties_store_path_results(self, tmp_path):
+        """Satellite fix: results merged via the store path honor clear_cache."""
+        store = ResultStore(tmp_path / "store")
+        SweepRunner(jobs=1, store=store).run(MIXED_SPECS[:1])
+        assert experiment.cache_size() == 1
+        clear_cache()
+        assert experiment.cache_size() == 0
+        # And the store-backed run_experiment path repopulates the same cache.
+        run_experiment(
+            MIXED_SPECS[0].workload, MIXED_SPECS[0].prefetcher,
+            scale=MIXED_SPECS[0].scale, store=store,
+        )
+        assert experiment.cache_size() == 1
+        clear_cache()
+        assert experiment.cache_size() == 0
+
+    def test_duplicates_resolved_once(self):
+        seen = []
+        runner = SweepRunner(jobs=1, observer=lambda p: seen.append(p))
+        spec = MIXED_SPECS[0]
+        results = runner.run([spec, spec, spec])
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        # One unique spec -> one simulation, one notification.
+        assert [(p.done, p.total, p.source) for p in seen] == [(1, 1, "computed")]
+        assert experiment.cache_size() == 1
+
+
+class TestSources:
+    def test_observer_reports_cache_store_computed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = MIXED_SPECS[0]
+
+        sources = []
+        runner = SweepRunner(
+            jobs=1, store=store, observer=lambda p: sources.append(p.source)
+        )
+        runner.run([spec])            # cold: simulated
+        clear_cache()
+        runner.run([spec])            # warm store, cold cache: loaded
+        runner.run([spec])            # warm cache
+        assert sources == ["computed", "store", "cache"]
+
+    def test_progress_counts_monotone(self):
+        seen = []
+        SweepRunner(jobs=2, observer=lambda p: seen.append((p.done, p.total))).run(
+            MIXED_SPECS[:3]
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)

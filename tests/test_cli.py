@@ -3,6 +3,19 @@
 import pytest
 
 from repro.cli import FIGURE_COMMANDS, PREFETCHERS, build_parser, main
+from repro.runner import context as runner_context
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_context():
+    """Isolate each CLI test's runner, then restore the session runner."""
+    from repro.sim.experiment import clear_cache
+
+    previous = runner_context.active_runner()
+    runner_context.reset()
+    clear_cache()
+    yield
+    runner_context.set_runner(previous)
 
 
 class TestParser:
@@ -26,6 +39,20 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
+
+    def test_sweep_command(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "Qry1", "--configs", "none,pv8",
+             "--jobs", "2", "--store", "/tmp/s", "--refs", "100"]
+        )
+        assert args.command == "sweep"
+        assert args.jobs == 2 and args.store == "/tmp/s"
+
+    def test_figures_accept_runner_flags(self):
+        args = build_parser().parse_args(
+            ["figure9", "--jobs", "3", "--store", "/tmp/s"]
+        )
+        assert args.jobs == 3 and args.store == "/tmp/s"
 
     def test_prefetcher_choices_cover_paper_configs(self):
         assert {"none", "sms-1k", "sms-16", "sms-8", "pv8", "pv16"} <= set(
@@ -71,3 +98,21 @@ class TestExecution:
         main(["trace-stats", "Qry1", "--refs", "500"])
         out = capsys.readouterr().out
         assert "unique_blocks" in out
+
+    def test_sweep_cold_then_warm_store(self, capsys, tmp_path):
+        from repro.sim.experiment import clear_cache
+
+        argv = ["sweep", "--workloads", "Qry1", "--configs", "none,pv8",
+                "--refs", "600", "--warmup", "300", "--jobs", "2",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "computed" in cold and "PV8" in cold
+        clear_cache()
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "store" in warm and "computed" not in warm
+
+    def test_sweep_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--configs", "warp-drive", "--refs", "100"])
