@@ -39,6 +39,7 @@ from repro.prefetch import DedicatedPHT, InfinitePHT, SMSPrefetcher
 from repro.runner import ExperimentSpec, ResultStore, SweepRunner
 from repro.sim import (
     CMPSimulator,
+    EngineConfig,
     ExperimentScale,
     PrefetcherConfig,
     SimResult,
@@ -52,6 +53,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CMPSimulator",
     "DedicatedPHT",
+    "EngineConfig",
     "ExperimentScale",
     "ExperimentSpec",
     "InfinitePHT",

@@ -5,6 +5,9 @@ Commands mirror the deliverables:
 * ``table1`` / ``table2`` / ``table3`` / ``budget`` — the paper's tables;
 * ``figure4`` ... ``figure11`` / ``fill-rate``     — the evaluation figures
   (optionally as ASCII bar charts with ``--chart``);
+* ``generality``                                    — the Section 6 study:
+  BTB and last-value predictors, dedicated vs virtualized (including the
+  shared-PV-space configuration);
 * ``run``                                           — one simulation with a
   chosen workload and prefetcher configuration;
 * ``sweep``                                         — resolve a workload x
@@ -25,10 +28,11 @@ from typing import List, Optional
 
 from repro.analysis import figures as _figures
 from repro.analysis.charts import render_default_chart
+from repro.analysis.generality import generality as _generality
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
 from repro.runner import ExperimentSpec, context as _runner_context
-from repro.sim.config import PrefetcherConfig
+from repro.sim.config import EngineConfig, PrefetcherConfig
 from repro.sim.experiment import ExperimentScale
 from repro.sim.simulator import CMPSimulator
 from repro.workloads.registry import get_workload, workload_names
@@ -43,6 +47,7 @@ FIGURE_COMMANDS = {
     "figure10": _figures.figure10,
     "figure11": _figures.figure11,
     "fill-rate": _figures.pv_l2_fill_rates,
+    "generality": _generality,
 }
 
 PREFETCHERS = {
@@ -54,6 +59,14 @@ PREFETCHERS = {
     "pv8": lambda: PrefetcherConfig.virtualized(8),
     "pv16": lambda: PrefetcherConfig.virtualized(16),
     "stride": PrefetcherConfig.stride,
+    "btb": lambda: PrefetcherConfig.none().with_engines(EngineConfig.btb()),
+    "btb-pv": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.btb("virtualized")),
+    "lvp": lambda: PrefetcherConfig.none().with_engines(EngineConfig.lvp()),
+    "lvp-pv": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.lvp("virtualized")),
+    "shared-pv": lambda: PrefetcherConfig.virtualized(8).with_engines(
+        EngineConfig.btb("virtualized"), EngineConfig.lvp("virtualized")),
 }
 
 

@@ -68,6 +68,7 @@ class PVProxyStats:
     writebacks: int = 0
     dropped_lookups: int = 0
     dropped_stores: int = 0
+    buffered_stores: int = 0
     coalesced: int = 0
     reported_misses: int = 0
     software_invalidations: int = 0
@@ -146,7 +147,9 @@ class PVProxy:
         self.mshr = MSHRFile(self.config.mshr_entries, name=f"pvproxy{core}")
         self.stats = PVProxyStats()
         self.pattern_buffer_peak = 0
-        self._pattern_buffer_busy = 0
+        # Release cycles of store operands waiting for their set's fetch to
+        # complete; occupancy is the number of not-yet-released operands.
+        self._pattern_buffer: list = []
         hierarchy.pv_eviction_listeners.append(self._on_l2_pv_eviction)
 
     # -------------------------------------------------------------- engine API
@@ -180,29 +183,53 @@ class PVProxy:
         return LookupResult(None, False, ready, pvcache_hit=False)
 
     def store(self, index: int, value: Any, now: int = 0) -> None:
-        """Install ``value`` at ``index`` (Section 2.2, operation 1)."""
+        """Install ``value`` at ``index`` (Section 2.2, operation 1).
+
+        A store whose target set is not ready on chip (the set is still
+        being fetched, or a fetch must be issued now) parks its operand in
+        the pattern buffer until the fetch completes, so occupancy tracks
+        *outstanding* fetches rather than the synchronous call: with the
+        Section 4.6 budget of 16 entries, a burst of stores against
+        in-flight sets fills the buffer and further stores are dropped.
+        """
         self.stats.stores += 1
         self._drain(now)
         set_index, tag = self.geometry.split(index)
         entry = self.pvcache.get(set_index)
-        if entry is None:
-            self.stats.pvcache_misses += 1
-            if self._pattern_buffer_busy >= self.config.pattern_buffer_entries:
-                self.stats.dropped_stores += 1
-                return
-            self._pattern_buffer_busy += 1
-            self.pattern_buffer_peak = max(
-                self.pattern_buffer_peak, self._pattern_buffer_busy
-            )
-            entry, _ = self._fetch_set(set_index, now)
-            self._pattern_buffer_busy -= 1
-            if entry is None:
+        if entry is not None:
+            self.stats.pvcache_hits += 1
+            if entry.ready_at > now and not self._buffer_operand(entry.ready_at):
                 self.stats.dropped_stores += 1
                 return
         else:
-            self.stats.pvcache_hits += 1
+            self.stats.pvcache_misses += 1
+            if len(self._pattern_buffer) >= self.config.pattern_buffer_entries:
+                self.stats.dropped_stores += 1
+                return
+            entry, ready = self._fetch_set(set_index, now)
+            if entry is None:
+                self.stats.dropped_stores += 1
+                return
+            if ready > now:
+                self._buffer_operand(ready)
         self._insert_way(entry, tag, value)
         entry.dirty = True
+
+    def _buffer_operand(self, release_at: int) -> bool:
+        """Park one store operand until ``release_at``; False if full."""
+        if len(self._pattern_buffer) >= self.config.pattern_buffer_entries:
+            return False
+        self._pattern_buffer.append(release_at)
+        self.stats.buffered_stores += 1
+        self.pattern_buffer_peak = max(
+            self.pattern_buffer_peak, len(self._pattern_buffer)
+        )
+        return True
+
+    @property
+    def pattern_buffer_occupancy(self) -> int:
+        """Store operands currently waiting on outstanding fetches."""
+        return len(self._pattern_buffer)
 
     # ----------------------------------------------------------- way handling
 
@@ -271,6 +298,10 @@ class PVProxy:
 
     def _drain(self, now: int) -> None:
         self.mshr.retire_ready(now)
+        if self._pattern_buffer:
+            self._pattern_buffer = [
+                t for t in self._pattern_buffer if t > now
+            ]
 
     # --------------------------------------------- software-visible updates
 
@@ -310,3 +341,4 @@ class PVProxy:
         for entry in self.pvcache.entries():
             self._write_back(entry)
         self.pvcache.clear()
+        self._pattern_buffer.clear()

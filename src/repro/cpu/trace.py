@@ -5,16 +5,25 @@ the referencing instruction, the effective byte address, a write flag, and
 ``gap`` — the number of non-memory instructions committed since the
 previous record (so total committed instructions = sum(gap + 1)).
 
+Records may additionally carry **predictor-engine events**: the resolved
+branch that led control to this record (``branch_pc``/``branch_target``)
+and, for loads, the value the load returns (``load_value``).  These feed
+the BTB and last-value-predictor engines of the generality study
+(Section 6); they default to ``None`` so plain memory traces are
+unaffected.
+
 Traces normally come straight from the synthetic workload generators, but
 :class:`TraceWriter`/:class:`TraceReader` serialize them to a compact
-binary format so expensive generations can be captured and replayed.
+binary format so expensive generations can be captured and replayed.  The
+binary format (v1) carries only the memory-reference fields; engine-event
+annotations are recomputed by the generator, not serialized.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, NamedTuple
+from typing import BinaryIO, Iterable, Iterator, NamedTuple, Optional
 
 _RECORD = struct.Struct("<QQHB")  # pc, addr, gap, flags
 _MAGIC = b"PVTR"
@@ -22,12 +31,15 @@ _VERSION = 1
 
 
 class TraceRecord(NamedTuple):
-    """One memory reference."""
+    """One memory reference, optionally annotated with engine events."""
 
     pc: int
     addr: int
     write: bool
     gap: int  # non-memory instructions since the previous record
+    branch_pc: Optional[int] = None      # resolved branch site, if any
+    branch_target: Optional[int] = None  # its resolved target
+    load_value: Optional[int] = None     # value returned (loads only)
 
     @property
     def instructions(self) -> int:

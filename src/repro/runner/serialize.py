@@ -1,10 +1,11 @@
 """JSON (de)serialization of :class:`~repro.sim.metrics.SimResult`.
 
 The store and the multiprocessing sweep both move results as plain dicts:
-every field of the dataclass, nothing else.  Deserialization is strict —
-missing or unknown fields raise — so a schema drift between writer and
-reader surfaces as a versioned store miss instead of a half-populated
-result.
+every field of the dataclass, nothing else — including the nested
+``engine_stats`` mapping carrying per-engine (BTB/LVP) counters for the
+generality scenarios.  Deserialization is strict — missing or unknown
+fields raise — so a schema drift between writer and reader surfaces as a
+versioned store miss instead of a half-populated result.
 """
 
 from __future__ import annotations

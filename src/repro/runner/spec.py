@@ -27,7 +27,8 @@ from repro.sim.config import PrefetcherConfig, SystemConfig
 
 #: Bump whenever the meaning of a spec field changes: every key (and hence
 #: every store entry) derived from the old schema is invalidated at once.
-SPEC_SCHEMA = 1
+#: 2: PrefetcherConfig grew ``engines`` (multi-predictor generality study).
+SPEC_SCHEMA = 2
 
 
 @dataclass(frozen=True)

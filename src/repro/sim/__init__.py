@@ -7,7 +7,7 @@ counter the paper's figures consume.  :mod:`repro.sim.experiment` adds a
 cached runner so the figure drivers share simulations.
 """
 
-from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.config import EngineConfig, PrefetcherConfig, SystemConfig
 from repro.sim.experiment import (
     ExperimentScale,
     ExperimentSpec,
@@ -19,6 +19,7 @@ from repro.sim.sampling import MatchedPair, SampleStats, confidence_interval, ma
 from repro.sim.simulator import CMPSimulator
 
 __all__ = [
+    "EngineConfig",
     "CMPSimulator",
     "ExperimentScale",
     "ExperimentSpec",

@@ -5,16 +5,87 @@ parameters tuned by the original SMS study, and the PV sizing of
 Section 4.6.  :class:`PrefetcherConfig` names the predictor configurations
 the figures compare: no prefetching, SMS with a dedicated PHT of a given
 geometry, SMS with an infinite PHT, and SMS with a virtualized PHT.
+
+Beyond the SMS PHT, a configuration can attach additional predictor
+**engines** per core (:class:`EngineConfig`) — the branch-target buffer
+and last-value predictor of the Section 6 generality study — each running
+over a dedicated, infinite or virtualized table.  When several engines
+(and/or the SMS PHT) are virtualized at once, their PVTables coexist in
+the reserved physical-memory region behind per-engine PVProxies: the
+shared-PV-space configuration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.pvproxy import PVProxyConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.prefetch.sms import SMSConfig
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One additional predictor engine attached to every core.
+
+    ``kind`` names an engine class in the :mod:`repro.sim.engines`
+    registry (built in: ``"btb"``, ``"lvp"``); ``table`` selects how its
+    predictor table is realised:
+
+    * ``"dedicated"``   — conventional on-chip set-associative table;
+    * ``"infinite"``    — unbounded table (potential ceiling);
+    * ``"virtualized"`` — PVTable in reserved memory behind a PVProxy
+      with ``pvcache_entries`` sets on chip.
+
+    ``n_sets``/``assoc`` of 0 mean "the engine kind's default geometry".
+    ``threshold`` is the confidence gate for the last-value predictor
+    (ignored by engines without one).
+    """
+
+    kind: str
+    table: str = "dedicated"
+    n_sets: int = 0
+    assoc: int = 0
+    pvcache_entries: int = 8
+    report_miss_on_fetch: bool = False
+    threshold: int = 2
+
+    _TABLES = ("dedicated", "infinite", "virtualized")
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError("engine kind must be a non-empty string")
+        if self.table not in self._TABLES:
+            raise ValueError(
+                f"engine table must be one of {self._TABLES}, got {self.table!r}"
+            )
+        if self.n_sets < 0 or (self.n_sets and self.n_sets & (self.n_sets - 1)):
+            raise ValueError("n_sets must be 0 (default) or a power of two")
+        if self.assoc < 0:
+            raise ValueError("assoc must be 0 (default) or positive")
+
+    @property
+    def label(self) -> str:
+        """Short suffix used inside a :attr:`PrefetcherConfig.label`."""
+        name = self.kind.upper()
+        if self.n_sets:
+            name += f"{self.n_sets}x{self.assoc}" if self.assoc else f"{self.n_sets}"
+        if self.table == "virtualized":
+            return f"{name}pv{self.pvcache_entries}"
+        if self.table == "infinite":
+            return f"{name}inf"
+        return name
+
+    @classmethod
+    def btb(cls, table: str = "dedicated", **kw) -> "EngineConfig":
+        """A branch-target buffer engine."""
+        return cls(kind="btb", table=table, **kw)
+
+    @classmethod
+    def lvp(cls, table: str = "dedicated", **kw) -> "EngineConfig":
+        """A last-value load-predictor engine."""
+        return cls(kind="lvp", table=table, **kw)
 
 
 @dataclass(frozen=True)
@@ -40,6 +111,7 @@ class PrefetcherConfig:
     report_miss_on_fetch: bool = False
     stride_entries: int = 256
     stride_degree: int = 2
+    engines: Tuple[EngineConfig, ...] = ()
 
     _MODES = ("none", "dedicated", "infinite", "virtualized", "stride")
 
@@ -48,10 +120,19 @@ class PrefetcherConfig:
             raise ValueError(f"mode must be one of {self._MODES}, got {self.mode!r}")
         if self.pht_sets <= 0 or self.pht_sets & (self.pht_sets - 1):
             raise ValueError("pht_sets must be a power of two")
+        # Accept dicts/lists (spec round-trip) and normalize to a tuple.
+        engines = tuple(
+            e if isinstance(e, EngineConfig) else EngineConfig(**e)
+            for e in self.engines
+        )
+        kinds = [e.kind for e in engines]
+        if len(set(kinds)) != len(kinds):
+            raise ValueError(f"duplicate engine kinds: {kinds}")
+        object.__setattr__(self, "engines", engines)
 
     @property
-    def label(self) -> str:
-        """Paper-style bar label."""
+    def base_label(self) -> str:
+        """Paper-style bar label of the SMS/stride part alone."""
         if self.mode == "none":
             return "NoPF"
         if self.mode == "infinite":
@@ -64,6 +145,14 @@ class PrefetcherConfig:
         if self.mode == "dedicated":
             return f"{sets}-{self.pht_assoc}a"
         return f"PV{self.pvcache_entries}"
+
+    @property
+    def label(self) -> str:
+        """Paper-style bar label, with any attached engines appended."""
+        label = self.base_label
+        for engine in self.engines:
+            label += f"+{engine.label}"
+        return label
 
     # -- canned configurations used throughout the evaluation ---------------
 
@@ -92,6 +181,10 @@ class PrefetcherConfig:
     @classmethod
     def stride(cls, entries: int = 256, degree: int = 2) -> "PrefetcherConfig":
         return cls(mode="stride", stride_entries=entries, stride_degree=degree)
+
+    def with_engines(self, *engines: EngineConfig) -> "PrefetcherConfig":
+        """This configuration with additional predictor engines attached."""
+        return replace(self, engines=self.engines + tuple(engines))
 
 
 @dataclass

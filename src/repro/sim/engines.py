@@ -1,0 +1,275 @@
+"""The predictor-engine registry (Section 6 generality study).
+
+The paper argues PV generalizes beyond the SMS PHT to any predictor whose
+engine speaks the two-operation :class:`~repro.core.interface.PredictorTable`
+interface.  This module is the simulator-side half of that claim: a
+registry mapping an engine *kind* ("btb", "lvp", ...) to
+
+* the table geometry the engine wants (index bits, default sets/assoc,
+  payload width) and the PVTable layout used when it is virtualized;
+* a runtime adapter that feeds the engine from annotated trace records
+  (:class:`~repro.cpu.trace.TraceRecord` branch/load-value events) and
+  exposes its counters uniformly.
+
+:func:`build_engine` assembles one engine instance per core from an
+:class:`~repro.sim.config.EngineConfig` — dedicated, infinite or
+virtualized — reusing the same table implementations the SMS PHT uses,
+so a virtualized BTB/LVP automatically shares the reserved PV address
+space and the L2 with every other virtualized predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.core.interface import PredictorTable
+from repro.core.pvproxy import PVProxyConfig
+from repro.core.pvtable import PVTableLayout
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.memory.addr import AddressSpace
+from repro.memory.hierarchy import MemorySystem
+from repro.prefetch.btb import (
+    BTB_INDEX_BITS,
+    BTB_TARGET_BITS,
+    BranchTargetBuffer,
+    BTBStats,
+    btb_layout,
+)
+from repro.prefetch.pht import DedicatedPHT, InfinitePHT
+from repro.prefetch.value import (
+    LVP_CONF_BITS,
+    LVP_INDEX_BITS,
+    LVP_VALUE_BITS,
+    LastValuePredictor,
+    LVPStats,
+    lvp_layout,
+)
+from repro.sim.config import EngineConfig
+
+
+class EngineRuntime:
+    """Uniform simulator adapter around one optimization engine."""
+
+    kind: str = ""
+
+    def __init__(self, table: PredictorTable, config: EngineConfig) -> None:
+        self.table = table
+        self.config = config
+
+    def observe(self, record, now: int) -> None:
+        """Feed one annotated trace record to the engine."""
+        raise NotImplementedError
+
+    def counters(self) -> Dict[str, float]:
+        """Summable raw counters (aggregated across cores)."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        """Zero counters, keep learned table state (warmup boundary)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def derive(agg: Dict[str, float]) -> None:
+        """Add derived rates to an aggregated counter dict, in place."""
+        raise NotImplementedError
+
+    @property
+    def proxy(self):
+        """The PVProxy behind this engine's table, if virtualized."""
+        if isinstance(self.table, VirtualizedPredictorTable):
+            return self.table.proxy
+        return None
+
+
+class BTBRuntime(EngineRuntime):
+    """Branch-target prediction: one predict/update per resolved branch."""
+
+    kind = "btb"
+
+    def __init__(self, table: PredictorTable, config: EngineConfig) -> None:
+        super().__init__(table, config)
+        self.btb = BranchTargetBuffer(table)
+
+    def observe(self, record, now: int) -> None:
+        branch_pc = record.branch_pc
+        if branch_pc is None:
+            return
+        predicted = self.btb.predict(branch_pc, now)
+        self.btb.update(branch_pc, record.branch_target, predicted, now)
+
+    def counters(self) -> Dict[str, float]:
+        s = self.btb.stats
+        return {
+            "lookups": s.lookups,
+            "hits": s.hits,
+            "correct": s.correct,
+            "updates": s.updates,
+        }
+
+    def reset_stats(self) -> None:
+        self.btb.stats = BTBStats()
+
+    @staticmethod
+    def derive(agg: Dict[str, float]) -> None:
+        lookups = agg.get("lookups", 0)
+        agg["hit_rate"] = agg["hits"] / lookups if lookups else 0.0
+        agg["accuracy"] = agg["correct"] / lookups if lookups else 0.0
+
+
+class LVPRuntime(EngineRuntime):
+    """Last-value load prediction: one predict/update per load."""
+
+    kind = "lvp"
+
+    def __init__(self, table: PredictorTable, config: EngineConfig) -> None:
+        super().__init__(table, config)
+        self.lvp = LastValuePredictor(table, threshold=config.threshold)
+
+    def observe(self, record, now: int) -> None:
+        if record.write or record.load_value is None:
+            return
+        predicted = self.lvp.predict(record.pc, now)
+        self.lvp.update(record.pc, record.load_value, predicted, now)
+
+    def counters(self) -> Dict[str, float]:
+        s = self.lvp.stats
+        return {
+            "lookups": s.lookups,
+            "predictions": s.predictions,
+            "correct": s.correct,
+            "updates": s.updates,
+        }
+
+    def reset_stats(self) -> None:
+        self.lvp.stats = LVPStats()
+
+    @staticmethod
+    def derive(agg: Dict[str, float]) -> None:
+        lookups = agg.get("lookups", 0)
+        predictions = agg.get("predictions", 0)
+        agg["coverage"] = predictions / lookups if lookups else 0.0
+        agg["accuracy"] = agg["correct"] / predictions if predictions else 0.0
+
+
+@dataclass(frozen=True)
+class EngineKind:
+    """One registry entry: geometry defaults plus the two factories."""
+
+    kind: str
+    default_sets: int
+    default_assoc: int
+    index_bits: int
+    value_bits: int
+    layout: Callable[..., PVTableLayout]   # (n_sets=..., assoc=...) -> layout
+    runtime: Callable[[PredictorTable, EngineConfig], EngineRuntime]
+
+
+ENGINE_KINDS: Dict[str, EngineKind] = {}
+
+
+def register_engine_kind(spec: EngineKind) -> None:
+    """Add (or replace) an engine kind in the registry."""
+    ENGINE_KINDS[spec.kind] = spec
+
+
+register_engine_kind(EngineKind(
+    kind="btb",
+    default_sets=512,
+    default_assoc=8,
+    index_bits=BTB_INDEX_BITS,
+    value_bits=BTB_TARGET_BITS,
+    layout=btb_layout,
+    runtime=BTBRuntime,
+))
+
+register_engine_kind(EngineKind(
+    kind="lvp",
+    default_sets=256,
+    default_assoc=8,
+    index_bits=LVP_INDEX_BITS,
+    value_bits=LVP_VALUE_BITS + LVP_CONF_BITS,
+    layout=lvp_layout,
+    runtime=LVPRuntime,
+))
+
+
+def build_engine(
+    core: int,
+    config: EngineConfig,
+    hierarchy: MemorySystem,
+    address_space: AddressSpace,
+    pvproxy_defaults: PVProxyConfig,
+) -> EngineRuntime:
+    """Assemble one core's engine instance from its configuration."""
+    try:
+        spec = ENGINE_KINDS[config.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine kind {config.kind!r}; "
+            f"registered: {sorted(ENGINE_KINDS)}"
+        ) from None
+    n_sets = config.n_sets or spec.default_sets
+    assoc = config.assoc or spec.default_assoc
+    if config.table == "dedicated":
+        table: PredictorTable = DedicatedPHT(
+            n_sets=n_sets,
+            assoc=assoc,
+            index_bits=spec.index_bits,
+            pattern_bits=spec.value_bits,
+        )
+    elif config.table == "infinite":
+        table = InfinitePHT()
+    else:  # virtualized: PVTable carved from the shared reserved space
+        layout = spec.layout(n_sets=n_sets, assoc=assoc)
+        proxy_cfg = replace(
+            pvproxy_defaults,
+            pvcache_entries=config.pvcache_entries,
+            report_miss_on_fetch=config.report_miss_on_fetch,
+        )
+        table = VirtualizedPredictorTable.create(
+            core, layout, hierarchy, address_space, proxy_cfg
+        )
+    return spec.runtime(table, config)
+
+
+def aggregate_engine_stats(
+    runtimes: List[EngineRuntime],
+) -> Dict[str, Dict[str, float]]:
+    """Sum per-core engine counters by kind and attach derived rates.
+
+    Virtualized engines additionally report their PVProxy activity
+    (fetches, writebacks, drops, PVCache hit rate) so the generality
+    table can show each predictor class's share of the PV traffic.
+    """
+    by_kind: Dict[str, Dict[str, float]] = {}
+    derive_fns: Dict[str, Callable] = {}
+    proxy_hits: Dict[str, int] = {}
+    proxy_total: Dict[str, int] = {}
+    for runtime in runtimes:
+        agg = by_kind.setdefault(runtime.kind, {})
+        for name, value in runtime.counters().items():
+            agg[name] = agg.get(name, 0) + value
+        derive_fns[runtime.kind] = runtime.derive
+        proxy = runtime.proxy
+        if proxy is not None:
+            s = proxy.stats
+            for name, value in (
+                ("pv_fetches", s.fetches),
+                ("pv_writebacks", s.writebacks),
+                ("pv_dropped", s.dropped_lookups + s.dropped_stores),
+            ):
+                agg[name] = agg.get(name, 0) + value
+            proxy_hits[runtime.kind] = (
+                proxy_hits.get(runtime.kind, 0) + s.pvcache_hits
+            )
+            proxy_total[runtime.kind] = (
+                proxy_total.get(runtime.kind, 0)
+                + s.pvcache_hits + s.pvcache_misses
+            )
+    for kind, agg in by_kind.items():
+        derive_fns[kind](agg)
+        if kind in proxy_total:
+            total = proxy_total[kind]
+            agg["pvcache_hit_rate"] = proxy_hits[kind] / total if total else 0.0
+    return by_kind

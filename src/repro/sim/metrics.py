@@ -57,7 +57,13 @@ class SimResult:
     patterns_stored: int = 0
     pvcache_hit_rate: float = 0.0
     pv_dropped: int = 0
+    pv_pattern_buffer_peak: int = 0
     late_prefetches: int = 0
+
+    # Additional predictor engines (Section 6 generality study): raw
+    # counters and derived rates per engine kind, summed over cores —
+    # e.g. ``{"btb": {"lookups": ..., "hit_rate": ...}}``.
+    engine_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # Timing.
     instructions: int = 0
@@ -153,7 +159,7 @@ class SimResult:
 
     def summary(self) -> Dict[str, float]:
         """Compact numeric digest (used by examples and reports)."""
-        return {
+        digest = {
             "coverage": round(self.coverage, 4),
             "uncovered": round(self.uncovered_fraction, 4),
             "overprediction": round(self.overprediction_rate, 4),
@@ -162,3 +168,8 @@ class SimResult:
             "offchip": self.offchip_transfers,
             "pv_l2_fill_rate": round(self.pv_l2_fill_rate, 4),
         }
+        for kind, stats in self.engine_stats.items():
+            for rate in ("hit_rate", "accuracy", "coverage"):
+                if rate in stats:
+                    digest[f"{kind}_{rate}"] = round(stats[rate], 4)
+        return digest

@@ -6,6 +6,14 @@ main memory — plus the configuration under study: no data prefetching, SMS
 with a dedicated PHT, SMS with an infinite PHT, or SMS with a virtualized
 PHT (PVProxy per core, PVTable in reserved physical memory, Section 3.2).
 
+Beyond the SMS/stride data prefetchers, any set of additional predictor
+engines (:class:`~repro.sim.config.EngineConfig` — the BTB and last-value
+predictor of the Section 6 generality study) attaches per core through the
+:mod:`repro.sim.engines` registry, fed from the branch/load-value events
+the workload generator annotates onto every trace record.  Virtualized
+engines reserve their PVTables from the same address space as the SMS
+PHT, so multi-predictor configurations share the PV space and the L2.
+
 The same run produces both functional counters (coverage, traffic) and
 timing (aggregate IPC): timing is an analytic accumulation over the same
 event stream, so "functional" figures simply ignore the cycle outputs.
@@ -28,6 +36,7 @@ from repro.core.pvproxy import PVProxyStats
 from repro.core.pvtable import PVTable
 from repro.core.virtualized import VirtualizedPredictorTable
 from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.engines import EngineRuntime, aggregate_engine_stats, build_engine
 from repro.sim.metrics import SimResult
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.generator import WorkloadGenerator
@@ -35,6 +44,9 @@ from repro.workloads.generator import WorkloadGenerator
 
 class CMPSimulator:
     """Runs one (workload, prefetcher configuration) pair on the CMP."""
+
+    #: In-flight prefetch map size above which stale arrivals are retired.
+    PENDING_SWEEP_THRESHOLD = 65536
 
     def __init__(
         self,
@@ -73,7 +85,10 @@ class CMPSimulator:
         self.phts: List[object] = []
         self.sms: List[Optional[SMSPrefetcher]] = []
         self.stride: List[Optional[StridePrefetcher]] = []
+        # Additional predictor engines (BTB/LVP, Section 6), per core.
+        self.engines: List[List[EngineRuntime]] = []
         self._build_prefetchers()
+        self._build_engines()
         # In-flight prefetch arrival times, per core, block address -> cycle.
         self._pending: List[Dict[int, float]] = [dict() for _ in range(n_cores)]
         self._last_iblock = [-1] * n_cores
@@ -125,6 +140,17 @@ class CMPSimulator:
             self.hierarchy.l1d[core].eviction_listeners.append(
                 self._make_eviction_listener(engine)
             )
+
+    def _build_engines(self) -> None:
+        cfg = self.system
+        for core in range(cfg.hierarchy.n_cores):
+            self.engines.append([
+                build_engine(
+                    core, engine_cfg, self.hierarchy,
+                    self.address_space, cfg.pvproxy,
+                )
+                for engine_cfg in self.prefetcher.engines
+            ])
 
     @staticmethod
     def _make_eviction_listener(engine: SMSPrefetcher):
@@ -218,6 +244,9 @@ class CMPSimulator:
         latency, _ = hierarchy.access(i, rec.addr, write=rec.write)
         core.advance(rec.instructions)
         core.memory_access(latency)
+        # Cycle count once the demand access has retired; prefetches that
+        # this access triggers cannot be in flight earlier than this.
+        post_access = core.cycles
 
         # Train SMS and issue any predicted prefetches.
         engine = self.sms[i]
@@ -227,14 +256,21 @@ class CMPSimulator:
                 fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
                 if served is not None:
                     pending[block_addr] = ready_at + fill_latency
-            if len(pending) > 65536:
-                self._sweep_pending(pending, core.cycles)
         stride = self.stride[i]
         if stride is not None:
             for block_addr in stride.on_access(rec.pc, rec.addr):
                 fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
                 if served is not None:
-                    pending[block_addr] = now + 1 + fill_latency
+                    pending[block_addr] = post_access + 1 + fill_latency
+
+        # Additional predictor engines (BTB/LVP) observe the same stream.
+        for runtime in self.engines[i]:
+            runtime.observe(rec, int(post_access))
+
+        # Bound the in-flight map for every prefetching configuration
+        # (stride included): retire arrivals that have long since landed.
+        if len(pending) > self.PENDING_SWEEP_THRESHOLD:
+            self._sweep_pending(pending, core.cycles)
 
     @staticmethod
     def _sweep_pending(pending: Dict[int, float], now: float) -> None:
@@ -262,9 +298,23 @@ class CMPSimulator:
             if pht is None:
                 continue
             if isinstance(pht, VirtualizedPredictorTable):
-                pht.proxy.stats = PVProxyStats()
+                self._reset_proxy_stats(pht.proxy)
             else:
                 pht.stats.__init__()
+        for runtime in self._engine_runtimes():
+            runtime.reset_stats()
+            if runtime.proxy is not None:
+                self._reset_proxy_stats(runtime.proxy)
+
+    @staticmethod
+    def _reset_proxy_stats(proxy) -> None:
+        proxy.stats = PVProxyStats()
+        # Operands still parked at the warmup boundary are the measurement
+        # window's starting occupancy, not zero.
+        proxy.pattern_buffer_peak = proxy.pattern_buffer_occupancy
+
+    def _engine_runtimes(self) -> List[EngineRuntime]:
+        return [runtime for per_core in self.engines for runtime in per_core]
 
     def _collect(self, refs: int, offsets, window_ipcs: List[float]) -> SimResult:
         h = self.hierarchy
@@ -314,14 +364,22 @@ class CMPSimulator:
         for stride in self.stride:
             if stride is not None:
                 result.prefetches_issued += stride.stats.issued
+        runtimes = self._engine_runtimes()
+        result.engine_stats = aggregate_engine_stats(runtimes)
+        # Combined PV activity: every PVProxy in the system — the SMS PHT's
+        # and any virtualized engine's — contributes to the shared PV space.
         proxies = [
             p.proxy for p in self.phts if isinstance(p, VirtualizedPredictorTable)
         ]
+        proxies += [r.proxy for r in runtimes if r.proxy is not None]
         if proxies:
             hits = sum(p.stats.pvcache_hits for p in proxies)
             total = hits + sum(p.stats.pvcache_misses for p in proxies)
             result.pvcache_hit_rate = hits / total if total else 0.0
             result.pv_dropped = sum(
                 p.stats.dropped_lookups + p.stats.dropped_stores for p in proxies
+            )
+            result.pv_pattern_buffer_peak = max(
+                p.pattern_buffer_peak for p in proxies
             )
         return result

@@ -13,6 +13,14 @@ random interleaving of:
 * **filler references** — single accesses into a large unpatterned pool,
   modelling pointer chasing and other traffic SMS cannot learn.
 
+Records are annotated with **predictor-engine events** for the generality
+study: the resolved branch that led control to each record (derived from
+the PC sequence — a non-sequential PC transition is a taken branch from
+the previous instruction) and, for loads, the value the load returns
+(:func:`memory_value`, a fixed content hash of the address).  Both are
+pure functions of the reference stream, so they consume no RNG draws and
+leave the memory trace bit-identical to an unannotated generator.
+
 Determinism: the generator is fully seeded by ``(profile, seed, core)``;
 two generators with equal arguments produce identical streams, which the
 matched-pair measurement methodology (Section 4.1) relies on.
@@ -31,6 +39,24 @@ from repro.workloads.base import CODE_BASE, WorkloadProfile
 from repro.workloads.zipf import ZipfSampler
 
 _CHUNK = 8192
+
+_VALUE_MASK = (1 << 32) - 1
+
+
+def memory_value(addr: int) -> int:
+    """The 32-bit value stored at ``addr`` (word granularity).
+
+    Simulated memory content is a fixed hash of the address: the same
+    location always loads the same value, so value-prediction accuracy is
+    governed purely by the address stream (reused blocks repeat values,
+    episode walks produce fresh ones).
+    """
+    x = (addr >> 2) & _VALUE_MASK
+    x = (x * 0x9E3779B1) & _VALUE_MASK
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & _VALUE_MASK
+    x ^= x >> 13
+    return x
 
 
 class _RandomPool:
@@ -123,6 +149,7 @@ class WorkloadGenerator:
         self._ring: List[tuple] = []
         self._ring_pos = 0
         self._ring_size = 128
+        self._prev_pc: Optional[int] = None
 
     # --------------------------------------------------------------- helpers
 
@@ -192,6 +219,22 @@ class WorkloadGenerator:
 
     # ------------------------------------------------------------ the stream
 
+    def _emit(self, pc: int, addr: int, write: bool) -> TraceRecord:
+        """Build one annotated record (draws only the gap, preserving the
+        RNG sequence of an unannotated stream)."""
+        prev = self._prev_pc
+        self._prev_pc = pc
+        branch_pc = branch_target = None
+        if prev is not None and pc != prev + 4:
+            # Control did not fall through: a taken branch at the
+            # instruction after the previous reference targeted this PC.
+            branch_pc = prev + 4
+            branch_target = pc
+        load_value = None if write else memory_value(addr)
+        return TraceRecord(
+            pc, addr, write, self._gap(), branch_pc, branch_target, load_value
+        )
+
     def _remember(self, pc: int, addr: int) -> None:
         ring = self._ring
         if len(ring) < self._ring_size:
@@ -214,7 +257,7 @@ class WorkloadGenerator:
             if ring and pool.uniform() < rehit:
                 pc, addr = ring[pool.randint(len(ring))]
                 write = pool.uniform() < wf
-                yield TraceRecord(pc, addr, write, self._gap())
+                yield self._emit(pc, addr, write)
                 continue
             u = pool.uniform()
             if u < profile.filler_fraction:
@@ -222,12 +265,12 @@ class WorkloadGenerator:
                 pc = self._body_pc(addr)
                 write = pool.uniform() < wf
                 self._remember(pc, addr)
-                yield TraceRecord(pc, addr, write, self._gap())
+                yield self._emit(pc, addr, write)
                 continue
             if len(self._active) < profile.concurrency:
                 pc, addr = self._start_episode()
                 self._remember(pc + 4, addr)
-                yield TraceRecord(pc, addr, False, self._gap())
+                yield self._emit(pc, addr, False)
                 continue
             slot = pool.randint(len(self._active))
             episode = self._active[slot]
@@ -239,7 +282,7 @@ class WorkloadGenerator:
                     self._active[slot] = last
             write = pool.uniform() < wf
             self._remember(pc, addr)
-            yield TraceRecord(pc, addr, write, self._gap())
+            yield self._emit(pc, addr, write)
 
     def __iter__(self) -> Iterator[TraceRecord]:  # pragma: no cover - sugar
         while True:

@@ -15,6 +15,7 @@ from repro.analysis.figures import (
     figure11,
     pv_l2_fill_rates,
 )
+from repro.analysis.generality import generality, generality_scenarios
 from repro.sim.experiment import ExperimentScale, clear_cache
 
 TINY = ExperimentScale(refs_per_core=1000, warmup_refs=500, window_refs=250)
@@ -97,3 +98,29 @@ class TestFigure11:
         fig = figure11(workloads=ONE, scale=TINY)
         assert [r["config"] for r in fig.rows] == ["1K-11a", "PV8"]
         assert "8/16" in fig.title
+
+
+class TestGenerality:
+    def test_one_row_per_scenario(self):
+        fig = generality(workloads=ONE, scale=TINY)
+        scenarios = [name for name, _ in generality_scenarios()]
+        assert [r["scenario"] for r in fig.rows] == scenarios
+        assert len({cfg.label for _, cfg in generality_scenarios()}) == len(
+            scenarios
+        )
+
+    def test_engine_columns_filled_where_applicable(self):
+        fig = generality(workloads=ONE, scale=TINY)
+        btb = fig.value("btb_hit_rate", scenario="BTB virtualized")
+        assert 0.0 < btb <= 1.0
+        assert fig.value("btb_hit_rate", scenario="SMS dedicated") == ""
+        shared = fig.filter(scenario="Shared PV space")[0]
+        assert shared["sms_coverage"] != ""
+        assert shared["btb_hit_rate"] != ""
+        assert shared["lvp_coverage"] != ""
+        assert shared["pv_requests"] > 0
+
+    def test_dedicated_rows_have_no_pv_traffic(self):
+        fig = generality(workloads=ONE, scale=TINY)
+        for scenario in ("SMS budget", "BTB dedicated", "LVP dedicated"):
+            assert fig.value("pv_requests", scenario=scenario) == 0

@@ -167,6 +167,63 @@ class TestDropBehaviour:
         assert not proxy.lookup(0x0, now=1).hit
 
 
+class TestPatternBuffer:
+    def test_occupancy_tracks_outstanding_fetches(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x0, 1, now=0)  # miss: fetch issued, operand parked
+        assert proxy.pattern_buffer_occupancy == 1
+        proxy.store(0x1, 2, now=0)  # second set, second outstanding fetch
+        assert proxy.pattern_buffer_occupancy == 2
+        assert proxy.pattern_buffer_peak == 2
+
+    def test_operands_release_when_fetch_completes(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x0, 1, now=0)
+        proxy.store(0x1, 2, now=100_000)  # first fetch long since done
+        assert proxy.pattern_buffer_occupancy == 1
+
+    def test_store_to_ready_set_bypasses_buffer(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x0, 1, now=0)
+        proxy.store(0x0, 2, now=100_000)  # resident and ready: direct write
+        assert proxy.pattern_buffer_occupancy == 0
+        assert proxy.lookup(0x0, now=200_000).value == 2
+
+    def test_store_to_in_flight_set_occupies_buffer(self):
+        proxy, _ = make_proxy()
+        set_bits = proxy.geometry.set_bits
+        proxy.store(0x0, 1, now=0)                 # set 0 being fetched
+        proxy.store(1 << set_bits, 2, now=10)      # same set, not ready yet
+        assert proxy.pattern_buffer_occupancy == 2
+        assert proxy.stats.buffered_stores == 2
+
+    def test_buffer_pressure_drops_stores(self):
+        proxy, _ = make_proxy(mshr=8, pattern_buffer_entries=2)
+        set_bits = proxy.geometry.set_bits
+        proxy.store(0x0, 1, now=0)
+        proxy.store(0x1, 2, now=0)
+        proxy.store(0x2, 3, now=0)  # buffer full before the fetch
+        assert proxy.stats.dropped_stores == 1
+        proxy.store(1 << set_bits, 4, now=1)  # in-flight set, buffer full
+        assert proxy.stats.dropped_stores == 2
+        # The dropped operand never landed in the set.
+        assert not proxy.lookup(1 << set_bits, now=100_000).hit
+
+    def test_peak_reaches_mshr_capacity_with_default_budget(self):
+        proxy, _ = make_proxy()
+        for s in range(proxy.config.mshr_entries):
+            proxy.store(s, s, now=0)
+        assert proxy.pattern_buffer_peak == proxy.config.mshr_entries
+        assert proxy.pattern_buffer_peak > 1
+
+    def test_mshr_full_drops_store(self):
+        proxy, _ = make_proxy(mshr=1)
+        proxy.store(0x0, 1, now=0)
+        proxy.store(0x1, 2, now=0)  # no MSHR for the second fetch
+        assert proxy.stats.dropped_stores == 1
+        assert proxy.pattern_buffer_occupancy == 1
+
+
 class TestReportMissMode:
     def test_report_miss_on_fetch(self):
         proxy, _ = make_proxy(report_miss_on_fetch=True)
@@ -208,3 +265,30 @@ class TestFlush:
         proxy.flush()
         assert proxy.stats.writebacks == 2
         assert len(proxy.pvcache) == 0
+
+    def test_flush_skips_clean_entries(self):
+        proxy, _ = make_proxy()
+        proxy.lookup(0x0, now=0)      # clean resident set
+        proxy.store(0x1, 6, now=0)    # dirty resident set
+        proxy.flush()
+        assert proxy.stats.writebacks == 1
+        assert len(proxy.pvcache) == 0
+
+    def test_flush_clears_pattern_buffer(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x0, 5, now=0)
+        assert proxy.pattern_buffer_occupancy == 1
+        proxy.flush()
+        assert proxy.pattern_buffer_occupancy == 0
+
+    def test_flush_empty_proxy_is_noop(self):
+        proxy, _ = make_proxy()
+        proxy.flush()
+        assert proxy.stats.writebacks == 0
+
+    def test_flushed_state_survives_in_memory_image(self):
+        proxy, _ = make_proxy()
+        proxy.store(0x42, 99, now=0)
+        proxy.flush()
+        result = proxy.lookup(0x42, now=100_000)  # refetched from the L2
+        assert result.hit and result.value == 99

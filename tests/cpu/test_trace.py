@@ -16,9 +16,17 @@ records_strategy = st.lists(
         addr=st.integers(0, (1 << 48) - 1),
         write=st.booleans(),
         gap=st.integers(0, 0xFFFF),
+        branch_pc=st.none() | st.integers(0, (1 << 48) - 1),
+        branch_target=st.none() | st.integers(0, (1 << 48) - 1),
+        load_value=st.none() | st.integers(0, (1 << 32) - 1),
     ),
     max_size=50,
 )
+
+
+def strip_events(record: TraceRecord) -> TraceRecord:
+    """The memory-reference part: what the v1 binary format carries."""
+    return TraceRecord(record.pc, record.addr, record.write, record.gap)
 
 
 class TestRecord:
@@ -38,7 +46,9 @@ class TestBinaryIO:
     @settings(max_examples=100, deadline=None)
     @given(records_strategy)
     def test_roundtrip_property(self, recs):
-        assert list(roundtrip(recs)) == recs
+        # Engine-event annotations are recomputed, not serialized: the
+        # round trip preserves exactly the memory-reference fields.
+        assert list(roundtrip(recs)) == [strip_events(r) for r in recs]
 
     def test_bad_magic_rejected(self):
         with pytest.raises(ValueError):

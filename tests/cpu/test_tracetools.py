@@ -16,7 +16,9 @@ class TestCaptureReplay:
         assert n == 500
         replayed = list(replay(path))
         direct = list(WorkloadGenerator(profile, core=0, seed=3).records(500))
-        assert replayed == direct
+        # Binary traces carry the memory references; the engine-event
+        # annotations are generator-side only.
+        assert [r[:4] for r in replayed] == [r[:4] for r in direct]
 
     def test_capture_different_cores_differ(self, tmp_path):
         profile = get_workload("Qry1")

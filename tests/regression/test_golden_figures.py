@@ -1,9 +1,10 @@
 """Golden-metrics regression suite.
 
 Re-runs the headline artifacts — Figure 4 (coverage potential), Figure 9
-(speedups) and Table 3 / the Section 4.6 PVProxy budget (predictor
-storage) — and asserts their metrics against checked-in golden JSON under
-``tests/regression/golden/``.  The goldens pin the default bench scale, so
+(speedups), Table 3 / the Section 4.6 PVProxy budget (predictor storage)
+and the Section 6 generality scenarios (BTB + last-value predictor,
+dedicated vs virtualized) — and asserts their metrics against checked-in
+golden JSON under ``tests/regression/golden/``.  The goldens pin the default bench scale, so
 any change to the simulator, the workload generators or the sweep/runner
 machinery that shifts a number is caught here byte-for-byte (floats to
 1e-9 relative).
@@ -23,11 +24,16 @@ from dataclasses import asdict
 import pytest
 
 from repro.analysis import figures
+from repro.analysis.generality import generality
 from repro.analysis.tables import pvproxy_budget_table, table3_rows
 from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale, run_experiment
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Representative workloads the generality golden pins (the Figure 5 set;
+#: the full driver defaults to all eight).
+GENERALITY_WORKLOADS = ["Apache", "Oracle", "Qry17"]
 
 #: Scale the goldens were generated at when the env does not say otherwise.
 #: (Matches ExperimentScale defaults = the bench suite's default scale.)
@@ -157,3 +163,51 @@ def test_figure9_speedup_golden(update_golden):
     # moves fewer blocks off chip than the dedicated reference.
     for workload, row in actual["offchip"].items():
         assert row["PV8"] >= row["SMS-1K"], workload
+
+
+# ---------------------------------------------------------------- Section 6
+
+
+def test_generality_golden(update_golden):
+    def payload(scale):
+        fig = generality(workloads=GENERALITY_WORKLOADS, scale=scale)
+        return {"scale": asdict(scale), "rows": fig.rows}
+
+    golden, actual = _resolve("generality", payload, update_golden)
+    _assert_rows_match(actual["rows"], golden["rows"])
+
+    rows = actual["rows"]
+
+    def metric(workload, scenario, column):
+        matches = [
+            r for r in rows
+            if r["workload"] == workload and r["scenario"] == scenario
+        ]
+        assert len(matches) == 1, (workload, scenario)
+        return matches[0][column]
+
+    for workload in GENERALITY_WORKLOADS:
+        # Each predictor class: the virtualized full-size table tracks the
+        # dedicated full-size table far more closely than the budget-sized
+        # dedicated table does (the paper's generality claim).
+        for quality, kinds in [
+            ("sms_coverage", "SMS"),
+            ("btb_hit_rate", "BTB"),
+            ("lvp_coverage", "LVP"),
+        ]:
+            budget = metric(workload, f"{kinds} budget", quality)
+            dedicated = metric(workload, f"{kinds} dedicated", quality)
+            virtualized = metric(workload, f"{kinds} virtualized", quality)
+            assert dedicated >= budget, (workload, kinds)
+            assert abs(dedicated - virtualized) <= max(
+                dedicated - budget, 1e-9
+            ), (workload, kinds)
+
+        # Only virtualized scenarios produce PV traffic, and the shared
+        # space carries all three predictor classes' traffic at once.
+        for kinds in ("SMS", "BTB", "LVP"):
+            assert metric(workload, f"{kinds} dedicated", "pv_requests") == 0
+        shared = metric(workload, "Shared PV space", "pv_requests")
+        for kinds in ("SMS", "BTB", "LVP"):
+            single = metric(workload, f"{kinds} virtualized", "pv_requests")
+            assert 0 < single < shared, (workload, kinds)

@@ -13,7 +13,7 @@ from repro.runner.serialize import (
     result_to_dict,
 )
 from repro.runner.spec import SPEC_SCHEMA, ExperimentScale, ExperimentSpec
-from repro.sim.config import PrefetcherConfig
+from repro.sim.config import EngineConfig, PrefetcherConfig
 from repro.sim.metrics import SimResult
 
 try:
@@ -103,6 +103,49 @@ class TestSpecIdentity:
         ]
         keys = [spec.key for spec in lattice]
         assert len(set(keys)) == len(keys) == len(lattice)
+
+
+class TestEngineSpecs:
+    """Spec identity and round-trip for the multi-predictor scenarios."""
+
+    SHARED = PrefetcherConfig.virtualized(8).with_engines(
+        EngineConfig.btb("virtualized"), EngineConfig.lvp("virtualized")
+    )
+
+    def test_engine_spec_round_trips(self):
+        spec = ExperimentSpec.build("Qry1", self.SHARED, scale=SMALL)
+        back = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec and back.key == spec.key
+        assert back.prefetcher.engines == self.SHARED.engines
+
+    def test_engine_variants_have_distinct_keys(self):
+        variants = [
+            PrefetcherConfig.none(),
+            PrefetcherConfig.none().with_engines(EngineConfig.btb()),
+            PrefetcherConfig.none().with_engines(EngineConfig.btb("virtualized")),
+            PrefetcherConfig.none().with_engines(
+                EngineConfig.btb(n_sets=32, assoc=4)
+            ),
+            PrefetcherConfig.none().with_engines(EngineConfig.lvp()),
+            self.SHARED,
+        ]
+        keys = {
+            ExperimentSpec.build("Qry1", v, scale=SMALL).key for v in variants
+        }
+        assert len(keys) == len(variants)
+
+    def test_engine_result_round_trips_with_stats(self):
+        spec = ExperimentSpec.build(
+            "Qry1",
+            PrefetcherConfig.none().with_engines(EngineConfig.btb("virtualized")),
+            scale=SMALL,
+        )
+        result = spec.execute()
+        assert result.engine_stats["btb"]["lookups"] > 0
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        back = result_from_dict(payload)
+        assert back == result
+        assert back.engine_stats == result.engine_stats
 
 
 _FLOATS = None

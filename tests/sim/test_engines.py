@@ -1,0 +1,189 @@
+"""Multi-predictor scenarios: the engine registry through the simulator."""
+
+import pytest
+
+from repro.core.virtualized import VirtualizedPredictorTable
+from repro.sim.config import EngineConfig, PrefetcherConfig
+from repro.sim.engines import ENGINE_KINDS, build_engine
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+REFS = 2000
+WARMUP = 1000
+
+
+def run(config, workload="Qry1", refs=REFS, warmup=WARMUP):
+    sim = CMPSimulator(get_workload(workload), config)
+    return sim.run(refs, warmup_refs=warmup)
+
+
+class TestEngineConfig:
+    def test_labels(self):
+        assert EngineConfig.btb().label == "BTB"
+        assert EngineConfig.btb("virtualized").label == "BTBpv8"
+        assert EngineConfig.lvp("infinite").label == "LVPinf"
+        assert EngineConfig.btb(n_sets=32, assoc=4).label == "BTB32x4"
+
+    def test_prefetcher_label_appends_engines(self):
+        config = PrefetcherConfig.virtualized(8).with_engines(
+            EngineConfig.btb("virtualized"), EngineConfig.lvp()
+        )
+        assert config.label == "PV8+BTBpv8+LVP"
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(kind="btb", table="huge")
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig.btb(n_sets=48)
+
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetcherConfig.none().with_engines(
+                EngineConfig.btb(), EngineConfig.btb("virtualized")
+            )
+
+    def test_engine_dicts_coerced(self):
+        config = PrefetcherConfig(
+            mode="none", engines=[{"kind": "btb", "table": "virtualized"}]
+        )
+        assert config.engines == (EngineConfig.btb("virtualized"),)
+
+
+class TestRegistry:
+    def test_builtin_kinds(self):
+        assert {"btb", "lvp"} <= set(ENGINE_KINDS)
+
+    def test_unknown_kind_fails_at_assembly(self):
+        config = PrefetcherConfig.none().with_engines(EngineConfig(kind="tlb"))
+        with pytest.raises(ValueError, match="unknown engine kind"):
+            CMPSimulator(get_workload("Qry1"), config)
+
+
+class TestBTBScenarios:
+    def test_dedicated_btb_predicts(self):
+        r = run(PrefetcherConfig.none().with_engines(EngineConfig.btb()))
+        stats = r.engine_stats["btb"]
+        assert stats["lookups"] > 0
+        assert 0.0 < stats["hit_rate"] <= 1.0
+        assert stats["updates"] == stats["lookups"]
+
+    def test_virtualized_btb_generates_pv_traffic(self):
+        r = run(
+            PrefetcherConfig.none().with_engines(EngineConfig.btb("virtualized"))
+        )
+        stats = r.engine_stats["btb"]
+        assert r.l2_pv_requests > 0
+        assert stats["pv_fetches"] > 0
+        assert 0.0 < stats["pvcache_hit_rate"] < 1.0
+
+    def test_virtualized_tracks_dedicated(self):
+        ded = run(PrefetcherConfig.none().with_engines(EngineConfig.btb()))
+        pv = run(
+            PrefetcherConfig.none().with_engines(EngineConfig.btb("virtualized"))
+        )
+        assert pv.engine_stats["btb"]["hit_rate"] == pytest.approx(
+            ded.engine_stats["btb"]["hit_rate"], abs=0.05
+        )
+
+    def test_dedicated_btb_produces_no_pv_traffic(self):
+        r = run(PrefetcherConfig.none().with_engines(EngineConfig.btb()))
+        assert r.l2_pv_requests == 0
+        assert "pv_fetches" not in r.engine_stats["btb"]
+
+
+class TestLVPScenarios:
+    def test_lvp_predicts_confidently(self):
+        r = run(PrefetcherConfig.none().with_engines(EngineConfig.lvp()))
+        stats = r.engine_stats["lvp"]
+        assert stats["lookups"] > 0
+        assert 0.0 < stats["coverage"] < 1.0
+        assert 0.0 < stats["accuracy"] <= 1.0
+
+    def test_virtualized_tracks_dedicated(self):
+        ded = run(PrefetcherConfig.none().with_engines(EngineConfig.lvp()))
+        pv = run(
+            PrefetcherConfig.none().with_engines(EngineConfig.lvp("virtualized"))
+        )
+        assert pv.engine_stats["lvp"]["accuracy"] == pytest.approx(
+            ded.engine_stats["lvp"]["accuracy"], abs=0.05
+        )
+
+    def test_infinite_table_at_least_as_good(self):
+        inf = run(PrefetcherConfig.none().with_engines(EngineConfig.lvp("infinite")))
+        tiny = run(
+            PrefetcherConfig.none().with_engines(
+                EngineConfig.lvp(n_sets=2, assoc=1)
+            )
+        )
+        assert (
+            inf.engine_stats["lvp"]["coverage"]
+            >= tiny.engine_stats["lvp"]["coverage"]
+        )
+
+
+class TestSharedPVSpace:
+    CONFIG = PrefetcherConfig.virtualized(8).with_engines(
+        EngineConfig.btb("virtualized"), EngineConfig.lvp("virtualized")
+    )
+
+    def test_three_predictor_classes_coexist(self):
+        r = run(self.CONFIG)
+        assert r.covered > 0 or r.prefetches_issued > 0  # SMS active
+        assert r.engine_stats["btb"]["lookups"] > 0
+        assert r.engine_stats["lvp"]["lookups"] > 0
+
+    def test_pvtables_share_reserved_space_without_collision(self):
+        sim = CMPSimulator(get_workload("Qry1"), self.CONFIG)
+        tables = [p.proxy.table for p in sim.phts]
+        tables += [
+            rt.table.proxy.table
+            for per_core in sim.engines
+            for rt in per_core
+            if isinstance(rt.table, VirtualizedPredictorTable)
+        ]
+        assert len(tables) == 12  # 3 predictor classes x 4 cores
+        ranges = sorted(
+            (t.pv_start, t.pv_start + t.layout.table_bytes) for t in tables
+        )
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start  # disjoint reservations
+        assert all(sim.address_space.is_reserved(t.pv_start) for t in tables)
+
+    def test_combined_pv_traffic_exceeds_single_engine(self):
+        shared = run(self.CONFIG)
+        sms_only = run(PrefetcherConfig.virtualized(8))
+        assert shared.l2_pv_requests > sms_only.l2_pv_requests
+        assert shared.pv_pattern_buffer_peak >= 0
+
+    def test_deterministic(self):
+        a = run(self.CONFIG)
+        b = run(self.CONFIG)
+        assert a.engine_stats == b.engine_stats
+        assert a.l2_pv_requests == b.l2_pv_requests
+
+
+class TestWarmupBoundary:
+    def test_engine_counters_reset_after_warmup(self):
+        r = run(PrefetcherConfig.none().with_engines(EngineConfig.btb()))
+        # At most one branch event per post-warmup record per core; without
+        # the reset the warmup events would be counted too.
+        assert r.engine_stats["btb"]["lookups"] <= REFS * 4
+
+
+class TestEngineAssembly:
+    def test_engines_attach_alongside_stride(self):
+        config = PrefetcherConfig.stride().with_engines(EngineConfig.btb())
+        r = run(config)
+        assert r.prefetches_issued > 0
+        assert r.engine_stats["btb"]["lookups"] > 0
+
+    def test_default_geometry_from_registry(self):
+        sim = CMPSimulator(
+            get_workload("Qry1"),
+            PrefetcherConfig.none().with_engines(EngineConfig.btb()),
+        )
+        table = sim.engines[0][0].table
+        assert table.geometry.n_sets == ENGINE_KINDS["btb"].default_sets
+        assert table.geometry.assoc == ENGINE_KINDS["btb"].default_assoc

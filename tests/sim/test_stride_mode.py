@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cpu.trace import TraceRecord
 from repro.sim.config import PrefetcherConfig
 from repro.sim.simulator import CMPSimulator
 from repro.workloads.registry import get_workload
@@ -38,3 +39,54 @@ class TestStrideMode:
         sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
         assert all(engine is None for engine in sim.sms)
         assert all(s is not None for s in sim.stride)
+
+
+class TestPendingSweep:
+    """The in-flight prefetch map is bounded in *every* prefetching mode
+    (regression: the sweep used to run only on the SMS path, so stride-only
+    configurations grew ``_pending`` without bound)."""
+
+    def test_sweep_runs_for_stride_only_config(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        sim.PENDING_SWEEP_THRESHOLD = 4
+        pending = sim._pending[0]
+        for block in range(1, 11):
+            pending[block * 64] = -1.0  # arrivals long since landed
+        rec = next(sim.generators[0].records(1))
+        sim._step(0, rec, sim.hierarchy, False, 64)
+        assert len(pending) <= 4
+
+    def test_pending_stays_bounded_over_a_run(self):
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        sim.PENDING_SWEEP_THRESHOLD = 8
+        sim.run(4000, warmup_refs=0)
+        # Only not-yet-arrived prefetches may survive a sweep.
+        assert all(len(p) <= 10 for p in sim._pending)
+
+
+class TestStrideArrivalTiming:
+    def test_arrivals_stamped_after_demand_access(self):
+        """Stride prefetches are issued once the triggering access has
+        retired (regression: they were stamped with the pre-access cycle
+        count, making them appear to arrive impossibly early)."""
+        sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
+        fill_latency = 7
+
+        def fake_prefetch_fill(core, block_addr):
+            return fill_latency, object()
+
+        sim.hierarchy.prefetch_fill = fake_prefetch_fill
+        pc, base = 0x4000, 0x2000_0000
+        # Train the PC's stride entry past the confidence threshold, then
+        # take one more access that actually issues prefetches.
+        for k in range(5):
+            before = set(sim._pending[0])
+            sim._step(
+                0, TraceRecord(pc, base + k * 64, False, 0),
+                sim.hierarchy, False, 64,
+            )
+            new = set(sim._pending[0]) - before
+        assert new, "stride prefetcher never fired"
+        post_access = sim.cores[0].cycles
+        for block in new:
+            assert sim._pending[0][block] == post_access + 1 + fill_latency
