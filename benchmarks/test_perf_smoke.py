@@ -1,0 +1,68 @@
+"""Performance smoke benchmark: simulator throughput in refs/sec.
+
+Times a fixed workload (Apache, SMS-1K, analytic timing — the hot path
+every figure exercises) plus one contended configuration, and writes the
+measurements to ``BENCH_perf.json`` at the repository root so successive
+PRs accumulate a throughput trajectory.  The assertions are deliberately
+loose (the run must finish and make progress); the JSON is the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Fixed measurement workload: big enough to dominate setup cost, small
+#: enough to stay a smoke test.
+REFS_PER_CORE = 6_000
+WARMUP_REFS = 2_000
+
+
+def _measure(label: str, prefetcher, system=None) -> dict:
+    workload = get_workload("Apache")
+    sim = CMPSimulator(workload, prefetcher, system=system)
+    start = time.perf_counter()
+    result = sim.run(REFS_PER_CORE, warmup_refs=WARMUP_REFS)
+    elapsed = time.perf_counter() - start
+    total_refs = (REFS_PER_CORE + WARMUP_REFS) * result.n_cores
+    return {
+        "label": label,
+        "workload": "Apache",
+        "refs_per_core": REFS_PER_CORE,
+        "warmup_refs": WARMUP_REFS,
+        "total_refs": total_refs,
+        "elapsed_s": round(elapsed, 4),
+        "refs_per_sec": round(total_refs / elapsed, 1),
+        "aggregate_ipc": round(result.aggregate_ipc, 4),
+    }
+
+
+def test_perf_smoke():
+    runs = [
+        _measure("sms-1k", PrefetcherConfig.dedicated(1024, 11)),
+        _measure("pv8", PrefetcherConfig.virtualized(8)),
+        _measure(
+            "pv8-contended-1ch",
+            PrefetcherConfig.virtualized(8),
+            system=SystemConfig.baseline().with_contention(dram_channels=1),
+        ),
+    ]
+    payload = {
+        "bench": "perf_smoke",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    for run in runs:
+        # Progress, not speed: wildly slow CI boxes must not flake here.
+        assert run["refs_per_sec"] > 100, run
+        assert run["aggregate_ipc"] > 0, run

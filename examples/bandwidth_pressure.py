@@ -1,0 +1,68 @@
+"""Virtualized vs. dedicated SMS when DRAM bandwidth is scarce.
+
+The paper argues PV is cheap because its metadata is absorbed on chip
+(>98% of PVProxy requests are filled by the L2, Section 4.3).  The
+analytic timing model cannot test what that buys: with infinite
+bandwidth, extra traffic never costs a cycle.  This example turns on the
+contention model and squeezes the DRAM channel count — 4, 2, then 1 —
+to show the consequence: virtualized SMS keeps (most of) its speedup even
+when off-chip bandwidth is precious, precisely because its predictor
+traffic stays on chip.
+
+Usage::
+
+    python examples/bandwidth_pressure.py [refs_per_core]
+"""
+
+import sys
+
+from repro import (
+    CMPSimulator,
+    PrefetcherConfig,
+    SystemConfig,
+    get_workload,
+)
+
+CONFIGS = [
+    ("No prefetch", PrefetcherConfig.none()),
+    ("SMS dedicated 1K-11a", PrefetcherConfig.dedicated(1024, 11)),
+    ("SMS virtualized PV8", PrefetcherConfig.virtualized(8)),
+]
+
+CHANNELS = [4, 2, 1]
+
+
+def main() -> None:
+    refs = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    workload = get_workload("Apache")
+
+    print(f"Apache, {refs} refs/core (+ 5/4 warmup), contention model on\n")
+    print(f"{'DRAM channels':>14s} " +
+          "".join(f"{label:>22s}" for label, _ in CONFIGS) +
+          f" {'DRAM util':>10s}")
+    for channels in CHANNELS:
+        system = SystemConfig.baseline().with_contention(dram_channels=channels)
+        cells = []
+        base_ipc = None
+        util = 0.0
+        for _, config in CONFIGS:
+            sim = CMPSimulator(workload, config, system=system)
+            result = sim.run(refs, warmup_refs=refs * 5 // 4)
+            if base_ipc is None:
+                base_ipc = result.aggregate_ipc
+                cells.append(f"ipc {result.aggregate_ipc:5.2f}")
+            else:
+                speedup = result.aggregate_ipc / base_ipc - 1.0
+                cells.append(f"{speedup:+6.1%}")
+            util = max(util, result.dram_utilization)
+        print(f"{channels:>14d} " +
+              "".join(f"{c:>22s}" for c in cells) + f" {util:>9.1%}")
+    print(
+        "\nThe virtualized prefetcher tracks the dedicated one at every"
+        "\nchannel width: its PVTable traffic is served by the L2, so"
+        "\nnarrow channels starve application misses, not predictions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ import sys
 import time
 
 from repro.analysis import figures
+from repro.analysis.bandwidth import bandwidth
 from repro.analysis.generality import generality
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
@@ -88,6 +89,7 @@ def main(argv=None) -> None:
         ("figure10", figures.figure10),
         ("figure11", figures.figure11),
         ("section6_generality", generality),
+        ("bandwidth_sensitivity", bandwidth),
     ]
     for name, driver in drivers:
         t = time.time()

@@ -34,7 +34,7 @@ from repro.core import (
     PredictorTable,
     VirtualizedPredictorTable,
 )
-from repro.memory import MemorySystem
+from repro.memory import ContentionConfig, MemorySystem
 from repro.prefetch import DedicatedPHT, InfinitePHT, SMSPrefetcher
 from repro.runner import ExperimentSpec, ResultStore, SweepRunner
 from repro.sim import (
@@ -52,6 +52,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CMPSimulator",
+    "ContentionConfig",
     "DedicatedPHT",
     "EngineConfig",
     "ExperimentScale",

@@ -1,0 +1,110 @@
+"""Bandwidth-sensitivity study: PV under contended memory timing.
+
+The paper's cost argument (Sections 4.3/4.4) is that virtualization is
+cheap because the PVProxy's metadata traffic is absorbed on chip: more
+than 98% of PV requests are filled by the L2, so the extra off-chip
+pressure is a few percent.  The analytic timing model cannot test the
+consequence of that claim — with infinite bandwidth, extra traffic is
+free.  This driver runs the contention-aware model
+(:class:`~repro.memory.contention.ContentionConfig`) across a DRAM
+channel sweep and asks the paper's question directly: **does virtualized
+SMS keep its speedup when bandwidth is scarce?**
+
+For every (workload, channel count) it compares no prefetching, dedicated
+SMS-1K and virtualized PV-8, all three contending for the same narrowed
+channels, banked L2 ports and bounded MSHRs.  The qualitative expectation
+(reproduced by the golden ``tests/regression/golden/bandwidth.json``):
+PV-8 keeps a positive speedup even at one channel, because its metadata
+stays on chip — the >98% L2 fill rate is what makes virtualization
+bandwidth-tolerant.
+
+All runs resolve through the active sweep runner, like every figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import FigureData
+from repro.memory.contention import ContentionConfig
+from repro.runner.context import get_runner
+from repro.runner.spec import ExperimentSpec
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import ExperimentScale, run_experiment
+
+#: DRAM channel sweep, widest to narrowest.
+BANDWIDTH_CHANNELS: List[int] = [4, 2, 1]
+
+#: Representative workloads (the Figure 5 trio), keeping the sweep
+#: affordable: 3 workloads x 3 channel counts x 3 configurations.
+BANDWIDTH_WORKLOADS: List[str] = ["Apache", "Oracle", "Qry17"]
+
+#: The configurations whose contended speedups the sweep compares.
+BANDWIDTH_CONFIGS: List[PrefetcherConfig] = [
+    PrefetcherConfig.none(),
+    PrefetcherConfig.dedicated(1024, 11),
+    PrefetcherConfig.virtualized(8),
+]
+
+
+def contention_for(channels: int) -> ContentionConfig:
+    """The contention model one sweep point runs under."""
+    return ContentionConfig(enabled=True, dram_channels=channels)
+
+
+def bandwidth(
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    channels: Optional[Sequence[int]] = None,
+) -> FigureData:
+    """Speedup and resource pressure across a DRAM channel sweep."""
+    names = list(workloads) if workloads is not None else BANDWIDTH_WORKLOADS
+    widths = list(channels) if channels is not None else BANDWIDTH_CHANNELS
+    specs = [
+        ExperimentSpec.build(n, config, scale=scale,
+                             contention=contention_for(width))
+        for n in names
+        for width in widths
+        for config in BANDWIDTH_CONFIGS
+    ]
+    get_runner().run(specs)
+    rows = []
+    for name in names:
+        for width in widths:
+            contention = contention_for(width)
+            base = run_experiment(
+                name, PrefetcherConfig.none(), scale=scale, contention=contention
+            )
+            for config in BANDWIDTH_CONFIGS:
+                r = run_experiment(name, config, scale=scale, contention=contention)
+                rows.append(
+                    {
+                        "workload": name,
+                        "channels": width,
+                        "config": config.label,
+                        "speedup": r.speedup_vs(base),
+                        "ipc": r.aggregate_ipc,
+                        "dram_utilization": r.dram_utilization,
+                        "dram_queue_cycles": r.dram_queue_cycles,
+                        "bank_conflict_cycles": r.bank_conflict_cycles,
+                        "mshr_rejected": r.mshr_rejected,
+                        "pv_l2_fill_rate": (
+                            r.pv_l2_fill_rate if r.l2_pv_requests else ""
+                        ),
+                    }
+                )
+    return FigureData(
+        name="Bandwidth",
+        title="PV speedup under finite DRAM bandwidth (contention model)",
+        columns=[
+            "workload", "channels", "config", "speedup", "ipc",
+            "dram_utilization", "dram_queue_cycles", "bank_conflict_cycles",
+            "mshr_rejected", "pv_l2_fill_rate",
+        ],
+        rows=rows,
+        notes=[
+            "paper: >98% of PV requests are absorbed on-chip (Section 4.3),",
+            "so PV's speedup survives even when DRAM channels are narrow;",
+            "narrowing channels must never improve IPC (monotonicity)",
+        ],
+    )

@@ -8,6 +8,9 @@ Commands mirror the deliverables:
 * ``generality``                                    — the Section 6 study:
   BTB and last-value predictors, dedicated vs virtualized (including the
   shared-PV-space configuration);
+* ``bandwidth``                                     — the contention-model
+  sweep: PV vs dedicated SMS under 1/2/4 finite DRAM channels, banked L2
+  ports and bounded MSHRs (``--scale smoke`` for a fast CI pass);
 * ``run``                                           — one simulation with a
   chosen workload and prefetcher configuration;
 * ``sweep``                                         — resolve a workload x
@@ -27,6 +30,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import figures as _figures
+from repro.analysis.bandwidth import bandwidth as _bandwidth
 from repro.analysis.charts import render_default_chart
 from repro.analysis.generality import generality as _generality
 from repro.analysis.report import render_figure, render_table
@@ -91,6 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chart", action="store_true",
                        help="render as an ASCII bar chart")
         _add_runner_flags(p)
+
+    bw = sub.add_parser(
+        "bandwidth",
+        help="contention-model sweep: PV vs dedicated SMS under narrow DRAM",
+    )
+    bw.add_argument("--workloads", default=None,
+                    help="comma-separated subset (default: Apache,Oracle,Qry17)")
+    bw.add_argument("--channels", default=None,
+                    help="comma-separated DRAM channel counts (default: 4,2,1)")
+    bw.add_argument("--refs", type=int, default=None,
+                    help="references per core")
+    bw.add_argument("--warmup", type=int, default=None,
+                    help="warmup references per core")
+    bw.add_argument("--scale", choices=("default", "smoke"), default="default",
+                    help="'smoke': tiny fixed scale for CI (overridden by --refs)")
+    bw.add_argument("--chart", action="store_true",
+                    help="render as an ASCII bar chart")
+    _add_runner_flags(bw)
 
     sweep = sub.add_parser(
         "sweep",
@@ -159,6 +181,25 @@ def _run_figure(args) -> str:
     driver = FIGURE_COMMANDS[args.command]
     workloads = args.workloads.split(",") if args.workloads else None
     figure = driver(workloads=workloads, scale=_scale(args))
+    if args.chart:
+        try:
+            return render_default_chart(figure)
+        except KeyError:
+            pass
+    return render_figure(figure)
+
+
+def _run_bandwidth(args) -> str:
+    _configure_runner(args)
+    scale = _scale(args)
+    if scale is None and args.scale == "smoke":
+        scale = ExperimentScale(refs_per_core=1200, warmup_refs=600,
+                                window_refs=120)
+    workloads = args.workloads.split(",") if args.workloads else None
+    channels = (
+        [int(c) for c in args.channels.split(",")] if args.channels else None
+    )
+    figure = _bandwidth(workloads=workloads, scale=scale, channels=channels)
     if args.chart:
         try:
             return render_default_chart(figure)
@@ -260,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
     elif args.command in FIGURE_COMMANDS:
         print(_run_figure(args))
+    elif args.command == "bandwidth":
+        print(_run_bandwidth(args))
     elif args.command == "run":
         print(_run_simulation(args))
     elif args.command == "sweep":

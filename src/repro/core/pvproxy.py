@@ -147,6 +147,12 @@ class PVProxy:
         self.mshr = MSHRFile(self.config.mshr_entries, name=f"pvproxy{core}")
         self.stats = PVProxyStats()
         self.pattern_buffer_peak = 0
+        # Latest issue cycle this proxy has observed.  Some requests reach
+        # the proxy without a timestamp (e.g. generation-ending stores fired
+        # from eviction listeners); in contention mode their hierarchy
+        # traffic is priced at this clock instead of cycle 0 so they queue
+        # at the core's present, not the beginning of time.
+        self._clock: float = 0
         # Release cycles of store operands waiting for their set's fetch to
         # complete; occupancy is the number of not-yet-released operands.
         self._pattern_buffer: list = []
@@ -157,6 +163,8 @@ class PVProxy:
     def lookup(self, index: int, now: int = 0) -> LookupResult:
         """Retrieve the entry for ``index`` (Section 2.2, operation 2)."""
         self.stats.lookups += 1
+        if now > self._clock:
+            self._clock = now
         self._drain(now)
         set_index, tag = self.geometry.split(index)
         entry = self.pvcache.get(set_index)
@@ -193,6 +201,8 @@ class PVProxy:
         in-flight sets fills the buffer and further stores are dropped.
         """
         self.stats.stores += 1
+        if now > self._clock:
+            self._clock = now
         self._drain(now)
         set_index, tag = self.geometry.split(index)
         entry = self.pvcache.get(set_index)
@@ -266,7 +276,10 @@ class PVProxy:
             self.mshr.complete(block_addr)
         if self.mshr.full:
             return None, now
-        latency, served = self.hierarchy.pv_access(self.core, block_addr, write=False)
+        latency, served = self.hierarchy.pv_access(
+            self.core, block_addr, write=False,
+            now=now if now >= self._clock else self._clock,
+        )
         self.stats.fetches += 1
         if served is ServedBy.L2:
             self.stats.fetches_from_l2 += 1
@@ -283,10 +296,10 @@ class PVProxy:
         )
         victim = self.pvcache.install(entry)
         if victim is not None:
-            self._write_back(victim)
+            self._write_back(victim, now)
         return entry, ready
 
-    def _write_back(self, victim: PVCacheEntry) -> None:
+    def _write_back(self, victim: PVCacheEntry, now: Optional[int] = None) -> None:
         """Evicted PVCache entries: dirty sets go to the L2, clean ones die."""
         if not victim.dirty:
             return
@@ -294,7 +307,9 @@ class PVProxy:
         block_addr = self.table.write_back(
             victim.set_index, list(victim.ways.items())
         )
-        self.hierarchy.pv_access(self.core, block_addr, write=True)
+        if now is None or now < self._clock:
+            now = self._clock
+        self.hierarchy.pv_access(self.core, block_addr, write=True, now=now)
 
     def _drain(self, now: int) -> None:
         self.mshr.retire_ready(now)

@@ -29,6 +29,10 @@ class CoreTimingModel:
     cycles: float = 0.0
     instructions: int = 0
     stall_cycles: float = 0.0
+    # The portion of stall_cycles caused by queuing (bank conflicts, DRAM
+    # channel waits, MSHR structural stalls) rather than raw path latency.
+    # Stays zero in the analytic model.
+    queue_stall_cycles: float = 0.0
     memory_refs: int = 0
 
     def __post_init__(self) -> None:
@@ -44,24 +48,34 @@ class CoreTimingModel:
         self.instructions += instructions
         self.cycles += instructions / self.base_ipc
 
-    def memory_access(self, latency: float) -> None:
+    def memory_access(self, latency: float, queued: float = 0.0) -> None:
         """Charge one memory reference whose total latency was ``latency``.
 
         Anything up to the pipelined L1 hit latency is free; the remainder
-        is divided by the MLP factor.
+        is divided by the MLP factor.  ``queued`` names the portion of
+        ``latency`` that was queuing delay (contention mode); it is charged
+        like the rest but accounted separately in ``queue_stall_cycles``.
         """
         self.memory_refs += 1
         exposed = max(0.0, latency - self.hidden_latency) / self.mlp
         self.stall_cycles += exposed
         self.cycles += exposed
+        if queued > 0.0:
+            self.queue_stall_cycles += min(exposed, queued / self.mlp)
 
-    def extra_stall(self, cycles: float) -> None:
-        """Charge a raw stall (e.g. waiting on a late prefetch)."""
+    def extra_stall(self, cycles: float, queued: bool = False) -> None:
+        """Charge a raw stall (e.g. waiting on a late prefetch).
+
+        ``queued`` marks the stall as contention-induced (e.g. an MSHR
+        structural stall) for the split accounting.
+        """
         if cycles < 0:
             raise ValueError("negative stall")
         exposed = cycles / self.mlp
         self.stall_cycles += exposed
         self.cycles += exposed
+        if queued:
+            self.queue_stall_cycles += exposed
 
     @property
     def now(self) -> int:

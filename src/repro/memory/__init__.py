@@ -2,10 +2,12 @@
 
 This package implements the memory system the paper's evaluation platform
 (Flexus, Piranha-style CMP) provides: per-core L1 instruction and data
-caches, a shared inclusive L2, and a fixed-latency main memory.  The
-hierarchy exposes the one extension Predictor Virtualization requires: a
-port on the back side of the L1 through which the PVProxy can inject
-ordinary memory requests (see ``MemorySystem.pv_access``).
+caches, a shared inclusive L2, and main memory — fixed-latency by
+default, with opt-in finite-bandwidth/finite-port contention modeling
+(see :mod:`repro.memory.contention`).  The hierarchy exposes the one
+extension Predictor Virtualization requires: a port on the back side of
+the L1 through which the PVProxy can inject ordinary memory requests
+(see ``MemorySystem.pv_access``).
 """
 
 from repro.memory.addr import (
@@ -17,6 +19,7 @@ from repro.memory.addr import (
     region_index,
 )
 from repro.memory.cache import AccessKind, Cache, CacheGeometry, CacheLine, EvictedLine
+from repro.memory.contention import ContentionConfig
 from repro.memory.hierarchy import HierarchyConfig, MemorySystem, ServedBy
 from repro.memory.main_memory import MainMemory
 from repro.memory.mshr import MSHRFile, MSHREntry
@@ -27,6 +30,7 @@ __all__ = [
     "Cache",
     "CacheGeometry",
     "CacheLine",
+    "ContentionConfig",
     "EvictedLine",
     "HierarchyConfig",
     "MSHREntry",

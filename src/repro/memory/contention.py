@@ -1,0 +1,99 @@
+"""Contention modeling knobs for the memory timing path.
+
+The analytic timing model charges every request its isolated latency:
+main memory answers in a constant 400 cycles no matter how many misses
+are in flight, and the L2's banks (declared in Table 1, printed in the
+config string) serve any number of requests per cycle.  That makes the
+paper's central cost question — does PV's extra metadata traffic slow the
+application down? — unanswerable in timing terms, because metadata traffic
+can never displace demand traffic.
+
+:class:`ContentionConfig` turns finite resources on, **opt-in**: with the
+default (``enabled=False``) every latency computation is bit-identical to
+the analytic model, so all existing goldens hold.  When enabled:
+
+* **DRAM channels** — each off-chip read/write occupies one of
+  ``dram_channels`` channels (selected by block-address interleaving) for
+  ``dram_service_cycles``; a request arriving while its channel is busy
+  queues behind it, deterministically (next-free-slot, program order);
+* **L2 bank ports** — every L2 request (demand, prefetch *and* PV) claims
+  its bank's port (``block // block_size mod l2_banks``) for
+  ``l2_bank_busy_cycles``; conflicting requests wait;
+* **MSHRs** — each core tracks in-flight L1 fills in a bounded
+  :class:`~repro.memory.mshr.MSHRFile`: duplicate fills coalesce, a full
+  file rejects further prefetches and stalls demand misses until a slot
+  retires.
+
+Everything is driven off the caller-supplied issue cycle (``now``), never
+wall-clock or RNG state, so contended runs replay bit-identically — the
+determinism discipline of stateless model checking applied to timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def claim_backlog(
+    backlog: List[float],
+    drained_at: List[float],
+    index: int,
+    now: float,
+    service_cycles: float,
+) -> float:
+    """Commit ``service_cycles`` of work on server ``index``; return the wait.
+
+    The one queue discipline every contended resource (DRAM channel, L2
+    bank port) shares: a server carries a backlog of committed-but-unserved
+    cycles, drained by the time elapsed since it last saw a request; a new
+    request waits out the remaining backlog, then commits its own service.
+    Backlog accounting rather than an absolute next-free schedule, so the
+    trace-driven model's approximate cross-core clock ordering can never be
+    charged as queuing delay — only real committed work.
+    """
+    pending = backlog[index]
+    elapsed = now - drained_at[index]
+    if elapsed > 0:
+        pending = pending - elapsed if pending > elapsed else 0.0
+        drained_at[index] = now
+    backlog[index] = pending + service_cycles
+    return pending
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """Finite-resource timing knobs (all ignored unless ``enabled``).
+
+    ``dram_service_cycles`` is the channel occupancy of one 64-byte block
+    transfer; with the Table 1 clock it corresponds to a handful of GB/s
+    per channel.  ``l2_bank_busy_cycles`` is the per-request port busy
+    time of one L2 bank.  ``mshr_entries`` bounds each core's in-flight
+    L1 fills (demand misses and prefetches alike).
+    """
+
+    enabled: bool = False
+    dram_channels: int = 2
+    dram_service_cycles: int = 32
+    l2_bank_busy_cycles: int = 2
+    mshr_entries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dram_channels < 1:
+            raise ValueError("dram_channels must be >= 1")
+        if self.dram_service_cycles < 1:
+            raise ValueError("dram_service_cycles must be >= 1")
+        if self.l2_bank_busy_cycles < 1:
+            raise ValueError("l2_bank_busy_cycles must be >= 1")
+        if self.mshr_entries < 1:
+            raise ValueError("mshr_entries must be >= 1")
+
+    @classmethod
+    def off(cls) -> "ContentionConfig":
+        """The analytic model: infinite bandwidth, unbounded misses."""
+        return cls(enabled=False)
+
+    @classmethod
+    def narrow(cls, dram_channels: int = 1, **kw) -> "ContentionConfig":
+        """An enabled configuration with ``dram_channels`` channels."""
+        return cls(enabled=True, dram_channels=dram_channels, **kw)

@@ -1,8 +1,7 @@
 """The simulated CMP memory hierarchy.
 
 Models the evaluation platform of Table 1: per-core split L1 caches backed
-by one shared, inclusive L2 and a fixed-latency main memory.  Three request
-paths exist:
+by one shared, inclusive L2 and main memory.  Three request paths exist:
 
 * ``access``        — demand loads/stores/ifetches from a core;
 * ``prefetch_fill`` — SMS prefetches, streamed through the L2 into the L1;
@@ -14,6 +13,17 @@ Inclusivity is enforced the way Piranha-style designs do: an L2 eviction
 back-invalidates every L1 copy.  Those invalidations are visible to the SMS
 active-generation tables through the L1 eviction listeners, which is exactly
 the event that ends a spatial-region generation in the paper.
+
+Timing comes in two flavors.  The default analytic model charges each
+request its isolated latency.  When the config's
+:class:`~repro.memory.contention.ContentionConfig` is enabled and callers
+supply their issue cycle (``now``), the hierarchy additionally arbitrates
+the L2's banked ports — demand, prefetch and PV requests all claim the
+target bank (block-address hash) for a busy window and queue behind each
+other — and passes ``now`` to the finite-bandwidth DRAM channel model, so
+latency = raw path latency + queuing delay.  The queuing component of the
+most recent request is exposed as :attr:`MemorySystem.last_queue_delay`
+so cores can charge it distinctly from raw latency.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.memory.cache import AccessKind, Cache, CacheGeometry, EvictedLine
+from repro.memory.contention import ContentionConfig, claim_backlog
 from repro.memory.main_memory import MainMemory
 
 
@@ -47,6 +58,10 @@ class HierarchyConfig:
     l1_latency: int = 2
     l2_size: int = 8 * 1024 * 1024
     l2_assoc: int = 16
+    #: Number of independently-ported L2 banks (Table 1: 8).  A request's
+    #: bank is its block address modulo ``l2_banks``.  Bank conflicts cost
+    #: cycles only when ``contention`` is enabled; otherwise the figure is
+    #: documentation (and part of the printed Table 1 config string).
     l2_banks: int = 8
     l2_tag_latency: int = 6
     l2_data_latency: int = 12
@@ -55,6 +70,8 @@ class HierarchyConfig:
     # the L2 are dropped instead of written back off-chip ("virtualization
     # aware caches").  The paper's evaluated design leaves this False.
     pv_aware_caches: bool = False
+    #: Finite-bandwidth/finite-port timing (off by default: analytic model).
+    contention: ContentionConfig = field(default_factory=ContentionConfig)
 
     def l1d_geometry(self) -> CacheGeometry:
         return CacheGeometry(self.l1d_size, self.l1d_assoc, self.block_size)
@@ -80,6 +97,9 @@ class HierarchyStats:
     coherence_invalidations: int = 0
     coherence_downgrades: int = 0
     write_upgrades: int = 0
+    # L2 bank-port arbitration (contention mode only).
+    bank_conflicts: int = 0
+    bank_conflict_cycles: float = 0.0
 
     @property
     def l2_app_writebacks(self) -> int:
@@ -99,8 +119,28 @@ class MemorySystem:
             Cache(f"l1i{i}", cfg.l1i_geometry()) for i in range(cfg.n_cores)
         ]
         self.l2 = Cache("l2", cfg.l2_geometry())
-        self.memory = MainMemory(latency=cfg.memory_latency, block_size=cfg.block_size)
+        contention = cfg.contention
+        self._contended = contention.enabled
+        self.memory = MainMemory(
+            latency=cfg.memory_latency,
+            block_size=cfg.block_size,
+            channels=contention.dram_channels if self._contended else 0,
+            service_cycles=contention.dram_service_cycles,
+        )
         self.stats = HierarchyStats()
+        # Per-bank port backlog (committed-but-unserved cycles) and the
+        # clock it was last drained at (contention mode).  Backlog, not an
+        # absolute next-free schedule, so approximate cross-core clock
+        # ordering can never be charged as conflict delay.
+        self._bank_backlog: List[float] = [0.0] * cfg.l2_banks
+        self._bank_drained_at: List[float] = [0.0] * cfg.l2_banks
+        self._bank_busy = contention.l2_bank_busy_cycles
+        #: Queuing-delay component (bank conflicts + DRAM channel waits) of
+        #: the most recent timed request; 0.0 in the analytic model.
+        self.last_queue_delay: float = 0.0
+        #: Issue cycle of the request currently being serviced, so that
+        #: internal write-backs it triggers contend for DRAM bandwidth too.
+        self._now: Optional[float] = None
         # Called with (EvictedLine,) whenever a PV line leaves the L2; the
         # PVStorage uses this to commit or drop the backing data.
         self.pv_eviction_listeners: List[Callable[[EvictedLine], None]] = []
@@ -121,10 +161,28 @@ class MemorySystem:
     def l1_for(self, core: int, ifetch: bool = False) -> Cache:
         return self.l1i[core] if ifetch else self.l1d[core]
 
+    def _claim_bank(self, block: int, now: float) -> float:
+        """Arbitrate ``block``'s L2 bank port at ``now``; return the wait."""
+        bank = (block // self.config.block_size) % len(self._bank_backlog)
+        wait = claim_backlog(
+            self._bank_backlog, self._bank_drained_at, bank, now,
+            self._bank_busy,
+        )
+        if wait > 0:
+            self.stats.bank_conflicts += 1
+            self.stats.bank_conflict_cycles += wait
+        return wait
+
     # --------------------------------------------------------------- demand
 
     def access(
-        self, core: int, addr: int, write: bool = False, ifetch: bool = False
+        self,
+        core: int,
+        addr: int,
+        write: bool = False,
+        ifetch: bool = False,
+        now: Optional[float] = None,
+        block: Optional[int] = None,
     ) -> Tuple[int, ServedBy]:
         """Perform a demand reference for ``core``; return (latency, server).
 
@@ -132,6 +190,11 @@ class MemorySystem:
         other L1 copy (merging a dirty remote copy into the L2 first), and
         a read that finds a remote dirty copy downgrades it to the L2.  The
         presence directory makes both O(copies).
+
+        ``now`` is the core's issue cycle; it only matters in contention
+        mode, where the L2 banks and DRAM channels queue the request.
+        ``block`` lets callers that already computed the block address pass
+        it down instead of recomputing it.
         """
         cfg = self.config
         l1 = self.l1_for(core, ifetch)
@@ -139,7 +202,9 @@ class MemorySystem:
             AccessKind.DEMAND_WRITE if write else AccessKind.DEMAND_READ
         )
         bit = core + cfg.n_cores if ifetch else core
-        block = addr - (addr % cfg.block_size)
+        if block is None:
+            block = addr - (addr % cfg.block_size)
+        self.last_queue_delay = 0.0
         if write and self._pv_write_watchers:
             for start, end, callback in self._pv_write_watchers:
                 if start <= block < end:
@@ -156,8 +221,11 @@ class MemorySystem:
                 self._coherence_invalidate(block, keep_bit=bit)
             else:
                 self._coherence_downgrade(block)
-        latency, served = self._fetch_into_l2(addr, kind, core)
-        self._install_l1(l1, addr, core, dirty=write, prefetched=False, bit=bit)
+        self._now = now
+        latency, served = self._fetch_into_l2(addr, kind, core, block, now)
+        self._install_l1(l1, addr, core, dirty=write, prefetched=False,
+                         bit=bit, block=block)
+        self._now = None
         return cfg.l1_latency + latency, served
 
     # ----------------------------------------------------------- coherence
@@ -187,7 +255,7 @@ class MemorySystem:
                         line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
                         if line is None:  # pragma: no cover - eviction race
                             self.stats.l2_writebacks += 1
-                            self.memory.write(block, is_pv=False)
+                            self.memory.write(block, is_pv=False, now=self._now)
             victims >>= 1
             bit += 1
         if remaining:
@@ -209,13 +277,15 @@ class MemorySystem:
                     l2_line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
                     if l2_line is None:  # pragma: no cover - eviction race
                         self.stats.l2_writebacks += 1
-                        self.memory.write(block, is_pv=False)
+                        self.memory.write(block, is_pv=False, now=self._now)
             mask >>= 1
             bit += 1
 
     # -------------------------------------------------------------- prefetch
 
-    def prefetch_fill(self, core: int, addr: int) -> Tuple[int, Optional[ServedBy]]:
+    def prefetch_fill(
+        self, core: int, addr: int, now: Optional[float] = None
+    ) -> Tuple[int, Optional[ServedBy]]:
         """Stream a prefetched block via the L2 into ``core``'s L1D.
 
         Returns ``(latency, served_by)``; ``served_by`` is ``None`` when the
@@ -225,53 +295,101 @@ class MemorySystem:
         l1 = self.l1d[core]
         if l1.contains(addr):
             return 0, None
-        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core)
-        self._install_l1(l1, addr, core, dirty=False, prefetched=True, bit=core)
+        block = addr - (addr % cfg.block_size)
+        self.last_queue_delay = 0.0
+        self._now = now
+        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core,
+                                              block, now)
+        self._install_l1(l1, addr, core, dirty=False, prefetched=True,
+                         bit=core, block=block)
+        self._now = None
         return cfg.l1_latency + latency, served
 
-    def prefetch_fill_ifetch(self, core: int, addr: int) -> Tuple[int, Optional[ServedBy]]:
+    def prefetch_fill_ifetch(
+        self, core: int, addr: int, now: Optional[float] = None
+    ) -> Tuple[int, Optional[ServedBy]]:
         """Next-line instruction prefetch into ``core``'s L1I (baseline)."""
         cfg = self.config
         l1 = self.l1i[core]
         if l1.contains(addr):
             return 0, None
-        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core)
-        self._install_l1(
-            l1, addr, core, dirty=False, prefetched=True, bit=core + cfg.n_cores
-        )
+        block = addr - (addr % cfg.block_size)
+        self.last_queue_delay = 0.0
+        self._now = now
+        latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core,
+                                              block, now)
+        self._install_l1(l1, addr, core, dirty=False, prefetched=True,
+                         bit=core + cfg.n_cores, block=block)
+        self._now = None
         return cfg.l1_latency + latency, served
 
     # -------------------------------------------------------------- PV port
 
-    def pv_access(self, core: int, addr: int, write: bool = False) -> Tuple[int, ServedBy]:
+    def pv_access(
+        self, core: int, addr: int, write: bool = False,
+        now: Optional[float] = None,
+    ) -> Tuple[int, ServedBy]:
         """PVProxy request, injected directly at the L2 (no L1 involvement).
 
         Reads fetch a PVTable block into the L2 (from memory on a miss);
         writes deposit a dirty PV block into the L2, to be written back
-        off-chip only if it is eventually evicted dirty.
+        off-chip only if it is eventually evicted dirty.  In contention
+        mode PV requests claim L2 bank ports and DRAM channels like any
+        other traffic — this is where virtualization pays a modeled price.
         """
         cfg = self.config
         kind = AccessKind.PV_WRITE if write else AccessKind.PV_READ
+        self.last_queue_delay = 0.0
+        block = self._block(addr)
+        timed = self._contended and now is not None
+        wait = 0.0
+        if timed:
+            wait = self._claim_bank(block, now)
+            self.last_queue_delay = wait
         line = self.l2.access(addr, kind, write=write)
         if line is not None:
             line.is_pv = True
-            return cfg.l2_tag_latency + cfg.l2_data_latency, ServedBy.L2
-        latency = self.memory.read(self._block(addr), is_pv=True)
+            latency = cfg.l2_tag_latency + cfg.l2_data_latency
+            return (wait + latency) if timed else latency, ServedBy.L2
+        self._now = now
+        mem_now = now + wait + cfg.l2_tag_latency if timed else None
+        mem_latency = self.memory.read(block, is_pv=True, now=mem_now)
+        if timed:
+            self.last_queue_delay = wait + self.memory.last_queue_delay
         self._install_l2(addr, core, dirty=write, is_pv=True)
-        return cfg.l2_tag_latency + latency, ServedBy.MEM
+        self._now = None
+        latency = cfg.l2_tag_latency + mem_latency
+        return (wait + latency) if timed else latency, ServedBy.MEM
 
     # ------------------------------------------------------------ internals
 
     def _fetch_into_l2(
-        self, addr: int, kind: AccessKind, core: int
+        self,
+        addr: int,
+        kind: AccessKind,
+        core: int,
+        block: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> Tuple[int, ServedBy]:
         """Look ``addr`` up in the L2, filling from memory on a miss."""
         cfg = self.config
+        if block is None:
+            block = addr - (addr % cfg.block_size)
+        timed = self._contended and now is not None
+        wait = 0.0
+        if timed:
+            wait = self._claim_bank(block, now)
+            self.last_queue_delay += wait
         if self.l2.access(addr, kind) is not None:
-            return cfg.l2_tag_latency + cfg.l2_data_latency, ServedBy.L2
-        mem_latency = self.memory.read(self._block(addr), is_pv=False)
+            latency = cfg.l2_tag_latency + cfg.l2_data_latency
+            return (wait + latency) if timed else latency, ServedBy.L2
+        mem_now = now + wait + cfg.l2_tag_latency if timed else None
+        mem_latency = self.memory.read(block, is_pv=False, now=mem_now)
+        if timed:
+            self.last_queue_delay += self.memory.last_queue_delay
         self._install_l2(addr, core, dirty=False, is_pv=False)
-        return cfg.l2_tag_latency + mem_latency, ServedBy.MEM
+        latency = cfg.l2_tag_latency + mem_latency
+        return (wait + latency) if timed else latency, ServedBy.MEM
 
     def _install_l2(self, addr: int, core: int, dirty: bool, is_pv: bool) -> None:
         victim = self.l2.fill(addr, dirty=dirty, is_pv=is_pv, owner=core)
@@ -309,7 +427,7 @@ class MemorySystem:
             self.stats.l2_writebacks += 1
             if victim.is_pv:
                 self.stats.l2_pv_writebacks += 1
-            self.memory.write(victim.block_addr, is_pv=victim.is_pv)
+            self.memory.write(victim.block_addr, is_pv=victim.is_pv, now=self._now)
 
     def _install_l1(
         self,
@@ -319,12 +437,14 @@ class MemorySystem:
         dirty: bool,
         prefetched: bool,
         bit: int,
+        block: Optional[int] = None,
     ) -> None:
         victim = l1.fill(
             addr, dirty=dirty, prefetched=prefetched, is_pv=False, owner=core
         )
         presence = self._l1_presence
-        block = addr - (addr % self.config.block_size)
+        if block is None:
+            block = addr - (addr % self.config.block_size)
         presence[block] = presence.get(block, 0) | (1 << bit)
         if victim is not None:
             vmask = presence.get(victim.block_addr, 0) & ~(1 << bit)
@@ -342,7 +462,7 @@ class MemorySystem:
                 )
                 if line is None:
                     self.stats.l2_writebacks += 1
-                    self.memory.write(victim.block_addr, is_pv=False)
+                    self.memory.write(victim.block_addr, is_pv=False, now=self._now)
 
     def watch_pv_writes(self, start: int, size: int, callback) -> None:
         """Invoke ``callback(block_addr)`` on demand writes in [start, start+size).

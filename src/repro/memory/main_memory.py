@@ -1,39 +1,109 @@
-"""Fixed-latency main memory with off-chip traffic accounting.
+"""Main memory with off-chip traffic accounting and optional finite bandwidth.
 
 Off-chip bandwidth is the quantity Figures 7, 8 and 10 study, split along
 two axes: request direction (reads caused by L2 misses vs. write-backs of
 dirty L2 victims) and payload type (application data vs. PV metadata).
 ``MainMemory`` keeps all four counters.
+
+By default the store is the paper's analytic model — constant latency,
+infinite bandwidth — so every existing result is preserved bit for bit.
+Constructed with ``channels > 0`` (the contention-aware mode, see
+:class:`~repro.memory.contention.ContentionConfig`) it additionally models
+finite DRAM bandwidth: each block transfer commits ``service_cycles`` of
+work to one channel, selected by block-address interleaving.  A channel
+tracks its backlog of committed-but-unserved cycles, drained by elapsed
+time between requests; a new request waits out the remaining backlog.
+(Backlog accounting rather than an absolute next-free schedule: per-core
+clocks in the trace-driven model are only approximately ordered, and a
+backlog can never charge clock skew as queuing delay — only real committed
+work.)  The schedule is a deterministic function of the request stream (no
+RNG, no wall clock), so contended runs replay exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.memory.contention import claim_backlog
 
 
 @dataclass
 class MainMemory:
-    """Backing store: constant latency, infinite capacity, traffic counters."""
+    """Backing store: traffic counters plus an optional channel model.
+
+    ``channels == 0`` (default) keeps the legacy fixed-latency behavior.
+    """
 
     latency: int = 400  # cycles, Table 1
     block_size: int = 64
+    channels: int = 0          # 0: infinite bandwidth (analytic model)
+    service_cycles: int = 32   # channel occupancy per block transfer
     reads: int = 0
     writes: int = 0
     pv_reads: int = 0
     pv_writes: int = 0
+    # Contention accounting (stay zero in the analytic model).
+    busy_cycles: int = 0
+    queue_cycles: float = 0.0
+    queued_requests: int = 0
+    #: Queuing delay of the most recent ``read`` (for split stall charging).
+    last_queue_delay: float = 0.0
+    # Per-channel committed-but-unserved cycles, and the clock they were
+    # last drained at (the max arrival time the channel has seen).
+    _backlog: List[float] = field(default_factory=list, repr=False)
+    _drained_at: List[float] = field(default_factory=list, repr=False)
 
-    def read(self, block_addr: int, is_pv: bool = False) -> int:
-        """Service an L2 miss; returns the access latency in cycles."""
+    def __post_init__(self) -> None:
+        if self.channels:
+            self._backlog = [0.0] * self.channels
+            self._drained_at = [0.0] * self.channels
+
+    def _channel(self, block_addr: int) -> int:
+        return (block_addr // self.block_size) % self.channels
+
+    def _claim(self, block_addr: int, now: float) -> float:
+        """Commit one transfer on ``block_addr``'s channel; return the wait."""
+        wait = claim_backlog(
+            self._backlog, self._drained_at, self._channel(block_addr),
+            now, self.service_cycles,
+        )
+        self.busy_cycles += self.service_cycles
+        if wait > 0:
+            self.queue_cycles += wait
+            self.queued_requests += 1
+        return wait
+
+    def read(self, block_addr: int, is_pv: bool = False,
+             now: Optional[float] = None) -> int:
+        """Service an L2 miss; returns the access latency in cycles.
+
+        With channels configured and an issue cycle supplied, the latency
+        is the base latency plus the channel queuing delay.
+        """
         self.reads += 1
         if is_pv:
             self.pv_reads += 1
+        if self.channels and now is not None:
+            wait = self._claim(block_addr, now)
+            self.last_queue_delay = wait
+            return self.latency + wait
+        self.last_queue_delay = 0.0
         return self.latency
 
-    def write(self, block_addr: int, is_pv: bool = False) -> None:
-        """Accept a write-back of a dirty L2 victim (fire-and-forget)."""
+    def write(self, block_addr: int, is_pv: bool = False,
+              now: Optional[float] = None) -> None:
+        """Accept a write-back of a dirty L2 victim (fire-and-forget).
+
+        The writer never waits on the result, but with channels configured
+        the transfer still occupies bandwidth that later reads queue
+        behind.
+        """
         self.writes += 1
         if is_pv:
             self.pv_writes += 1
+        if self.channels and now is not None:
+            self._claim(block_addr, now)
 
     # -- derived traffic numbers --------------------------------------------
 
@@ -51,6 +121,20 @@ class MainMemory:
 
     def bytes_transferred(self) -> int:
         return self.total_transfers * self.block_size
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of channel-cycles busy over an ``elapsed_cycles`` window."""
+        if not self.channels or elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / (self.channels * elapsed_cycles))
+
+    def reset_counters(self) -> None:
+        """Zero traffic and contention counters; keep the channel schedule."""
+        self.reads = self.writes = self.pv_reads = self.pv_writes = 0
+        self.busy_cycles = 0
+        self.queue_cycles = 0.0
+        self.queued_requests = 0
+        self.last_queue_delay = 0.0
 
     def snapshot(self) -> dict:
         return {

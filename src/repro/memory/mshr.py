@@ -3,9 +3,18 @@
 The PVProxy keeps its outstanding PVTable fetches in "an MSHR-like
 structure" (Section 2.2).  This module provides a small, general MSHR file
 with request coalescing: a second miss to an in-flight block attaches to the
-existing entry instead of issuing a duplicate memory request.  The same
-structure backs the L1 miss path in the timing model so that overlapping
-misses are bounded.
+existing entry instead of issuing a duplicate memory request.
+
+Two clients share it:
+
+* every :class:`~repro.core.pvproxy.PVProxy` tracks its in-flight PVTable
+  set fetches here (capacity 4, the Section 4.6 budget);
+* in contention mode (:class:`~repro.memory.contention.ContentionConfig`),
+  each core's L1 miss path runs through a per-core file: demand fills and
+  prefetches allocate entries, duplicate in-flight fills coalesce, a full
+  file rejects prefetches and stalls demand misses until the earliest
+  outstanding fill retires.  The analytic (default) timing model leaves the
+  L1 path unbounded and does not touch this structure.
 """
 
 from __future__ import annotations
@@ -81,6 +90,19 @@ class MSHRFile:
         for entry in ready:
             del self._entries[entry.block_addr]
         return ready
+
+    def earliest_ready(self) -> Optional[float]:
+        """Completion time of the next fill to arrive, if any is in flight."""
+        if not self._entries:
+            return None
+        return min(e.ready_at for e in self._entries.values())
+
+    def reset_stats(self) -> None:
+        """Zero the counters; in-flight entries survive (warmup boundary)."""
+        self.allocations = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.peak_occupancy = len(self._entries)
 
     def outstanding(self) -> List[MSHREntry]:
         return list(self._entries.values())

@@ -23,12 +23,15 @@ import os
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, Optional
 
+from repro.memory.contention import ContentionConfig
 from repro.sim.config import PrefetcherConfig, SystemConfig
 
 #: Bump whenever the meaning of a spec field changes: every key (and hence
 #: every store entry) derived from the old schema is invalidated at once.
 #: 2: PrefetcherConfig grew ``engines`` (multi-predictor generality study).
-SPEC_SCHEMA = 2
+#: 3: specs grew ``contention`` (finite DRAM bandwidth / L2 bank ports /
+#:    MSHR-bounded miss paths).
+SPEC_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,8 @@ class ExperimentSpec:
     l2_data_latency: Optional[int] = None
     pv_aware: bool = False
     seed: int = 1
+    #: Contention-aware timing (None or disabled = the analytic model).
+    contention: Optional[ContentionConfig] = None
 
     # ------------------------------------------------------------- identity
 
@@ -84,6 +89,8 @@ class ExperimentSpec:
             raise ValueError(f"unknown spec fields: {sorted(unknown)}")
         data["prefetcher"] = PrefetcherConfig(**data["prefetcher"])
         data["scale"] = ExperimentScale(**data["scale"])
+        if data.get("contention") is not None:
+            data["contention"] = ContentionConfig(**data["contention"])
         return cls(**data)
 
     def canonical_json(self) -> str:
@@ -110,6 +117,7 @@ class ExperimentSpec:
         l2_data_latency: Optional[int] = None,
         pv_aware: bool = False,
         seed: int = 1,
+        contention: Optional[ContentionConfig] = None,
     ) -> "ExperimentSpec":
         """The spec ``run_experiment`` would run for these arguments."""
         return cls(
@@ -121,6 +129,7 @@ class ExperimentSpec:
             l2_data_latency=l2_data_latency,
             pv_aware=pv_aware,
             seed=seed,
+            contention=contention,
         )
 
     def system_config(self) -> SystemConfig:
@@ -140,6 +149,8 @@ class ExperimentSpec:
             system = replace(
                 system, hierarchy=replace(system.hierarchy, pv_aware_caches=True)
             )
+        if self.contention is not None:
+            system = system.with_contention(self.contention)
         return system
 
     def execute(self):

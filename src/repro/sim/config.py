@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.core.pvproxy import PVProxyConfig
+from repro.memory.contention import ContentionConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.prefetch.sms import SMSConfig
 
@@ -222,6 +223,19 @@ class SystemConfig:
             ),
         )
         return replace(self, hierarchy=hierarchy)
+
+    def with_contention(self, contention: Optional[ContentionConfig] = None,
+                        **kw) -> "SystemConfig":
+        """Derived config with contention-aware timing enabled.
+
+        Either pass a ready :class:`ContentionConfig`, or keyword knobs
+        (``dram_channels=1`` etc.) that build an enabled one.
+        """
+        if contention is None:
+            contention = ContentionConfig(enabled=True, **kw)
+        return replace(
+            self, hierarchy=replace(self.hierarchy, contention=contention)
+        )
 
     def table1(self) -> dict:
         """Render the configuration the way Table 1 presents it."""

@@ -92,6 +92,7 @@ def run_experiment(
     l2_data_latency: Optional[int] = None,
     pv_aware: bool = False,
     seed: int = 1,
+    contention=None,
     use_cache: bool = True,
     store=None,
 ) -> SimResult:
@@ -99,7 +100,9 @@ def run_experiment(
 
     ``l2_size``/``l2_*_latency`` support the Section 4.5 sensitivity
     studies; ``pv_aware`` enables the virtualization-aware-cache design
-    option ablation.
+    option ablation; ``contention`` (a
+    :class:`~repro.memory.contention.ContentionConfig`) switches on the
+    finite-bandwidth timing model for the bandwidth-sensitivity sweeps.
     """
     spec = ExperimentSpec.build(
         workload,
@@ -110,5 +113,6 @@ def run_experiment(
         l2_data_latency=l2_data_latency,
         pv_aware=pv_aware,
         seed=seed,
+        contention=contention,
     )
     return run_spec(spec, use_cache=use_cache, store=store)

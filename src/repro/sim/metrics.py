@@ -65,6 +65,22 @@ class SimResult:
     # e.g. ``{"btb": {"lookups": ..., "hit_rate": ...}}``.
     engine_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    # Contention accounting (ContentionConfig; all zero when the analytic
+    # model is active, so legacy results deserialize with these defaults).
+    dram_utilization: float = 0.0
+    dram_busy_cycles: int = 0
+    dram_queue_cycles: float = 0.0
+    dram_queued_requests: int = 0
+    bank_conflicts: int = 0
+    bank_conflict_cycles: float = 0.0
+    queue_stall_cycles: float = 0.0
+    mshr_allocations: int = 0
+    mshr_coalesced: int = 0
+    mshr_rejected: int = 0
+    mshr_peak_occupancy: int = 0
+    mshr_stall_cycles: float = 0.0
+    mshr_demand_stalls: int = 0
+
     # Timing.
     instructions: int = 0
     elapsed_cycles: float = 0.0
@@ -168,6 +184,10 @@ class SimResult:
             "offchip": self.offchip_transfers,
             "pv_l2_fill_rate": round(self.pv_l2_fill_rate, 4),
         }
+        if self.dram_busy_cycles:
+            digest["dram_utilization"] = round(self.dram_utilization, 4)
+            digest["bank_conflict_cycles"] = round(self.bank_conflict_cycles, 1)
+            digest["queue_stall_cycles"] = round(self.queue_stall_cycles, 1)
         for kind, stats in self.engine_stats.items():
             for rate in ("hit_rate", "accuracy", "coverage"):
                 if rate in stats:

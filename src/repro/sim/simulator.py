@@ -27,7 +27,8 @@ from typing import Dict, List, Optional
 from repro.cpu.core import CoreTimingModel
 from repro.memory.addr import AddressSpace
 from repro.memory.cache import CacheStats
-from repro.memory.hierarchy import HierarchyStats, MemorySystem
+from repro.memory.hierarchy import HierarchyStats, MemorySystem, ServedBy
+from repro.memory.mshr import MSHRFile
 from repro.prefetch.nextline import NextLinePrefetcher
 from repro.prefetch.pht import DedicatedPHT, InfinitePHT, sms_pht_layout
 from repro.prefetch.sms import SMSConfig, SMSPrefetcher
@@ -89,10 +90,20 @@ class CMPSimulator:
         self.engines: List[List[EngineRuntime]] = []
         self._build_prefetchers()
         self._build_engines()
-        # In-flight prefetch arrival times, per core, block address -> cycle.
+        # In-flight prefetch arrival times, per core, block address -> cycle
+        # (analytic mode; contention mode tracks fills in the MSHR files).
         self._pending: List[Dict[int, float]] = [dict() for _ in range(n_cores)]
         self._last_iblock = [-1] * n_cores
         self.late_prefetches = 0
+        # Contention mode: per-core L1 MSHR files bound outstanding misses.
+        contention = cfg.hierarchy.contention
+        self._contended = contention.enabled
+        self._mshr: List[MSHRFile] = [
+            MSHRFile(contention.mshr_entries, name=f"l1mshr{i}")
+            for i in range(n_cores)
+        ] if self._contended else []
+        self._mshr_stall_cycles = 0.0
+        self._mshr_demand_stalls = 0
 
     # ----------------------------------------------------------- assembly
 
@@ -196,72 +207,140 @@ class CMPSimulator:
     # ------------------------------------------------------------- driving
 
     def _drive(self, refs_per_core: int) -> None:
-        """Advance every core by ``refs_per_core`` references, round-robin."""
+        """Advance every core by ``refs_per_core`` references.
+
+        The analytic model drives round-robin by reference count.  In
+        contention mode the shared resources (bank ports, DRAM channels)
+        compare issue cycles across cores, so the drive order must keep
+        the per-core clocks comparable: always advance the core with the
+        smallest clock (deterministic, ties broken by core index) —
+        effectively a global-time event order.
+        """
         n_cores = len(self.cores)
         streams = [gen.records(refs_per_core) for gen in self.generators]
+        # Bind the hot lookups once per drive instead of once per reference.
+        nexts = [stream.__next__ for stream in streams]
+        step = self._step
         hierarchy = self.hierarchy
         model_ifetch = self.system.model_ifetch
         block_size = self.system.hierarchy.block_size
         alive = list(range(n_cores))
+        if self._contended:
+            cores = self.cores
+            while alive:
+                i = min(alive, key=lambda c: cores[c].cycles)
+                try:
+                    rec = nexts[i]()
+                except StopIteration:
+                    alive.remove(i)
+                    continue
+                step(i, rec, hierarchy, model_ifetch, block_size)
+            return
         while alive:
             finished = []
             for pos, i in enumerate(alive):
                 try:
-                    rec = next(streams[i])
+                    rec = nexts[i]()
                 except StopIteration:
                     finished.append(pos)
                     continue
-                self._step(i, rec, hierarchy, model_ifetch, block_size)
+                step(i, rec, hierarchy, model_ifetch, block_size)
             for pos in reversed(finished):
                 del alive[pos]
 
     def _step(self, i: int, rec, hierarchy, model_ifetch: bool, block_size: int) -> None:
         core = self.cores[i]
+        contended = self._contended
+        mshr = self._mshr[i] if contended else None
         now = core.cycles
         pending = self._pending[i]
+        addr = rec.addr
 
         # Instruction fetch (with the baseline next-line L1I prefetcher).
         if model_ifetch:
-            iblock = rec.pc - (rec.pc % block_size)
+            pc = rec.pc
+            iblock = pc - (pc % block_size)
             if iblock != self._last_iblock[i]:
                 self._last_iblock[i] = iblock
-                lat, _ = hierarchy.access(i, rec.pc, ifetch=True)
+                lat, _ = hierarchy.access(i, pc, ifetch=True, now=now, block=iblock)
                 if lat > core.hidden_latency:
-                    core.memory_access(lat)
-                for target in self.nextline[i].on_fetch(rec.pc):
-                    hierarchy.prefetch_fill_ifetch(i, target)
+                    core.memory_access(
+                        lat, queued=hierarchy.last_queue_delay if contended else 0.0
+                    )
+                for target in self.nextline[i].on_fetch(pc):
+                    hierarchy.prefetch_fill_ifetch(
+                        i, target, now=core.cycles if contended else None
+                    )
 
         # Late-prefetch stall: the demand reference arrived before the
-        # prefetched block did; the core waits out the remainder.
-        addr_block = rec.addr - (rec.addr % block_size)
-        arrival = pending.pop(addr_block, None)
-        if arrival is not None and arrival > now:
-            core.extra_stall(arrival - now)
-            self.late_prefetches += 1
-            now = core.cycles
+        # in-flight block did; the core waits out the remainder.
+        addr_block = addr - (addr % block_size)
+        if contended:
+            # The MSHR file is the single in-flight tracker: fills that
+            # have arrived retire here (no ad-hoc pending-dict sweep).
+            mshr.retire_ready(now)
+            entry = mshr.find(addr_block)
+            if entry is not None:
+                if entry.ready_at > now:
+                    core.extra_stall(entry.ready_at - now)
+                    if entry.waiters:
+                        self.late_prefetches += 1
+                    now = core.cycles
+                mshr.complete(addr_block)
+        else:
+            arrival = pending.pop(addr_block, None)
+            if arrival is not None and arrival > now:
+                core.extra_stall(arrival - now)
+                self.late_prefetches += 1
+                now = core.cycles
 
         # The demand access itself.
-        latency, _ = hierarchy.access(i, rec.addr, write=rec.write)
+        latency, served = hierarchy.access(
+            i, addr, write=rec.write, now=now, block=addr_block
+        )
         core.advance(rec.instructions)
-        core.memory_access(latency)
+        core.memory_access(
+            latency, queued=hierarchy.last_queue_delay if contended else 0.0
+        )
         # Cycle count once the demand access has retired; prefetches that
         # this access triggers cannot be in flight earlier than this.
         post_access = core.cycles
 
+        # Contention mode: the demand fill occupies an MSHR until it lands;
+        # a full file is a structural hazard the core waits out.
+        if contended and served is not ServedBy.L1:
+            mshr.retire_ready(post_access)
+            if mshr.full:
+                earliest = mshr.earliest_ready()
+                stall = earliest - post_access
+                if stall > 0:
+                    core.extra_stall(stall, queued=True)
+                    self._mshr_stall_cycles += stall
+                    self._mshr_demand_stalls += 1
+                mshr.retire_ready(earliest)
+                post_access = core.cycles
+            mshr.allocate(addr_block, issued_at=now, ready_at=now + latency)
+
         # Train SMS and issue any predicted prefetches.
         engine = self.sms[i]
         if engine is not None:
-            prefetches = engine.on_access(rec.pc, rec.addr, int(now))
+            prefetches = engine.on_access(rec.pc, addr, int(now))
             for block_addr, ready_at in prefetches:
-                fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
-                if served is not None:
-                    pending[block_addr] = ready_at + fill_latency
+                if contended:
+                    self._contended_prefetch(i, mshr, block_addr, ready_at)
+                else:
+                    fill_latency, served_pf = hierarchy.prefetch_fill(i, block_addr)
+                    if served_pf is not None:
+                        pending[block_addr] = ready_at + fill_latency
         stride = self.stride[i]
         if stride is not None:
-            for block_addr in stride.on_access(rec.pc, rec.addr):
-                fill_latency, served = hierarchy.prefetch_fill(i, block_addr)
-                if served is not None:
-                    pending[block_addr] = post_access + 1 + fill_latency
+            for block_addr in stride.on_access(rec.pc, addr):
+                if contended:
+                    self._contended_prefetch(i, mshr, block_addr, post_access + 1)
+                else:
+                    fill_latency, served_pf = hierarchy.prefetch_fill(i, block_addr)
+                    if served_pf is not None:
+                        pending[block_addr] = post_access + 1 + fill_latency
 
         # Additional predictor engines (BTB/LVP) observe the same stream.
         for runtime in self.engines[i]:
@@ -269,8 +348,32 @@ class CMPSimulator:
 
         # Bound the in-flight map for every prefetching configuration
         # (stride included): retire arrivals that have long since landed.
-        if len(pending) > self.PENDING_SWEEP_THRESHOLD:
+        if not contended and len(pending) > self.PENDING_SWEEP_THRESHOLD:
             self._sweep_pending(pending, core.cycles)
+
+    def _contended_prefetch(
+        self, i: int, mshr: MSHRFile, block_addr: int, issue_at: float
+    ) -> None:
+        """Issue one prefetch through the bounded miss path.
+
+        A duplicate of an in-flight fill coalesces; a full MSHR file drops
+        the prefetch outright (predictions are advisory), so the prefetcher
+        can never hold more fills in flight than the hardware tracks.
+        """
+        if mshr.find(block_addr) is not None:
+            mshr.coalesced += 1
+            return
+        if mshr.full:
+            mshr.rejected += 1
+            return
+        fill_latency, served = self.hierarchy.prefetch_fill(
+            i, block_addr, now=issue_at
+        )
+        if served is not None:
+            entry = mshr.allocate(
+                block_addr, issued_at=issue_at, ready_at=issue_at + fill_latency
+            )
+            entry.attach("prefetch")
 
     @staticmethod
     def _sweep_pending(pending: Dict[int, float], now: float) -> None:
@@ -285,9 +388,16 @@ class CMPSimulator:
         for cache in (*self.hierarchy.l1d, *self.hierarchy.l1i, self.hierarchy.l2):
             cache.stats = CacheStats()
         self.hierarchy.stats = HierarchyStats()
-        mem = self.hierarchy.memory
-        mem.reads = mem.writes = mem.pv_reads = mem.pv_writes = 0
+        # Traffic and contention counters restart; the DRAM channel / bank
+        # backlogs (in-flight committed work) survive the boundary.
+        self.hierarchy.memory.reset_counters()
         self.late_prefetches = 0
+        self._mshr_stall_cycles = 0.0
+        self._mshr_demand_stalls = 0
+        for mshr in self._mshr:
+            mshr.reset_stats()
+        for core in self.cores:
+            core.queue_stall_cycles = 0.0
         for engine in self.sms:
             if engine is not None:
                 engine.stats.__init__()
@@ -354,6 +464,22 @@ class CMPSimulator:
             window_ipcs=window_ipcs,
             late_prefetches=self.late_prefetches,
         )
+        # Contention counters (all zero under the analytic model).
+        mem = h.memory
+        result.dram_busy_cycles = mem.busy_cycles
+        result.dram_queue_cycles = mem.queue_cycles
+        result.dram_queued_requests = mem.queued_requests
+        result.dram_utilization = mem.utilization(elapsed)
+        result.bank_conflicts = h.stats.bank_conflicts
+        result.bank_conflict_cycles = h.stats.bank_conflict_cycles
+        result.queue_stall_cycles = sum(c.queue_stall_cycles for c in self.cores)
+        if self._mshr:
+            result.mshr_allocations = sum(f.allocations for f in self._mshr)
+            result.mshr_coalesced = sum(f.coalesced for f in self._mshr)
+            result.mshr_rejected = sum(f.rejected for f in self._mshr)
+            result.mshr_peak_occupancy = max(f.peak_occupancy for f in self._mshr)
+            result.mshr_stall_cycles = self._mshr_stall_cycles
+            result.mshr_demand_stalls = self._mshr_demand_stalls
         for engine in self.sms:
             if engine is None:
                 continue

@@ -1,0 +1,222 @@
+"""Contention-model invariants.
+
+The refactor's contract, straight from the design notes:
+
+(a) contention disabled (the default) is the analytic model — results are
+    **bitwise** identical whether the knob is absent or explicitly off;
+(b) narrowing DRAM channels or L2 banks never *improves* aggregate IPC;
+(c) MSHR coalescing/occupancy never exceeds capacity, and contended runs
+    replay deterministically — including through the parallel SweepRunner.
+"""
+
+import pytest
+
+from repro.memory.contention import ContentionConfig
+from repro.memory.main_memory import MainMemory
+from repro.runner.serialize import canonical_result_json
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.sweep import SweepRunner
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.simulator import CMPSimulator
+from repro.workloads.registry import get_workload
+
+SCALE = ExperimentScale(refs_per_core=1500, warmup_refs=800, window_refs=150)
+
+
+def _run(prefetcher, system=None, workload="Apache", refs=1500, warmup=800):
+    sim = CMPSimulator(get_workload(workload), prefetcher, system=system)
+    return sim.run(refs, warmup_refs=warmup)
+
+
+def _contended(channels=2, **kw):
+    return SystemConfig.baseline().with_contention(
+        dram_channels=channels, **kw
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_are_off(self):
+        assert not ContentionConfig().enabled
+        assert not SystemConfig.baseline().hierarchy.contention.enabled
+
+    @pytest.mark.parametrize("field,value", [
+        ("dram_channels", 0),
+        ("dram_service_cycles", 0),
+        ("l2_bank_busy_cycles", 0),
+        ("mshr_entries", 0),
+    ])
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ValueError):
+            ContentionConfig(**{field: value})
+
+    def test_narrow_builder(self):
+        cfg = ContentionConfig.narrow(1)
+        assert cfg.enabled and cfg.dram_channels == 1
+
+
+class TestDisabledIsAnalytic:
+    """(a): the knob's mere existence changes nothing."""
+
+    @pytest.mark.parametrize("prefetcher", [
+        PrefetcherConfig.none(),
+        PrefetcherConfig.virtualized(8),
+        PrefetcherConfig.stride(),
+    ])
+    def test_disabled_bitwise_equal_to_default(self, prefetcher):
+        default = _run(prefetcher)
+        explicit = _run(
+            prefetcher,
+            system=SystemConfig.baseline().with_contention(
+                ContentionConfig(enabled=False)
+            ),
+        )
+        assert canonical_result_json(default) == canonical_result_json(explicit)
+
+    def test_disabled_run_reports_no_contention(self):
+        r = _run(PrefetcherConfig.virtualized(8))
+        assert r.dram_utilization == 0.0
+        assert r.dram_busy_cycles == 0
+        assert r.bank_conflict_cycles == 0.0
+        assert r.queue_stall_cycles == 0.0
+        assert r.mshr_allocations == 0
+
+    def test_spec_hash_distinguishes_contention(self):
+        plain = ExperimentSpec.build("Apache", PrefetcherConfig.none(), SCALE)
+        contended = ExperimentSpec.build(
+            "Apache", PrefetcherConfig.none(), SCALE,
+            contention=ContentionConfig.narrow(1),
+        )
+        assert plain.key != contended.key
+        # Round-trip through the dict form preserves the key.
+        assert ExperimentSpec.from_dict(contended.to_dict()).key == contended.key
+
+
+class TestMonotonicity:
+    """(b): fewer resources can only hurt aggregate IPC."""
+
+    @pytest.mark.parametrize("workload", ["Apache", "Qry17"])
+    def test_narrowing_dram_channels(self, workload):
+        ipcs = [
+            _run(PrefetcherConfig.virtualized(8),
+                 system=_contended(channels=c), workload=workload).aggregate_ipc
+            for c in (4, 2, 1)
+        ]
+        assert ipcs[0] >= ipcs[1] >= ipcs[2], ipcs
+
+    def test_narrowing_l2_banks(self):
+        from dataclasses import replace
+
+        ipcs = []
+        for banks in (8, 2, 1):
+            system = _contended(channels=4)
+            system = replace(
+                system, hierarchy=replace(system.hierarchy, l2_banks=banks)
+            )
+            ipcs.append(_run(PrefetcherConfig.none(), system=system).aggregate_ipc)
+        assert ipcs[0] >= ipcs[1] >= ipcs[2], ipcs
+
+    def test_contended_never_faster_than_analytic(self):
+        analytic = _run(PrefetcherConfig.none()).aggregate_ipc
+        contended = _run(
+            PrefetcherConfig.none(), system=_contended(channels=1)
+        ).aggregate_ipc
+        assert contended <= analytic
+
+    def test_contention_registers_in_metrics(self):
+        r = _run(PrefetcherConfig.virtualized(8), system=_contended(channels=1))
+        assert r.dram_utilization > 0
+        assert r.dram_busy_cycles > 0
+        assert r.queue_stall_cycles > 0
+        assert r.mshr_allocations > 0
+
+
+class TestMSHRBounds:
+    """(c): the bounded miss path honors its capacity."""
+
+    def test_peak_occupancy_within_capacity(self):
+        for entries in (2, 4, 16):
+            system = SystemConfig.baseline().with_contention(
+                dram_channels=2, mshr_entries=entries
+            )
+            r = _run(PrefetcherConfig.virtualized(8), system=system)
+            assert 0 < r.mshr_peak_occupancy <= entries
+
+    def test_tiny_mshr_rejects_prefetches(self):
+        system = SystemConfig.baseline().with_contention(
+            dram_channels=2, mshr_entries=1
+        )
+        r = _run(PrefetcherConfig.virtualized(8), system=system)
+        assert r.mshr_rejected > 0
+        assert r.mshr_peak_occupancy == 1
+
+    def test_contended_run_is_deterministic(self):
+        system = _contended(channels=1)
+        a = _run(PrefetcherConfig.virtualized(8), system=system)
+        b = _run(PrefetcherConfig.virtualized(8), system=system)
+        assert canonical_result_json(a) == canonical_result_json(b)
+
+
+class TestParallelDeterminism:
+    """(c): the SweepRunner replays contended runs bit-identically."""
+
+    def test_sweep_runner_matches_inline(self):
+        specs = [
+            ExperimentSpec.build(
+                "Apache", config, SCALE,
+                contention=ContentionConfig.narrow(channels),
+            )
+            for channels in (2, 1)
+            for config in (PrefetcherConfig.none(), PrefetcherConfig.virtualized(8))
+        ]
+        inline = [spec.execute() for spec in specs]
+        parallel = SweepRunner(jobs=2, use_cache=False).run(specs)
+        for spec, a, b in zip(specs, inline, parallel):
+            assert canonical_result_json(a) == canonical_result_json(b), spec.key
+
+
+class TestChannelModel:
+    """The DRAM channel queue in isolation."""
+
+    def test_untimed_read_is_fixed_latency(self):
+        mem = MainMemory(latency=100, channels=2)
+        assert mem.read(0) == 100
+        assert mem.busy_cycles == 0
+
+    def test_back_to_back_reads_queue(self):
+        mem = MainMemory(latency=100, block_size=64, channels=1,
+                         service_cycles=32)
+        assert mem.read(0, now=0) == 100          # empty channel
+        assert mem.read(64, now=0) == 132         # behind one transfer
+        assert mem.read(128, now=0) == 164        # behind two
+        assert mem.queued_requests == 2
+        assert mem.busy_cycles == 96
+
+    def test_backlog_drains_with_time(self):
+        mem = MainMemory(latency=100, block_size=64, channels=1,
+                         service_cycles=32)
+        mem.read(0, now=0)
+        assert mem.read(64, now=1000) == 100      # backlog long gone
+        assert mem.queue_cycles == 0.0
+
+    def test_interleaving_spreads_channels(self):
+        mem = MainMemory(latency=100, block_size=64, channels=2,
+                         service_cycles=32)
+        assert mem.read(0, now=0) == 100          # channel 0
+        assert mem.read(64, now=0) == 100         # channel 1: no queue
+        assert mem.read(128, now=0) == 132        # channel 0 again: queues
+
+    def test_writes_consume_bandwidth(self):
+        mem = MainMemory(latency=100, block_size=64, channels=1,
+                         service_cycles=32)
+        mem.write(0, now=0)
+        assert mem.read(64, now=0) == 132
+        assert mem.utilization(64) == 1.0
+
+    def test_reset_counters_keeps_schedule(self):
+        mem = MainMemory(latency=100, block_size=64, channels=1,
+                         service_cycles=32)
+        mem.read(0, now=0)
+        mem.reset_counters()
+        assert mem.busy_cycles == 0 and mem.reads == 0
+        # The in-flight transfer still occupies the channel.
+        assert mem.read(64, now=0) == 132
