@@ -16,7 +16,10 @@ Commands mirror the deliverables:
 * ``sweep``                                         — resolve a workload x
   configuration lattice through the parallel sweep runner;
 * ``trace-stats``                                   — summarize a workload's
-  synthetic reference stream.
+  synthetic reference stream;
+* ``profile``                                       — cProfile the simulator
+  hot path over a canonical run (default: PV8 under DRAM contention) and
+  print a top-N report, so throughput work is measurable and repeatable.
 
 All figure commands accept ``--workloads`` (comma-separated), ``--refs``
 and ``--warmup`` to control scale, plus ``--jobs N`` (process-pool width)
@@ -140,6 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     ts.add_argument("workload", choices=workload_names())
     ts.add_argument("--refs", type=int, default=20_000)
     ts.add_argument("--core", type=int, default=0)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile the simulator hot path and print a top-N report",
+    )
+    prof.add_argument("--workload", choices=workload_names(), default="Apache")
+    prof.add_argument("--config", choices=sorted(PREFETCHERS), default="pv8",
+                      help="prefetcher configuration to profile (default pv8)")
+    prof.add_argument("--refs", type=int, default=6_000,
+                      help="references per core (default: the perf-smoke scale)")
+    prof.add_argument("--warmup", type=int, default=2_000)
+    prof.add_argument("--channels", type=int, default=1,
+                      help="finite DRAM channels for the contended run; "
+                           "0 disables contention (analytic model)")
+    prof.add_argument("--top", type=int, default=25,
+                      help="functions to show in the report")
+    prof.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
+                      default="cumulative")
+    prof.add_argument("--out", default=None,
+                      help="also write the report to this file")
 
     return parser
 
@@ -267,6 +290,53 @@ def _run_sweep(args) -> str:
     )
 
 
+def _run_profile(args) -> str:
+    """cProfile one canonical simulation; return the formatted report.
+
+    The default run — PV8 on Apache with a single DRAM channel — exercises
+    every hot layer at once: trace compilation, the array-backed caches,
+    the PVProxy path, bank/channel arbitration and the MSHR files.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.sim.config import SystemConfig
+
+    workload = get_workload(args.workload)
+    config = PREFETCHERS[args.config]()
+    system = (
+        SystemConfig.baseline().with_contention(dram_channels=args.channels)
+        if args.channels > 0
+        else None
+    )
+    simulator = CMPSimulator(workload, config, system=system)
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = simulator.run(args.refs, warmup_refs=args.warmup)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    total_refs = (args.refs + args.warmup) * result.n_cores
+    stream = io.StringIO()
+    contended = f"{args.channels}ch" if args.channels > 0 else "analytic"
+    stream.write(
+        f"repro profile: {workload.name} / {config.label} ({contended}), "
+        f"{args.refs} refs/core + {args.warmup} warmup\n"
+        f"{total_refs} refs in {elapsed:.3f}s under cProfile "
+        f"= {total_refs / elapsed:,.0f} refs/sec (profiler overhead included); "
+        f"aggregate IPC {result.aggregate_ipc:.4f}\n\n"
+    )
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    report = stream.getvalue()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+    return report
+
+
 def _run_trace_stats(args) -> str:
     from repro.cpu.tracetools import trace_stats
     from repro.workloads.generator import WorkloadGenerator
@@ -309,6 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_sweep(args))
     elif args.command == "trace-stats":
         print(_run_trace_stats(args))
+    elif args.command == "profile":
+        print(_run_profile(args))
     return 0
 
 

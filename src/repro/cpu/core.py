@@ -48,6 +48,22 @@ class CoreTimingModel:
         self.instructions += instructions
         self.cycles += instructions / self.base_ipc
 
+    def commit(self, instructions: int, latency: float, queued: float = 0.0) -> None:
+        """One reference's full bookkeeping: advance then charge, fused.
+
+        Exactly :meth:`advance` followed by :meth:`memory_access` (same
+        floating-point operation order, so cycle counts are bit-identical),
+        in a single call for the simulator's per-reference hot path.
+        """
+        self.instructions += instructions
+        self.cycles += instructions / self.base_ipc
+        self.memory_refs += 1
+        exposed = max(0.0, latency - self.hidden_latency) / self.mlp
+        self.stall_cycles += exposed
+        self.cycles += exposed
+        if queued > 0.0:
+            self.queue_stall_cycles += min(exposed, queued / self.mlp)
+
     def memory_access(self, latency: float, queued: float = 0.0) -> None:
         """Charge one memory reference whose total latency was ``latency``.
 

@@ -13,16 +13,24 @@ needs:
 
 The cache never allocates on its own: ``lookup`` probes, ``access`` performs
 a demand reference (hit path only), and ``fill`` installs a block and
-returns the victim, leaving miss handling to the owning hierarchy.  LRU is
-maintained with an ``OrderedDict`` per set, so every operation is O(1).
+returns the victim, leaving miss handling to the owning hierarchy.
+
+Line state lives in flat per-set parallel lists — tags, LRU stamps, and a
+packed flag word per way — rather than per-line objects: tag search is a C
+scan over at most ``assoc`` small ints, a fill writes three ints, and the
+LRU victim is the minimum stamp (stamps come from a strictly increasing
+tick, so the minimum is unique and matches the move-to-end ordering of the
+previous ``OrderedDict`` implementation exactly).  ``lookup``/``access``
+expose residency through :class:`CacheLine`, a lightweight view that reads
+and writes the packed state in place; hot callers use the allocation-free
+``access_hit`` / ``access_pv`` / ``downgrade`` entry points instead.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, List, NamedTuple, Optional
 
 from repro.memory.addr import _check_power_of_two
 
@@ -38,17 +46,21 @@ class AccessKind(enum.Enum):
     PV_WRITE = "pv_write"
     WRITEBACK = "writeback"
 
-    @property
-    def is_pv(self) -> bool:
-        return self in (AccessKind.PV_READ, AccessKind.PV_WRITE)
 
-    @property
-    def is_demand(self) -> bool:
-        return self in (
-            AccessKind.DEMAND_READ,
-            AccessKind.DEMAND_WRITE,
-            AccessKind.IFETCH,
-        )
+# Hoisted enum members: identity checks against locals/module globals are
+# measurably cheaper than attribute lookups in the per-reference paths.
+_DEMAND_READ = AccessKind.DEMAND_READ
+_DEMAND_WRITE = AccessKind.DEMAND_WRITE
+_IFETCH = AccessKind.IFETCH
+_PREFETCH = AccessKind.PREFETCH
+_PV_READ = AccessKind.PV_READ
+_PV_WRITE = AccessKind.PV_WRITE
+
+# Packed per-way flag word: low bits are state flags, the rest is owner+1.
+_F_DIRTY = 1
+_F_PREFETCHED = 2
+_F_PV = 4
+_OWNER_SHIFT = 3
 
 
 @dataclass
@@ -86,19 +98,87 @@ class CacheGeometry:
         return self.size_bytes // self.block_size
 
 
-@dataclass
 class CacheLine:
-    """State of one resident cache block."""
+    """Live view of one resident block; reads/writes the packed set arrays.
 
-    block_addr: int
-    dirty: bool = False
-    prefetched: bool = False
-    is_pv: bool = False
-    owner: int = -1  # core that installed the line (for per-core stats)
+    Identified by ``(set, tag)`` — not a way index — so the view stays
+    bound to *its* block even when evictions reshape the set underneath
+    it, exactly like the former per-line objects.  Accessing a view whose
+    block has left the cache raises ``KeyError``.
+    """
+
+    __slots__ = ("_cache", "_set", "_tag")
+
+    def __init__(self, cache: "Cache", set_index: int, tag: int) -> None:
+        self._cache = cache
+        self._set = set_index
+        self._tag = tag
+
+    def _way(self) -> int:
+        try:
+            return self._cache._tags[self._set].index(self._tag)
+        except ValueError:
+            raise KeyError(
+                f"block 0x{self.block_addr:x} is no longer resident in "
+                f"{self._cache.name}"
+            ) from None
+
+    @property
+    def block_addr(self) -> int:
+        c = self._cache
+        return (self._tag * c._nsets + self._set) * c._bs
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._cache._meta[self._set][self._way()] & _F_DIRTY)
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        meta = self._cache._meta[self._set]
+        way = self._way()
+        if value:
+            meta[way] |= _F_DIRTY
+        else:
+            meta[way] &= ~_F_DIRTY
+
+    @property
+    def prefetched(self) -> bool:
+        return bool(self._cache._meta[self._set][self._way()] & _F_PREFETCHED)
+
+    @prefetched.setter
+    def prefetched(self, value: bool) -> None:
+        meta = self._cache._meta[self._set]
+        way = self._way()
+        if value:
+            meta[way] |= _F_PREFETCHED
+        else:
+            meta[way] &= ~_F_PREFETCHED
+
+    @property
+    def is_pv(self) -> bool:
+        return bool(self._cache._meta[self._set][self._way()] & _F_PV)
+
+    @is_pv.setter
+    def is_pv(self, value: bool) -> None:
+        meta = self._cache._meta[self._set]
+        way = self._way()
+        if value:
+            meta[way] |= _F_PV
+        else:
+            meta[way] &= ~_F_PV
+
+    @property
+    def owner(self) -> int:
+        return (self._cache._meta[self._set][self._way()] >> _OWNER_SHIFT) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(block=0x{self.block_addr:x}, dirty={self.dirty}, "
+            f"prefetched={self.prefetched}, is_pv={self.is_pv})"
+        )
 
 
-@dataclass
-class EvictedLine:
+class EvictedLine(NamedTuple):
     """What ``fill``/``invalidate`` hand back so the hierarchy can react."""
 
     block_addr: int
@@ -106,16 +186,6 @@ class EvictedLine:
     prefetched: bool
     is_pv: bool
     owner: int = -1
-
-    @classmethod
-    def from_line(cls, line: CacheLine) -> "EvictedLine":
-        return cls(
-            block_addr=line.block_addr,
-            dirty=line.dirty,
-            prefetched=line.prefetched,
-            is_pv=line.is_pv,
-            owner=line.owner,
-        )
 
 
 @dataclass
@@ -143,16 +213,6 @@ class CacheStats:
     covered_misses: int = 0      # demand read that found a prefetched line
     overpredictions: int = 0     # prefetched line evicted/invalidated unused
 
-    def record(self, kind: AccessKind, hit: bool) -> None:
-        if hit:
-            self.hits += 1
-        else:
-            self.misses += 1
-        attrs = _KIND_COUNTERS[kind]
-        if attrs is not None:
-            name = attrs[0] if hit else attrs[1]
-            setattr(self, name, getattr(self, name) + 1)
-
     @property
     def accesses(self) -> int:
         return self.hits + self.misses
@@ -164,19 +224,6 @@ class CacheStats:
     def miss_rate(self) -> float:
         total = self.accesses
         return self.misses / total if total else 0.0
-
-
-#: kind -> (hit counter, miss counter); module-level so ``record`` does a
-#: single dict lookup instead of rebuilding a mapping per access.
-_KIND_COUNTERS = {
-    AccessKind.DEMAND_READ: ("demand_read_hits", "demand_read_misses"),
-    AccessKind.DEMAND_WRITE: ("demand_write_hits", "demand_write_misses"),
-    AccessKind.IFETCH: ("ifetch_hits", "ifetch_misses"),
-    AccessKind.PREFETCH: ("prefetch_hits", "prefetch_misses"),
-    AccessKind.PV_READ: ("pv_hits", "pv_misses"),
-    AccessKind.PV_WRITE: ("pv_hits", "pv_misses"),
-    AccessKind.WRITEBACK: None,
-}
 
 
 class Cache:
@@ -192,60 +239,161 @@ class Cache:
         self.name = name
         self.geometry = geometry
         self.stats = CacheStats()
-        self._sets: list = [OrderedDict() for _ in range(geometry.n_sets)]
+        n_sets = geometry.n_sets
+        # Parallel per-set arrays: tag, LRU stamp, packed flags per way.
+        self._tags: List[List[int]] = [[] for _ in range(n_sets)]
+        self._stamps: List[List[int]] = [[] for _ in range(n_sets)]
+        self._meta: List[List[int]] = [[] for _ in range(n_sets)]
+        self._tick = 0
         self.eviction_listeners: list = []
-        # Inlined geometry constants for the hot paths.
+        # Inlined geometry constants for the hot paths.  Block size and
+        # set count are validated powers of two, so the index math is all
+        # shifts and masks.
         self._bs = geometry.block_size
         self._nsets = geometry.n_sets
         self._assoc = geometry.assoc
+        self._bs_shift = geometry.block_size.bit_length() - 1
+        self._set_mask = geometry.n_sets - 1
+        self._set_shift = geometry.n_sets.bit_length() - 1
 
     # -- probing -----------------------------------------------------------
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Probe for the block containing ``addr`` without touching LRU state."""
-        bidx = addr // self._bs
-        return self._sets[bidx % self._nsets].get(bidx // self._nsets)
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        if tag in tags:
+            return CacheLine(self, sidx, tag)
+        return None
 
     def contains(self, addr: int) -> bool:
-        return self.lookup(addr) is not None
+        bidx = addr >> self._bs_shift
+        return (bidx >> self._set_shift) in self._tags[bidx & self._set_mask]
 
     # -- demand path ---------------------------------------------------------
+
+    def access_hit(self, addr: int, kind: AccessKind, write: bool = False) -> bool:
+        """Perform a reference; return whether it hit.
+
+        The allocation-free core of :meth:`access`: updates LRU/dirty state
+        and every counter exactly the same way, but reports only hit/miss.
+        On a miss the caller decides whether and how to ``fill``.  A demand
+        read that hits a still-``prefetched`` line counts as a *covered
+        miss* (the reference would have missed without the prefetcher) and
+        clears the flag.
+        """
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        st = self.stats
+        # `in` + `index` double-scans on a hit, but a try/except ValueError
+        # single-scan costs ~8x more on a miss (exception raise), which
+        # measures as a net loss below ~91% hit rate — L2 and fill paths
+        # are well under that.
+        if tag not in tags:
+            st.misses += 1
+            if kind is _DEMAND_READ:
+                st.demand_read_misses += 1
+            elif kind is _IFETCH:
+                st.ifetch_misses += 1
+            elif kind is _DEMAND_WRITE:
+                st.demand_write_misses += 1
+            elif kind is _PREFETCH:
+                st.prefetch_misses += 1
+            elif kind is _PV_READ or kind is _PV_WRITE:
+                st.pv_misses += 1
+            return False
+        way = tags.index(tag)
+        st.hits += 1
+        if kind is _DEMAND_READ:
+            st.demand_read_hits += 1
+        elif kind is _IFETCH:
+            st.ifetch_hits += 1
+        elif kind is _DEMAND_WRITE:
+            st.demand_write_hits += 1
+        elif kind is _PREFETCH:
+            st.prefetch_hits += 1
+        elif kind is _PV_READ or kind is _PV_WRITE:
+            st.pv_hits += 1
+        self._tick = tick = self._tick + 1
+        self._stamps[sidx][way] = tick
+        meta = self._meta[sidx]
+        m = meta[way]
+        if write:
+            m |= _F_DIRTY
+        if m & _F_PREFETCHED and (
+            kind is _DEMAND_READ or kind is _DEMAND_WRITE or kind is _IFETCH
+        ):
+            # First demand touch of a prefetched block.  Only demand *reads*
+            # count toward coverage — the paper's metric is L1 read misses —
+            # but any demand touch consumes the block (it is no longer an
+            # overprediction candidate).
+            if kind is _DEMAND_READ:
+                st.covered_misses += 1
+            m &= ~_F_PREFETCHED
+        meta[way] = m
+        self._hit_set = sidx
+        self._hit_way = way
+        self._hit_tag = tag
+        return True
 
     def access(self, addr: int, kind: AccessKind, write: bool = False) -> Optional[CacheLine]:
         """Perform a reference.  On a hit, update LRU/dirty and return the line.
 
         On a miss, record it and return ``None`` — the caller decides whether
-        and how to ``fill``.  A demand read that hits a still-``prefetched``
-        line counts as a *covered miss* (the reference would have missed
-        without the prefetcher) and clears the flag.
+        and how to ``fill``.  Hot paths that only need hit/miss use
+        :meth:`access_hit` and skip the view allocation.
         """
-        bidx = addr // self._bs
-        tag = bidx // self._nsets
-        ways = self._sets[bidx % self._nsets]
-        line = ways.get(tag)
-        self.stats.record(kind, hit=line is not None)
-        if line is None:
-            return None
-        ways.move_to_end(tag)
-        if write:
-            line.dirty = True
-        if line.prefetched and kind.is_demand:
-            # First demand touch of a prefetched block.  Only demand *reads*
-            # count toward coverage — the paper's metric is L1 read misses —
-            # but any demand touch consumes the block (it is no longer an
-            # overprediction candidate).
-            if kind is AccessKind.DEMAND_READ:
-                self.stats.covered_misses += 1
-            line.prefetched = False
-        return line
+        if self.access_hit(addr, kind, write=write):
+            return CacheLine(self, self._hit_set, self._hit_tag)
+        return None
+
+    def access_pv(self, addr: int, write: bool = False) -> bool:
+        """A PVProxy request: PV-kind access that re-marks the line PV on a hit.
+
+        Returns whether it hit.  (Application traffic can steal a PV block's
+        frame; a PV access landing on it reclaims the PV marking, exactly as
+        ``line.is_pv = True`` did on the object-based lines.)
+        """
+        kind = _PV_WRITE if write else _PV_READ
+        if self.access_hit(addr, kind, write=write):
+            self._meta[self._hit_set][self._hit_way] |= _F_PV
+            return True
+        return False
+
+    def downgrade(self, addr: int) -> bool:
+        """Clear the dirty bit of a resident line (coherence downgrade).
+
+        Returns True when the line was resident *and* dirty — the case where
+        the caller must merge the newer data into the next level.  Does not
+        touch LRU state or counters (it models a state transition, not a
+        reference).
+        """
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        if tag not in tags:
+            return False
+        way = tags.index(tag)
+        meta = self._meta[sidx]
+        if meta[way] & _F_DIRTY:
+            meta[way] &= ~_F_DIRTY
+            return True
+        return False
 
     def touch(self, addr: int) -> None:
         """Refresh LRU position without recording an access (used by fills)."""
-        bidx = addr // self._bs
-        ways = self._sets[bidx % self._nsets]
-        tag = bidx // self._nsets
-        if tag in ways:
-            ways.move_to_end(tag)
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        if tag in tags:
+            self._tick = tick = self._tick + 1
+            self._stamps[sidx][tags.index(tag)] = tick
 
     # -- fill / evict --------------------------------------------------------
 
@@ -264,51 +412,84 @@ class Cache:
         position and ORs in the ``dirty`` flag (a prefetch fill never clears
         demand state).
         """
-        bidx = addr // self._bs
-        block = bidx * self._bs
-        tag = bidx // self._nsets
-        ways = self._sets[bidx % self._nsets]
-        existing = ways.get(tag)
-        if existing is not None:
-            ways.move_to_end(tag)
-            existing.dirty = existing.dirty or dirty
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        stamps = self._stamps[sidx]
+        meta = self._meta[sidx]
+        self._tick = tick = self._tick + 1
+        if tag in tags:
+            way = tags.index(tag)
+            stamps[way] = tick
+            if dirty:
+                meta[way] |= _F_DIRTY
             return None
         victim = None
-        if len(ways) >= self._assoc:
-            _, victim_line = ways.popitem(last=False)
-            victim = self._retire(victim_line)
-        ways[tag] = CacheLine(
-            block_addr=block,
-            dirty=dirty,
-            prefetched=prefetched,
-            is_pv=is_pv,
-            owner=owner,
-        )
+        if len(tags) >= self._assoc:
+            # LRU victim = minimum stamp (unique: stamps strictly increase).
+            way = stamps.index(min(stamps))
+            vtag = tags[way]
+            vmeta = meta[way]
+            # Remove before firing listeners: a listener may reenter this
+            # cache (e.g. a PV store cascading into a back-invalidation).
+            del tags[way]
+            del stamps[way]
+            del meta[way]
+            victim = self._retire(sidx, vtag, vmeta)
+        m = (owner + 1) << _OWNER_SHIFT
+        if dirty:
+            m |= _F_DIRTY
+        if prefetched:
+            m |= _F_PREFETCHED
+        if is_pv:
+            m |= _F_PV
+        tags.append(tag)
+        stamps.append(tick)
+        meta.append(m)
         self.stats.fills += 1
         return victim
 
     def invalidate(self, addr: int) -> Optional[EvictedLine]:
         """Remove the block containing ``addr`` if resident; return its state."""
-        bidx = addr // self._bs
-        ways = self._sets[bidx % self._nsets]
-        line = ways.pop(bidx // self._nsets, None)
-        if line is None:
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        if tag not in tags:
             return None
+        way = tags.index(tag)
+        vmeta = self._meta[sidx][way]
+        del tags[way]
+        del self._stamps[sidx][way]
+        del self._meta[sidx][way]
         self.stats.invalidations += 1
-        return self._retire(line, invalidation=True)
+        return self._retire(sidx, tag, vmeta, invalidation=True)
 
-    def _retire(self, line: CacheLine, invalidation: bool = False) -> EvictedLine:
+    def _retire(self, sidx: int, tag: int, m: int, invalidation: bool = False) -> EvictedLine:
+        """Count an eviction/invalidation and notify listeners.
+
+        The way must already have been removed from the set arrays."""
+        st = self.stats
+        dirty = bool(m & _F_DIRTY)
+        is_pv = bool(m & _F_PV)
         if not invalidation:
-            self.stats.evictions += 1
-            if line.dirty:
-                self.stats.dirty_evictions += 1
-            if line.is_pv:
-                self.stats.pv_evictions += 1
-                if line.dirty:
-                    self.stats.pv_dirty_evictions += 1
-        if line.prefetched:
-            self.stats.overpredictions += 1
-        evicted = EvictedLine.from_line(line)
+            st.evictions += 1
+            if dirty:
+                st.dirty_evictions += 1
+            if is_pv:
+                st.pv_evictions += 1
+                if dirty:
+                    st.pv_dirty_evictions += 1
+        if m & _F_PREFETCHED:
+            st.overpredictions += 1
+        evicted = EvictedLine(
+            block_addr=(tag * self._nsets + sidx) * self._bs,
+            dirty=dirty,
+            prefetched=bool(m & _F_PREFETCHED),
+            is_pv=is_pv,
+            owner=(m >> _OWNER_SHIFT) - 1,
+        )
         for listener in self.eviction_listeners:
             listener(evicted)
         return evicted
@@ -316,25 +497,39 @@ class Cache:
     # -- introspection -------------------------------------------------------
 
     def resident_blocks(self) -> Iterator[int]:
-        for ways in self._sets:
-            for line in ways.values():
-                yield line.block_addr
+        nsets = self._nsets
+        bs = self._bs
+        for sidx, tags in enumerate(self._tags):
+            for tag in tags:
+                yield (tag * nsets + sidx) * bs
 
     def occupancy(self) -> int:
-        return sum(len(ways) for ways in self._sets)
+        return sum(len(tags) for tags in self._tags)
 
     def pv_occupancy(self) -> int:
         return sum(
-            1 for ways in self._sets for line in ways.values() if line.is_pv
+            1 for meta in self._meta for m in meta if m & _F_PV
         )
 
     def flush(self) -> list:
-        """Evict every resident line (firing listeners); return the evictions."""
+        """Evict every resident line (firing listeners); return the evictions.
+
+        Lines leave each set in LRU order (oldest stamp first), matching the
+        former ``popitem(last=False)`` drain order.
+        """
         evicted = []
-        for ways in self._sets:
-            while ways:
-                _, line = ways.popitem(last=False)
-                evicted.append(self._retire(line))
+        for sidx in range(self._nsets):
+            tags = self._tags[sidx]
+            stamps = self._stamps[sidx]
+            meta = self._meta[sidx]
+            while tags:
+                way = stamps.index(min(stamps))
+                vtag = tags[way]
+                vmeta = meta[way]
+                del tags[way]
+                del stamps[way]
+                del meta[way]
+                evicted.append(self._retire(sidx, vtag, vmeta))
         return evicted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

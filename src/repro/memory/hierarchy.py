@@ -45,6 +45,12 @@ class ServedBy(enum.Enum):
     MEM = "mem"
 
 
+# Hoisted enum members for the per-reference demand path.
+_K_DEMAND_READ = AccessKind.DEMAND_READ
+_K_DEMAND_WRITE = AccessKind.DEMAND_WRITE
+_K_IFETCH = AccessKind.IFETCH
+
+
 @dataclass
 class HierarchyConfig:
     """Geometry and latency knobs for the whole hierarchy (defaults: Table 1)."""
@@ -197,11 +203,14 @@ class MemorySystem:
         it down instead of recomputing it.
         """
         cfg = self.config
-        l1 = self.l1_for(core, ifetch)
-        kind = AccessKind.IFETCH if ifetch else (
-            AccessKind.DEMAND_WRITE if write else AccessKind.DEMAND_READ
-        )
-        bit = core + cfg.n_cores if ifetch else core
+        if ifetch:
+            l1 = self.l1i[core]
+            kind = _K_IFETCH
+            bit = core + cfg.n_cores
+        else:
+            l1 = self.l1d[core]
+            kind = _K_DEMAND_WRITE if write else _K_DEMAND_READ
+            bit = core
         if block is None:
             block = addr - (addr % cfg.block_size)
         self.last_queue_delay = 0.0
@@ -209,7 +218,7 @@ class MemorySystem:
             for start, end, callback in self._pv_write_watchers:
                 if start <= block < end:
                     callback(block)
-        if l1.access(addr, kind, write=write) is not None:
+        if l1.access_hit(addr, kind, write):
             if write and self._l1_presence.get(block, 0) & ~(1 << bit):
                 # Write hit with remote sharers: upgrade, invalidate others.
                 self.stats.write_upgrades += 1
@@ -252,8 +261,8 @@ class MemorySystem:
                 if inv is not None:
                     self.stats.coherence_invalidations += 1
                     if inv.dirty:
-                        line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
-                        if line is None:  # pragma: no cover - eviction race
+                        hit = self.l2.access_hit(block, AccessKind.WRITEBACK, write=True)
+                        if not hit:  # pragma: no cover - eviction race
                             self.stats.l2_writebacks += 1
                             self.memory.write(block, is_pv=False, now=self._now)
             victims >>= 1
@@ -269,13 +278,10 @@ class MemorySystem:
         bit = 0
         while mask:
             if mask & 1:
-                cache = self._cache_for_bit(bit)
-                line = cache.lookup(block)
-                if line is not None and line.dirty:
-                    line.dirty = False
+                if self._cache_for_bit(bit).downgrade(block):
                     self.stats.coherence_downgrades += 1
-                    l2_line = self.l2.access(block, AccessKind.WRITEBACK, write=True)
-                    if l2_line is None:  # pragma: no cover - eviction race
+                    hit = self.l2.access_hit(block, AccessKind.WRITEBACK, write=True)
+                    if not hit:  # pragma: no cover - eviction race
                         self.stats.l2_writebacks += 1
                         self.memory.write(block, is_pv=False, now=self._now)
             mask >>= 1
@@ -284,18 +290,22 @@ class MemorySystem:
     # -------------------------------------------------------------- prefetch
 
     def prefetch_fill(
-        self, core: int, addr: int, now: Optional[float] = None
+        self, core: int, addr: int, now: Optional[float] = None,
+        block: Optional[int] = None,
     ) -> Tuple[int, Optional[ServedBy]]:
         """Stream a prefetched block via the L2 into ``core``'s L1D.
 
         Returns ``(latency, served_by)``; ``served_by`` is ``None`` when the
         block was already resident in the L1 and no request was issued.
+        ``block`` lets callers that already hold the block address (the
+        prefetchers predict whole blocks) skip the re-derivation.
         """
         cfg = self.config
         l1 = self.l1d[core]
         if l1.contains(addr):
             return 0, None
-        block = addr - (addr % cfg.block_size)
+        if block is None:
+            block = addr - (addr % cfg.block_size)
         self.last_queue_delay = 0.0
         self._now = now
         latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core,
@@ -306,14 +316,16 @@ class MemorySystem:
         return cfg.l1_latency + latency, served
 
     def prefetch_fill_ifetch(
-        self, core: int, addr: int, now: Optional[float] = None
+        self, core: int, addr: int, now: Optional[float] = None,
+        block: Optional[int] = None,
     ) -> Tuple[int, Optional[ServedBy]]:
         """Next-line instruction prefetch into ``core``'s L1I (baseline)."""
         cfg = self.config
         l1 = self.l1i[core]
         if l1.contains(addr):
             return 0, None
-        block = addr - (addr % cfg.block_size)
+        if block is None:
+            block = addr - (addr % cfg.block_size)
         self.last_queue_delay = 0.0
         self._now = now
         latency, served = self._fetch_into_l2(addr, AccessKind.PREFETCH, core,
@@ -327,7 +339,7 @@ class MemorySystem:
 
     def pv_access(
         self, core: int, addr: int, write: bool = False,
-        now: Optional[float] = None,
+        now: Optional[float] = None, block: Optional[int] = None,
     ) -> Tuple[int, ServedBy]:
         """PVProxy request, injected directly at the L2 (no L1 involvement).
 
@@ -338,17 +350,15 @@ class MemorySystem:
         other traffic — this is where virtualization pays a modeled price.
         """
         cfg = self.config
-        kind = AccessKind.PV_WRITE if write else AccessKind.PV_READ
         self.last_queue_delay = 0.0
-        block = self._block(addr)
+        if block is None:
+            block = addr - (addr % cfg.block_size)
         timed = self._contended and now is not None
         wait = 0.0
         if timed:
             wait = self._claim_bank(block, now)
             self.last_queue_delay = wait
-        line = self.l2.access(addr, kind, write=write)
-        if line is not None:
-            line.is_pv = True
+        if self.l2.access_pv(addr, write=write):
             latency = cfg.l2_tag_latency + cfg.l2_data_latency
             return (wait + latency) if timed else latency, ServedBy.L2
         self._now = now
@@ -380,7 +390,7 @@ class MemorySystem:
         if timed:
             wait = self._claim_bank(block, now)
             self.last_queue_delay += wait
-        if self.l2.access(addr, kind) is not None:
+        if self.l2.access_hit(addr, kind):
             latency = cfg.l2_tag_latency + cfg.l2_data_latency
             return (wait + latency) if timed else latency, ServedBy.L2
         mem_now = now + wait + cfg.l2_tag_latency if timed else None
@@ -457,10 +467,10 @@ class MemorySystem:
                 # Write-back into the inclusive L2.  The copy is normally
                 # still resident; if a race with back-invalidation removed
                 # it, the write goes straight off-chip.
-                line = self.l2.access(
+                hit = self.l2.access_hit(
                     victim.block_addr, AccessKind.WRITEBACK, write=True
                 )
-                if line is None:
+                if not hit:
                     self.stats.l2_writebacks += 1
                     self.memory.write(victim.block_addr, is_pv=False, now=self._now)
 

@@ -45,6 +45,11 @@ class MSHRFile:
         self.capacity = capacity
         self.name = name
         self._entries: Dict[int, MSHREntry] = {}
+        # Conservative lower bound on the earliest outstanding ready_at:
+        # lets retire_ready bail out without scanning when nothing can have
+        # arrived yet.  May go stale-low after complete() (harmless: the
+        # scan re-checks), never stale-high.
+        self._next_ready = float("inf")
         self.allocations = 0
         self.coalesced = 0
         self.rejected = 0
@@ -76,8 +81,12 @@ class MSHRFile:
             return None
         entry = MSHREntry(block_addr=block_addr, issued_at=issued_at, ready_at=ready_at)
         self._entries[block_addr] = entry
+        if ready_at < self._next_ready:
+            self._next_ready = ready_at
         self.allocations += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        occupancy = len(self._entries)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return entry
 
     def complete(self, block_addr: int) -> Optional[MSHREntry]:
@@ -86,9 +95,15 @@ class MSHRFile:
 
     def retire_ready(self, now: int) -> List[MSHREntry]:
         """Retire and return every entry whose fill has arrived by ``now``."""
-        ready = [e for e in self._entries.values() if e.ready_at <= now]
+        entries = self._entries
+        if not entries or now < self._next_ready:
+            return []
+        ready = [e for e in entries.values() if e.ready_at <= now]
         for entry in ready:
-            del self._entries[entry.block_addr]
+            del entries[entry.block_addr]
+        self._next_ready = min(
+            (e.ready_at for e in entries.values()), default=float("inf")
+        )
         return ready
 
     def earliest_ready(self) -> Optional[float]:

@@ -136,6 +136,9 @@ class ActiveGenerationTable:
         self.on_generation_end = on_generation_end
         self.transfer_on_evict = transfer_on_evict
         self.stats = AGTStats()
+        # Inlined geometry constants for the per-access paths.
+        self._region_bytes = geometry.region_bytes
+        self._block_size = geometry.block_size
 
     # ------------------------------------------------------------ training
 
@@ -146,8 +149,9 @@ class ActiveGenerationTable:
         new generation* (i.e. it is a triggering access) — the caller should
         then consult the PHT for a prediction.  Returns ``None`` otherwise.
         """
-        region = self.geometry.region_of(addr)
-        offset = self.geometry.offset_of(addr)
+        rb = self._region_bytes
+        region = addr // rb
+        offset = (addr % rb) // self._block_size
 
         acc = self.accumulation.get(region)
         if acc is not None:
@@ -189,8 +193,9 @@ class ActiveGenerationTable:
         when a pattern (two or more blocks) was produced, after also firing
         ``on_generation_end``; returns ``None`` otherwise.
         """
-        region = self.geometry.region_of(block_addr)
-        offset = self.geometry.offset_of(block_addr)
+        rb = self._region_bytes
+        region = block_addr // rb
+        offset = (block_addr % rb) // self._block_size
 
         acc = self.accumulation.get(region)
         if acc is not None:

@@ -28,13 +28,21 @@ class NextLinePrefetcher:
         self.stats = NextLineStats()
         self._last_block: Optional[int] = None
 
-    def on_fetch(self, pc: int) -> list:
-        """Observe an instruction fetch; return block addresses to prefetch."""
+    def on_fetch(self, pc: int, block: Optional[int] = None) -> list:
+        """Observe an instruction fetch; return block addresses to prefetch.
+
+        ``block`` lets callers that already computed the fetch's block
+        address pass it in instead of re-deriving it.
+        """
         self.stats.observed += 1
-        block = pc - (pc % self.block_size)
+        if block is None:
+            block = pc - (pc % self.block_size)
         if block == self._last_block:
             return []
         self._last_block = block
+        if self.degree == 1:
+            self.stats.issued += 1
+            return [block + self.block_size]
         targets = [block + i * self.block_size for i in range(1, self.degree + 1)]
         self.stats.issued += len(targets)
         return targets

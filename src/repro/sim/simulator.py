@@ -21,6 +21,7 @@ event stream, so "functional" figures simply ignore the cycle outputs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Dict, List, Optional
 
@@ -40,7 +41,7 @@ from repro.sim.config import PrefetcherConfig, SystemConfig
 from repro.sim.engines import EngineRuntime, aggregate_engine_stats, build_engine
 from repro.sim.metrics import SimResult
 from repro.workloads.base import WorkloadProfile
-from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.generator import TRACE_CACHE, WorkloadGenerator
 
 
 class CMPSimulator:
@@ -71,6 +72,24 @@ class CMPSimulator:
                               region=cfg.sms.region)
             for i in range(n_cores)
         ]
+        #: Trace precompilation (the default): ``_drive`` iterates compiled
+        #: flat record lists from the process-wide TRACE_CACHE instead of
+        #: resuming generator frames per reference.  ``REPRO_PRECOMPILE=0``
+        #: (or setting this attribute) falls back to streaming generators;
+        #: both paths produce bitwise-identical results.
+        self.precompile = os.environ.get("REPRO_PRECOMPILE", "1") != "0"
+        self._trace_region = cfg.sms.region
+        #: Unified per-core stream cursor: how many records each core has
+        #: consumed, regardless of drive mode.  The streaming fallback
+        #: fast-forwards its generators to this cursor, so flipping
+        #: ``precompile`` between drives never replays or skips records.
+        self._trace_pos = [0] * n_cores
+        self._stream_pos = [0] * n_cores
+        # Continuation generators for runs too long for the trace cache:
+        # created on first overflow, then streamed from linearly (each
+        # record is generated at most once per simulator).
+        self._overflow_gens: Optional[List[WorkloadGenerator]] = None
+        self._overflow_pos: List[int] = []
         self.cores = [
             CoreTimingModel(
                 base_ipc=workload.base_ipc,
@@ -215,15 +234,67 @@ class CMPSimulator:
         the per-core clocks comparable: always advance the core with the
         smallest clock (deterministic, ties broken by core index) —
         effectively a global-time event order.
+
+        With :attr:`precompile` on (the default) each core's reference
+        stream is materialized once through the process-wide trace cache
+        and the loop iterates flat record lists; the streaming-generator
+        fallback drives the same records in the same order.
         """
         n_cores = len(self.cores)
-        streams = [gen.records(refs_per_core) for gen in self.generators]
-        # Bind the hot lookups once per drive instead of once per reference.
-        nexts = [stream.__next__ for stream in streams]
         step = self._step
         hierarchy = self.hierarchy
         model_ifetch = self.system.model_ifetch
         block_size = self.system.hierarchy.block_size
+        if self.precompile:
+            slices = []
+            for i in range(n_cores):
+                start = self._trace_pos[i]
+                end = start + refs_per_core
+                self._trace_pos[i] = end
+                slices.append(self._trace_slice(i, start, end))
+            if self._contended:
+                # Global-time event order: always step the core with the
+                # smallest clock (ties break toward the lowest index, as
+                # list.index returns the first minimum).  Exhausted cores
+                # park at +inf so the C-level min skips them.
+                cores = self.cores
+                pos = [0] * n_cores
+                clocks = [core.cycles for core in cores]
+                active = n_cores
+                inf = float("inf")
+                while active:
+                    i = clocks.index(min(clocks))
+                    p = pos[i]
+                    if p >= refs_per_core:
+                        clocks[i] = inf
+                        active -= 1
+                        continue
+                    pos[i] = p + 1
+                    step(i, slices[i][p], hierarchy, model_ifetch, block_size)
+                    clocks[i] = cores[i].cycles
+                return
+            # Round-robin interleave, same order as the generator path:
+            # every core's k-th reference before any core's (k+1)-th.
+            for recs in zip(*slices):
+                i = 0
+                for rec in recs:
+                    step(i, rec, hierarchy, model_ifetch, block_size)
+                    i += 1
+            return
+        # Streaming fallback: align the generators with the unified cursor
+        # (earlier drives may have been served from compiled traces), then
+        # advance both cursors past this drive.
+        for i in range(n_cores):
+            behind = self._trace_pos[i] - self._stream_pos[i]
+            if behind > 0:
+                for _ in self.generators[i].records(behind):
+                    pass
+            self._stream_pos[i] = self._trace_pos[i] = (
+                self._trace_pos[i] + refs_per_core
+            )
+        streams = [gen.records(refs_per_core) for gen in self.generators]
+        # Bind the hot lookups once per drive instead of once per reference.
+        nexts = [stream.__next__ for stream in streams]
         alive = list(range(n_cores))
         if self._contended:
             cores = self.cores
@@ -248,6 +319,36 @@ class CMPSimulator:
             for pos in reversed(finished):
                 del alive[pos]
 
+    def _trace_slice(self, i: int, start: int, end: int):
+        """Records ``[start, end)`` of core ``i``'s stream, compiled.
+
+        Served from the shared trace cache while the prefix fits its bound;
+        longer runs switch (permanently — ``end`` only grows) to a
+        per-simulator continuation generator, so repeated drives stay
+        linear instead of recompiling the whole prefix each time.
+        """
+        if end <= TRACE_CACHE.max_records:
+            trace = TRACE_CACHE.get(
+                self.workload, i, self.seed, self._trace_region, end
+            )
+            return trace[start:end]
+        if self._overflow_gens is None:
+            self._overflow_gens = [
+                WorkloadGenerator(self.workload, core=c, seed=self.seed,
+                                  region=self._trace_region)
+                for c in range(len(self.cores))
+            ]
+            self._overflow_pos = [0] * len(self.cores)
+        gen = self._overflow_gens[i]
+        pos = self._overflow_pos[i]
+        if pos < start:
+            # Earlier drives were served from the cache: burn the prefix
+            # once so the continuation stream lines up.
+            for _ in gen.records(start - pos):
+                pass
+        self._overflow_pos[i] = end
+        return gen.compile_trace(end - start)
+
     def _step(self, i: int, rec, hierarchy, model_ifetch: bool, block_size: int) -> None:
         core = self.cores[i]
         contended = self._contended
@@ -262,14 +363,15 @@ class CMPSimulator:
             iblock = pc - (pc % block_size)
             if iblock != self._last_iblock[i]:
                 self._last_iblock[i] = iblock
-                lat, _ = hierarchy.access(i, pc, ifetch=True, now=now, block=iblock)
+                lat, _ = hierarchy.access(i, pc, False, True, now, iblock)
                 if lat > core.hidden_latency:
                     core.memory_access(
                         lat, queued=hierarchy.last_queue_delay if contended else 0.0
                     )
-                for target in self.nextline[i].on_fetch(pc):
+                for target in self.nextline[i].on_fetch(pc, iblock):
                     hierarchy.prefetch_fill_ifetch(
-                        i, target, now=core.cycles if contended else None
+                        i, target, now=core.cycles if contended else None,
+                        block=target,
                     )
 
         # Late-prefetch stall: the demand reference arrived before the
@@ -294,13 +396,12 @@ class CMPSimulator:
                 self.late_prefetches += 1
                 now = core.cycles
 
-        # The demand access itself.
-        latency, served = hierarchy.access(
-            i, addr, write=rec.write, now=now, block=addr_block
-        )
-        core.advance(rec.instructions)
-        core.memory_access(
-            latency, queued=hierarchy.last_queue_delay if contended else 0.0
+        # The demand access itself.  ``commit`` fuses the instruction
+        # advance and the memory-stall charge into one bookkeeping call.
+        latency, served = hierarchy.access(i, addr, rec.write, False, now, addr_block)
+        core.commit(
+            rec.gap + 1, latency,
+            hierarchy.last_queue_delay if contended else 0.0,
         )
         # Cycle count once the demand access has retired; prefetches that
         # this access triggers cannot be in flight earlier than this.
@@ -329,7 +430,9 @@ class CMPSimulator:
                 if contended:
                     self._contended_prefetch(i, mshr, block_addr, ready_at)
                 else:
-                    fill_latency, served_pf = hierarchy.prefetch_fill(i, block_addr)
+                    fill_latency, served_pf = hierarchy.prefetch_fill(
+                        i, block_addr, block=block_addr
+                    )
                     if served_pf is not None:
                         pending[block_addr] = ready_at + fill_latency
         stride = self.stride[i]
@@ -338,13 +441,17 @@ class CMPSimulator:
                 if contended:
                     self._contended_prefetch(i, mshr, block_addr, post_access + 1)
                 else:
-                    fill_latency, served_pf = hierarchy.prefetch_fill(i, block_addr)
+                    fill_latency, served_pf = hierarchy.prefetch_fill(
+                        i, block_addr, block=block_addr
+                    )
                     if served_pf is not None:
                         pending[block_addr] = post_access + 1 + fill_latency
 
         # Additional predictor engines (BTB/LVP) observe the same stream.
-        for runtime in self.engines[i]:
-            runtime.observe(rec, int(post_access))
+        engines = self.engines[i]
+        if engines:
+            for runtime in engines:
+                runtime.observe(rec, int(post_access))
 
         # Bound the in-flight map for every prefetching configuration
         # (stride included): retire arrivals that have long since landed.
@@ -367,7 +474,7 @@ class CMPSimulator:
             mshr.rejected += 1
             return
         fill_latency, served = self.hierarchy.prefetch_fill(
-            i, block_addr, now=issue_at
+            i, block_addr, now=issue_at, block=block_addr
         )
         if served is not None:
             entry = mshr.allocate(

@@ -60,31 +60,36 @@ def memory_value(addr: int) -> int:
 
 
 class _RandomPool:
-    """Buffered draws from a numpy Generator (amortizes RNG call overhead)."""
+    """Buffered draws from a numpy Generator (amortizes RNG call overhead).
+
+    Buffers are converted to plain Python lists wholesale (``tolist`` is
+    exact for float64 and int64), so the per-draw path is a list index with
+    no numpy-scalar boxing.
+    """
 
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
-        self._uniform = rng.random(_CHUNK)
+        self._uniform = rng.random(_CHUNK).tolist()
         self._u_pos = 0
-        self._ints = rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64)
+        self._ints = rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64).tolist()
         self._i_pos = 0
 
     def uniform(self) -> float:
-        if self._u_pos >= _CHUNK:
-            self._uniform = self._rng.random(_CHUNK)
-            self._u_pos = 0
-        value = self._uniform[self._u_pos]
-        self._u_pos += 1
-        return float(value)
+        pos = self._u_pos
+        if pos >= _CHUNK:
+            self._uniform = self._rng.random(_CHUNK).tolist()
+            pos = 0
+        self._u_pos = pos + 1
+        return self._uniform[pos]
 
     def randint(self, bound: int) -> int:
         """Uniform integer in [0, bound)."""
-        if self._i_pos >= _CHUNK:
-            self._ints = self._rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64)
-            self._i_pos = 0
-        value = self._ints[self._i_pos]
-        self._i_pos += 1
-        return int(value) % bound
+        pos = self._i_pos
+        if pos >= _CHUNK:
+            self._ints = self._rng.integers(0, 1 << 30, _CHUNK, dtype=np.int64).tolist()
+            pos = 0
+        self._i_pos = pos + 1
+        return self._ints[pos] % bound
 
 
 class _Episode:
@@ -127,20 +132,27 @@ class WorkloadGenerator:
         )
         self._pool = _RandomPool(self._rng)
         self._zipf = ZipfSampler(profile.n_signatures, profile.zipf_alpha, self._rng)
-        self._zipf_buffer = self._zipf.sample(_CHUNK)
+        self._zipf_buffer = self._zipf.sample(_CHUNK).tolist()
         self._zipf_pos = 0
 
         blocks = self.region.blocks_per_region
         n = profile.n_signatures
-        self._sig_pc = (CODE_BASE + self._rng.permutation(n).astype(np.int64) * 4)
-        self._sig_offset = self._rng.integers(0, blocks, n, dtype=np.int64)
+        # RNG draw order is part of the determinism contract: permutation,
+        # then offsets, then pattern bits — do not reorder.
+        self._sig_pc = (
+            CODE_BASE + self._rng.permutation(n).astype(np.int64) * 4
+        ).tolist()
+        sig_offset = self._rng.integers(0, blocks, n, dtype=np.int64)
         # Canonical patterns: each block set with probability pattern_density,
         # trigger block always set.
         bits = self._rng.random((n, blocks)) < profile.pattern_density
-        bits[np.arange(n), self._sig_offset] = True
-        self._sig_pattern = np.zeros(n, dtype=np.int64)
+        bits[np.arange(n), sig_offset] = True
+        sig_pattern = np.zeros(n, dtype=np.int64)
         for b in range(blocks):
-            self._sig_pattern |= bits[:, b].astype(np.int64) << b
+            sig_pattern |= bits[:, b].astype(np.int64) << b
+        # Plain-list copies for the per-reference paths (no numpy boxing).
+        self._sig_offset = sig_offset.tolist()
+        self._sig_pattern = sig_pattern.tolist()
         self._last_region: dict = {}
         self._active: List[_Episode] = []
         self._data_base = profile.core_data_base(core)
@@ -150,20 +162,23 @@ class WorkloadGenerator:
         self._ring_pos = 0
         self._ring_size = 128
         self._prev_pc: Optional[int] = None
+        # Hoisted gap-draw bound (0 disables the draw, matching mean_gap<=0).
+        mean_gap = profile.mean_gap
+        self._gap_bound = int(2 * mean_gap) + 1 if mean_gap > 0 else 0
 
     # --------------------------------------------------------------- helpers
 
     def _next_signature(self) -> int:
         if self._zipf_pos >= _CHUNK:
-            self._zipf_buffer = self._zipf.sample(_CHUNK)
+            self._zipf_buffer = self._zipf.sample(_CHUNK).tolist()
             self._zipf_pos = 0
         sig = self._zipf_buffer[self._zipf_pos]
         self._zipf_pos += 1
-        return int(sig)
+        return sig
 
     def _episode_pattern(self, sig: int) -> int:
         """Perturb the canonical pattern with per-bit noise; keep the trigger."""
-        pattern = int(self._sig_pattern[sig])
+        pattern = self._sig_pattern[sig]
         noise = self.profile.pattern_noise
         if noise > 0.0:
             blocks = self.region.blocks_per_region
@@ -173,7 +188,7 @@ class WorkloadGenerator:
                 if pool.uniform() < noise:
                     flips |= 1 << b
             pattern ^= flips
-            pattern |= 1 << int(self._sig_offset[sig])
+            pattern |= 1 << self._sig_offset[sig]
         return pattern
 
     def _start_episode(self) -> "tuple[int, int]":
@@ -189,7 +204,7 @@ class WorkloadGenerator:
             )
             self._last_region[sig] = region_id
         base = self._data_base + region_id * self.region.region_bytes
-        offset = int(self._sig_offset[sig])
+        offset = self._sig_offset[sig]
         pattern = self._episode_pattern(sig)
         blocks = self.region.blocks_per_region
         block_size = self.region.block_size
@@ -199,7 +214,7 @@ class WorkloadGenerator:
             b = (offset + i) % blocks
             if b != offset and pattern & (1 << b):
                 addrs.append(base + b * block_size)
-        trigger_pc = int(self._sig_pc[sig])
+        trigger_pc = self._sig_pc[sig]
         if addrs:
             # Body accesses come from the loop just after the trigger load.
             self._active.append(_Episode(addrs, trigger_pc + 4))
@@ -210,12 +225,6 @@ class WorkloadGenerator:
         """Deterministic per-block body PC (only trigger PCs matter to SMS)."""
         block = addr // self.region.block_size
         return CODE_BASE + (block % (self.profile.code_blocks * 16)) * 4
-
-    def _gap(self) -> int:
-        mean = self.profile.mean_gap
-        if mean <= 0:
-            return 0
-        return self._pool.randint(int(2 * mean) + 1)
 
     # ------------------------------------------------------------ the stream
 
@@ -231,8 +240,10 @@ class WorkloadGenerator:
             branch_pc = prev + 4
             branch_target = pc
         load_value = None if write else memory_value(addr)
+        bound = self._gap_bound
+        gap = self._pool.randint(bound) if bound else 0
         return TraceRecord(
-            pc, addr, write, self._gap(), branch_pc, branch_target, load_value
+            pc, addr, write, gap, branch_pc, branch_target, load_value
         )
 
     def _remember(self, pc: int, addr: int) -> None:
@@ -287,3 +298,98 @@ class WorkloadGenerator:
     def __iter__(self) -> Iterator[TraceRecord]:  # pragma: no cover - sugar
         while True:
             yield from self.records(_CHUNK)
+
+    def compile_trace(self, n: int) -> List[TraceRecord]:
+        """Materialize the next ``n`` records as a flat list.
+
+        Trace *compilation*: the stream is generated once and the simulator
+        then iterates plain tuples instead of resuming a generator frame per
+        reference.  The list holds exactly the records :meth:`records` would
+        have yielded (same RNG draws, same annotations), so compiled and
+        streamed execution are bitwise-identical.
+        """
+        return list(self.records(n))
+
+
+class TraceCache:
+    """Per-process cache of compiled reference streams.
+
+    Keyed by the full determinism contract of a stream — ``(profile, core,
+    seed, region)`` (all hashable value objects) — so any two generators
+    that would produce identical records share one compiled trace.  Entries
+    grow on demand: asking for a longer prefix extends the cached list from
+    the entry's own generator, which continues the identical stream.
+
+    Sweeps resolve many configurations of the same workload in one process;
+    with the cache they pay for trace generation once per workload instead
+    of once per experiment.  Total cached records are bounded
+    (``REPRO_TRACE_CACHE_REFS``, default 1M records ≈ a few hundred MB;
+    ``0`` disables caching), evicting least-recently-used streams first.
+    """
+
+    DEFAULT_MAX_RECORDS = 1_000_000
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is None:
+            import os
+
+            max_records = int(
+                os.environ.get("REPRO_TRACE_CACHE_REFS", self.DEFAULT_MAX_RECORDS)
+            )
+        self.max_records = max_records
+        self._entries: dict = {}  # key -> [generator, list, lru_tick]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        profile: WorkloadProfile,
+        core: int,
+        seed: int,
+        region: SpatialRegionGeometry,
+        n: int,
+    ) -> List[TraceRecord]:
+        """Return (at least) the first ``n`` records of the keyed stream.
+
+        The returned list is shared — callers must treat it as immutable
+        and may read beyond ``n`` only up to the length they asked for.
+        """
+        if region is None:
+            region = SpatialRegionGeometry()
+        if n > self.max_records:
+            # Oversized request: compile without caching (bounded memory).
+            return WorkloadGenerator(
+                profile, core=core, seed=seed, region=region
+            ).compile_trace(n)
+        key = (profile, core, seed, region)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            generator = WorkloadGenerator(
+                profile, core=core, seed=seed, region=region
+            )
+            entry = [generator, generator.compile_trace(n), 0]
+            self._entries[key] = entry
+        else:
+            self.hits += 1
+            if len(entry[1]) < n:
+                entry[1].extend(entry[0].records(n - len(entry[1])))
+        self._tick += 1
+        entry[2] = self._tick
+        self._evict()
+        return entry[1]
+
+    def _evict(self) -> None:
+        total = sum(len(entry[1]) for entry in self._entries.values())
+        while total > self.max_records and len(self._entries) > 1:
+            oldest = min(self._entries, key=lambda k: self._entries[k][2])
+            total -= len(self._entries[oldest][1])
+            del self._entries[oldest]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide compiled-trace cache the simulator resolves streams through.
+TRACE_CACHE = TraceCache()

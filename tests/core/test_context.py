@@ -1,7 +1,5 @@
 """Per-process PVTables and PVStart context switching (Sections 2.1/2.3)."""
 
-import pytest
-
 from repro.core.context import PredictorContextManager
 from repro.core.pvproxy import PVProxy, PVProxyConfig
 from repro.core.pvtable import PVTable

@@ -1,7 +1,5 @@
 """Software-visible predictor updates (Section 2.3)."""
 
-import pytest
-
 from repro.core.pvproxy import PVProxyConfig
 from repro.core.pvtable import PVTable
 from repro.core.virtualized import VirtualizedPredictorTable

@@ -7,8 +7,6 @@ exactly what a dedicated table of the same geometry returns for any
 store/lookup sequence — and spot-check the latency difference.
 """
 
-import pytest
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core.pvtable import PVTable

@@ -1,7 +1,5 @@
 """Inter-L1 coherence: invalidation on write, downgrade on read."""
 
-import pytest
-
 from repro.memory.hierarchy import HierarchyConfig, MemorySystem
 
 

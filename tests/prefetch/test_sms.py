@@ -1,7 +1,5 @@
 """The SMS optimization engine over a PredictorTable."""
 
-import pytest
-
 from repro.prefetch.pht import DedicatedPHT, InfinitePHT, pht_index
 from repro.prefetch.regions import SpatialRegionGeometry
 from repro.prefetch.sms import SMSConfig, SMSPrefetcher

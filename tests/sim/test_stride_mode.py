@@ -1,7 +1,5 @@
 """The stride-prefetcher simulator mode (extra baseline)."""
 
-import pytest
-
 from repro.cpu.trace import TraceRecord
 from repro.sim.config import PrefetcherConfig
 from repro.sim.simulator import CMPSimulator
@@ -72,7 +70,7 @@ class TestStrideArrivalTiming:
         sim = CMPSimulator(get_workload("Qry1"), PrefetcherConfig.stride())
         fill_latency = 7
 
-        def fake_prefetch_fill(core, block_addr):
+        def fake_prefetch_fill(core, block_addr, **kwargs):
             return fill_latency, object()
 
         sim.hierarchy.prefetch_fill = fake_prefetch_fill
