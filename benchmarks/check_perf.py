@@ -18,6 +18,12 @@ Usage (stdlib only, no package imports)::
     python benchmarks/check_perf.py                 # after the perf smoke
     python benchmarks/check_perf.py --tolerance 0.4 # noisy runner
     REPRO_PERF_TOLERANCE=0.4 python benchmarks/check_perf.py
+    python benchmarks/check_perf.py --require pv8-sampled  # label must exist
+
+``--require LABEL`` (repeatable) additionally fails when the current run
+lacks the label — guarding against a bench silently dropping a
+configuration (e.g. the two-speed ``pv8-sampled`` label) that the
+baseline never knew about.
 
 Exit status: 0 when every label holds (improvements always pass), 1 on a
 regression beyond tolerance or missing/unreadable inputs.
@@ -87,6 +93,10 @@ def main(argv=None) -> int:
         default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25")),
         help="allowed relative refs/sec drop before failing (default 0.25; "
              "env REPRO_PERF_TOLERANCE)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="LABEL",
+        help="fail unless this label exists in the current run "
+             "(repeatable)")
     args = parser.parse_args(argv)
     if not (0.0 <= args.tolerance < 1.0):
         parser.error("tolerance must be in [0, 1)")
@@ -109,6 +119,10 @@ def main(argv=None) -> int:
 
     print(f"perf gate: tolerance {args.tolerance:.0%}")
     failures = check(baseline, current, args.tolerance)
+    for label in args.require:
+        if label not in current:
+            failures.append(f"{label}: required label missing from the "
+                            "current run")
     if failures:
         for failure in failures:
             print(f"perf gate FAILED: {failure}", file=sys.stderr)

@@ -157,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--channels", type=int, default=1,
                       help="finite DRAM channels for the contended run; "
                            "0 disables contention (analytic model)")
+    prof.add_argument("--sampled", action="store_true",
+                      help="profile the two-speed sampled engine "
+                           "(fast-forward + measurement windows) instead "
+                           "of the full-detail path")
     prof.add_argument("--top", type=int, default=25,
                       help="functions to show in the report")
     prof.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
@@ -177,16 +181,38 @@ def positive_int(text: str) -> int:
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=positive_int, default=None,
-                        help="worker processes (default: REPRO_JOBS or 1)")
+                        help="worker processes (default: REPRO_JOBS or 1; "
+                             "a sweep never uses more workers than it has "
+                             "distinct workloads)")
     parser.add_argument("--store", default=None,
                         help="persistent result-store directory "
                              "(default: REPRO_STORE or none)")
+    parser.add_argument("--sampled", action="store_true",
+                        help="two-speed sampled simulation: functional "
+                             "fast-forward with short detailed measurement "
+                             "windows (results are mean-over-windows "
+                             "estimates with CIs, not bitwise comparable "
+                             "to full-detail runs)")
 
 
 def _configure_runner(args) -> None:
     """Install the sweep runner the figure drivers will resolve through."""
     if getattr(args, "jobs", None) is not None or getattr(args, "store", None):
         _runner_context.configure(jobs=args.jobs, store=args.store)
+
+
+def _configure_sampling(args, scale: Optional[ExperimentScale]) -> None:
+    """Install the ambient sampled-mode default for this invocation.
+
+    Sized from the *effective* scale — the resolved ``--refs``/smoke
+    scale, or the environment default — so the period layout always fits
+    the runs it will sample.
+    """
+    if getattr(args, "sampled", False):
+        from repro.sim.sampling import SamplingConfig, set_default_sampling
+
+        refs = (scale or ExperimentScale.from_env()).refs_per_core
+        set_default_sampling(SamplingConfig.for_scale(refs))
 
 
 def _scale(args) -> Optional[ExperimentScale]:
@@ -201,9 +227,11 @@ def _scale(args) -> Optional[ExperimentScale]:
 
 def _run_figure(args) -> str:
     _configure_runner(args)
+    scale = _scale(args)
+    _configure_sampling(args, scale)
     driver = FIGURE_COMMANDS[args.command]
     workloads = args.workloads.split(",") if args.workloads else None
-    figure = driver(workloads=workloads, scale=_scale(args))
+    figure = driver(workloads=workloads, scale=scale)
     if args.chart:
         try:
             return render_default_chart(figure)
@@ -218,6 +246,7 @@ def _run_bandwidth(args) -> str:
     if scale is None and args.scale == "smoke":
         scale = ExperimentScale(refs_per_core=1200, warmup_refs=600,
                                 window_refs=120)
+    _configure_sampling(args, scale)
     workloads = args.workloads.split(",") if args.workloads else None
     channels = (
         [int(c) for c in args.channels.split(",")] if args.channels else None
@@ -251,6 +280,7 @@ def _run_sweep(args) -> str:
         raise SystemExit(f"unknown prefetcher {exc.args[0]!r}; "
                          f"choices: {', '.join(sorted(PREFETCHERS))}")
     scale = _scale(args)
+    _configure_sampling(args, scale)
     specs = [
         ExperimentSpec.build(w, c, scale=scale, seed=args.seed)
         for w in workloads
@@ -269,6 +299,15 @@ def _run_sweep(args) -> str:
 
     runner = _runner_context.get_runner()
     results = runner.run(specs, observer=observe)
+    from repro.workloads.generator import TRACE_CACHE
+
+    ts = TRACE_CACHE.stats()
+    print(
+        f"trace cache: {ts['hits']} hits, {ts['misses']} misses, "
+        f"{ts['evictions']} evictions, {ts['records']} records in "
+        f"{ts['entries']} streams (per-process; workers fork their own)",
+        file=sys.stderr,
+    )
     rows = [
         {
             "workload": spec.workload,
@@ -311,6 +350,12 @@ def _run_profile(args) -> str:
         if args.channels > 0
         else None
     )
+    if args.sampled:
+        from repro.sim.sampling import SamplingConfig
+
+        system = (system or SystemConfig.baseline()).with_sampling(
+            SamplingConfig.for_scale(args.refs)
+        )
     simulator = CMPSimulator(workload, config, system=system)
     profiler = cProfile.Profile()
     start = time.perf_counter()
@@ -321,6 +366,8 @@ def _run_profile(args) -> str:
     total_refs = (args.refs + args.warmup) * result.n_cores
     stream = io.StringIO()
     contended = f"{args.channels}ch" if args.channels > 0 else "analytic"
+    if args.sampled:
+        contended += ", sampled"
     stream.write(
         f"repro profile: {workload.name} / {config.label} ({contended}), "
         f"{args.refs} refs/core + {args.warmup} warmup\n"

@@ -147,6 +147,12 @@ class PVProxy:
         self.mshr = MSHRFile(self.config.mshr_entries, name=f"pvproxy{core}")
         self.stats = PVProxyStats()
         self.pattern_buffer_peak = 0
+        #: Functional-warming mode (two-speed sampled simulation): fetches
+        #: complete instantly, nothing occupies the MSHR file or pattern
+        #: buffer, and PVTable traffic reaches the hierarchy untimed — the
+        #: proxy becomes a pure state machine.  Full-detail runs never set
+        #: this, so timed behavior is untouched.
+        self.functional = False
         # Latest issue cycle this proxy has observed.  Some requests reach
         # the proxy without a timestamp (e.g. generation-ending stores fired
         # from eviction listeners); in contention mode their hierarchy
@@ -263,6 +269,27 @@ class PVProxy:
     def _fetch_set(self, set_index: int, now: int):
         """Bring a PVTable set into the PVCache via an ordinary L2 request."""
         block_addr = self.table.block_address(set_index)
+        if self.functional:
+            # Untimed fetch: the set appears immediately, tracked nowhere.
+            _, served = self.hierarchy.pv_access(
+                self.core, block_addr, write=False, now=None
+            )
+            self.stats.fetches += 1
+            if served is ServedBy.L2:
+                self.stats.fetches_from_l2 += 1
+            else:
+                self.stats.fetches_from_memory += 1
+            ways = self.table.read_set(
+                set_index, from_memory=(served is ServedBy.MEM)
+            )
+            entry = PVCacheEntry(
+                set_index=set_index, ways=OrderedDict(ways), dirty=False,
+                ready_at=now,
+            )
+            victim = self.pvcache.install(entry)
+            if victim is not None:
+                self._write_back(victim, now)
+            return entry, now
         in_flight = self.mshr.find(block_addr)
         if in_flight is not None:
             entry = self.pvcache.get(set_index)
@@ -307,6 +334,9 @@ class PVProxy:
         block_addr = self.table.write_back(
             victim.set_index, list(victim.ways.items())
         )
+        if self.functional:
+            self.hierarchy.pv_access(self.core, block_addr, write=True, now=None)
+            return
         if now is None or now < self._clock:
             now = self._clock
         self.hierarchy.pv_access(self.core, block_addr, write=True, now=now)

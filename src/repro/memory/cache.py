@@ -340,6 +340,31 @@ class Cache:
         self._hit_tag = tag
         return True
 
+    def warm_fetch_hit(self, addr: int) -> bool:
+        """Functional-warming instruction fetch: state only, no counters.
+
+        The L1I's own hit/miss split is not surfaced by any result field,
+        so the two-speed simulator's warming loop skips the bookkeeping
+        and keeps just the architectural effects of an IFETCH hit: LRU
+        refresh and consuming the prefetched flag.  Misses (``False``)
+        leave all miss handling — including L2-level counters, which *are*
+        surfaced — to the caller's ``warm_miss`` path.
+        """
+        bidx = addr >> self._bs_shift
+        sidx = bidx & self._set_mask
+        tags = self._tags[sidx]
+        tag = bidx >> self._set_shift
+        if tag not in tags:
+            return False
+        way = tags.index(tag)
+        self._tick = tick = self._tick + 1
+        self._stamps[sidx][way] = tick
+        meta = self._meta[sidx]
+        m = meta[way]
+        if m & _F_PREFETCHED:
+            meta[way] = m & ~_F_PREFETCHED
+        return True
+
     def access(self, addr: int, kind: AccessKind, write: bool = False) -> Optional[CacheLine]:
         """Perform a reference.  On a hit, update LRU/dirty and return the line.
 

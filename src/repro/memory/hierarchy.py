@@ -237,6 +237,41 @@ class MemorySystem:
         self._now = None
         return cfg.l1_latency + latency, served
 
+    def warm_miss(self, core: int, addr: int, write: bool = False,
+                  ifetch: bool = False) -> None:
+        """Complete a demand reference that already missed in its L1.
+
+        The functional-warming half of :meth:`access` for the two-speed
+        sampled simulator: the caller performed ``access_hit`` on the
+        right L1 (which recorded the miss), and this finishes the state
+        transition — coherence actions, the L2 lookup/fill, the memory
+        read on an L2 miss, and the L1 install — with no timing whatsoever
+        (no issue cycles, so neither bank ports nor DRAM channels queue
+        anything).  State and counters evolve exactly as an untimed
+        :meth:`access` miss would leave them.
+        """
+        cfg = self.config
+        if ifetch:
+            l1 = self.l1i[core]
+            kind = _K_IFETCH
+            bit = core + cfg.n_cores
+        else:
+            l1 = self.l1d[core]
+            kind = _K_DEMAND_WRITE if write else _K_DEMAND_READ
+            bit = core
+        block = addr - (addr % cfg.block_size)
+        remote = self._l1_presence.get(block, 0) & ~(1 << bit)
+        if remote:
+            if write:
+                self._coherence_invalidate(block, keep_bit=bit)
+            else:
+                self._coherence_downgrade(block)
+        if not self.l2.access_hit(addr, kind):
+            self.memory.read(block, is_pv=False, now=None)
+            self._install_l2(addr, core, dirty=False, is_pv=False)
+        self._install_l1(l1, addr, core, dirty=write,
+                         prefetched=False, bit=bit, block=block)
+
     # ----------------------------------------------------------- coherence
 
     def _cache_for_bit(self, bit: int) -> Cache:

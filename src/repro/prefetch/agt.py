@@ -51,6 +51,7 @@ class AGTStats:
     filter_generations_ended: int = 0
     filter_lru_evictions: int = 0
     accumulation_lru_evictions: int = 0
+    abandoned: int = 0
 
 
 class FilterTable:
@@ -223,6 +224,29 @@ class ActiveGenerationTable:
     def _emit(self, entry: AccumulationEntry) -> None:
         if self.on_generation_end is not None:
             self.on_generation_end(entry.pc, entry.offset, entry.pattern)
+
+    def flush_all(self, emit: bool = True) -> int:
+        """End every open generation at once (observed-stream gap).
+
+        Used when the observed reference stream has a gap (the sampled
+        simulator's fast skip): open generations cannot be tracked across
+        the gap.  With ``emit`` (the default) accumulated patterns — two
+        or more blocks — are stored to the PHT exactly as a generation end
+        would store them, so workloads whose generations outlive one
+        observed span (little L1 pressure, long region lifetimes) still
+        train; single-access filter entries are discarded as always.
+        ``emit=False`` drops everything unstored (the LRU-displacement
+        treatment).  Returns the number of generations closed.
+        """
+        closed = len(self.filter) + len(self.accumulation)
+        if emit:
+            for entry in list(self.accumulation._entries.values()):
+                self.stats.generations_ended += 1
+                self._emit(entry)
+        self.filter._entries.clear()
+        self.accumulation._entries.clear()
+        self.stats.abandoned += closed
+        return closed
 
     def active_regions(self) -> int:
         return len(self.filter) + len(self.accumulation)

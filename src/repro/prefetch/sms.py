@@ -95,6 +95,10 @@ class SMSPrefetcher:
         self._now = now
         self.agt.block_removed(block_addr)
 
+    def flush_generations(self, emit: bool = True) -> int:
+        """End every open generation (stream gap, see AGT.flush_all)."""
+        return self.agt.flush_all(emit)
+
     # ------------------------------------------------------------- predict
 
     def _predict(

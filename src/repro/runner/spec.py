@@ -25,13 +25,16 @@ from typing import Any, Dict, Optional
 
 from repro.memory.contention import ContentionConfig
 from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.sampling import SamplingConfig, default_sampling
 
 #: Bump whenever the meaning of a spec field changes: every key (and hence
 #: every store entry) derived from the old schema is invalidated at once.
 #: 2: PrefetcherConfig grew ``engines`` (multi-predictor generality study).
 #: 3: specs grew ``contention`` (finite DRAM bandwidth / L2 bank ports /
 #:    MSHR-bounded miss paths).
-SPEC_SCHEMA = 3
+#: 4: specs grew ``sampling`` (two-speed sampled execution), and SimResult
+#:    grew the sampled-run accounting fields.
+SPEC_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,8 @@ class ExperimentSpec:
     seed: int = 1
     #: Contention-aware timing (None or disabled = the analytic model).
     contention: Optional[ContentionConfig] = None
+    #: Two-speed sampled execution (None or disabled = full detail).
+    sampling: Optional[SamplingConfig] = None
 
     # ------------------------------------------------------------- identity
 
@@ -91,6 +96,8 @@ class ExperimentSpec:
         data["scale"] = ExperimentScale(**data["scale"])
         if data.get("contention") is not None:
             data["contention"] = ContentionConfig(**data["contention"])
+        if data.get("sampling") is not None:
+            data["sampling"] = SamplingConfig(**data["sampling"])
         return cls(**data)
 
     def canonical_json(self) -> str:
@@ -118,8 +125,17 @@ class ExperimentSpec:
         pv_aware: bool = False,
         seed: int = 1,
         contention: Optional[ContentionConfig] = None,
+        sampling: Optional[SamplingConfig] = None,
     ) -> "ExperimentSpec":
-        """The spec ``run_experiment`` would run for these arguments."""
+        """The spec ``run_experiment`` would run for these arguments.
+
+        ``sampling=None`` falls back to the process-wide default installed
+        by :func:`repro.sim.sampling.set_default_sampling` (the CLI's
+        ``--sampled`` switch), the same way ``scale=None`` falls back to
+        the environment.
+        """
+        if sampling is None:
+            sampling = default_sampling()
         return cls(
             workload=workload,
             prefetcher=prefetcher,
@@ -130,6 +146,7 @@ class ExperimentSpec:
             pv_aware=pv_aware,
             seed=seed,
             contention=contention,
+            sampling=sampling,
         )
 
     def system_config(self) -> SystemConfig:
@@ -151,6 +168,8 @@ class ExperimentSpec:
             )
         if self.contention is not None:
             system = system.with_contention(self.contention)
+        if self.sampling is not None:
+            system = system.with_sampling(self.sampling)
         return system
 
     def execute(self):

@@ -13,11 +13,30 @@ serial one.  Completion order is irrelevant to the outcome: computed
 results are persisted (and progress reported) as they arrive, then merged
 into the in-process cache in input-spec order, and ``run`` returns
 results aligned with its argument.
+
+Warm-state reuse across a sweep is organized around **workload groups**:
+
+* pending specs are grouped by workload, and chunks handed to the pool
+  never straddle a group — every configuration of one workload lands in
+  the same worker, where the process-local compiled-trace cache
+  (:data:`~repro.workloads.generator.TRACE_CACHE`) and warm-state
+  checkpoint cache (:data:`~repro.sim.simulator.WARM_STATE_CACHE`) serve
+  every spec after the first;
+* the pool never spawns more workers than there are groups (extra workers
+  would only split groups and defeat the sharing);
+* before forking, the parent precompiles each multi-spec group's shared
+  traces (``REPRO_SHARE_TRACES=0`` disables), so fork-inherited memory
+  hands every worker a hot trace cache for free.
+
+``REPRO_JOBS`` sets the requested pool width (see
+:mod:`repro.runner.context`); the effective width of one ``run`` call is
+``min(REPRO_JOBS, distinct workloads pending, specs pending)``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +64,15 @@ def _execute_payload(payload: dict) -> Tuple[str, dict]:
     """Pool worker: simulate one spec dict, return (key, result dict)."""
     spec = ExperimentSpec.from_dict(payload)
     return spec.key, result_to_dict(spec.execute())
+
+
+def _execute_chunk(payloads: List[dict]) -> List[Tuple[str, dict]]:
+    """Pool worker: simulate one group-aligned chunk of spec dicts.
+
+    A chunk only ever contains specs of one workload, so the worker's
+    trace cache and warm-state checkpoints hit from the second spec on.
+    """
+    return [_execute_payload(payload) for payload in payloads]
 
 
 def _pool_context():
@@ -140,19 +168,96 @@ class SweepRunner:
 
     # -------------------------------------------------------------- compute
 
+    @staticmethod
+    def _group_specs(
+        pending: Sequence[ExperimentSpec],
+    ) -> "Dict[str, List[ExperimentSpec]]":
+        """Pending specs grouped by workload, in first-appearance order."""
+        groups: Dict[str, List[ExperimentSpec]] = {}
+        for spec in pending:
+            groups.setdefault(spec.workload, []).append(spec)
+        return groups
+
+    def _chunks(
+        self, groups: "Dict[str, List[ExperimentSpec]]", jobs: int
+    ) -> List[List[ExperimentSpec]]:
+        """Split the groups into chunks; chunks never straddle groups.
+
+        By default each group is one chunk: with the worker count already
+        capped at the group count, ``imap_unordered`` then hands every
+        worker whole workloads, which is what makes the per-process trace
+        cache and warm-state checkpoints hit from a group's second spec
+        on.  An explicit ``chunksize`` splits within groups (finer
+        progress and load balancing, at the cost of intra-workload reuse
+        when a group's chunks land on different workers).
+        """
+        chunks = []
+        for specs in groups.values():
+            size = self.chunksize or len(specs)
+            for start in range(0, len(specs), size):
+                chunks.append(specs[start:start + size])
+        return chunks
+
+    @staticmethod
+    def _preshare_traces(groups: "Dict[str, List[ExperimentSpec]]",
+                         fork: bool = True) -> None:
+        """Precompile each multi-spec group's traces in the parent.
+
+        Workers are forked, so everything compiled here is inherited for
+        free; a group's specs then share one compiled trace no matter how
+        its chunks land.  Bounded by the trace cache's own record budget.
+        Single-spec groups are skipped (the one worker that runs the spec
+        compiles it just as fast itself), as is the whole step when the
+        pool cannot fork (spawned workers start empty — presharing would
+        only double the generation work).  ``REPRO_SHARE_TRACES=0``
+        disables presharing.
+        """
+        if not fork or os.environ.get("REPRO_SHARE_TRACES", "1") == "0":
+            return
+        from repro.workloads.generator import TRACE_CACHE
+        from repro.workloads.registry import get_workload
+
+        for workload, specs in groups.items():
+            if len(specs) < 2:
+                continue
+            need = max(
+                spec.scale.refs_per_core + spec.scale.warmup_refs
+                for spec in specs
+            )
+            n = min(need, TRACE_CACHE.max_records)
+            if n <= 0:
+                continue
+            try:
+                profile = get_workload(workload)
+            except KeyError:  # unknown workload: let the worker raise
+                continue
+            system = specs[0].system_config()
+            for seed in sorted({spec.seed for spec in specs}):
+                for core in range(system.hierarchy.n_cores):
+                    TRACE_CACHE.get(profile, core, seed, system.sms.region, n)
+
     def _compute(self, pending: List[ExperimentSpec]):
         if self.jobs == 1:
             for spec in pending:
                 yield spec.key, spec.execute()
             return
-        chunksize = self.chunksize or max(1, len(pending) // (self.jobs * 4))
-        payloads = [spec.to_dict() for spec in pending]
+        groups = self._group_specs(pending)
+        # Never spawn more workers than spec groups: extra workers would
+        # only split a workload across processes and defeat trace/warm
+        # sharing (each group is one chunk by default).  The deliberate
+        # flip side: a single-workload sweep computes in one worker —
+        # maximal reuse instead of maximal parallelism.
+        jobs = min(self.jobs, len(groups))
         ctx = _pool_context()
-        with ctx.Pool(processes=min(self.jobs, len(pending))) as pool:
-            for key, payload in pool.imap_unordered(
-                _execute_payload, payloads, chunksize=chunksize
-            ):
-                yield key, result_from_dict(payload)
+        self._preshare_traces(groups, fork=ctx.get_start_method() == "fork")
+        chunks = self._chunks(groups, jobs)
+        payload_chunks = [
+            [spec.to_dict() for spec in chunk] for chunk in chunks
+        ]
+        with ctx.Pool(processes=min(jobs, len(chunks))) as pool:
+            for results in pool.imap_unordered(_execute_chunk, payload_chunks):
+                for key, payload in results:
+                    yield key, result_from_dict(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -24,6 +24,7 @@ from repro.core.pvproxy import PVProxyConfig
 from repro.memory.contention import ContentionConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.prefetch.sms import SMSConfig
+from repro.sim.sampling import SamplingConfig
 
 
 @dataclass(frozen=True)
@@ -201,6 +202,8 @@ class SystemConfig:
     model_ifetch: bool = True
     nextline_degree: int = 1
     seed: int = 1
+    #: Two-speed sampled execution (disabled = every reference detailed).
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
 
     @classmethod
     def baseline(cls) -> "SystemConfig":
@@ -236,6 +239,17 @@ class SystemConfig:
         return replace(
             self, hierarchy=replace(self.hierarchy, contention=contention)
         )
+
+    def with_sampling(self, sampling: Optional[SamplingConfig] = None,
+                      **kw) -> "SystemConfig":
+        """Derived config with two-speed sampled execution enabled.
+
+        Either pass a ready :class:`~repro.sim.sampling.SamplingConfig`, or
+        keyword knobs (``period_refs=2000`` etc.) that build an enabled one.
+        """
+        if sampling is None:
+            sampling = SamplingConfig.smarts(**kw)
+        return replace(self, sampling=sampling)
 
     def table1(self) -> dict:
         """Render the configuration the way Table 1 presents it."""

@@ -93,6 +93,7 @@ def run_experiment(
     pv_aware: bool = False,
     seed: int = 1,
     contention=None,
+    sampling=None,
     use_cache: bool = True,
     store=None,
 ) -> SimResult:
@@ -102,7 +103,9 @@ def run_experiment(
     studies; ``pv_aware`` enables the virtualization-aware-cache design
     option ablation; ``contention`` (a
     :class:`~repro.memory.contention.ContentionConfig`) switches on the
-    finite-bandwidth timing model for the bandwidth-sensitivity sweeps.
+    finite-bandwidth timing model for the bandwidth-sensitivity sweeps;
+    ``sampling`` (a :class:`~repro.sim.sampling.SamplingConfig`) runs the
+    two-speed sampled engine instead of full detail.
     """
     spec = ExperimentSpec.build(
         workload,
@@ -114,5 +117,6 @@ def run_experiment(
         pv_aware=pv_aware,
         seed=seed,
         contention=contention,
+        sampling=sampling,
     )
     return run_spec(spec, use_cache=use_cache, store=store)

@@ -87,6 +87,16 @@ class SimResult:
     per_core_cycles: List[float] = field(default_factory=list)
     window_ipcs: List[float] = field(default_factory=list)
 
+    # Two-speed sampled execution (all zero for a full-detail run).  The
+    # per-core reference counts record how the run spent its trace:
+    # ``refs == sampled_detail_refs + sampled_warm_refs +
+    # sampled_functional_refs + sampled_skipped_refs`` when sampled.
+    sampled_periods: int = 0
+    sampled_detail_refs: int = 0
+    sampled_warm_refs: int = 0
+    sampled_functional_refs: int = 0
+    sampled_skipped_refs: int = 0
+
     extra: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------ coverage
@@ -117,9 +127,29 @@ class SimResult:
 
     @property
     def aggregate_ipc(self) -> float:
+        """Committed instructions / elapsed cycles over the *timed* spans.
+
+        For a full-detail run that is every reference; for a sampled run it
+        is the SMARTS estimate accumulated over the detailed warm-up and
+        measurement windows (fast-forwarded references advance no clocks).
+        """
         if self.elapsed_cycles <= 0:
             return 0.0
         return self.instructions / self.elapsed_cycles
+
+    @property
+    def is_sampled(self) -> bool:
+        return self.sampled_periods > 0
+
+    def ipc_ci(self, confidence: float = 0.95):
+        """Batch-means confidence interval over the per-window IPC samples.
+
+        Returns a :class:`~repro.sim.sampling.SampleStats`; raises
+        ``ValueError`` when the run recorded no windows.
+        """
+        from repro.sim.sampling import confidence_interval
+
+        return confidence_interval(self.window_ipcs, confidence)
 
     def speedup_vs(self, baseline: "SimResult") -> float:
         """Relative speedup over ``baseline`` (same workload, same refs)."""

@@ -6,22 +6,267 @@ intervals, and uses matched-pair comparison (Ekman & Stenstrom) to measure
 performance *differences* with far fewer samples than independent
 measurement would need.
 
-This module provides the statistics half of that machinery over the
-per-window aggregate-IPC samples the simulator records (``window_refs``):
+This module provides both halves of that machinery:
 
-* :func:`confidence_interval` — batch-means mean and t-based CI;
+* :class:`SamplingConfig` — the execution-side knobs of the two-speed
+  simulator (:meth:`repro.sim.simulator.CMPSimulator.run`): how long each
+  systematic-sampling period is, and how much of it runs at which fidelity
+  (fast skip / functional warming / detailed warm-up / measured window);
+* :func:`confidence_interval` — batch-means mean and t-based CI over the
+  per-window aggregate-IPC samples the simulator records;
 * :func:`matched_pair` — per-window deltas between two runs over the same
   trace (our generators are deterministic, so windows align exactly),
   yielding the paired CI the paper's error bars correspond to.
+
+The t quantile prefers :mod:`scipy` when it is installed; a built-in
+table/expansion fallback keeps the core package dependency-free.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
-from scipy import stats as _scipy_stats
+try:  # pragma: no cover - exercised via the fallback tests' monkeypatch
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is optional
+    _scipy_stats = None
+
+
+# --------------------------------------------------------------------------
+# Execution-side configuration: the two-speed engine's knobs.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How a sampled simulation spends each systematic-sampling period.
+
+    Every period of ``period_refs`` references per core is laid out as::
+
+        [ fast skip | functional warming | detailed warm-up | measurement ]
+
+    back to front: the measured window (``detail_refs``, full timing, one
+    aggregate-IPC sample) is preceded by a detailed warm-up
+    (``warm_refs``, full timing, discarded — re-warms the small structures:
+    L1s, MSHRs, queues), preceded by a functional-warming ramp
+    (``functional_refs`` — cache/predictor/PV state updates through the
+    array-backed fast paths, no timing model, no contention queues),
+    and whatever remains of the period is skipped outright (the trace
+    cursor advances over the precompiled trace; microarchitectural state
+    stays as the previous window left it — SMARTS' "stale state" option,
+    which the warming ramp then refreshes with the most recent history).
+
+    ``functional_refs`` large enough to fill the period degenerates to
+    full SMARTS functional warming; ``detail_refs + warm_refs ==
+    period_refs`` degenerates to today's full-detail windowed run.
+
+    ``shared_warm`` controls the *initial* warm-up phase (the
+    ``warmup_refs`` argument of ``run``): when True it runs as demand-only
+    functional warming — a pure function of (workload, seed, region,
+    hierarchy geometry), so the resulting state is checkpointed
+    process-wide and reused by every configuration that shares those,
+    regardless of predictor settings.  When False the initial warm-up
+    trains this configuration's own predictors too (not shareable).
+    """
+
+    enabled: bool = False
+    period_refs: int = 2_000
+    detail_refs: int = 200
+    warm_refs: int = 100
+    functional_refs: int = 400
+    shared_warm: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.enabled:
+            return
+        if self.period_refs <= 0:
+            raise ValueError("period_refs must be positive")
+        if self.detail_refs <= 0:
+            raise ValueError("detail_refs must be positive (nothing measured)")
+        for name in ("warm_refs", "functional_refs"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.detail_refs + self.warm_refs > self.period_refs:
+            raise ValueError(
+                "detail_refs + warm_refs must fit inside period_refs "
+                f"({self.detail_refs} + {self.warm_refs} > {self.period_refs})"
+            )
+
+    @classmethod
+    def disabled(cls) -> "SamplingConfig":
+        """Explicit full-detail mode (bitwise identical to no config)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def smarts(
+        cls,
+        period_refs: int = 2_000,
+        detail_refs: int = 200,
+        warm_refs: int = 100,
+        functional_refs: int = 400,
+        shared_warm: bool = True,
+    ) -> "SamplingConfig":
+        """An enabled configuration with explicit knobs."""
+        return cls(
+            enabled=True,
+            period_refs=period_refs,
+            detail_refs=detail_refs,
+            warm_refs=warm_refs,
+            functional_refs=functional_refs,
+            shared_warm=shared_warm,
+        )
+
+    @classmethod
+    def for_scale(cls, refs_per_core: int) -> "SamplingConfig":
+        """A reasonable default layout for a run of ``refs_per_core``.
+
+        Four measurement windows with a ~12% timed fraction and a ~17%
+        functional-warming ramp — the shape validated by the perf-smoke
+        ``pv8-sampled`` label (≥5x refs/sec with the sampled estimate
+        inside the full-detail run's 95% CI) and the ``--sampled`` CLI
+        default.
+        """
+        period = max(refs_per_core // 4, 400)
+        return cls(
+            enabled=True,
+            period_refs=period,
+            detail_refs=max(period // 12, 40),
+            warm_refs=max(period // 25, 20),
+            functional_refs=max(period // 6, 80),
+        )
+
+    # ------------------------------------------------------------- layout
+
+    def layout(self, period: int) -> "tuple[int, int, int, int]":
+        """(skip, functional, warm, detail) refs for one period of ``period``.
+
+        Short trailing periods shrink front to back: the measured window is
+        preserved first, then the detailed warm-up, then the ramp.
+        """
+        detail = min(self.detail_refs, period)
+        warm = min(self.warm_refs, period - detail)
+        functional = min(self.functional_refs, period - detail - warm)
+        return period - detail - warm - functional, functional, warm, detail
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of references simulated with full timing."""
+        return (self.detail_refs + self.warm_refs) / self.period_refs
+
+
+# --------------------------------------------------------------------------
+# Ambient default: the CLI's --sampled switch.
+# --------------------------------------------------------------------------
+
+#: Process-wide default applied by :meth:`ExperimentSpec.build` when no
+#: explicit sampling argument is given (like ``ExperimentScale.from_env``
+#: reading REPRO_REFS).  ``None`` = full detail.  The CLI's ``--sampled``
+#: flag installs a :meth:`SamplingConfig.for_scale` here so every figure /
+#: analysis driver in the process opts in consistently.
+_DEFAULT_SAMPLING: "SamplingConfig | None" = None
+
+
+def set_default_sampling(config: "SamplingConfig | None") -> None:
+    """Install (or clear, with ``None``) the process-wide sampling default."""
+    global _DEFAULT_SAMPLING
+    _DEFAULT_SAMPLING = config
+
+
+def default_sampling() -> "SamplingConfig | None":
+    """The active process-wide sampling default (``None`` = full detail)."""
+    return _DEFAULT_SAMPLING
+
+
+# --------------------------------------------------------------------------
+# Student-t quantile: scipy when available, table/expansion fallback.
+# --------------------------------------------------------------------------
+
+#: Exact critical values for the two ubiquitous two-sided confidence
+#: columns (95%: q = 0.975; 99%: q = 0.995) at df 1..30; beyond that — and
+#: for other quantiles — the Cornish-Fisher expansion is well within a
+#: fraction of a percent.
+_T_TABLES = {
+    0.975: [
+        12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060,
+        2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199,
+        2.1098, 2.1009, 2.0930, 2.0860, 2.0796, 2.0739, 2.0687, 2.0639,
+        2.0595, 2.0555, 2.0518, 2.0484, 2.0452, 2.0423,
+    ],
+    0.995: [
+        63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995, 3.3554,
+        3.2498, 3.1693, 3.1058, 3.0545, 3.0123, 2.9768, 2.9467, 2.9208,
+        2.8982, 2.8784, 2.8609, 2.8453, 2.8314, 2.8188, 2.8073, 2.7969,
+        2.7874, 2.7787, 2.7707, 2.7633, 2.7564, 2.7500,
+    ],
+}
+
+# Acklam's rational approximation to the standard normal quantile
+# (|relative error| < 1.15e-9 over (0, 1)).
+_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+      1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+      6.680131188771972e+01, -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+      -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+      3.754408661907416e+00)
+
+
+def _normal_ppf(q: float) -> float:
+    """Standard normal quantile (inverse CDF)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    if q < 0.02425:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4])
+                * u + _C[5]) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u
+                                 + _D[3]) * u + 1.0)
+    if q > 1.0 - 0.02425:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4])
+                 * u + _C[5]) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u
+                                  + _D[3]) * u + 1.0)
+    u = q - 0.5
+    r = u * u
+    return (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4])
+            * r + _A[5]) * u / (((((_B[0] * r + _B[1]) * r + _B[2]) * r
+                                  + _B[3]) * r + _B[4]) * r + 1.0)
+
+
+def _t_ppf_fallback(q: float, df: int) -> float:
+    """Student-t quantile without scipy.
+
+    Exact tables for the two-sided 95%/99% columns at small df; everything
+    else uses the Cornish-Fisher asymptotic expansion around the normal
+    quantile (accurate to ~1e-3 relative for df >= 3, and the tables cover
+    the region where the expansion degrades).
+    """
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    for column, table in _T_TABLES.items():
+        if abs(q - column) < 1e-12 and df <= len(table):
+            return table[df - 1]
+    z = _normal_ppf(q)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5.0 * z**5 + 16.0 * z**3 + 3.0 * z) / 96.0
+    g3 = (3.0 * z**7 + 19.0 * z**5 + 17.0 * z**3 - 15.0 * z) / 384.0
+    g4 = (79.0 * z**9 + 776.0 * z**7 + 1482.0 * z**5 - 1920.0 * z**3
+          - 945.0 * z) / 92160.0
+    return z + g1 / df + g2 / df**2 + g3 / df**3 + g4 / df**4
+
+
+def t_quantile(q: float, df: int) -> float:
+    """Student-t inverse CDF; scipy's when installed, fallback otherwise."""
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(q, df=df))
+    return _t_ppf_fallback(q, df)
+
+
+# --------------------------------------------------------------------------
+# Batch-means statistics.
+# --------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -45,6 +290,10 @@ class SampleStats:
     def relative_error(self) -> float:
         return self.half_width / abs(self.mean) if self.mean else math.inf
 
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside this confidence interval."""
+        return self.lower <= value <= self.upper
+
 
 def confidence_interval(
     samples: Sequence[float], confidence: float = 0.95
@@ -57,7 +306,7 @@ def confidence_interval(
     if n == 1:
         return SampleStats(mean=mean, half_width=math.inf, n=1, confidence=confidence)
     var = sum((s - mean) ** 2 for s in samples) / (n - 1)
-    t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    t = t_quantile(0.5 + confidence / 2.0, df=n - 1)
     half = t * math.sqrt(var / n)
     return SampleStats(mean=mean, half_width=half, n=n, confidence=confidence)
 

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.cpu.core import CoreTimingModel
 from repro.memory.addr import AddressSpace
-from repro.memory.cache import CacheStats
+from repro.memory.cache import AccessKind, CacheStats
 from repro.memory.hierarchy import HierarchyStats, MemorySystem, ServedBy
 from repro.memory.mshr import MSHRFile
 from repro.prefetch.nextline import NextLinePrefetcher
@@ -40,8 +40,80 @@ from repro.core.virtualized import VirtualizedPredictorTable
 from repro.sim.config import PrefetcherConfig, SystemConfig
 from repro.sim.engines import EngineRuntime, aggregate_engine_stats, build_engine
 from repro.sim.metrics import SimResult
+from repro.sim.sampling import SamplingConfig
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.generator import TRACE_CACHE, WorkloadGenerator
+
+# Hoisted enum members for the functional-warming loop.
+_K_DEMAND_READ = AccessKind.DEMAND_READ
+_K_DEMAND_WRITE = AccessKind.DEMAND_WRITE
+
+
+class WarmStateCache:
+    """Process-wide cache of demand-warmed architectural state.
+
+    A sampled run with ``shared_warm`` spends its initial warm-up phase on
+    *demand-only* functional warming: caches fill from the raw reference
+    stream with no prefetching, no predictor training and no timing.  That
+    state is a pure function of ``(workload, seed, region, warm-up length,
+    hierarchy geometry)`` — notably independent of every predictor/PV
+    setting — so one snapshot serves every configuration of a design-space
+    sweep that shares those, the way checkpointed SMARTS warming does.
+
+    Snapshots are sparse (only touched cache sets), LRU-bounded by entry
+    count (``REPRO_WARM_CACHE_ENTRIES``, default 8; 0 disables reuse), and
+    restoring one is bitwise equivalent to recomputing the warm-up, so a
+    hit can never change a result.
+    """
+
+    DEFAULT_MAX_ENTRIES = 8
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is None:
+            max_entries = int(os.environ.get(
+                "REPRO_WARM_CACHE_ENTRIES", self.DEFAULT_MAX_ENTRIES
+            ))
+        self.max_entries = max_entries
+        self._entries: dict = {}  # key -> [payload, lru_tick]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key) -> Optional[tuple]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._tick += 1
+        entry[1] = self._tick
+        return entry[0]
+
+    def put(self, key, payload) -> None:
+        if self.max_entries <= 0:
+            return
+        self._tick += 1
+        self._entries[key] = [payload, self._tick]
+        while len(self._entries) > self.max_entries:
+            oldest = min(self._entries, key=lambda k: self._entries[k][1])
+            del self._entries[oldest]
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide warm-state checkpoint cache (shared across a sweep chunk).
+WARM_STATE_CACHE = WarmStateCache()
 
 
 class CMPSimulator:
@@ -202,7 +274,19 @@ class CMPSimulator:
         ``window_refs`` > 0 additionally records one aggregate-IPC sample
         per window of that many references per core (SMARTS-style batches
         for the confidence intervals of Figure 9).
+
+        When the system config carries an enabled
+        :class:`~repro.sim.sampling.SamplingConfig`, execution switches to
+        the two-speed sampled engine (:meth:`_run_sampled`): only the
+        per-period warm-up and measurement windows run with full timing,
+        the rest of the trace fast-forwards, and ``window_refs`` is
+        superseded by the per-period measurement windows.  With sampling
+        disabled this method is bitwise identical to the pre-sampling
+        simulator.
         """
+        sampling = self.system.sampling
+        if sampling is not None and sampling.enabled:
+            return self._run_sampled(refs_per_core, warmup_refs, sampling)
         if warmup_refs > 0:
             self._drive(warmup_refs)
             self._reset_stats()
@@ -222,6 +306,288 @@ class CMPSimulator:
         else:
             self._drive(refs_per_core)
         return self._collect(refs_per_core, offsets, window_ipcs)
+
+    # ------------------------------------------------- two-speed sampling
+
+    def _run_sampled(
+        self, refs_per_core: int, warmup_refs: int, sampling: SamplingConfig
+    ) -> SimResult:
+        """SMARTS-style systematic sampling over the same trace.
+
+        Every period fast-forwards most of its references (cursor skip,
+        then a functional-warming ramp), runs a detailed warm-up, then
+        measures one window with full timing — producing one aggregate-IPC
+        sample per period.  SMARTS estimator semantics: the detailed
+        warm-up is *discarded* — ``instructions``/``elapsed_cycles`` (and
+        hence ``aggregate_ipc``) accumulate over the measurement windows
+        only, per core, with the elapsed estimate taken as the slowest
+        core's summed window cycles.  ``window_ipcs`` feed the CI
+        machinery exactly as full-detail windows do.
+        """
+        if warmup_refs > 0:
+            self._warm_sampled(warmup_refs, sampling)
+            self._reset_stats()
+        offsets = [(c.instructions, c.cycles) for c in self.cores]
+        n_cores = len(self.cores)
+        window_ipcs: List[float] = []
+        measured_instr = [0] * n_cores
+        measured_cycles = [0.0] * n_cores
+        periods = 0
+        tot_skip = tot_functional = tot_warm = tot_detail = 0
+        remaining = refs_per_core
+        while remaining > 0:
+            period = min(sampling.period_refs, remaining)
+            skip, functional, warm, detail = sampling.layout(period)
+            if skip:
+                self._skip(skip)
+            if functional:
+                self._drive_functional(functional)
+            if warm:
+                self._drive(warm)
+            if detail:
+                before = [(c.instructions, c.cycles) for c in self.cores]
+                self._drive(detail)
+                instr = 0
+                cyc = 0.0
+                for i, (core, b) in enumerate(zip(self.cores, before)):
+                    di = core.instructions - b[0]
+                    dc = core.cycles - b[1]
+                    measured_instr[i] += di
+                    measured_cycles[i] += dc
+                    instr += di
+                    if dc > cyc:
+                        cyc = dc
+                if cyc > 0:
+                    window_ipcs.append(instr / cyc)
+            periods += 1
+            tot_skip += skip
+            tot_functional += functional
+            tot_warm += warm
+            tot_detail += detail
+            remaining -= period
+        result = self._collect(refs_per_core, offsets, window_ipcs)
+        # Overwrite the whole-timed-span tallies with the measurement-only
+        # estimator (detailed warm-ups are warmth, not measurement).
+        result.instructions = sum(measured_instr)
+        result.per_core_cycles = measured_cycles
+        result.elapsed_cycles = max(measured_cycles) if measured_cycles else 0.0
+        result.sampled_periods = periods
+        result.sampled_detail_refs = tot_detail
+        result.sampled_warm_refs = tot_warm
+        result.sampled_functional_refs = tot_functional
+        result.sampled_skipped_refs = tot_skip
+        return result
+
+    def _warm_sampled(self, warmup_refs: int, sampling: SamplingConfig) -> None:
+        """The initial warm-up phase of a sampled run (functional).
+
+        With ``shared_warm`` the phase is demand-only (no predictor
+        training, no prefetching) and resolves through the process-wide
+        :data:`WARM_STATE_CACHE`: the first configuration of a
+        (workload, seed, geometry, warm-up) tuple computes and snapshots
+        the state, later ones restore it.  Restoring is bitwise equivalent
+        to recomputing, so results never depend on cache history.
+        """
+        if not sampling.shared_warm:
+            self._drive_functional(warmup_refs)
+            return
+        if any(self._trace_pos):
+            # Not a virgin simulator (second run()): checkpoints describe
+            # warm-ups from reset state only; warm in place instead.
+            self._drive_functional(warmup_refs, train=False)
+            return
+        key = self._warm_key(warmup_refs)
+        snap = WARM_STATE_CACHE.get(key)
+        if snap is None:
+            self._drive_functional(warmup_refs, train=False)
+            WARM_STATE_CACHE.put(key, self._snapshot_warm_state())
+        else:
+            self._restore_warm_state(snap, warmup_refs)
+
+    def _warm_key(self, warmup_refs: int):
+        cfg = self.system
+        h = cfg.hierarchy
+        return (
+            self.workload, self.seed, self._trace_region, warmup_refs,
+            h.n_cores, h.block_size, h.l1d_size, h.l1d_assoc,
+            h.l1i_size, h.l1i_assoc, h.l2_size, h.l2_assoc,
+            cfg.model_ifetch, cfg.nextline_degree,
+        )
+
+    def _warm_caches(self):
+        h = self.hierarchy
+        return [*h.l1d, *h.l1i, h.l2]
+
+    def _snapshot_warm_state(self) -> tuple:
+        """Sparse copy of every cache array plus the fetch-side state."""
+        snaps = []
+        for cache in self._warm_caches():
+            sets = {}
+            stamps = cache._stamps
+            meta = cache._meta
+            for sidx, tags in enumerate(cache._tags):
+                if tags:
+                    sets[sidx] = (tags[:], stamps[sidx][:], meta[sidx][:])
+            snaps.append((cache._tick, sets))
+        return (
+            snaps,
+            dict(self.hierarchy._l1_presence),
+            list(self._last_iblock),
+            [nl._last_block for nl in self.nextline],
+        )
+
+    def _restore_warm_state(self, snap: tuple, warmup_refs: int) -> None:
+        snaps, presence, last_iblock, nextline_last = snap
+        for cache, (tick, sets) in zip(self._warm_caches(), snaps):
+            cache._tick = tick
+            for sidx, (tags, stamps, meta) in sets.items():
+                cache._tags[sidx] = tags[:]
+                cache._stamps[sidx] = stamps[:]
+                cache._meta[sidx] = meta[:]
+        h = self.hierarchy
+        h._l1_presence.clear()
+        h._l1_presence.update(presence)
+        self._last_iblock[:] = last_iblock
+        for nl, last in zip(self.nextline, nextline_last):
+            nl._last_block = last
+        for i in range(len(self.cores)):
+            self._trace_pos[i] += warmup_refs
+
+    def _skip(self, refs_per_core: int) -> None:
+        """Fast-forward: cursor advance plus generation flush.
+
+        The skipped records still exist in the shared compiled trace (it
+        is generated once per workload process-wide), so later slices and
+        the streaming fallback stay aligned.  Open SMS generations cannot
+        be tracked across the gap, so they are flushed: accumulated
+        patterns store to the PHT (workloads whose generations outlive
+        one observed span keep training), filter-only entries drop.
+        """
+        for i in range(len(self.cores)):
+            self._trace_pos[i] += refs_per_core
+        if any(engine is not None for engine in self.sms):
+            # Flushed patterns store through the PV path untimed: time does
+            # not pass during a skip.
+            proxies = self._pv_proxies()
+            for proxy in proxies:
+                proxy.functional = True
+            try:
+                for engine in self.sms:
+                    if engine is not None:
+                        engine.flush_generations()
+            finally:
+                for proxy in proxies:
+                    proxy.functional = False
+
+    def _drive_functional(self, refs_per_core: int, train: bool = True) -> None:
+        """Advance every core functionally: state updates, no timing.
+
+        Demand references update L1/L2/coherence state through the
+        array-backed fast paths; with ``train`` the prefetcher/predictor
+        engines observe the stream too, and their prefetches install
+        untimed (no pending-arrival tracking, no MSHR occupancy, no bank
+        or DRAM queues — the timing machinery never runs).  Instruction
+        fetch warms the L1I and next-line prefetcher the same way.
+
+        Always served from compiled trace slices (the unified cursor keeps
+        the streaming fallback aligned), interleaved round-robin exactly
+        like the analytic drive so the shared L2 sees the same mix.
+        """
+        n_cores = len(self.cores)
+        slices = []
+        for i in range(n_cores):
+            start = self._trace_pos[i]
+            end = start + refs_per_core
+            self._trace_pos[i] = end
+            slices.append(self._trace_slice(i, start, end))
+        proxies = self._pv_proxies()
+        for proxy in proxies:
+            proxy.functional = True
+        try:
+            self._functional_loop(slices, train)
+        finally:
+            for proxy in proxies:
+                proxy.functional = False
+
+    def _functional_loop(self, slices, train: bool) -> None:
+        """The hot loop of :meth:`_drive_functional`.
+
+        Deliberately leaner than the detailed step in two stat-only ways:
+        next-line instruction prefetches are not replayed (a skipped fill
+        costs one extra — free — functional L1I miss on the next fetch of
+        that block), and SMS training goes straight to the AGT, so
+        ``SMSStats.accesses`` does not advance during functional spans
+        (every prediction/store counter does).
+        """
+        h = self.hierarchy
+        l1ds = h.l1d
+        l1is = h.l1i
+        warm_miss = h.warm_miss
+        pfill = h.prefetch_fill
+        watchers = h._pv_write_watchers
+        model_ifetch = self.system.model_ifetch
+        block_size = self.system.hierarchy.block_size
+        last_iblock = self._last_iblock
+        sms = self.sms
+        stride = self.stride
+        engines = self.engines
+        any_engines = any(engines)
+        presence_get = h._l1_presence.get
+        stats = h.stats
+        ifetch_hits = [l1i.warm_fetch_hit for l1i in l1is]
+        nows = [int(c.cycles) for c in self.cores]
+        agt_recs: List[object] = []
+        for i, engine in enumerate(sms):
+            if engine is not None and train:
+                engine._now = nows[i]
+                agt_recs.append(engine.agt.record_access)
+            else:
+                agt_recs.append(None)
+        for recs in zip(*slices):
+            i = 0
+            for rec in recs:
+                addr = rec.addr
+                w = rec.write
+                if model_ifetch:
+                    pc = rec.pc
+                    iblock = pc - (pc % block_size)
+                    if iblock != last_iblock[i]:
+                        last_iblock[i] = iblock
+                        if not ifetch_hits[i](pc):
+                            warm_miss(i, pc, False, True)
+                if w and watchers:
+                    block = addr - (addr % block_size)
+                    for start_w, end_w, callback in watchers:
+                        if start_w <= block < end_w:
+                            callback(block)
+                if l1ds[i].access_hit(
+                    addr, _K_DEMAND_WRITE if w else _K_DEMAND_READ, w
+                ):
+                    if w:
+                        block = addr - (addr % block_size)
+                        if presence_get(block, 0) & ~(1 << i):
+                            # Write hit with remote sharers: upgrade.
+                            stats.write_upgrades += 1
+                            h._coherence_invalidate(block, keep_bit=i)
+                else:
+                    warm_miss(i, addr, w)
+                if train:
+                    record = agt_recs[i]
+                    if record is not None:
+                        trigger = record(rec.pc, addr)
+                        if trigger is not None:
+                            for block_addr, _ready in sms[i]._predict(
+                                trigger[0], trigger[1], addr, nows[i]
+                            ):
+                                pfill(i, block_addr, block=block_addr)
+                    st = stride[i]
+                    if st is not None:
+                        for block_addr in st.on_access(rec.pc, addr):
+                            pfill(i, block_addr, block=block_addr)
+                    if any_engines:
+                        for runtime in engines[i]:
+                            runtime.observe(rec, nows[i])
+                i += 1
 
     # ------------------------------------------------------------- driving
 
@@ -532,6 +898,14 @@ class CMPSimulator:
 
     def _engine_runtimes(self) -> List[EngineRuntime]:
         return [runtime for per_core in self.engines for runtime in per_core]
+
+    def _pv_proxies(self) -> List[object]:
+        proxies = [
+            p.proxy for p in self.phts if isinstance(p, VirtualizedPredictorTable)
+        ]
+        proxies += [r.proxy for r in self._engine_runtimes()
+                    if r.proxy is not None]
+        return proxies
 
     def _collect(self, refs: int, offsets, window_ipcs: List[float]) -> SimResult:
         h = self.hierarchy

@@ -341,6 +341,7 @@ class TraceCache:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(
         self,
@@ -386,6 +387,23 @@ class TraceCache:
             oldest = min(self._entries, key=lambda k: self._entries[k][2])
             total -= len(self._entries[oldest][1])
             del self._entries[oldest]
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy.
+
+        Per-process: under a multiprocessing sweep, worker processes fork
+        with (and then extend) their own copy of the cache, so the
+        parent's numbers cover exactly the presharing work it did.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "records": sum(len(entry[1]) for entry in self._entries.values()),
+            "max_records": self.max_records,
+        }
 
     def clear(self) -> None:
         self._entries.clear()

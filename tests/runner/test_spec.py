@@ -15,6 +15,7 @@ from repro.runner.serialize import (
 from repro.runner.spec import SPEC_SCHEMA, ExperimentScale, ExperimentSpec
 from repro.sim.config import EngineConfig, PrefetcherConfig
 from repro.sim.metrics import SimResult
+from repro.sim.sampling import SamplingConfig
 
 try:
     from hypothesis import given, settings
@@ -103,6 +104,76 @@ class TestSpecIdentity:
         ]
         keys = [spec.key for spec in lattice]
         assert len(set(keys)) == len(keys) == len(lattice)
+
+
+class TestSamplingSpecs:
+    """Spec identity and round-trip for the two-speed sampled scenarios."""
+
+    SAMPLING = SamplingConfig.smarts(
+        period_refs=400, detail_refs=60, warm_refs=30, functional_refs=100
+    )
+
+    def test_sampling_spec_round_trips(self):
+        spec = ExperimentSpec.build(
+            "Qry1", PrefetcherConfig.virtualized(8), scale=SMALL,
+            sampling=self.SAMPLING,
+        )
+        back = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec and back.key == spec.key
+        assert back.sampling == self.SAMPLING
+
+    def test_sampling_variants_have_distinct_keys(self):
+        variants = [
+            None,
+            SamplingConfig.disabled(),
+            self.SAMPLING,
+            SamplingConfig.smarts(
+                period_refs=400, detail_refs=60, warm_refs=30,
+                functional_refs=200,
+            ),
+            SamplingConfig.smarts(
+                period_refs=400, detail_refs=60, warm_refs=30,
+                functional_refs=100, shared_warm=False,
+            ),
+        ]
+        keys = {
+            ExperimentSpec.build(
+                "Qry1", PrefetcherConfig.none(), scale=SMALL, sampling=v
+            ).key
+            for v in variants
+        }
+        assert len(keys) == len(variants)
+
+    def test_ambient_default_applies_to_build_only(self):
+        from repro.sim.sampling import set_default_sampling
+
+        try:
+            set_default_sampling(self.SAMPLING)
+            built = ExperimentSpec.build(
+                "Qry1", PrefetcherConfig.none(), scale=SMALL
+            )
+            assert built.sampling == self.SAMPLING
+            direct = ExperimentSpec(
+                workload="Qry1", prefetcher=PrefetcherConfig.none(), scale=SMALL
+            )
+            assert direct.sampling is None
+        finally:
+            set_default_sampling(None)
+        assert ExperimentSpec.build(
+            "Qry1", PrefetcherConfig.none(), scale=SMALL
+        ).sampling is None
+
+    def test_sampled_execute_produces_sampled_result(self):
+        spec = ExperimentSpec.build(
+            "Qry1", PrefetcherConfig.none(), scale=SMALL,
+            sampling=self.SAMPLING,
+        )
+        result = spec.execute()
+        assert result.is_sampled
+        assert result.sampled_periods == SMALL.refs_per_core // 400
+        # And the sampled counters survive the strict serializer.
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert back == result
 
 
 class TestEngineSpecs:

@@ -127,3 +127,106 @@ class TestSources:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
             SweepRunner(jobs=0)
+
+
+class TestWorkloadGrouping:
+    """Warm-state reuse: chunks never straddle workloads, workers <= groups."""
+
+    def test_group_specs_first_appearance_order(self):
+        groups = SweepRunner._group_specs(MIXED_SPECS)
+        assert list(groups) == ["Qry1", "Apache"]
+        assert all(len(specs) == 4 for specs in groups.values())
+        for workload, specs in groups.items():
+            assert all(spec.workload == workload for spec in specs)
+
+    def test_chunks_never_straddle_groups(self):
+        runner = SweepRunner(jobs=3)
+        groups = runner._group_specs(MIXED_SPECS)
+        chunks = runner._chunks(groups, jobs=3)
+        for chunk in chunks:
+            assert len({spec.workload for spec in chunk}) == 1
+        flattened = [spec for chunk in chunks for spec in chunk]
+        assert [s.key for s in flattened] == [
+            s.key for specs in groups.values() for s in specs
+        ]
+
+    def test_explicit_chunksize_respected_within_groups(self):
+        runner = SweepRunner(jobs=2, chunksize=3)
+        groups = runner._group_specs(MIXED_SPECS)
+        chunks = runner._chunks(groups, jobs=2)
+        # 4 specs per group at chunksize 3 -> [3, 1] per group.
+        assert sorted(len(c) for c in chunks) == [1, 1, 3, 3]
+
+    def test_parallel_grouped_run_matches_serial(self):
+        serial = SweepRunner(jobs=1).run(MIXED_SPECS)
+        clear_cache()
+        parallel = SweepRunner(jobs=8).run(MIXED_SPECS)  # > 2 groups
+        for s, p in zip(serial, parallel):
+            assert canonical_result_json(p) == canonical_result_json(s)
+
+    def test_preshare_compiles_multi_spec_groups_only(self):
+        from repro.workloads.generator import TRACE_CACHE
+
+        TRACE_CACHE.clear()
+        misses0 = TRACE_CACHE.stats()["misses"]
+        single = [ExperimentSpec.build("Zeus", PrefetcherConfig.none(), scale=TINY)]
+        SweepRunner._preshare_traces(SweepRunner._group_specs(single))
+        # One spec: skipped (the one worker compiles it just as fast).
+        assert TRACE_CACHE.stats()["misses"] == misses0
+        SweepRunner._preshare_traces(SweepRunner._group_specs(MIXED_SPECS))
+        stats = TRACE_CACHE.stats()
+        assert stats["misses"] == misses0 + 8  # 2 workloads x 4 cores
+        assert stats["records"] >= 8 * (TINY.refs_per_core + TINY.warmup_refs)
+        # Presharing again is pure cache hits.
+        SweepRunner._preshare_traces(SweepRunner._group_specs(MIXED_SPECS))
+        assert TRACE_CACHE.stats()["misses"] == misses0 + 8
+
+    def test_preshare_disabled_by_env(self, monkeypatch):
+        from repro.workloads.generator import TRACE_CACHE
+
+        TRACE_CACHE.clear()
+        misses0 = TRACE_CACHE.stats()["misses"]
+        monkeypatch.setenv("REPRO_SHARE_TRACES", "0")
+        SweepRunner._preshare_traces(SweepRunner._group_specs(MIXED_SPECS))
+        assert TRACE_CACHE.stats()["misses"] == misses0
+
+
+class TestTraceCacheStats:
+    def test_stats_counters(self):
+        from repro.workloads.generator import TraceCache
+        from repro.workloads.registry import get_workload
+
+        cache = TraceCache(max_records=1_000)
+        profile = get_workload("Qry1")
+        cache.get(profile, 0, 1, None, 400)
+        cache.get(profile, 0, 1, None, 400)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["records"] >= 400
+        # Force an eviction: a second stream pushes total past the bound.
+        cache.get(profile, 1, 1, None, 700)
+        assert cache.stats()["evictions"] >= 1
+
+
+class TestSampledSweep:
+    """Sampled specs flow through the runner like any other spec."""
+
+    def test_parallel_sampled_sweep_matches_serial(self):
+        from repro.sim.sampling import SamplingConfig
+
+        sampling = SamplingConfig.smarts(
+            period_refs=300, detail_refs=50, warm_refs=20, functional_refs=80
+        )
+        specs = [
+            ExperimentSpec.build(w, c, scale=TINY, sampling=sampling)
+            for w, c in product(
+                ["Qry1", "Apache"],
+                [PrefetcherConfig.none(), PrefetcherConfig.virtualized(8)],
+            )
+        ]
+        serial = SweepRunner(jobs=1).run(specs)
+        clear_cache()
+        parallel = SweepRunner(jobs=4).run(specs)
+        for s, p in zip(serial, parallel):
+            assert s.is_sampled and p.is_sampled
+            assert canonical_result_json(p) == canonical_result_json(s)

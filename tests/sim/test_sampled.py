@@ -1,0 +1,256 @@
+"""Two-speed sampled simulation (SMARTS fast-forward + windows).
+
+Pinned guarantees:
+
+* a disabled :class:`SamplingConfig` is invisible — bitwise-identical
+  ``SimResult`` payloads to a simulator that never heard of sampling,
+  analytic and contended alike;
+* sampled runs are deterministic, and the warm-state checkpoint path is
+  too: restoring a cached snapshot produces exactly the result computing
+  the warm-up fresh does, so process history can never change a result;
+* the shared demand-only warm-up is reused across predictor
+  configurations (the point of keying it by hierarchy geometry only);
+* the sampled IPC estimate converges into the matched-pair CI of the
+  full-detail run as the detailed fraction of each period grows
+  (hypothesis property, seeded workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import WARM_STATE_CACHE, CMPSimulator, WarmStateCache
+from repro.workloads.registry import get_workload
+
+
+def _system(sampling=None, contended=False):
+    system = SystemConfig.baseline()
+    if contended:
+        system = system.with_contention(dram_channels=1)
+    if sampling is not None:
+        system = system.with_sampling(sampling)
+    return system
+
+
+def _run(config, system=None, refs=1200, warmup=600, window=300):
+    sim = CMPSimulator(get_workload("Qry1"), config, system=system)
+    return sim.run(refs, warmup_refs=warmup, window_refs=window)
+
+
+SMALL = SamplingConfig.smarts(
+    period_refs=400, detail_refs=60, warm_refs=30, functional_refs=100
+)
+
+
+class TestDisabledIsInvisible:
+    def test_bitwise_identical_analytic(self):
+        plain = _run(PrefetcherConfig.virtualized(8))
+        explicit = _run(
+            PrefetcherConfig.virtualized(8),
+            system=_system(SamplingConfig.disabled()),
+        )
+        assert asdict(plain) == asdict(explicit)
+
+    def test_bitwise_identical_contended(self):
+        plain = _run(PrefetcherConfig.virtualized(8), system=_system(contended=True))
+        explicit = _run(
+            PrefetcherConfig.virtualized(8),
+            system=_system(SamplingConfig.disabled(), contended=True),
+        )
+        assert asdict(plain) == asdict(explicit)
+
+    def test_disabled_result_reports_no_sampling(self):
+        result = _run(PrefetcherConfig.none())
+        assert not result.is_sampled
+        assert result.sampled_periods == 0
+
+
+class TestSamplingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig.smarts(period_refs=0)
+        with pytest.raises(ValueError):
+            SamplingConfig.smarts(period_refs=100, detail_refs=0)
+        with pytest.raises(ValueError):
+            SamplingConfig.smarts(period_refs=100, detail_refs=80, warm_refs=40)
+        # Disabled configs skip validation entirely (all-default instance).
+        SamplingConfig(enabled=False, period_refs=0)
+
+    def test_layout_shrinks_back_to_front(self):
+        cfg = SamplingConfig.smarts(
+            period_refs=1000, detail_refs=100, warm_refs=50, functional_refs=200
+        )
+        assert cfg.layout(1000) == (650, 200, 50, 100)
+        # Short trailing period: skip goes first, then the ramp, then warm.
+        assert cfg.layout(350) == (0, 200, 50, 100)
+        assert cfg.layout(120) == (0, 0, 20, 100)
+        assert cfg.layout(80) == (0, 0, 0, 80)
+
+    def test_for_scale_is_enabled_and_valid(self):
+        cfg = SamplingConfig.for_scale(16_000)
+        assert cfg.enabled
+        assert cfg.detail_refs + cfg.warm_refs <= cfg.period_refs
+
+
+class TestSampledRun:
+    def test_accounting(self):
+        result = _run(
+            PrefetcherConfig.virtualized(8), system=_system(SMALL), refs=1200
+        )
+        assert result.is_sampled
+        assert result.sampled_periods == 3
+        assert (
+            result.sampled_detail_refs
+            + result.sampled_warm_refs
+            + result.sampled_functional_refs
+            + result.sampled_skipped_refs
+            == 1200
+        )
+        assert len(result.window_ipcs) == 3
+        assert result.aggregate_ipc > 0
+        # Measurement-only estimator: elapsed is the slowest core's summed
+        # measurement windows.
+        assert result.elapsed_cycles == max(result.per_core_cycles)
+
+    def test_deterministic_across_runs_and_checkpoint_hits(self):
+        WARM_STATE_CACHE.clear()
+        first = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        hits_before = WARM_STATE_CACHE.hits
+        second = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        assert WARM_STATE_CACHE.hits > hits_before  # second run restored
+        assert asdict(first) == asdict(second)
+
+    def test_checkpoint_restore_equals_fresh_compute(self, monkeypatch):
+        """A warm-cache hit can never change a result."""
+        WARM_STATE_CACHE.clear()
+        cached = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        cached2 = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        monkeypatch.setattr(
+            "repro.sim.simulator.WARM_STATE_CACHE", WarmStateCache(max_entries=0)
+        )
+        fresh = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        assert asdict(cached) == asdict(fresh)
+        assert asdict(cached2) == asdict(fresh)
+
+    def test_shared_warm_reused_across_predictor_configs(self):
+        WARM_STATE_CACHE.clear()
+        _run(PrefetcherConfig.none(), system=_system(SMALL))
+        misses = WARM_STATE_CACHE.misses
+        hits = WARM_STATE_CACHE.hits
+        _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        _run(PrefetcherConfig.dedicated(64, 11), system=_system(SMALL))
+        assert WARM_STATE_CACHE.misses == misses  # geometry unchanged
+        assert WARM_STATE_CACHE.hits == hits + 2
+
+    def test_own_warm_trains_predictors(self):
+        own = SamplingConfig.smarts(
+            period_refs=400, detail_refs=60, warm_refs=30,
+            functional_refs=100, shared_warm=False,
+        )
+        WARM_STATE_CACHE.clear()
+        misses = WARM_STATE_CACHE.misses
+        result = _run(PrefetcherConfig.dedicated(64, 11), system=_system(own))
+        assert WARM_STATE_CACHE.misses == misses  # never consulted
+        assert result.is_sampled
+
+    def test_sampled_contended_runs(self):
+        result = _run(
+            PrefetcherConfig.virtualized(8),
+            system=_system(SMALL, contended=True),
+        )
+        assert result.is_sampled
+        assert result.aggregate_ipc > 0
+
+    def test_streaming_fallback_bitwise_equal(self):
+        """Timed spans may stream (REPRO_PRECOMPILE=0); fast-forward always
+        uses compiled slices — the unified cursor keeps both aligned."""
+        WARM_STATE_CACHE.clear()
+        compiled = _run(PrefetcherConfig.virtualized(8), system=_system(SMALL))
+        WARM_STATE_CACHE.clear()
+        sim = CMPSimulator(
+            get_workload("Qry1"), PrefetcherConfig.virtualized(8),
+            system=_system(SMALL),
+        )
+        sim.precompile = False
+        streamed = sim.run(1200, warmup_refs=600, window_refs=300)
+        assert asdict(compiled) == asdict(streamed)
+
+    def test_full_functional_warming_layout(self):
+        """functional_refs big enough leaves no skip at all (pure SMARTS)."""
+        cfg = SamplingConfig.smarts(
+            period_refs=400, detail_refs=60, warm_refs=30, functional_refs=400
+        )
+        result = _run(PrefetcherConfig.virtualized(8), system=_system(cfg))
+        assert result.sampled_skipped_refs == 0
+        assert result.sampled_functional_refs == (400 - 90) * 3
+
+
+class TestWarmStateCache:
+    def test_lru_bound_and_stats(self):
+        cache = WarmStateCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["misses"] == 1
+
+    def test_zero_entries_disables(self):
+        cache = WarmStateCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+
+class TestConvergence:
+    """Sampled IPC converges into the full run's CI as detail grows."""
+
+    @given(
+        workload=st.sampled_from(["Qry1", "Apache", "Zeus"]),
+        seed=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_sampled_ipc_converges_into_full_ci(self, workload, seed):
+        profile = get_workload(workload)
+        period = 500
+        full = CMPSimulator(
+            profile, PrefetcherConfig.virtualized(8),
+            system=SystemConfig.baseline(), seed=seed,
+        ).run(2000, warmup_refs=800, window_refs=period)
+        ci = full.ipc_ci()
+
+        def sampled_ipc(detail, warm, functional):
+            cfg = SamplingConfig.smarts(
+                period_refs=period, detail_refs=detail, warm_refs=warm,
+                functional_refs=functional,
+            )
+            sim = CMPSimulator(
+                profile, PrefetcherConfig.virtualized(8),
+                system=SystemConfig.baseline().with_sampling(cfg), seed=seed,
+            )
+            return sim.run(2000, warmup_refs=800).aggregate_ipc
+
+        sparse = sampled_ipc(40, 20, 60)
+        dense = sampled_ipc(200, 100, 200)  # period fully observed
+        err_sparse = abs(sparse - full.aggregate_ipc)
+        err_dense = abs(dense - full.aggregate_ipc)
+        # The fully-observed layout must land inside the full run's 95% CI
+        # (tiny slack for the short-window accounting grain)...
+        slack = 0.05 * full.aggregate_ipc
+        assert ci.lower - slack <= dense <= ci.upper + slack, (
+            workload, seed, dense, (ci.lower, ci.upper)
+        )
+        # ...and growing the observed fraction must not push the estimate
+        # away from the truth by more than noise.
+        assert err_dense <= err_sparse + 0.1 * full.aggregate_ipc, (
+            workload, seed, err_sparse, err_dense
+        )

@@ -4,7 +4,14 @@ import math
 
 import pytest
 
-from repro.sim.sampling import confidence_interval, matched_pair
+from repro.sim import sampling
+from repro.sim.sampling import (
+    _normal_ppf,
+    _t_ppf_fallback,
+    confidence_interval,
+    matched_pair,
+    t_quantile,
+)
 
 
 class TestConfidenceInterval:
@@ -71,3 +78,49 @@ class TestMatchedPair:
     def test_negative_delta(self):
         pair = matched_pair([2.0, 2.0], [1.0, 1.0])
         assert pair.relative_delta == pytest.approx(-0.5)
+
+
+class TestScipyFreeFallback:
+    """The core package must work without scipy (inline t quantiles)."""
+
+    # Reference two-sided-95% and 99% critical values (standard tables).
+    KNOWN = [
+        (0.975, 1, 12.706), (0.975, 2, 4.303), (0.975, 5, 2.571),
+        (0.975, 10, 2.228), (0.975, 30, 2.042), (0.975, 120, 1.980),
+        (0.995, 10, 3.169), (0.995, 30, 2.750), (0.95, 10, 1.812),
+        (0.95, 5, 2.015), (0.90, 10, 1.372),
+    ]
+
+    def test_normal_ppf(self):
+        assert _normal_ppf(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_ppf(0.975) == pytest.approx(1.959964, rel=1e-5)
+        assert _normal_ppf(0.025) == pytest.approx(-1.959964, rel=1e-5)
+        assert _normal_ppf(0.999) == pytest.approx(3.090232, rel=1e-5)
+        with pytest.raises(ValueError):
+            _normal_ppf(0.0)
+
+    @pytest.mark.parametrize("q,df,expected", KNOWN)
+    def test_fallback_matches_tables(self, q, df, expected):
+        assert _t_ppf_fallback(q, df) == pytest.approx(expected, rel=5e-3)
+
+    def test_fallback_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for q in (0.9, 0.95, 0.975, 0.995):
+            for df in (3, 5, 8, 15, 40, 200):
+                want = float(scipy_stats.t.ppf(q, df=df))
+                assert _t_ppf_fallback(q, df) == pytest.approx(want, rel=5e-3)
+
+    def test_fallback_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            _t_ppf_fallback(0.975, 0)
+
+    def test_confidence_interval_without_scipy(self, monkeypatch):
+        with_scipy = confidence_interval([1.0, 2.0, 3.0, 4.0, 9.0])
+        monkeypatch.setattr(sampling, "_scipy_stats", None)
+        without = confidence_interval([1.0, 2.0, 3.0, 4.0, 9.0])
+        assert without.mean == with_scipy.mean
+        assert without.half_width == pytest.approx(
+            with_scipy.half_width, rel=1e-3
+        )
+        # The default two-sided 95% path is table-exact at small df.
+        assert t_quantile(0.975, 4) == pytest.approx(2.7764, abs=1e-4)
