@@ -22,8 +22,10 @@ Commands mirror the deliverables:
   print a top-N report, so throughput work is measurable and repeatable.
 
 All figure commands accept ``--workloads`` (comma-separated), ``--refs``
-and ``--warmup`` to control scale, plus ``--jobs N`` (process-pool width)
-and ``--store DIR`` (persistent result store) to control execution.
+and ``--warmup`` to control scale, plus ``--jobs N`` (worker count),
+``--store DIR`` (persistent result store, shardable with pathsep-joined
+directories) and ``--backend NAME`` (inline / process / any registered
+backend) to control execution through the broker/worker fabric.
 """
 
 from __future__ import annotations
@@ -185,8 +187,15 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                              "a sweep never uses more workers than it has "
                              "distinct workloads)")
     parser.add_argument("--store", default=None,
-                        help="persistent result-store directory "
+                        help="persistent result-store directory; several "
+                             "os.pathsep-joined directories stripe the "
+                             "store across shards "
                              "(default: REPRO_STORE or none)")
+    parser.add_argument("--backend", default=None,
+                        help="execution backend: auto (inline when --jobs 1, "
+                             "process pool otherwise), inline, process, or "
+                             "any registered name "
+                             "(default: REPRO_BACKEND or auto)")
     parser.add_argument("--sampled", action="store_true",
                         help="two-speed sampled simulation: functional "
                              "fast-forward with short detailed measurement "
@@ -197,8 +206,15 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
 
 def _configure_runner(args) -> None:
     """Install the sweep runner the figure drivers will resolve through."""
-    if getattr(args, "jobs", None) is not None or getattr(args, "store", None):
-        _runner_context.configure(jobs=args.jobs, store=args.store)
+    if (
+        getattr(args, "jobs", None) is not None
+        or getattr(args, "store", None)
+        or getattr(args, "backend", None)
+    ):
+        _runner_context.configure(
+            jobs=args.jobs, store=args.store,
+            backend=getattr(args, "backend", None),
+        )
 
 
 def _configure_sampling(args, scale: Optional[ExperimentScale]) -> None:
@@ -308,6 +324,14 @@ def _run_sweep(args) -> str:
         f"{ts['entries']} streams (per-process; workers fork their own)",
         file=sys.stderr,
     )
+    bs = runner.last_stats
+    if bs is not None:
+        print(
+            f"broker: {bs['published']} published, {bs['store_hits']} store "
+            f"hits, {bs['leases']} leases, {bs['retries']} retries, "
+            f"{bs['expirations']} expired, {bs['quarantined']} quarantined",
+            file=sys.stderr,
+        )
     rows = [
         {
             "workload": spec.workload,

@@ -1,16 +1,29 @@
-"""Sweep orchestration: specs, persistent results, parallel execution.
+"""Sweep orchestration: specs, persistent results, broker/worker fabric.
 
 * :mod:`repro.runner.spec`      — :class:`ExperimentSpec`, the frozen
   content-hashed description of one run (and :class:`ExperimentScale`);
 * :mod:`repro.runner.serialize` — strict SimResult <-> JSON round-trip;
-* :mod:`repro.runner.store`     — :class:`ResultStore`, atomic on-disk
-  persistence keyed by spec hash;
+* :mod:`repro.runner.store`     — :class:`ResultStore` (and its sharded
+  variant), atomic on-disk persistence keyed by spec hash;
+* :mod:`repro.runner.broker`    — :class:`JobBroker`, the durable
+  lease/retry/quarantine queue of content-hashed specs;
+* :mod:`repro.runner.worker`    — execution backends (inline, local
+  process pool) driving the broker, plus the backend registry;
+* :mod:`repro.runner.faults`    — deterministic fault injection
+  (:class:`FaultPlan`) the failure-semantics tests are built on;
 * :mod:`repro.runner.sweep`     — :class:`SweepRunner`, the parallel
-  load-or-compute engine;
+  load-or-compute engine (sync ``run``, async ``submit``/``gather``);
 * :mod:`repro.runner.context`   — the process-wide active runner
-  (``REPRO_JOBS`` / ``REPRO_STORE``, ``--jobs`` / ``--store``).
+  (``REPRO_JOBS`` / ``REPRO_STORE`` / ``REPRO_BACKEND``).
 """
 
+from repro.runner.broker import (
+    JobBroker,
+    LeasedJob,
+    PoisonSpecError,
+    SweepHandle,
+    payload_digest,
+)
 from repro.runner.context import (
     active_runner,
     configure,
@@ -18,6 +31,7 @@ from repro.runner.context import (
     reset,
     set_runner,
 )
+from repro.runner.faults import FaultPlan
 from repro.runner.serialize import (
     ResultSchemaError,
     canonical_result_json,
@@ -25,16 +39,24 @@ from repro.runner.serialize import (
     result_to_dict,
 )
 from repro.runner.spec import SPEC_SCHEMA, ExperimentScale, ExperimentSpec
-from repro.runner.store import STORE_SCHEMA, ResultStore
+from repro.runner.store import STORE_SCHEMA, ResultStore, ShardedResultStore
 from repro.runner.sweep import SweepObserver, SweepProgress, SweepRunner
+from repro.runner.worker import BACKENDS, register_backend
 
 __all__ = [
+    "BACKENDS",
     "SPEC_SCHEMA",
     "STORE_SCHEMA",
     "ExperimentScale",
     "ExperimentSpec",
+    "FaultPlan",
+    "JobBroker",
+    "LeasedJob",
+    "PoisonSpecError",
     "ResultSchemaError",
     "ResultStore",
+    "ShardedResultStore",
+    "SweepHandle",
     "SweepObserver",
     "SweepProgress",
     "SweepRunner",
@@ -42,6 +64,8 @@ __all__ = [
     "canonical_result_json",
     "configure",
     "get_runner",
+    "payload_digest",
+    "register_backend",
     "reset",
     "result_from_dict",
     "result_to_dict",

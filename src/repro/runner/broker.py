@@ -1,0 +1,597 @@
+"""Job broker: a durable queue of content-hashed specs with lease/retry
+semantics.
+
+The broker is the coordination half of the distributed sweep fabric.  It
+holds one job per unique :class:`~repro.runner.spec.ExperimentSpec` key
+and walks each through a small state machine::
+
+    pending ──lease──▶ leased ──complete──▶ done
+       ▲                  │
+       │   expire/fail    │ fail (attempts exhausted)
+       └──────────────────┴──────────────▶ quarantined
+
+* **Leases expire.**  A lease carries a deadline; a worker that neither
+  heartbeats nor publishes before it (crashed, partitioned, wedged) loses
+  the lease and the spec returns to pending.  A publish arriving under an
+  expired (or superseded) lease token is rejected as stale — a key is
+  published at most once, no matter how many workers raced on it.
+* **Failures retry with backoff, then quarantine.**  Every failure
+  (worker exception, expired lease, corrupt payload) counts one attempt;
+  after ``max_attempts`` the spec is quarantined with its error history
+  and the rest of the sweep proceeds.  Between attempts the spec is held
+  back ``retry_backoff * 2**(attempt-1)`` seconds.
+* **Payloads are verified.**  Workers publish the serialized result dict
+  together with a SHA-256 digest of its canonical JSON computed *at the
+  worker*; the broker recomputes the digest over what actually arrived
+  and treats a mismatch as a failed attempt (in-flight corruption), never
+  as a result.
+* **Results publish into the store.**  When a
+  :class:`~repro.runner.store.ResultStore` is attached, every accepted
+  publish is written through, and ``submit`` serves keys the store
+  already holds without queueing them — a warm store answers repeat
+  sweeps as pure JSON loads.
+* **Affinity, not assignment.**  Jobs carry a group tag (by default the
+  spec's workload); the first worker to lease from a group binds it, and
+  later leases prefer bound groups so per-process trace and warm-state
+  caches stay hot.  Bindings are advisory: they release when the holder's
+  leases expire or the worker is reported gone, so a crashed worker never
+  strands its group.
+
+The broker never runs a simulation itself and holds no infrastructure
+dependencies — backends (:mod:`repro.runner.worker`) inject the execution
+substrate, and tests drive the protocol directly with a fake clock.
+
+``submit`` / ``gather`` form the thin async client API: any number of
+clients may submit overlapping sweeps; jobs dedupe on content hash, and
+every handle sees each key resolved exactly once.
+
+With ``state_path`` set, the queue itself is durable: every transition
+snapshots pending/quarantined state (leases are not persisted — a
+restarted broker re-leases), so a broker restarted over the same store
+resumes where it left off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.runner.serialize import result_from_dict
+from repro.runner.spec import ExperimentSpec
+from repro.sim.metrics import SimResult
+
+__all__ = [
+    "BROKER_STATE_SCHEMA",
+    "JobBroker",
+    "LeasedJob",
+    "PoisonSpecError",
+    "SweepHandle",
+    "payload_digest",
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "QUARANTINED",
+]
+
+#: Job states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+#: Bump when the persisted queue snapshot changes shape.
+BROKER_STATE_SCHEMA = 1
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """Content digest of a serialized result, as computed by workers."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+class PoisonSpecError(RuntimeError):
+    """A sweep terminated with quarantined specs.
+
+    Carries the full picture: ``quarantined`` maps each quarantined key
+    to its error history, ``results`` holds every result that *did*
+    resolve, so callers can salvage the healthy part of the sweep.
+    """
+
+    def __init__(
+        self,
+        quarantined: Dict[str, List[str]],
+        results: Optional[Dict[str, SimResult]] = None,
+    ) -> None:
+        self.quarantined = dict(quarantined)
+        self.results = dict(results or {})
+        lines = []
+        for key, errors in sorted(self.quarantined.items()):
+            last = errors[-1] if errors else "unknown error"
+            lines.append(f"  {key[:12]}…: {last} (after {len(errors)} attempts)")
+        super().__init__(
+            "sweep quarantined %d spec(s):\n%s"
+            % (len(self.quarantined), "\n".join(lines))
+        )
+
+
+class LeasedJob(NamedTuple):
+    """What a worker receives: the spec, its wire form, and a lease."""
+
+    key: str
+    spec: ExperimentSpec
+    payload: Dict[str, Any]
+    token: str
+    deadline: float
+    group: str
+
+
+class SweepHandle(NamedTuple):
+    """One submission: the unique keys it resolves, in submit order."""
+
+    keys: Tuple[str, ...]
+
+
+class _Job:
+    __slots__ = (
+        "key", "spec", "payload", "group", "state", "attempts",
+        "token", "worker", "deadline", "not_before", "errors",
+    )
+
+    def __init__(self, spec: ExperimentSpec, group: str) -> None:
+        self.key = spec.key
+        self.spec = spec
+        self.payload = spec.to_dict()
+        self.group = group
+        self.state = PENDING
+        self.attempts = 0
+        self.token: Optional[str] = None
+        self.worker: Optional[str] = None
+        self.deadline = 0.0
+        self.not_before = 0.0
+        self.errors: List[str] = []
+
+
+class JobBroker:
+    """Lease/retry/quarantine coordination over content-hashed specs."""
+
+    def __init__(
+        self,
+        store=None,
+        max_attempts: int = 3,
+        lease_timeout: float = 30.0,
+        retry_backoff: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        state_path: Optional[os.PathLike] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        self.store = store
+        self.max_attempts = max_attempts
+        self.lease_timeout = lease_timeout
+        self.retry_backoff = retry_backoff
+        self.clock = clock
+        self.state_path = (
+            pathlib.Path(state_path) if state_path is not None else None
+        )
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, _Job] = {}
+        self._results: Dict[str, SimResult] = {}
+        #: group tag -> worker currently holding the group's affinity.
+        self._bindings: Dict[str, str] = {}
+        self._tokens = itertools.count(1)
+        self._stats = {
+            "submitted": 0,
+            "deduped": 0,
+            "store_hits": 0,
+            "leases": 0,
+            "heartbeats": 0,
+            "expirations": 0,
+            "retries": 0,
+            "published": 0,
+            "stale_rejected": 0,
+            "corrupt_rejected": 0,
+            "failures": 0,
+            "quarantined": 0,
+        }
+        if self.state_path is not None and self.state_path.is_file():
+            self._restore_state()
+
+    # ------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        specs: Sequence[ExperimentSpec],
+        groups: Optional[Sequence[str]] = None,
+    ) -> SweepHandle:
+        """Enqueue ``specs``; returns a handle over their unique keys.
+
+        Jobs dedupe on content hash — against this submission, against
+        every earlier submission, and against the attached store (a
+        store hit becomes ``done`` immediately, no lease ever issued).
+        ``groups`` optionally overrides the affinity tag per spec
+        (default: the spec's workload).
+        """
+        if groups is not None and len(groups) != len(specs):
+            raise ValueError("groups must align with specs")
+        keys: List[str] = []
+        with self._lock:
+            for i, spec in enumerate(specs):
+                key = spec.key
+                if key not in keys:
+                    keys.append(key)
+                job = self._jobs.get(key)
+                if job is not None:
+                    self._stats["deduped"] += 1
+                    continue
+                job = _Job(spec, groups[i] if groups is not None else spec.workload)
+                self._jobs[key] = job
+                self._stats["submitted"] += 1
+                if key not in self._results and self.store is not None:
+                    stored = self.store.get_by_key(key)
+                    if stored is not None:
+                        self._results[key] = stored
+                        self._stats["store_hits"] += 1
+                if key in self._results:
+                    job.state = DONE
+            self._persist_state()
+        return SweepHandle(tuple(keys))
+
+    # -------------------------------------------------------------- lease
+
+    def lease(
+        self,
+        worker: str,
+        now: Optional[float] = None,
+        only: Optional[set] = None,
+    ) -> Optional[LeasedJob]:
+        """Lease the next ready spec to ``worker``, or None.
+
+        ``only`` restricts candidates to a key set (a backend draining
+        one handle of a shared broker leaves other clients' jobs alone).
+        Preference order keeps caches hot: a group already bound to this
+        worker first, then an unbound group (binding it), then — only
+        when nothing else is ready — a group bound to another worker
+        (splitting it is better than idling; the protocol stays correct
+        either way, only cache warmth is at stake).
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            ready = [
+                job for job in self._jobs.values()
+                if job.state == PENDING and job.not_before <= now
+                and (only is None or job.key in only)
+            ]
+            if not ready:
+                return None
+            chosen = None
+            for job in ready:
+                holder = self._bindings.get(job.group)
+                if holder == worker:
+                    chosen = job
+                    break
+            if chosen is None:
+                for job in ready:
+                    if job.group not in self._bindings:
+                        chosen = job
+                        break
+            if chosen is None:
+                chosen = ready[0]
+            self._bindings[chosen.group] = worker
+            chosen.state = LEASED
+            chosen.worker = worker
+            chosen.token = f"{next(self._tokens)}"
+            chosen.deadline = now + self.lease_timeout
+            self._stats["leases"] += 1
+            key = self._key_of(chosen)
+            return LeasedJob(
+                key, chosen.spec, chosen.payload, chosen.token,
+                chosen.deadline, chosen.group,
+            )
+
+    def heartbeat(self, token: str, now: Optional[float] = None) -> bool:
+        """Extend the lease holding ``token``; False when it no longer does."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            job = self._job_for_token(token)
+            if job is None:
+                return False
+            job.deadline = now + self.lease_timeout
+            self._stats["heartbeats"] += 1
+            return True
+
+    # ------------------------------------------------------------ publish
+
+    def complete(
+        self,
+        token: str,
+        payload: Dict[str, Any],
+        digest: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Publish a result under lease ``token``.
+
+        Returns ``"published"``, ``"stale"`` (the lease expired or was
+        superseded — the payload is discarded, the key stays with
+        whichever attempt owns it now) or ``"corrupt"`` (digest mismatch
+        — counted as a failed attempt and requeued/quarantined).
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            job = self._job_for_token(token)
+            if job is None:
+                self._stats["stale_rejected"] += 1
+                return "stale"
+            key = self._key_of(job)
+            if digest is not None and payload_digest(payload) != digest:
+                self._stats["corrupt_rejected"] += 1
+                self._fail_locked(job, "corrupt payload (digest mismatch)", now)
+                return "corrupt"
+            try:
+                result = result_from_dict(payload)
+            except Exception as exc:
+                self._stats["corrupt_rejected"] += 1
+                self._fail_locked(job, f"undecodable payload: {exc}", now)
+                return "corrupt"
+            self._release_lease(job)
+            job.state = DONE
+            self._results[key] = result
+            self._stats["published"] += 1
+            if self.store is not None:
+                self.store.put(job.spec, result)
+            self._persist_state()
+            return "published"
+
+    def fail(
+        self, token: str, error: str, now: Optional[float] = None
+    ) -> str:
+        """Report a failed attempt; returns ``"requeued"``,
+        ``"quarantined"`` or ``"stale"``."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            job = self._job_for_token(token)
+            if job is None:
+                self._stats["stale_rejected"] += 1
+                return "stale"
+            return self._fail_locked(job, error, now)
+
+    def _fail_locked(self, job: _Job, error: str, now: float) -> str:
+        self._release_lease(job)
+        job.attempts += 1
+        job.errors.append(error)
+        self._stats["failures"] += 1
+        if job.attempts >= self.max_attempts:
+            job.state = QUARANTINED
+            self._stats["quarantined"] += 1
+        else:
+            job.state = PENDING
+            job.not_before = now + self.retry_backoff * (2 ** (job.attempts - 1))
+            self._stats["retries"] += 1
+        self._persist_state()
+        return "quarantined" if job.state == QUARANTINED else "requeued"
+
+    # ------------------------------------------------------------- expiry
+
+    def expire(self, now: Optional[float] = None) -> List[str]:
+        """Requeue every lease whose deadline has passed; returns keys."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            lapsed = [
+                job for job in self._jobs.values()
+                if job.state == LEASED and job.deadline <= now
+            ]
+            keys = []
+            for job in lapsed:
+                keys.append(self._key_of(job))
+                self._stats["expirations"] += 1
+                self._fail_locked(job, f"lease expired (worker {job.worker})", now)
+            return keys
+
+    def release_worker(self, worker: str, now: Optional[float] = None) -> List[str]:
+        """A worker is known gone: expire its leases now, drop its bindings."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            keys = []
+            for job in self._jobs.values():
+                if job.state == LEASED and job.worker == worker:
+                    keys.append(self._key_of(job))
+                    self._stats["expirations"] += 1
+                    self._fail_locked(
+                        job, f"worker {worker} died holding the lease", now
+                    )
+            for group, holder in list(self._bindings.items()):
+                if holder == worker:
+                    del self._bindings[group]
+            return keys
+
+    @staticmethod
+    def _release_lease(job: _Job) -> None:
+        # Bindings are left alone here: they are advisory cache-affinity
+        # hints, dropped only when a worker is reported gone.
+        job.token = None
+        job.worker = None
+        job.deadline = 0.0
+
+    # ------------------------------------------------------------ queries
+
+    @staticmethod
+    def _key_of(job: _Job) -> str:
+        return job.key
+
+    def _job_for_token(self, token: str) -> Optional[_Job]:
+        for job in self._jobs.values():
+            if job.state == LEASED and job.token == token:
+                return job
+        return None
+
+    def next_event_delay(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the next deadline/backoff event, or None if idle."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            horizons = [
+                job.deadline for job in self._jobs.values() if job.state == LEASED
+            ] + [
+                job.not_before
+                for job in self._jobs.values()
+                if job.state == PENDING and job.not_before > now
+            ]
+            if not horizons:
+                return None
+            return max(0.0, min(horizons) - now)
+
+    def pending_group_count(self, keys: Optional[Sequence[str]] = None) -> int:
+        """Distinct affinity groups with unresolved work (sizes a backend)."""
+        with self._lock:
+            wanted = set(keys) if keys is not None else None
+            return len({
+                job.group
+                for key, job in self._jobs.items()
+                if job.state in (PENDING, LEASED)
+                and (wanted is None or key in wanted)
+            })
+
+    def counts(self) -> Dict[str, int]:
+        """State histogram of every job the broker has ever accepted."""
+        with self._lock:
+            counts = {PENDING: 0, LEASED: 0, DONE: 0, QUARANTINED: 0}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._stats)
+
+    def quarantined(self) -> Dict[str, List[str]]:
+        """Error history of every quarantined spec."""
+        with self._lock:
+            return {
+                key: list(job.errors)
+                for key, job in self._jobs.items()
+                if job.state == QUARANTINED
+            }
+
+    def done(self, handle: SweepHandle) -> bool:
+        """Whether every key of ``handle`` reached a terminal state."""
+        with self._lock:
+            return all(
+                self._jobs[key].state in (DONE, QUARANTINED)
+                for key in handle.keys
+            )
+
+    def result(self, key: str) -> Optional[SimResult]:
+        with self._lock:
+            return self._results.get(key)
+
+    def gather(self, handle: SweepHandle) -> List[SimResult]:
+        """Results for a completed handle, in submit order.
+
+        Raises :class:`PoisonSpecError` when any of the handle's specs
+        was quarantined (the exception carries the healthy results), and
+        ``RuntimeError`` if called before the handle completed.
+        """
+        with self._lock:
+            if not self.done(handle):
+                raise RuntimeError("handle not complete; drive a backend first")
+            quarantined = {
+                key: list(self._jobs[key].errors)
+                for key in handle.keys
+                if self._jobs[key].state == QUARANTINED
+            }
+            if quarantined:
+                healthy = {
+                    key: self._results[key]
+                    for key in handle.keys
+                    if key in self._results
+                }
+                raise PoisonSpecError(quarantined, healthy)
+            return [self._results[key] for key in handle.keys]
+
+    # -------------------------------------------------------- durability
+
+    def _persist_state(self) -> None:
+        """Atomic queue snapshot (leases saved as pending: they re-lease)."""
+        if self.state_path is None:
+            return
+        jobs = []
+        for key, job in self._jobs.items():
+            state = PENDING if job.state == LEASED else job.state
+            jobs.append(
+                {
+                    "key": key,
+                    "spec": job.payload,
+                    "group": job.group,
+                    "state": state,
+                    "attempts": job.attempts,
+                    "errors": list(job.errors),
+                }
+            )
+        snapshot = {"broker_state_schema": BROKER_STATE_SCHEMA, "jobs": jobs}
+        self.state_path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.state_path.parent, prefix=".queue.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(snapshot, handle, sort_keys=True)
+            os.replace(tmp, self.state_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _restore_state(self) -> None:
+        try:
+            snapshot = json.loads(self.state_path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(snapshot, dict):
+            return
+        if snapshot.get("broker_state_schema") != BROKER_STATE_SCHEMA:
+            return
+        for entry in snapshot.get("jobs", []):
+            try:
+                spec = ExperimentSpec.from_dict(entry["spec"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            key = entry.get("key")
+            if key != spec.key:
+                continue
+            job = _Job(spec, entry.get("group", spec.workload))
+            job.attempts = int(entry.get("attempts", 0))
+            job.errors = [str(e) for e in entry.get("errors", [])]
+            state = entry.get("state", PENDING)
+            if state == DONE:
+                # Results live in the store; re-pend if it lost them.
+                stored = (
+                    self.store.get_by_key(key) if self.store is not None else None
+                )
+                if stored is not None:
+                    job.state = DONE
+                    self._results[key] = stored
+                    self._stats["store_hits"] += 1
+                else:
+                    job.state = PENDING
+            elif state == QUARANTINED:
+                job.state = QUARANTINED
+            self._jobs[key] = job
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return (
+            "JobBroker("
+            + ", ".join(f"{state}={n}" for state, n in counts.items())
+            + ")"
+        )

@@ -4,11 +4,18 @@ Figure drivers, benches and scripts all resolve their simulations through
 ``get_runner()`` so one knob configures the whole process.  The default
 runner is built from the environment:
 
-* ``REPRO_JOBS``  — worker processes (default 1: serial, in-process);
-* ``REPRO_STORE`` — directory of the persistent result store (default:
-  no persistence, in-process cache only).
+* ``REPRO_JOBS``    — worker processes (default 1: serial, in-process);
+* ``REPRO_STORE``   — directory of the persistent result store (default:
+  no persistence, in-process cache only).  Several ``os.pathsep``-joined
+  directories configure a :class:`~repro.runner.store.ShardedResultStore`;
+* ``REPRO_BACKEND`` — execution backend name (``auto``/``inline``/
+  ``process``, or anything registered via
+  :func:`repro.runner.worker.register_backend`);
+* ``REPRO_MAX_ATTEMPTS`` / ``REPRO_LEASE_TIMEOUT`` — broker failure
+  semantics (see :mod:`repro.runner.broker`).
 
-CLI flags (``--jobs`` / ``--store``) call :func:`configure` to override.
+CLI flags (``--jobs`` / ``--store`` / ``--backend``) call
+:func:`configure` to override.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
-from repro.runner.store import ResultStore
+from repro.runner.store import ResultStore, ShardedResultStore
 from repro.runner.sweep import SweepObserver, SweepRunner
 
 _active: Optional[SweepRunner] = None
@@ -26,16 +33,31 @@ def default_jobs() -> int:
     return max(1, int(os.environ.get("REPRO_JOBS", "1")))
 
 
-def default_store() -> Optional[ResultStore]:
+def default_backend() -> Optional[str]:
+    return os.environ.get("REPRO_BACKEND") or None
+
+
+def _store_from_path(path: Union[str, os.PathLike]):
+    """A ResultStore, or a ShardedResultStore for pathsep-joined roots."""
+    text = os.fspath(path)
+    roots = [part for part in text.split(os.pathsep) if part]
+    if len(roots) > 1:
+        return ShardedResultStore(roots)
+    return ResultStore(roots[0] if roots else text)
+
+
+def default_store():
     path = os.environ.get("REPRO_STORE")
-    return ResultStore(path) if path else None
+    return _store_from_path(path) if path else None
 
 
 def get_runner() -> SweepRunner:
     """The active runner, creating the env-configured default on first use."""
     global _active
     if _active is None:
-        _active = SweepRunner(jobs=default_jobs(), store=default_store())
+        _active = SweepRunner(
+            jobs=default_jobs(), store=default_store(), backend=default_backend()
+        )
     return _active
 
 
@@ -51,20 +73,22 @@ def set_runner(runner: Optional[SweepRunner]) -> None:
 
 def configure(
     jobs: Optional[int] = None,
-    store: Union[ResultStore, str, os.PathLike, None] = None,
+    store=None,
     observer: Optional[SweepObserver] = None,
+    backend: Optional[str] = None,
 ) -> SweepRunner:
     """Install (and return) a runner; unset arguments fall back to the env."""
     if store is None:
-        resolved_store: Optional[ResultStore] = default_store()
-    elif isinstance(store, ResultStore):
+        resolved_store = default_store()
+    elif isinstance(store, (ResultStore, ShardedResultStore)):
         resolved_store = store
     else:
-        resolved_store = ResultStore(store)
+        resolved_store = _store_from_path(store)
     runner = SweepRunner(
         jobs=jobs if jobs is not None else default_jobs(),
         store=resolved_store,
         observer=observer,
+        backend=backend if backend is not None else default_backend(),
     )
     set_runner(runner)
     return runner

@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the broker/worker sweep fabric.
+
+The distributed sweep fabric (:mod:`repro.runner.broker` /
+:mod:`repro.runner.worker`) claims crash, partition and corruption
+tolerance; this module is how the test suite *proves* it.  A
+:class:`FaultPlan` names spec selectors and, for each, a failure to
+inject at the worker boundary:
+
+* ``crash``   — the worker process calls ``os._exit`` after computing
+  the result but before publishing it (a kill mid-chunk: the lease must
+  expire and the spec must be re-leased and recomputed elsewhere);
+* ``delay``   — the worker suppresses its lease heartbeats and sleeps
+  ``delay_s`` seconds before publishing (a network partition: the lease
+  expires while the worker is still alive, the spec is re-leased, and
+  the late publish must be rejected as stale);
+* ``corrupt`` — the worker flips a field of the serialized result
+  *after* computing its content digest (bit-rot in flight: the broker
+  must detect the digest mismatch and recompute);
+* ``poison``  — the worker fails deterministically on every attempt
+  (a spec that can never succeed: the broker must quarantine it after
+  its bounded retries without stalling the rest of the sweep).
+
+Crash, delay and corrupt faults fire **once per spec key**, coordinated
+across worker processes (and respawns) through marker files in
+``tally_dir`` — otherwise a crash fault would kill every retry and the
+sweep could never terminate.  Poison faults fire on every attempt by
+design.
+
+Selectors match either a prefix of the spec's content hash
+(:attr:`~repro.runner.spec.ExperimentSpec.key`) or the human-readable
+``"<workload>/<config label>"`` tag, so both tests (which know exact
+keys) and shell smoke runs (which know workload names) can aim faults.
+
+Plans are installed process-wide with :func:`install` (inherited by
+fork-spawned workers) or via the ``REPRO_FAULTS`` environment variable,
+a JSON object::
+
+    REPRO_FAULTS='{"crash": ["Qry1/NoPF"], "delay": ["Apache/PV8"],
+                   "delay_s": 1.0, "tally_dir": "/tmp/fault-tally"}'
+
+Production sweeps never read any of this: with no plan installed and no
+``REPRO_FAULTS`` set, :func:`active_plan` returns the immutable
+:data:`NO_FAULTS` plan whose hooks are all no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "NO_FAULTS",
+    "FaultError",
+    "FaultPlan",
+    "PoisonFault",
+    "WorkerCrash",
+    "active_plan",
+    "install",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected failures."""
+
+
+class PoisonFault(FaultError):
+    """Deterministic per-attempt failure of a poison spec."""
+
+
+class WorkerCrash(FaultError):
+    """Raised by inline backends in place of ``os._exit`` (a real process
+    worker dies instead of raising)."""
+
+
+def _default_tally_dir() -> str:
+    return os.path.join(tempfile.gettempdir(), "repro-fault-tally")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which specs to sabotage, and how.
+
+    All selector tuples hold key prefixes and/or ``workload/label`` tags.
+    """
+
+    crash: Tuple[str, ...] = ()
+    poison: Tuple[str, ...] = ()
+    corrupt: Tuple[str, ...] = ()
+    delay: Tuple[str, ...] = ()
+    #: How long a ``delay`` fault sleeps (choose > the broker's lease
+    #: timeout so the lease demonstrably expires mid-flight).
+    delay_s: float = 1.0
+    #: Cross-process once-per-key coordination directory.
+    tally_dir: str = field(default_factory=_default_tally_dir)
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        kwargs: Dict[str, Any] = {}
+        for name in ("crash", "poison", "corrupt", "delay"):
+            if name in data:
+                value = data[name]
+                if isinstance(value, str):
+                    value = [value]
+                kwargs[name] = tuple(str(sel) for sel in value)
+        if "delay_s" in data:
+            kwargs["delay_s"] = float(data["delay_s"])
+        if "tally_dir" in data:
+            kwargs["tally_dir"] = str(data["tally_dir"])
+        unknown = set(data) - {
+            "crash", "poison", "corrupt", "delay", "delay_s", "tally_dir"
+        }
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or None when unset/empty."""
+        raw = os.environ.get("REPRO_FAULTS")
+        if not raw:
+            return None
+        return cls.from_dict(json.loads(raw))
+
+    def to_env(self) -> str:
+        """JSON form suitable for ``REPRO_FAULTS``."""
+        return json.dumps(
+            {
+                "crash": list(self.crash),
+                "poison": list(self.poison),
+                "corrupt": list(self.corrupt),
+                "delay": list(self.delay),
+                "delay_s": self.delay_s,
+                "tally_dir": self.tally_dir,
+            },
+            sort_keys=True,
+        )
+
+    # ------------------------------------------------------------ matching
+
+    @property
+    def is_null(self) -> bool:
+        return not (self.crash or self.poison or self.corrupt or self.delay)
+
+    @staticmethod
+    def _matches(selectors: Sequence[str], key: str, tag: str) -> bool:
+        return any(key.startswith(sel) or tag == sel for sel in selectors)
+
+    def _trip(self, kind: str, key: str) -> bool:
+        """Record (once, cross-process) that ``kind`` fired for ``key``.
+
+        Returns True exactly once per (kind, key): the first caller to
+        create the marker file wins; later callers — retries of the same
+        spec, possibly in a different worker process — see the marker and
+        leave the spec alone.  The marker is written *before* the fault
+        executes so even an ``os._exit`` crash is tallied.
+        """
+        directory = pathlib.Path(self.tally_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        marker = directory / f"{kind}-{key}"
+        try:
+            with open(marker, "x") as handle:
+                handle.write(str(os.getpid()))
+        except FileExistsError:
+            return False
+        return True
+
+    # -------------------------------------------------------- worker hooks
+
+    def is_poison(self, key: str, tag: str) -> bool:
+        """Whether this spec must fail this attempt (every attempt)."""
+        return bool(self.poison) and self._matches(self.poison, key, tag)
+
+    def drops_heartbeats(self, key: str, tag: str) -> bool:
+        """Whether the worker must not heartbeat while computing ``key``."""
+        return bool(self.delay) and self._matches(self.delay, key, tag)
+
+    def maybe_corrupt(self, key: str, tag: str, payload: dict) -> dict:
+        """Return ``payload``, corrupted in flight once per key."""
+        if not self.corrupt or not self._matches(self.corrupt, key, tag):
+            return payload
+        if not self._trip("corrupt", key):
+            return payload
+        corrupted = dict(payload)
+        corrupted["instructions"] = int(payload.get("instructions", 0)) + 1
+        return corrupted
+
+    def maybe_delay(self, key: str, tag: str) -> None:
+        """Sleep past lease expiry once per key (partition simulation)."""
+        if not self.delay or not self._matches(self.delay, key, tag):
+            return
+        if self._trip("delay", key):
+            time.sleep(self.delay_s)
+
+    def maybe_crash(self, key: str, tag: str, hard: bool = True) -> None:
+        """Kill the worker once per key, right before it would publish.
+
+        ``hard=True`` (process workers) exits without cleanup, exactly
+        like a SIGKILL'd host; ``hard=False`` (inline backends, which
+        must not kill the calling process) raises :class:`WorkerCrash`
+        instead, which the backend reports as an ordinary failure.
+        """
+        if not self.crash or not self._matches(self.crash, key, tag):
+            return
+        if not self._trip("crash", key):
+            return
+        if hard:
+            os._exit(87)
+        raise WorkerCrash(f"injected crash for {key[:12]}")
+
+
+#: The do-nothing plan production code runs under.
+NO_FAULTS = FaultPlan()
+
+_INSTALLED: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` process-wide (None removes it).
+
+    Fork-spawned workers inherit the installed plan, so a test can
+    install once in the parent and every worker sees it.
+    """
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def active_plan() -> FaultPlan:
+    """The installed plan, else the ``REPRO_FAULTS`` plan, else no-op."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return FaultPlan.from_env() or NO_FAULTS

@@ -13,7 +13,17 @@ Writes are atomic (unique temp file in the final directory, then
 parallel pytest sessions, several reproduction scripts — can share one
 store: the worst case is the same result computed twice, never a torn or
 half-written file.  Reads treat corrupt, foreign-schema or key-mismatched
-files as misses, so an old store survives schema bumps silently.
+files as misses, so an old store survives schema bumps silently.  A file
+that does not even parse as JSON — the signature of a writer killed
+mid-write on a filesystem without atomic replace, or of disk rot — is
+additionally *quarantined* (renamed to ``*.json.corrupt``) so it stops
+shadowing the key: the next run recomputes and re-persists cleanly
+instead of missing forever.
+
+:class:`ShardedResultStore` stripes the same layout over several roots
+(e.g. different disks or mounts) by key hash, so the broker/worker
+fabric can spread store traffic without any coordination — every shard
+is just a :class:`ResultStore`.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.runner.serialize import (
     ResultSchemaError,
@@ -69,8 +79,16 @@ class ResultStore:
     def get_by_key(self, key: str) -> Optional[SimResult]:
         path = self.path_for(key)
         try:
-            envelope = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            # Truncated/garbled JSON: a killed writer's partial file.
+            # Quarantine it so it stops shadowing the key — ``put`` can
+            # then heal the entry instead of every read missing forever.
+            self._quarantine(path)
             return None
         if not isinstance(envelope, dict):
             return None
@@ -82,6 +100,14 @@ class ResultStore:
             return result_from_dict(envelope["result"])
         except (KeyError, TypeError, ResultSchemaError):
             return None
+
+    @staticmethod
+    def _quarantine(path: pathlib.Path) -> None:
+        """Move a corrupt entry aside as ``<name>.json.corrupt``."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:  # pragma: no cover - racing readers/cleaners
+            pass
 
     # --------------------------------------------------------------- write
 
@@ -137,3 +163,55 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r})"
+
+
+class ShardedResultStore:
+    """Several :class:`ResultStore` roots striped by key hash.
+
+    The spec key is already a uniform content hash, so routing on its
+    leading hex digits balances shards without extra hashing.  The class
+    duck-types the full ResultStore surface — ``SweepRunner``, the
+    broker and ``run_experiment`` accept either interchangeably.
+    Configure via ``REPRO_STORE``/``--store`` with ``os.pathsep``-joined
+    directories (``dir1:dir2`` on POSIX).
+    """
+
+    def __init__(self, roots: Sequence[Union[str, os.PathLike]]) -> None:
+        if not roots:
+            raise ValueError("at least one shard root required")
+        self.shards = [ResultStore(root) for root in roots]
+
+    def shard_for(self, key: str) -> ResultStore:
+        return self.shards[int(key[:8], 16) % len(self.shards)]
+
+    # Reads -----------------------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> Optional[SimResult]:
+        return self.get_by_key(spec.key)
+
+    def get_by_key(self, key: str) -> Optional[SimResult]:
+        return self.shard_for(key).get_by_key(key)
+
+    def keys(self) -> Iterator[str]:
+        for shard in self.shards:
+            yield from shard.keys()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return spec in self.shard_for(spec.key)
+
+    # Writes ----------------------------------------------------------------
+
+    def put(self, spec: ExperimentSpec, result: SimResult) -> pathlib.Path:
+        return self.shard_for(spec.key).put(spec, result)
+
+    def load_or_compute(self, spec: ExperimentSpec, compute=None) -> SimResult:
+        return self.shard_for(spec.key).load_or_compute(spec, compute=compute)
+
+    def clear(self) -> int:
+        return sum(shard.clear() for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedResultStore({[str(s.root) for s in self.shards]!r})"

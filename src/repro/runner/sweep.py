@@ -1,46 +1,63 @@
-"""Fan a list of :class:`ExperimentSpec` across a process pool.
+"""Fan a list of :class:`ExperimentSpec` across the broker/worker fabric.
 
 The runner resolves each spec through three layers, cheapest first:
 
 1. the in-process experiment cache (`repro.sim.experiment`);
 2. the persistent :class:`~repro.runner.store.ResultStore`, if configured;
-3. simulation — serially for ``jobs<=1``, otherwise chunked across a
-   ``multiprocessing`` pool.
+3. simulation, through a :class:`~repro.runner.broker.JobBroker` driven
+   by an execution backend (:mod:`repro.runner.worker`): the inline
+   backend for ``jobs<=1``, N local worker processes otherwise.
 
-Workers receive spec dicts and return result dicts (the same payloads the
-store persists), so a parallel run produces byte-identical payloads to a
+The broker brings failure semantics the old process pool lacked: leases
+that expire when a worker dies or wedges, bounded retries with backoff,
+digest-verified result payloads, and poison-spec quarantine
+(:class:`~repro.runner.broker.PoisonSpecError` reports quarantined specs
+without losing the healthy results).  Workers publish straight into the
+result store; a parallel run produces byte-identical payloads to a
 serial one.  Completion order is irrelevant to the outcome: computed
-results are persisted (and progress reported) as they arrive, then merged
-into the in-process cache in input-spec order, and ``run`` returns
-results aligned with its argument.
+results are persisted (and progress reported) as they arrive, then
+merged into the in-process cache in input-spec order, and ``run``
+returns results aligned with its argument.
+
+``submit``/``gather`` expose the same machinery asynchronously: any
+number of clients enqueue sweeps into one shared broker (deduped on
+content hash, warm store entries served as pure JSON loads), then gather
+their handles whenever they like.
 
 Warm-state reuse across a sweep is organized around **workload groups**:
 
-* pending specs are grouped by workload, and chunks handed to the pool
-  never straddle a group — every configuration of one workload lands in
-  the same worker, where the process-local compiled-trace cache
+* specs carry their workload as a broker affinity tag, and the broker
+  leases a group's specs to the worker that first touched it — every
+  configuration of one workload lands in the same worker process, where
+  the process-local compiled-trace cache
   (:data:`~repro.workloads.generator.TRACE_CACHE`) and warm-state
   checkpoint cache (:data:`~repro.sim.simulator.WARM_STATE_CACHE`) serve
   every spec after the first;
-* the pool never spawns more workers than there are groups (extra workers
-  would only split groups and defeat the sharing);
+* the pool never spawns more workers than there are groups (extra
+  workers would only split groups and defeat the sharing); an explicit
+  ``chunksize`` splits groups into finer affinity units (better load
+  balancing, less reuse);
 * before forking, the parent precompiles each multi-spec group's shared
   traces (``REPRO_SHARE_TRACES=0`` disables), so fork-inherited memory
   hands every worker a hot trace cache for free.
 
 ``REPRO_JOBS`` sets the requested pool width (see
 :mod:`repro.runner.context`); the effective width of one ``run`` call is
-``min(REPRO_JOBS, distinct workloads pending, specs pending)``.
+``min(REPRO_JOBS, distinct workloads pending)``.  ``REPRO_BACKEND``
+picks the execution backend (``auto``/``inline``/``process``), and
+``REPRO_MAX_ATTEMPTS`` / ``REPRO_LEASE_TIMEOUT`` tune the failure
+semantics.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.runner.serialize import result_from_dict, result_to_dict
+from repro.runner import worker as worker_mod
+from repro.runner.broker import JobBroker, PoisonSpecError, SweepHandle
 from repro.runner.spec import ExperimentSpec
 from repro.runner.store import ResultStore
 from repro.sim.metrics import SimResult
@@ -60,32 +77,22 @@ class SweepProgress:
 SweepObserver = Callable[[SweepProgress], None]
 
 
-def _execute_payload(payload: dict) -> Tuple[str, dict]:
-    """Pool worker: simulate one spec dict, return (key, result dict)."""
-    spec = ExperimentSpec.from_dict(payload)
-    return spec.key, result_to_dict(spec.execute())
+def default_max_attempts() -> int:
+    return max(1, int(os.environ.get("REPRO_MAX_ATTEMPTS", "3")))
 
 
-def _execute_chunk(payloads: List[dict]) -> List[Tuple[str, dict]]:
-    """Pool worker: simulate one group-aligned chunk of spec dicts.
-
-    A chunk only ever contains specs of one workload, so the worker's
-    trace cache and warm-state checkpoints hit from the second spec on.
-    """
-    return [_execute_payload(payload) for payload in payloads]
-
-
-def _pool_context():
-    # fork (Linux/macOS<=3.7 default) avoids re-importing the package per
-    # worker; fall back to the platform default where unavailable.
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
+def default_lease_timeout() -> float:
+    return float(os.environ.get("REPRO_LEASE_TIMEOUT", "30"))
 
 
 class SweepRunner:
-    """Runs design-space sweeps with caching, persistence and parallelism."""
+    """Runs design-space sweeps with caching, persistence and parallelism.
+
+    ``backend`` selects the execution substrate: a name registered in
+    :data:`repro.runner.worker.BACKENDS`, a factory ``f(workers=N) ->
+    backend``, or None/"auto" (inline when one worker suffices, local
+    processes otherwise).
+    """
 
     def __init__(
         self,
@@ -94,6 +101,9 @@ class SweepRunner:
         chunksize: Optional[int] = None,
         observer: Optional[SweepObserver] = None,
         use_cache: bool = True,
+        backend=None,
+        max_attempts: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -102,6 +112,18 @@ class SweepRunner:
         self.chunksize = chunksize
         self.observer = observer
         self.use_cache = use_cache
+        self.backend = backend
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else default_max_attempts()
+        )
+        self.lease_timeout = (
+            lease_timeout if lease_timeout is not None else default_lease_timeout()
+        )
+        #: Broker counters of the most recent drain (CLI status output).
+        self.last_stats: Optional[Dict[str, int]] = None
+        self._async_broker: Optional[JobBroker] = None
+        self._broker_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
 
     # ------------------------------------------------------------------ run
 
@@ -110,7 +132,12 @@ class SweepRunner:
         specs: Sequence[ExperimentSpec],
         observer: Optional[SweepObserver] = None,
     ) -> List[SimResult]:
-        """Resolve every spec; returns results aligned with ``specs``."""
+        """Resolve every spec; returns results aligned with ``specs``.
+
+        Raises :class:`~repro.runner.broker.PoisonSpecError` when a spec
+        exhausts its retries (the exception carries every healthy
+        result); the rest of the sweep still completes first.
+        """
         from repro.sim import experiment  # deferred: experiment imports spec
 
         specs = list(specs)
@@ -140,7 +167,7 @@ class SweepRunner:
             sources[key] = "pending"
 
         # One notification per unique spec: hits up front, computed specs
-        # live as the pool delivers them (completion order).
+        # live as the fabric publishes them (completion order).
         total = len(unique)
         done = 0
         if observer is not None:
@@ -151,11 +178,11 @@ class SweepRunner:
 
         if pending:
             by_key = {spec.key: spec for spec in pending}
+            # The broker write-through persists computed results; no
+            # separate store.put here.
             for key, result in self._compute(pending):
                 resolved[key] = result
                 sources[key] = "computed"
-                if self.store is not None:
-                    self.store.put(by_key[key], result)
                 done += 1
                 if observer is not None:
                     observer(SweepProgress(done, total, by_key[key], "computed"))
@@ -165,6 +192,51 @@ class SweepRunner:
             for spec in unique:
                 experiment.cache_put(spec.key, resolved[spec.key])
         return [resolved[spec.key] for spec in specs]
+
+    # ---------------------------------------------------- async submission
+
+    def _shared_broker(self) -> JobBroker:
+        with self._broker_lock:
+            if self._async_broker is None:
+                self._async_broker = JobBroker(
+                    store=self.store,
+                    max_attempts=self.max_attempts,
+                    lease_timeout=self.lease_timeout,
+                )
+            return self._async_broker
+
+    def submit(self, specs: Sequence[ExperimentSpec]) -> SweepHandle:
+        """Enqueue a sweep into the shared broker; returns immediately.
+
+        Safe to call from any number of threads: overlapping submissions
+        dedupe on content hash, and specs the store already holds are
+        served without ever being leased.
+        """
+        return self._shared_broker().submit(list(specs))
+
+    def gather(self, handle: SweepHandle) -> List[SimResult]:
+        """Drive the handle to completion and return its results.
+
+        Results are ordered by the handle's unique keys (submit order).
+        One drain runs at a time; concurrent gathers queue up and find
+        their work already published.  Raises
+        :class:`~repro.runner.broker.PoisonSpecError` on quarantine.
+        """
+        broker = self._shared_broker()
+        with self._drain_lock:
+            if not broker.done(handle):
+                groups = broker.pending_group_count(handle.keys)
+                backend = self._make_backend(max(1, min(self.jobs, groups)))
+                for _ in backend.drain(broker, handle, only=set(handle.keys)):
+                    pass
+            self.last_stats = broker.stats()
+        results = broker.gather(handle)
+        if self.use_cache:
+            from repro.sim import experiment
+
+            for key, result in zip(handle.keys, results):
+                experiment.cache_put(key, result)
+        return results
 
     # -------------------------------------------------------------- compute
 
@@ -183,13 +255,14 @@ class SweepRunner:
     ) -> List[List[ExperimentSpec]]:
         """Split the groups into chunks; chunks never straddle groups.
 
-        By default each group is one chunk: with the worker count already
-        capped at the group count, ``imap_unordered`` then hands every
-        worker whole workloads, which is what makes the per-process trace
-        cache and warm-state checkpoints hit from a group's second spec
-        on.  An explicit ``chunksize`` splits within groups (finer
-        progress and load balancing, at the cost of intra-workload reuse
-        when a group's chunks land on different workers).
+        Chunks are the broker's affinity units.  By default each group is
+        one chunk: with the worker count already capped at the group
+        count, the broker then hands every worker whole workloads, which
+        is what makes the per-process trace cache and warm-state
+        checkpoints hit from a group's second spec on.  An explicit
+        ``chunksize`` splits within groups (finer load balancing, at the
+        cost of intra-workload reuse when a group's chunks land on
+        different workers).
         """
         chunks = []
         for specs in groups.values():
@@ -197,6 +270,20 @@ class SweepRunner:
             for start in range(0, len(specs), size):
                 chunks.append(specs[start:start + size])
         return chunks
+
+    def _affinity_tags(
+        self, pending: Sequence[ExperimentSpec], jobs: int
+    ) -> Optional[List[str]]:
+        """Per-spec broker group tags (None = plain workload groups)."""
+        if not self.chunksize:
+            return None
+        tag_by_key: Dict[str, str] = {}
+        for chunk_index, chunk in enumerate(
+            self._chunks(self._group_specs(pending), jobs)
+        ):
+            for spec in chunk:
+                tag_by_key[spec.key] = f"{spec.workload}#{chunk_index}"
+        return [tag_by_key[spec.key] for spec in pending]
 
     @staticmethod
     def _preshare_traces(groups: "Dict[str, List[ExperimentSpec]]",
@@ -236,31 +323,53 @@ class SweepRunner:
                 for core in range(system.hierarchy.n_cores):
                     TRACE_CACHE.get(profile, core, seed, system.sms.region, n)
 
+    def _make_backend(self, workers: int):
+        """Resolve the injected backend (name, factory or instance)."""
+        backend = self.backend
+        if backend is None or backend == "auto":
+            name = "inline" if workers <= 1 else "process"
+            return worker_mod.make_backend(name, workers=workers)
+        if isinstance(backend, str):
+            return worker_mod.make_backend(backend, workers=workers)
+        if callable(backend):
+            return backend(workers=workers)
+        return backend
+
     def _compute(self, pending: List[ExperimentSpec]):
-        if self.jobs == 1:
-            for spec in pending:
-                yield spec.key, spec.execute()
-            return
+        """Yield ``(key, result)`` for every pending spec as it publishes.
+
+        Each ``run`` drives a fresh broker (so ``use_cache=False`` truly
+        recomputes); the shared async broker is only used by
+        ``submit``/``gather``.
+        """
         groups = self._group_specs(pending)
         # Never spawn more workers than spec groups: extra workers would
         # only split a workload across processes and defeat trace/warm
-        # sharing (each group is one chunk by default).  The deliberate
-        # flip side: a single-workload sweep computes in one worker —
-        # maximal reuse instead of maximal parallelism.
-        jobs = min(self.jobs, len(groups))
-        ctx = _pool_context()
-        self._preshare_traces(groups, fork=ctx.get_start_method() == "fork")
-        chunks = self._chunks(groups, jobs)
-        payload_chunks = [
-            [spec.to_dict() for spec in chunk] for chunk in chunks
-        ]
-        with ctx.Pool(processes=min(jobs, len(chunks))) as pool:
-            for results in pool.imap_unordered(_execute_chunk, payload_chunks):
-                for key, payload in results:
-                    yield key, result_from_dict(payload)
+        # sharing.  The deliberate flip side: a single-workload sweep
+        # computes in one worker — maximal reuse over maximal parallelism.
+        workers = min(self.jobs, len(groups))
+        broker = JobBroker(
+            store=self.store,
+            max_attempts=self.max_attempts,
+            lease_timeout=self.lease_timeout,
+        )
+        handle = broker.submit(pending, groups=self._affinity_tags(pending, workers))
+        backend = self._make_backend(workers)
+        if getattr(backend, "forks", False):
+            self._preshare_traces(groups, fork=True)
+        yield from backend.drain(broker, handle, only=set(handle.keys))
+        self.last_stats = broker.stats()
+        quarantined = broker.quarantined()
+        if quarantined:
+            healthy = {
+                key: broker.result(key)
+                for key in handle.keys
+                if broker.result(key) is not None
+            }
+            raise PoisonSpecError(quarantined, healthy)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SweepRunner(jobs={self.jobs}, store={self.store!r}, "
-            f"use_cache={self.use_cache})"
+            f"backend={self.backend!r}, use_cache={self.use_cache})"
         )

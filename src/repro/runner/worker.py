@@ -1,0 +1,317 @@
+"""Execution backends that drive a :class:`~repro.runner.broker.JobBroker`.
+
+A backend is anything with::
+
+    drain(broker, handle, only=None) -> iterator of (key, SimResult)
+
+It leases specs from the broker, computes them, and publishes results
+back, yielding each accepted publish as it happens.  The broker owns all
+coordination (leases, retries, quarantine, store write-through); backends
+own only the execution substrate, so swapping one for another — or
+adding a remote-host backend later — never touches the orchestration
+loop.  Two backends ship today:
+
+* :class:`InlineBackend`  — computes in the calling process.  The serial
+  path (``jobs=1``) and the simplest possible reference implementation
+  of the worker protocol.
+* :class:`ProcessBackend` — N forked worker processes, each running
+  :func:`_worker_main`: lease → compute → publish, with a heartbeat
+  thread keeping the lease alive during long computations.  The parent
+  drain loop detects dead workers (crash recovery: their leases expire
+  immediately and the worker is respawned), expires overdue leases
+  (partition recovery) and verifies payload digests via the broker.
+
+Both backends route every fault-injection hook of
+:mod:`repro.runner.faults` so the test suite can prove the protocol:
+with no plan installed the hooks are no-ops.
+
+Backends register by name in :data:`BACKENDS` (``repro sweep
+--backend``); :func:`register_backend` lets external code slot in new
+substrates without touching this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+from typing import Callable, Dict, Iterator, Optional, Set, Tuple
+
+from repro.runner import faults
+from repro.runner.broker import JobBroker, SweepHandle, payload_digest
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import ExperimentSpec
+from repro.sim.metrics import SimResult
+
+__all__ = [
+    "BACKENDS",
+    "InlineBackend",
+    "ProcessBackend",
+    "fork_available",
+    "make_backend",
+    "register_backend",
+]
+
+
+def _mp_context():
+    """fork where available (workers inherit caches/plans); else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def fork_available() -> bool:
+    return _mp_context().get_start_method() == "fork"
+
+
+def _spec_tag(spec: ExperimentSpec) -> str:
+    """Human-aimable fault selector: ``workload/config-label``."""
+    return f"{spec.workload}/{spec.prefetcher.label}"
+
+
+# ---------------------------------------------------------------- inline
+
+
+class InlineBackend:
+    """Drives the broker to completion in the calling process.
+
+    Crash and delay faults cannot partition a single process: a crash
+    fault raises (and is retried like any failure) instead of killing the
+    test run, and a delay fault cannot expire a lease nobody else is
+    watching.  Poison and corrupt faults behave exactly as they do under
+    the process backend.
+    """
+
+    forks = False
+
+    def drain(
+        self,
+        broker: JobBroker,
+        handle: SweepHandle,
+        only: Optional[Set[str]] = None,
+    ) -> Iterator[Tuple[str, SimResult]]:
+        worker = "inline"
+        while not broker.done(handle):
+            broker.expire()
+            job = broker.lease(worker, only=only)
+            if job is None:
+                delay = broker.next_event_delay()
+                time.sleep(min(delay if delay is not None else 0.01, 0.05))
+                continue
+            plan = faults.active_plan()
+            tag = _spec_tag(job.spec)
+            try:
+                if plan.is_poison(job.key, tag):
+                    raise faults.PoisonFault(f"injected poison for {tag}")
+                result = job.spec.execute()
+                payload = result_to_dict(result)
+                digest = payload_digest(payload)
+                payload = plan.maybe_corrupt(job.key, tag, payload)
+                plan.maybe_crash(job.key, tag, hard=False)
+                status = broker.complete(job.token, payload, digest)
+                if status == "published":
+                    yield job.key, broker.result(job.key)
+            except Exception as exc:
+                broker.fail(job.token, f"{type(exc).__name__}: {exc}")
+
+
+# --------------------------------------------------------------- process
+
+
+def _heartbeat_loop(result_q, worker_id, token, interval, stop) -> None:
+    while not stop.wait(interval):
+        result_q.put(("heartbeat", worker_id, token))
+
+
+def _worker_main(worker_id, task_q, result_q, hb_interval, plan_json) -> None:
+    """One worker process: lease payloads in, results (or failures) out.
+
+    Messages out: ``("heartbeat", wid, token)`` while computing,
+    ``("done", wid, token, key, payload, digest)`` on success,
+    ``("failed", wid, token, key, error)`` on any exception.  A worker
+    killed mid-chunk sends nothing — that is the point; the broker's
+    lease expiry covers the silence.
+    """
+    if plan_json:
+        faults.install(faults.FaultPlan.from_dict(json.loads(plan_json)))
+    plan = faults.active_plan()
+    while True:
+        message = task_q.get()
+        if message is None:
+            return
+        key, payload, token = message
+        stop = threading.Event()
+        heartbeat = None
+        try:
+            spec = ExperimentSpec.from_dict(payload)
+            tag = _spec_tag(spec)
+            if not plan.drops_heartbeats(key, tag):
+                heartbeat = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(result_q, worker_id, token, hb_interval, stop),
+                    daemon=True,
+                )
+                heartbeat.start()
+            if plan.is_poison(key, tag):
+                raise faults.PoisonFault(f"injected poison for {tag}")
+            result = spec.execute()
+            result_payload = result_to_dict(result)
+            digest = payload_digest(result_payload)
+            result_payload = plan.maybe_corrupt(key, tag, result_payload)
+            plan.maybe_delay(key, tag)
+            stop.set()
+            plan.maybe_crash(key, tag, hard=True)
+            result_q.put(("done", worker_id, token, key, result_payload, digest))
+        except Exception as exc:
+            stop.set()
+            result_q.put(
+                ("failed", worker_id, token, key, f"{type(exc).__name__}: {exc}")
+            )
+        finally:
+            stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=1.0)
+
+
+class _WorkerHandle:
+    __slots__ = ("slot", "proc", "task_q", "busy")
+
+    def __init__(self, slot, proc, task_q) -> None:
+        self.slot = slot
+        self.proc = proc
+        self.task_q = task_q
+        self.busy = None  # token of the task in flight, if any
+
+
+class ProcessBackend:
+    """N local worker processes under the broker's lease protocol."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._ctx = _mp_context()
+
+    @property
+    def forks(self) -> bool:
+        return self._ctx.get_start_method() == "fork"
+
+    def drain(
+        self,
+        broker: JobBroker,
+        handle: SweepHandle,
+        only: Optional[Set[str]] = None,
+    ) -> Iterator[Tuple[str, SimResult]]:
+        result_q = self._ctx.Queue()
+        plan = faults.active_plan()
+        plan_json = None if plan.is_null else plan.to_env()
+        hb_interval = max(broker.lease_timeout / 4.0, 0.01)
+        generations = itertools.count()
+        pool: Dict[str, _WorkerHandle] = {}
+
+        def spawn(slot: int) -> None:
+            worker_id = f"w{slot}.{next(generations)}"
+            task_q = self._ctx.SimpleQueue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, task_q, result_q, hb_interval, plan_json),
+                daemon=True,
+            )
+            proc.start()
+            pool[worker_id] = _WorkerHandle(slot, proc, task_q)
+
+        for slot in range(self.workers):
+            spawn(slot)
+        try:
+            while not broker.done(handle):
+                # 1. Collect worker messages (block briefly: this is also
+                #    the loop's pacing).
+                try:
+                    message = result_q.get(timeout=0.02)
+                except queue_mod.Empty:
+                    message = None
+                while message is not None:
+                    kind, worker_id, token = message[0], message[1], message[2]
+                    if kind == "heartbeat":
+                        broker.heartbeat(token)
+                    elif kind == "done":
+                        _, _, _, key, payload, digest = message
+                        status = broker.complete(token, payload, digest)
+                        self._mark_idle(pool, worker_id, token)
+                        if status == "published":
+                            yield key, broker.result(key)
+                    elif kind == "failed":
+                        _, _, _, key, error = message
+                        broker.fail(token, error)
+                        self._mark_idle(pool, worker_id, token)
+                    try:
+                        message = result_q.get_nowait()
+                    except queue_mod.Empty:
+                        message = None
+                # 2. Crash recovery: a dead worker's leases expire at
+                #    once and a fresh worker takes its slot.
+                for worker_id, entry in list(pool.items()):
+                    if not entry.proc.is_alive():
+                        broker.release_worker(worker_id)
+                        del pool[worker_id]
+                        spawn(entry.slot)
+                # 3. Partition recovery: overdue leases return to pending.
+                broker.expire()
+                # 4. Dispatch one spec to every idle worker.
+                for worker_id, entry in pool.items():
+                    if entry.busy is not None:
+                        continue
+                    job = broker.lease(worker_id, only=only)
+                    if job is None:
+                        continue
+                    entry.task_q.put((job.key, job.payload, job.token))
+                    entry.busy = job.token
+        finally:
+            for entry in pool.values():
+                try:
+                    entry.task_q.put(None)
+                except (OSError, ValueError):  # pragma: no cover - teardown
+                    pass
+            deadline = time.monotonic() + 5.0
+            for entry in pool.values():
+                entry.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if entry.proc.is_alive():
+                    entry.proc.terminate()
+                    entry.proc.join(timeout=1.0)
+            result_q.close()
+            result_q.cancel_join_thread()
+
+    @staticmethod
+    def _mark_idle(pool, worker_id, token) -> None:
+        entry = pool.get(worker_id)
+        if entry is not None and entry.busy == token:
+            entry.busy = None
+
+
+# -------------------------------------------------------------- registry
+
+#: name -> factory(workers=N) -> backend.  ``repro sweep --backend`` and
+#: ``REPRO_BACKEND`` resolve here; remote substrates register alongside.
+BACKENDS: Dict[str, Callable[..., object]] = {
+    "inline": lambda workers=1: InlineBackend(),
+    "process": lambda workers=2: ProcessBackend(workers=workers),
+}
+
+
+def register_backend(name: str, factory: Callable[..., object]) -> None:
+    """Expose a new execution substrate under ``--backend <name>``."""
+    BACKENDS[name] = factory
+
+
+def make_backend(name: str, workers: int = 1):
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choices: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(workers=workers)

@@ -266,3 +266,86 @@ def test_bandwidth_golden(update_golden):
         # Scarcer bandwidth means busier channels.
         utils = [row(workload, c, "NoPF")["dram_utilization"] for c in widths]
         assert utils == sorted(utils, reverse=True), (workload, utils)
+
+
+# ------------------------------------------------------- Bandwidth, sampled
+
+
+#: Pinned scale of the sampled-contended golden.  ``window_refs`` matches
+#: the sampling period, so the full-detail run's batch-means windows line
+#: up with the sampled run's measurement grain.
+SAMPLED_SCALE = ExperimentScale(
+    refs_per_core=4_000, warmup_refs=2_000, window_refs=1_000
+)
+
+SAMPLED_WORKLOAD = "Apache"
+SAMPLED_CHANNELS = [2, 1]
+
+
+def test_bandwidth_sampled_golden(update_golden):
+    """The two-speed sampled simulator under DRAM contention.
+
+    Pins the sampled estimates byte-for-byte (like every golden) and, on
+    every sweep point, checks the statistical-quality contract the fast
+    path is allowed to exist by: the sampled IPC estimate falls inside
+    the full-detail run's 95% confidence interval.
+    """
+    from repro.analysis.bandwidth import BANDWIDTH_CONFIGS, contention_for
+    from repro.sim.sampling import SamplingConfig
+
+    # Denser than ``for_scale``'s sweep default: contended runs carry DRAM
+    # queue and bank state that the short default warm ramp undersamples
+    # (cf. the convergence property in tests/sim/test_sampled.py), so the
+    # statistical-quality golden observes a quarter of each period in
+    # detail after a longer functional-warming ramp.
+    sampling = SamplingConfig.smarts(
+        period_refs=1_000, detail_refs=250, warm_refs=120, functional_refs=300
+    )
+
+    def sweep_point(config, width, use_sampling):
+        return run_experiment(
+            SAMPLED_WORKLOAD, config, scale=SAMPLED_SCALE,
+            contention=contention_for(width),
+            sampling=sampling if use_sampling else None,
+        )
+
+    def payload(_env_scale):
+        rows = []
+        for width in SAMPLED_CHANNELS:
+            base = sweep_point(PrefetcherConfig.none(), width, True)
+            for config in BANDWIDTH_CONFIGS:
+                r = sweep_point(config, width, True)
+                rows.append(
+                    {
+                        "workload": SAMPLED_WORKLOAD,
+                        "channels": width,
+                        "config": config.label,
+                        "ipc": r.aggregate_ipc,
+                        "speedup": r.speedup_vs(base),
+                        "windows": len(r.window_ipcs),
+                    }
+                )
+        return {
+            "scale": asdict(SAMPLED_SCALE),
+            "sampling": asdict(sampling),
+            "rows": rows,
+        }
+
+    golden, actual = _resolve("bandwidth_sampled", payload, update_golden)
+    assert actual["sampling"] == golden["sampling"]
+    _assert_rows_match(actual["rows"], golden["rows"])
+
+    for width in SAMPLED_CHANNELS:
+        for config in BANDWIDTH_CONFIGS:
+            sampled = sweep_point(config, width, True)
+            full = sweep_point(config, width, False)
+            stats = full.ipc_ci()
+            assert stats.contains(sampled.aggregate_ipc), (
+                f"{config.label}@{width}ch: sampled IPC "
+                f"{sampled.aggregate_ipc:.4f} outside full-detail 95% CI "
+                f"[{stats.lower:.4f}, {stats.upper:.4f}]"
+            )
+            # Sampling must actually be sampling: the estimate came from
+            # short detailed windows, not a full-detail run in disguise.
+            assert sampled.is_sampled and not full.is_sampled
+            assert sampled.sampled_detail_refs < SAMPLED_SCALE.refs_per_core

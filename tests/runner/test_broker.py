@@ -1,0 +1,344 @@
+"""Protocol-level tests of :class:`repro.runner.broker.JobBroker`.
+
+The model-based state machine drives the broker API in arbitrary
+interleavings — submit, lease, heartbeat, complete (valid, corrupt and
+stale), fail, expire, clock jumps — and checks the protocol's three
+safety/liveness contracts after every step:
+
+1. **never lose a spec** — every submitted key is always in exactly one
+   of pending/leased/done/quarantined;
+2. **never double-publish** — a key reaches ``done`` at most once and
+   never leaves it;
+3. **always converge** — after the random walk, a simple drain loop
+   finishes every handle in bounded steps.
+
+A manual clock stands in for time, so lease expiry and retry backoff
+are exercised deterministically.
+"""
+
+import json
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.runner.broker import (
+    DONE,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    JobBroker,
+    PoisonSpecError,
+    payload_digest,
+)
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.store import ResultStore
+from repro.sim.config import PrefetcherConfig
+
+TINY = ExperimentScale(refs_per_core=400, warmup_refs=200, window_refs=200)
+
+#: A pool of distinct specs for the machine to submit from.
+SPECS = [
+    ExperimentSpec.build(workload, config, scale=TINY)
+    for workload in ["Qry1", "Apache", "DB2"]
+    for config in [PrefetcherConfig.none(), PrefetcherConfig.virtualized(8)]
+]
+
+#: One real serialized result, reused as every publish payload — the
+#: broker verifies digests and schema, not physics.
+PAYLOAD = result_to_dict(SPECS[0].execute())
+DIGEST = payload_digest(PAYLOAD)
+
+WORKERS = ["w0", "w1", "w2"]
+
+
+class BrokerProtocol(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+        self.broker = JobBroker(
+            max_attempts=3,
+            lease_timeout=10.0,
+            retry_backoff=1.0,
+            clock=lambda: self.now,
+        )
+        self.handles = []
+        self.submitted = set()          # unique keys ever submitted
+        self.live = {}                  # token -> key, leases we believe hold
+        self.retired = []               # tokens that were consumed/expired
+        self.done_keys = set()          # keys we saw published
+
+    # ----------------------------------------------------------- helpers
+
+    def _retire(self, token):
+        self.live.pop(token, None)
+        self.retired.append(token)
+
+    def _expire_model(self):
+        """Mirror broker.expire: drop every lease past its deadline."""
+        for token in list(self.live):
+            job = self.broker._job_for_token(token)
+            if job is None or job.deadline <= self.now:
+                self._retire(token)
+
+    # ------------------------------------------------------------- rules
+
+    @rule(idx=st.integers(min_value=0, max_value=len(SPECS) - 1),
+          count=st.integers(min_value=1, max_value=len(SPECS)))
+    def submit(self, idx, count):
+        specs = [SPECS[(idx + i) % len(SPECS)] for i in range(count)]
+        handle = self.broker.submit(specs)
+        assert len(handle.keys) == len({s.key for s in specs})
+        self.handles.append(handle)
+        self.submitted.update(handle.keys)
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def lease(self, worker):
+        job = self.broker.lease(worker, now=self.now)
+        if job is None:
+            return
+        assert job.key in self.submitted
+        assert job.key not in self.done_keys, "leased an already-done key"
+        assert job.token not in self.live and job.token not in self.retired
+        assert job.deadline == pytest.approx(self.now + 10.0)
+        self.live[job.token] = job.key
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def heartbeat(self, data):
+        token = data.draw(st.sampled_from(sorted(self.live)))
+        assert self.broker.heartbeat(token, now=self.now)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def complete_ok(self, data):
+        token = data.draw(st.sampled_from(sorted(self.live)))
+        key = self.live[token]
+        outcome = self.broker.complete(token, PAYLOAD, DIGEST, now=self.now)
+        assert outcome == "published"
+        assert key not in self.done_keys, "double publish"
+        self.done_keys.add(key)
+        self._retire(token)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def complete_corrupt(self, data):
+        """A digest mismatch is a failed attempt, never a result."""
+        token = data.draw(st.sampled_from(sorted(self.live)))
+        key = self.live[token]
+        outcome = self.broker.complete(
+            token, PAYLOAD, "0" * 64, now=self.now
+        )
+        assert outcome == "corrupt"
+        assert key not in self.done_keys
+        self._retire(token)
+
+    @precondition(lambda self: self.retired)
+    @rule(data=st.data())
+    def complete_stale(self, data):
+        """A consumed/expired token can never publish."""
+        before = self.broker.counts()
+        token = data.draw(st.sampled_from(self.retired))
+        outcome = self.broker.complete(token, PAYLOAD, DIGEST, now=self.now)
+        assert outcome == "stale"
+        assert self.broker.counts() == before
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def fail(self, data):
+        token = data.draw(st.sampled_from(sorted(self.live)))
+        outcome = self.broker.fail(token, "synthetic failure", now=self.now)
+        assert outcome in ("requeued", "quarantined")
+        self._retire(token)
+
+    @rule(step=st.floats(min_value=0.5, max_value=30.0))
+    def tick_and_expire(self, step):
+        self.now += step
+        expired = self.broker.expire(now=self.now)
+        for key in expired:
+            assert key not in self.done_keys
+        self._expire_model()
+
+    # -------------------------------------------------------- invariants
+
+    @invariant()
+    def no_spec_lost(self):
+        counts = self.broker.counts()
+        assert sum(counts.values()) == len(self.submitted)
+
+    @invariant()
+    def done_is_sticky(self):
+        counts = self.broker.counts()
+        assert counts[DONE] == len(self.done_keys)
+        for key in self.done_keys:
+            assert self.broker.result(key) is not None
+
+    @invariant()
+    def publishes_are_unique(self):
+        assert self.broker.stats()["published"] == len(self.done_keys)
+
+    @invariant()
+    def quarantine_is_bounded(self):
+        for key, errors in self.broker.quarantined().items():
+            assert len(errors) == self.broker.max_attempts
+            assert key not in self.done_keys
+
+    @invariant()
+    def states_are_legal(self):
+        for state in self.broker.counts():
+            assert state in (PENDING, LEASED, DONE, QUARANTINED)
+
+    # ------------------------------------------------------- convergence
+
+    def teardown(self):
+        budget = 4 * self.broker.max_attempts * (len(self.submitted) + 1)
+        while self.handles and not all(
+            self.broker.done(h) for h in self.handles
+        ):
+            assert budget > 0, "broker failed to converge"
+            budget -= 1
+            self.now += 100.0
+            self.broker.expire(now=self.now)
+            job = self.broker.lease("finisher", now=self.now)
+            if job is not None:
+                self.broker.complete(job.token, PAYLOAD, DIGEST, now=self.now)
+        for handle in self.handles:
+            try:
+                results = self.broker.gather(handle)
+            except PoisonSpecError as err:
+                assert set(err.quarantined) <= set(handle.keys)
+                assert set(err.quarantined).isdisjoint(err.results)
+            else:
+                assert len(results) == len(handle.keys)
+
+
+TestBrokerProtocol = BrokerProtocol.TestCase
+TestBrokerProtocol.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+# --------------------------------------------------------------- durability
+
+
+class TestBrokerDurability:
+    def test_state_survives_restart(self, tmp_path):
+        """Pending work, attempts and quarantine outlive the process; done
+        results re-pend only if the store lost them."""
+        store = ResultStore(tmp_path / "store")
+        state = tmp_path / "queue.json"
+        clock = {"now": 0.0}
+        broker = JobBroker(
+            store=store, max_attempts=2, lease_timeout=5.0,
+            clock=lambda: clock["now"], state_path=state,
+        )
+        handle = broker.submit(SPECS[:4])
+
+        # Publish one, fail one once, quarantine one, leave one pending.
+        done_key, failed_once, poison, _ = handle.keys
+        lease = broker.lease("w0", only={done_key})
+        broker.complete(lease.token, PAYLOAD, DIGEST)
+        lease = broker.lease("w0", only={failed_once})
+        broker.fail(lease.token, "transient")
+        lease = broker.lease("w0", only={poison})
+        broker.fail(lease.token, "boom")
+        clock["now"] += 1.0  # past the retry backoff
+        lease = broker.lease("w0", only={poison})
+        broker.fail(lease.token, "boom again")
+        assert broker.counts()[QUARANTINED] == 1
+
+        reborn = JobBroker(
+            store=store, max_attempts=2, lease_timeout=5.0,
+            clock=lambda: clock["now"], state_path=state,
+        )
+        counts = reborn.counts()
+        assert counts == {PENDING: 2, LEASED: 0, DONE: 1, QUARANTINED: 1}
+        assert set(reborn.quarantined()) == {poison}
+        restored = next(
+            j for k, j in reborn._jobs.items() if k == failed_once
+        )
+        assert restored.attempts == 1  # retry budget carried over
+
+        # The resumed queue drains to the same terminal picture.
+        clock["now"] += 100.0
+        while not reborn.done(handle):
+            job = reborn.lease("w1")
+            assert job is not None
+            reborn.complete(job.token, PAYLOAD, DIGEST)
+        with pytest.raises(PoisonSpecError) as excinfo:
+            reborn.gather(handle)
+        assert set(excinfo.value.quarantined) == {poison}
+        assert len(excinfo.value.results) == 3
+
+    def test_done_repends_when_store_lost_result(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        state = tmp_path / "queue.json"
+        broker = JobBroker(store=store, state_path=state)
+        broker.submit(SPECS[:1])
+        lease = broker.lease("w0")
+        broker.complete(lease.token, PAYLOAD, DIGEST)
+        assert broker.counts()[DONE] == 1
+
+        store.clear()
+        reborn = JobBroker(store=store, state_path=state)
+        assert reborn.counts() == {
+            PENDING: 1, LEASED: 0, DONE: 0, QUARANTINED: 0
+        }
+
+    def test_corrupt_snapshot_is_ignored(self, tmp_path):
+        state = tmp_path / "queue.json"
+        state.write_text("{ not json")
+        broker = JobBroker(state_path=state)
+        assert broker.counts() == {
+            PENDING: 0, LEASED: 0, DONE: 0, QUARANTINED: 0
+        }
+
+    def test_snapshot_is_valid_json(self, tmp_path):
+        state = tmp_path / "queue.json"
+        broker = JobBroker(state_path=state)
+        broker.submit(SPECS[:3])
+        snapshot = json.loads(state.read_text())
+        assert snapshot["broker_state_schema"] == 1
+        assert len(snapshot["jobs"]) == 3
+
+
+# ------------------------------------------------------------- group affinity
+
+
+class TestAffinity:
+    def test_bound_groups_are_preferred(self):
+        broker = JobBroker()
+        broker.submit(SPECS)  # two specs per workload group
+        first = broker.lease("w0")
+        second = broker.lease("w1")
+        assert first.group != second.group
+        # w0's next lease sticks to its bound group.
+        again = broker.lease("w0")
+        assert again.group == first.group
+
+    def test_stealing_only_when_nothing_else_ready(self):
+        broker = JobBroker()
+        broker.submit(SPECS[:2])  # one group, two specs
+        first = broker.lease("w0")
+        stolen = broker.lease("w1")  # nothing unbound left: steal
+        assert stolen is not None
+        assert stolen.group == first.group
+
+    def test_release_worker_frees_bindings_and_leases(self):
+        clock = {"now": 0.0}
+        broker = JobBroker(lease_timeout=5.0, clock=lambda: clock["now"])
+        broker.submit(SPECS[:2])
+        lease = broker.lease("w0")
+        keys = broker.release_worker("w0")
+        assert keys == [lease.key]
+        assert broker.counts()[LEASED] == 0
+        # The group is unbound again: a new worker binds it first-class.
+        fresh = broker.lease("w1")
+        assert fresh is not None and fresh.group == lease.group

@@ -1,0 +1,191 @@
+"""Fault-injection proof of the broker/worker fabric.
+
+Every scenario injects a failure through :mod:`repro.runner.faults` and
+asserts the protocol's contract: the sweep terminates, nothing is lost,
+nothing is published twice, and the final results are byte-identical to
+a serial no-fault run.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.runner import faults
+from repro.runner.broker import PoisonSpecError
+from repro.runner.serialize import canonical_result_json
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.store import ResultStore
+from repro.runner.sweep import SweepRunner
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import clear_cache
+
+TINY = ExperimentScale(refs_per_core=600, warmup_refs=300, window_refs=200)
+
+SPECS = [
+    ExperimentSpec.build(workload, config, scale=TINY)
+    for workload, config in product(
+        ["Qry1", "Apache"],
+        [PrefetcherConfig.none(), PrefetcherConfig.virtualized(8)],
+    )
+]
+
+#: Tag form the fault selectors can aim at (workload/config-label).
+POISON_TAG = "Apache/PV8"
+POISON_SPEC = next(
+    s for s in SPECS
+    if f"{s.workload}/{s.prefetcher.label}" == POISON_TAG
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    clear_cache()
+    faults.install(None)
+    yield
+    faults.install(None)
+    clear_cache()
+
+
+@pytest.fixture()
+def serial_goldens():
+    """Canonical payloads of a serial, fault-free run (the reference)."""
+    results = SweepRunner(jobs=1).run(SPECS)
+    goldens = [canonical_result_json(r) for r in results]
+    clear_cache()
+    return goldens
+
+
+def _plan(tmp_path, **kwargs):
+    plan = faults.FaultPlan(tally_dir=str(tmp_path / "tally"), **kwargs)
+    faults.install(plan)
+    return plan
+
+
+class TestWorkerCrash:
+    def test_crash_mid_chunk_recovers_byte_identical(
+        self, tmp_path, serial_goldens
+    ):
+        """A worker killed before publishing loses its lease, the spec is
+        re-leased, and the sweep still matches the serial run exactly."""
+        _plan(tmp_path, crash=(SPECS[0].key,))
+        runner = SweepRunner(jobs=2, lease_timeout=2.0)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        stats = runner.last_stats
+        assert stats["expirations"] >= 1       # the dead worker's lease
+        assert stats["retries"] >= 1           # the spec went around again
+        assert stats["published"] == len(SPECS)  # and exactly once each
+
+    def test_crash_under_inline_backend_is_retried(
+        self, tmp_path, serial_goldens
+    ):
+        """The inline backend maps the crash to a retried failure."""
+        _plan(tmp_path, crash=(SPECS[0].key,))
+        runner = SweepRunner(jobs=1)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        assert runner.last_stats["retries"] >= 1
+
+
+class TestPoisonSpec:
+    def test_poison_quarantined_rest_unaffected(
+        self, tmp_path, serial_goldens
+    ):
+        """A spec that fails every attempt is quarantined after its bounded
+        retries; every other spec completes byte-identically."""
+        _plan(tmp_path, poison=(POISON_TAG,))
+        runner = SweepRunner(jobs=2, lease_timeout=2.0, max_attempts=3)
+        with pytest.raises(PoisonSpecError) as excinfo:
+            runner.run(SPECS)
+        err = excinfo.value
+        assert set(err.quarantined) == {POISON_SPEC.key}
+        assert len(err.quarantined[POISON_SPEC.key]) == 3  # one per attempt
+        healthy = {
+            spec.key: golden
+            for spec, golden in zip(SPECS, serial_goldens)
+            if spec.key != POISON_SPEC.key
+        }
+        assert set(err.results) == set(healthy)
+        for key, result in err.results.items():
+            assert canonical_result_json(result) == healthy[key]
+        assert runner.last_stats["quarantined"] == 1
+
+    def test_poison_does_not_poison_the_store(self, tmp_path, serial_goldens):
+        """Healthy results are persisted even when a sibling is quarantined;
+        a later no-fault run heals the store completely."""
+        store = ResultStore(tmp_path / "store")
+        _plan(tmp_path, poison=(POISON_TAG,))
+        with pytest.raises(PoisonSpecError):
+            SweepRunner(jobs=2, store=store, max_attempts=2).run(SPECS)
+        assert len(store) == len(SPECS) - 1
+        faults.install(None)
+        clear_cache()
+        results = SweepRunner(jobs=2, store=store).run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        assert len(store) == len(SPECS)
+
+
+class TestCorruptPayload:
+    def test_inflight_corruption_detected_and_recomputed(
+        self, tmp_path, serial_goldens
+    ):
+        """A payload corrupted between digest and publish is rejected by
+        the digest check and the spec recomputed — never served corrupt."""
+        _plan(tmp_path, corrupt=(SPECS[1].key,))
+        runner = SweepRunner(jobs=2, lease_timeout=2.0)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        stats = runner.last_stats
+        assert stats["corrupt_rejected"] >= 1
+        assert stats["published"] == len(SPECS)
+
+    def test_inline_backend_detects_corruption_too(
+        self, tmp_path, serial_goldens
+    ):
+        _plan(tmp_path, corrupt=(SPECS[1].key,))
+        runner = SweepRunner(jobs=1)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        assert runner.last_stats["corrupt_rejected"] >= 1
+
+
+class TestHeartbeatDelay:
+    def test_partitioned_worker_loses_lease_no_double_publish(
+        self, tmp_path, serial_goldens
+    ):
+        """A worker that stops heartbeating past lease expiry loses the
+        spec; it is re-leased and completes; the late publish (if it
+        arrives before teardown) is rejected as stale — the key is
+        published exactly once either way."""
+        _plan(tmp_path, delay=("Qry1/NoPF",), delay_s=1.2)
+        runner = SweepRunner(jobs=2, lease_timeout=0.3)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        stats = runner.last_stats
+        assert stats["expirations"] >= 1
+        assert stats["published"] == len(SPECS)
+
+
+class TestEnvDrivenPlan:
+    def test_plan_round_trips_through_env(self, tmp_path, monkeypatch):
+        plan = faults.FaultPlan(
+            crash=("aa",), poison=("Qry1/NoPF",), delay_s=2.5,
+            tally_dir=str(tmp_path),
+        )
+        monkeypatch.setenv("REPRO_FAULTS", plan.to_env())
+        assert faults.active_plan() == plan
+
+    def test_env_plan_drives_a_sweep(self, tmp_path, monkeypatch, serial_goldens):
+        plan = faults.FaultPlan(
+            crash=(SPECS[2].key,), tally_dir=str(tmp_path / "tally")
+        )
+        monkeypatch.setenv("REPRO_FAULTS", plan.to_env())
+        runner = SweepRunner(jobs=2, lease_timeout=2.0)
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == serial_goldens
+        assert runner.last_stats["retries"] >= 1
+
+    def test_no_plan_is_null(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert faults.active_plan() is faults.NO_FAULTS
+        assert faults.NO_FAULTS.is_null

@@ -6,7 +6,7 @@ import pytest
 
 from repro.runner.serialize import canonical_result_json, result_to_dict
 from repro.runner.spec import ExperimentScale, ExperimentSpec
-from repro.runner.store import STORE_SCHEMA, ResultStore
+from repro.runner.store import STORE_SCHEMA, ResultStore, ShardedResultStore
 from repro.sim.config import PrefetcherConfig
 from repro.sim.metrics import SimResult
 
@@ -97,6 +97,44 @@ class TestRobustness:
         assert list(store.keys()) == []
         assert store.clear() == 0
 
+    def test_truncated_entry_is_quarantined_then_healed(
+        self, store, spec, result
+    ):
+        """A torn write (killed writer, disk rot) must not shadow its key
+        forever: the unparseable file is moved aside as ``*.corrupt`` and
+        the next ``put`` restores a clean, readable entry."""
+        path = store.put(spec, result)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn mid-write
+
+        assert store.get(spec) is None
+        assert not path.exists()
+        quarantined = path.with_suffix(".json.corrupt")
+        assert quarantined.is_file()
+        assert quarantined.read_text() == full[: len(full) // 2]
+
+        store.put(spec, result)
+        assert store.get(spec) == result
+        assert quarantined.is_file()  # evidence is preserved
+
+    def test_quarantine_only_hits_unparseable_files(self, store, spec, result):
+        """Parseable-but-wrong entries (foreign schema, key mismatch) are
+        plain misses — only JSON-level corruption is quarantined."""
+        path = store.put(spec, result)
+        envelope = json.loads(path.read_text())
+        envelope["store_schema"] = STORE_SCHEMA + 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(spec) is None
+        assert path.exists()
+        assert not path.with_suffix(".json.corrupt").exists()
+
+    def test_load_or_compute_recovers_from_corruption(self, store, spec, result):
+        path = store.put(spec, result)
+        path.write_text("")  # zero-length file: crashed before first byte
+        recovered = store.load_or_compute(spec, compute=lambda: result)
+        assert recovered == result
+        assert store.get(spec) == result
+
 
 class TestLoadOrCompute:
     def test_computes_once_then_loads(self, store, spec, result):
@@ -122,3 +160,57 @@ class TestLoadOrCompute:
         assert store.clear() == 1
         store.load_or_compute(spec, compute=compute)
         assert len(calls) == 2
+
+
+class TestShardedStore:
+    SPECS = [
+        ExperimentSpec.build(workload, config, scale=SMALL)
+        for workload in ["Qry1", "Apache", "DB2", "Zeus"]
+        for config in [PrefetcherConfig.none(), PrefetcherConfig.virtualized(8)]
+    ]
+
+    @pytest.fixture
+    def sharded(self, tmp_path):
+        return ShardedResultStore([tmp_path / "a", tmp_path / "b", tmp_path / "c"])
+
+    def test_requires_a_root(self):
+        with pytest.raises(ValueError):
+            ShardedResultStore([])
+
+    def test_routing_is_deterministic(self, sharded):
+        for spec in self.SPECS:
+            assert sharded.shard_for(spec.key) is sharded.shard_for(spec.key)
+
+    def test_round_trip_across_shards(self, sharded, result):
+        for spec in self.SPECS:
+            assert sharded.get(spec) is None
+            sharded.put(spec, result)
+            assert spec in sharded
+            assert sharded.get(spec) == result
+        assert len(sharded) == len(self.SPECS)
+        assert sorted(sharded.keys()) == sorted(s.key for s in self.SPECS)
+        # Entries live in the routed shard and nowhere else.
+        for spec in self.SPECS:
+            home = sharded.shard_for(spec.key)
+            assert spec in home
+            for shard in sharded.shards:
+                if shard is not home:
+                    assert spec not in shard
+
+    def test_clear_sweeps_every_shard(self, sharded, result):
+        for spec in self.SPECS:
+            sharded.put(spec, result)
+        assert sharded.clear() == len(self.SPECS)
+        assert len(sharded) == 0
+
+    def test_load_or_compute_routes(self, sharded, result):
+        spec = self.SPECS[0]
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return result
+
+        assert sharded.load_or_compute(spec, compute=compute) == result
+        assert sharded.load_or_compute(spec, compute=compute) == result
+        assert len(calls) == 1
