@@ -19,6 +19,9 @@ stays on chip — the >98% L2 fill rate is what makes virtualization
 bandwidth-tolerant.
 
 All runs resolve through the active sweep runner, like every figure.
+The sweep lattice is declared once, as data, in ``studies/bandwidth.toml``
+— the constants below are derived from that matrix, so this driver and
+``repro study run studies/bandwidth.toml`` resolve identical specs.
 """
 
 from __future__ import annotations
@@ -31,20 +34,19 @@ from repro.runner.context import get_runner
 from repro.runner.spec import ExperimentSpec
 from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale, run_experiment
+from repro.study.matrix import shipped_matrix
 
 #: DRAM channel sweep, widest to narrowest.
-BANDWIDTH_CHANNELS: List[int] = [4, 2, 1]
+BANDWIDTH_CHANNELS: List[int] = shipped_matrix("bandwidth").axis_values(
+    "channels")
 
 #: Representative workloads (the Figure 5 trio), keeping the sweep
 #: affordable: 3 workloads x 3 channel counts x 3 configurations.
-BANDWIDTH_WORKLOADS: List[str] = ["Apache", "Oracle", "Qry17"]
+BANDWIDTH_WORKLOADS: List[str] = shipped_matrix("bandwidth").workloads()
 
 #: The configurations whose contended speedups the sweep compares.
-BANDWIDTH_CONFIGS: List[PrefetcherConfig] = [
-    PrefetcherConfig.none(),
-    PrefetcherConfig.dedicated(1024, 11),
-    PrefetcherConfig.virtualized(8),
-]
+BANDWIDTH_CONFIGS: List[PrefetcherConfig] = shipped_matrix(
+    "bandwidth").configs()
 
 
 def contention_for(channels: int) -> ContentionConfig:
@@ -73,7 +75,7 @@ def bandwidth(
         for width in widths:
             contention = contention_for(width)
             base = run_experiment(
-                name, PrefetcherConfig.none(), scale=scale, contention=contention
+                name, BANDWIDTH_CONFIGS[0], scale=scale, contention=contention
             )
             for config in BANDWIDTH_CONFIGS:
                 r = run_experiment(name, config, scale=scale, contention=contention)

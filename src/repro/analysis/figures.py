@@ -14,6 +14,12 @@ below then always hit that cache.
 Paper-vs-measured comparisons live in EXPERIMENTS.md; the ``notes`` field
 of each returned :class:`FigureData` restates the paper's headline claim
 for that figure so the shape can be checked at a glance.
+
+Every figure's run lattice (workloads, configurations, hierarchy
+overrides) is declared once, as data, in the shipped matrix files under
+``studies/`` — the module-level constants below are *derived* from those
+matrices, so ``repro figure4`` and ``repro study run studies/figure4.toml``
+resolve byte-identical experiment specs.
 """
 
 from __future__ import annotations
@@ -26,28 +32,34 @@ from repro.runner.spec import ExperimentSpec
 from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale, run_experiment
 from repro.sim.sampling import matched_pair
+from repro.study.matrix import shipped_matrix
 from repro.workloads.registry import workload_names
 
-#: The five PHT configurations of Figure 4, in the paper's bar order.
-FIG4_CONFIGS: List[PrefetcherConfig] = [
-    PrefetcherConfig.infinite(),
-    PrefetcherConfig.dedicated(1024, assoc=16),
-    PrefetcherConfig.dedicated(1024, assoc=11),
-    PrefetcherConfig.dedicated(16, assoc=11),
-    PrefetcherConfig.dedicated(8, assoc=11),
+#: The five PHT configurations of Figure 4, in the paper's bar order
+#: (the ``studies/figure4.toml`` config axis).
+FIG4_CONFIGS: List[PrefetcherConfig] = shipped_matrix("figure4").configs()
+
+#: The intermediate sweep of Figure 5: the 11-way dedicated geometries
+#: of the ``studies/figure5.toml`` config axis, in declared order.
+FIG5_SET_SWEEP: List[int] = [
+    c.pht_sets
+    for c in shipped_matrix("figure5").configs()
+    if c.mode == "dedicated" and c.pht_assoc == 11
 ]
 
-#: The intermediate sweep of Figure 5 (all 11-way, plus Infinite and 1K-16a).
-FIG5_SET_SWEEP = [1024, 512, 256, 128, 64, 32, 16, 8]
-
 #: The three representative workloads Figure 5 plots.
-FIG5_WORKLOADS = ["Apache", "Oracle", "Qry17"]
+FIG5_WORKLOADS: List[str] = shipped_matrix("figure5").workloads()
 
-#: L2 capacities of the Section 4.5 sensitivity study (total, 4 cores).
-FIG10_L2_SIZES = [2 * 1024**2, 4 * 1024**2, 8 * 1024**2]
+#: L2 capacities of the Section 4.5 sensitivity study (total, 4 cores;
+#: the ``studies/figure10.toml`` l2_size axis).
+FIG10_L2_SIZES: List[int] = shipped_matrix("figure10").axis_values("l2_size")
 
-#: Longer L2 latencies of Figure 11 (tag/data cycles; baseline is 6/12).
-FIG11_L2_LATENCY = (8, 16)
+#: Longer L2 latencies of Figure 11 (tag/data cycles; baseline is 6/12;
+#: the ``studies/figure11.toml`` defaults).
+FIG11_L2_LATENCY = (
+    shipped_matrix("figure11").defaults["l2_tag_latency"],
+    shipped_matrix("figure11").defaults["l2_data_latency"],
+)
 
 
 def _workloads(workloads: Optional[Sequence[str]]) -> List[str]:
@@ -113,8 +125,7 @@ def figure5(
     """Coverage across all intermediate table sizes (Figure 5)."""
     rows = []
     names = _workloads(workloads) if workloads is not None else FIG5_WORKLOADS
-    configs = [PrefetcherConfig.infinite(), PrefetcherConfig.dedicated(1024, 16)]
-    configs += [PrefetcherConfig.dedicated(s, 11) for s in FIG5_SET_SWEEP]
+    configs = shipped_matrix("figure5").configs()
     _sweep([_spec(n, c, scale) for n in names for c in configs])
     for name in names:
         for config in configs:
@@ -146,20 +157,18 @@ def figure6(
 ) -> FigureData:
     """Increase in L2 requests due to virtualization (Figure 6)."""
     rows = []
-    reference = PrefetcherConfig.dedicated(1024, 11)
+    configs = shipped_matrix("figure6").configs()
+    reference, pv_configs = configs[0], configs[1:]
     names = _workloads(workloads)
-    configs = [reference] + [PrefetcherConfig.virtualized(e) for e in (8, 16)]
     _sweep([_spec(n, c, scale) for n in names for c in configs])
     for name in names:
         ref = run_experiment(name, reference, scale=scale)
-        for entries in (8, 16):
-            pv = run_experiment(
-                name, PrefetcherConfig.virtualized(entries), scale=scale
-            )
+        for pv_config in pv_configs:
+            pv = run_experiment(name, pv_config, scale=scale)
             rows.append(
                 {
                     "workload": name,
-                    "config": f"PV-{entries}",
+                    "config": f"PV-{pv_config.pvcache_entries}",
                     "l2_request_increase": pv.l2_request_increase(ref),
                     "pvcache_hit_rate": pv.pvcache_hit_rate,
                 }
@@ -182,10 +191,11 @@ def pv_l2_fill_rates(
 ) -> FigureData:
     """Section 4.3 claim: >98% of PVProxy requests are filled by the L2."""
     rows = []
+    config = shipped_matrix("fill_rate").configs()[0]
     names = _workloads(workloads)
-    _sweep([_spec(n, PrefetcherConfig.virtualized(8), scale) for n in names])
+    _sweep([_spec(n, config, scale) for n in names])
     for name in names:
-        pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
+        pv = run_experiment(name, config, scale=scale)
         rows.append(
             {
                 "workload": name,
@@ -211,21 +221,19 @@ def figure7(
 ) -> FigureData:
     """Off-chip bandwidth increase, split into L2 misses and writebacks."""
     rows = []
-    reference = PrefetcherConfig.dedicated(1024, 11)
+    configs = shipped_matrix("figure7").configs()
+    reference, pv_configs = configs[0], configs[1:]
     names = _workloads(workloads)
-    configs = [reference] + [PrefetcherConfig.virtualized(e) for e in (8, 16)]
     _sweep([_spec(n, c, scale) for n in names for c in configs])
     for name in names:
         ref = run_experiment(name, reference, scale=scale)
-        for entries in (8, 16):
-            pv = run_experiment(
-                name, PrefetcherConfig.virtualized(entries), scale=scale
-            )
+        for pv_config in pv_configs:
+            pv = run_experiment(name, pv_config, scale=scale)
             inc = pv.offchip_increase(ref)
             rows.append(
                 {
                     "workload": name,
-                    "config": f"PV-{entries}",
+                    "config": f"PV-{pv_config.pvcache_entries}",
                     "l2_misses": inc["misses"],
                     "l2_writebacks": inc["writebacks"],
                     "total": inc["total"],
@@ -252,13 +260,13 @@ def figure8(
 ) -> FigureData:
     """Figure 7's PV-8 increase split into application vs PV data."""
     rows = []
-    reference = PrefetcherConfig.dedicated(1024, 11)
+    reference, pv_config = shipped_matrix("figure8").configs()
     names = _workloads(workloads)
-    configs = [reference, PrefetcherConfig.virtualized(8)]
+    configs = [reference, pv_config]
     _sweep([_spec(n, c, scale) for n in names for c in configs])
     for name in names:
         ref = run_experiment(name, reference, scale=scale)
-        pv = run_experiment(name, PrefetcherConfig.virtualized(8), scale=scale)
+        pv = run_experiment(name, pv_config, scale=scale)
         split = pv.offchip_split_increase(ref)
         rows.append(
             {
@@ -283,12 +291,9 @@ def figure8(
 # --------------------------------------------------------------------- Fig 9
 
 
-FIG9_CONFIGS: List[PrefetcherConfig] = [
-    PrefetcherConfig.dedicated(1024, 11),
-    PrefetcherConfig.dedicated(16, 11),
-    PrefetcherConfig.dedicated(8, 11),
-    PrefetcherConfig.virtualized(8),
-]
+#: The paper's Figure 9 bar order: everything after the NoPF baseline
+#: on the ``studies/figure9.toml`` config axis.
+FIG9_CONFIGS: List[PrefetcherConfig] = shipped_matrix("figure9").configs()[1:]
 
 
 def figure9(
@@ -298,10 +303,11 @@ def figure9(
     """Speedup over the no-prefetch baseline (Figure 9), with matched-pair CIs."""
     rows = []
     names = _workloads(workloads)
-    configs = [PrefetcherConfig.none()] + FIG9_CONFIGS
+    baseline = shipped_matrix("figure9").configs()[0]
+    configs = [baseline] + FIG9_CONFIGS
     _sweep([_spec(n, c, scale) for n in names for c in configs])
     for name in names:
-        base = run_experiment(name, PrefetcherConfig.none(), scale=scale)
+        base = run_experiment(name, baseline, scale=scale)
         for config in FIG9_CONFIGS:
             r = run_experiment(name, config, scale=scale)
             row = {
@@ -334,19 +340,19 @@ def figure10(
 ) -> FigureData:
     """Off-chip bandwidth increase vs. L2 capacity (Figure 10)."""
     rows = []
-    reference = PrefetcherConfig.dedicated(1024, 11)
+    reference, pv_config = shipped_matrix("figure10").configs()
     names = _workloads(workloads)
     _sweep([
         _spec(n, c, scale, l2_size=l2)
         for n in names
         for l2 in FIG10_L2_SIZES
-        for c in (reference, PrefetcherConfig.virtualized(8))
+        for c in (reference, pv_config)
     ])
     for name in names:
         for l2_size in FIG10_L2_SIZES:
             ref = run_experiment(name, reference, scale=scale, l2_size=l2_size)
             pv = run_experiment(
-                name, PrefetcherConfig.virtualized(8), scale=scale, l2_size=l2_size
+                name, pv_config, scale=scale, l2_size=l2_size
             )
             inc = pv.offchip_increase(ref)
             rows.append(
@@ -378,11 +384,7 @@ def figure11(
     tag, data = FIG11_L2_LATENCY
     rows = []
     names = _workloads(workloads)
-    configs = [
-        PrefetcherConfig.none(),
-        PrefetcherConfig.dedicated(1024, 11),
-        PrefetcherConfig.virtualized(8),
-    ]
+    configs = shipped_matrix("figure11").configs()
     _sweep([
         _spec(n, c, scale, l2_tag_latency=tag, l2_data_latency=data)
         for n in names
@@ -390,11 +392,10 @@ def figure11(
     ])
     for name in names:
         base = run_experiment(
-            name, PrefetcherConfig.none(), scale=scale,
+            name, configs[0], scale=scale,
             l2_tag_latency=tag, l2_data_latency=data,
         )
-        for config in (PrefetcherConfig.dedicated(1024, 11),
-                       PrefetcherConfig.virtualized(8)):
+        for config in configs[1:]:
             r = run_experiment(
                 name, config, scale=scale,
                 l2_tag_latency=tag, l2_data_latency=data,

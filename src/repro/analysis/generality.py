@@ -16,7 +16,10 @@ classes are virtualized at once, their PVTables coexisting in the
 reserved physical-memory region and competing for the same L2.
 
 All runs resolve through the active :class:`~repro.runner.sweep.SweepRunner`
-(parallelism + persistent store), exactly like the numbered figures.
+(parallelism + persistent store), exactly like the numbered figures.  The
+scenario table is declared once, as data, in ``studies/generality.toml``
+(axis labels are the scenario names); the budget geometries live with the
+shared preset catalogue in :mod:`repro.study.presets`.
 """
 
 from __future__ import annotations
@@ -26,37 +29,16 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import FigureData
 from repro.runner.context import get_runner
 from repro.runner.spec import ExperimentSpec
-from repro.sim.config import EngineConfig, PrefetcherConfig
+from repro.sim.config import PrefetcherConfig
 from repro.sim.experiment import ExperimentScale, run_experiment
+from repro.study.matrix import shipped_matrix
 from repro.workloads.registry import workload_names
-
-#: Budget-matched dedicated geometries (~128 entries, under 1KB on chip —
-#: comparable to the Section 4.6 PVProxy budget).
-_BTB_BUDGET = dict(n_sets=32, assoc=4)
-_LVP_BUDGET = dict(n_sets=32, assoc=4)
 
 
 def generality_scenarios() -> List[Tuple[str, PrefetcherConfig]]:
     """The (scenario name, configuration) pairs of the generality table."""
-    none = PrefetcherConfig.none()
-    return [
-        ("SMS budget", PrefetcherConfig.dedicated(16, 11)),
-        ("SMS dedicated", PrefetcherConfig.dedicated(1024, 11)),
-        ("SMS virtualized", PrefetcherConfig.virtualized(8)),
-        ("BTB budget", none.with_engines(EngineConfig.btb(**_BTB_BUDGET))),
-        ("BTB dedicated", none.with_engines(EngineConfig.btb())),
-        ("BTB virtualized", none.with_engines(EngineConfig.btb("virtualized"))),
-        ("LVP budget", none.with_engines(EngineConfig.lvp(**_LVP_BUDGET))),
-        ("LVP dedicated", none.with_engines(EngineConfig.lvp())),
-        ("LVP virtualized", none.with_engines(EngineConfig.lvp("virtualized"))),
-        (
-            "Shared PV space",
-            PrefetcherConfig.virtualized(8).with_engines(
-                EngineConfig.btb("virtualized"),
-                EngineConfig.lvp("virtualized"),
-            ),
-        ),
-    ]
+    matrix = shipped_matrix("generality")
+    return list(zip(matrix.axis_labels("config"), matrix.configs()))
 
 
 def _row(name: str, scenario: str, config: PrefetcherConfig, result) -> dict:

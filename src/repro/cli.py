@@ -15,6 +15,12 @@ Commands mirror the deliverables:
   chosen workload and prefetcher configuration;
 * ``sweep``                                         — resolve a workload x
   configuration lattice through the parallel sweep runner;
+* ``study``                                         — the declarative study
+  pipeline: ``study list`` / ``study validate`` over the shipped
+  ``studies/*.toml`` matrices, ``study run`` to expand one matrix through
+  the sweep runner into JSONL records, and ``study report`` to render the
+  markdown report (runs table, paper deltas, expectation checks;
+  ``--strict`` exits nonzero when a check fails);
 * ``trace-stats``                                   — summarize a workload's
   synthetic reference stream;
 * ``profile``                                       — cProfile the simulator
@@ -31,6 +37,7 @@ backend) to control execution through the broker/worker fabric.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -41,9 +48,9 @@ from repro.analysis.generality import generality as _generality
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.tables import pvproxy_budget_table, table1, table2, table3_rows
 from repro.runner import ExperimentSpec, context as _runner_context
-from repro.sim.config import EngineConfig, PrefetcherConfig
 from repro.sim.experiment import ExperimentScale
 from repro.sim.simulator import CMPSimulator
+from repro.study.presets import CONFIG_PRESETS
 from repro.workloads.registry import get_workload, workload_names
 
 FIGURE_COMMANDS = {
@@ -59,24 +66,9 @@ FIGURE_COMMANDS = {
     "generality": _generality,
 }
 
-PREFETCHERS = {
-    "none": PrefetcherConfig.none,
-    "infinite": PrefetcherConfig.infinite,
-    "sms-1k": lambda: PrefetcherConfig.dedicated(1024, 11),
-    "sms-16": lambda: PrefetcherConfig.dedicated(16, 11),
-    "sms-8": lambda: PrefetcherConfig.dedicated(8, 11),
-    "pv8": lambda: PrefetcherConfig.virtualized(8),
-    "pv16": lambda: PrefetcherConfig.virtualized(16),
-    "stride": PrefetcherConfig.stride,
-    "btb": lambda: PrefetcherConfig.none().with_engines(EngineConfig.btb()),
-    "btb-pv": lambda: PrefetcherConfig.none().with_engines(
-        EngineConfig.btb("virtualized")),
-    "lvp": lambda: PrefetcherConfig.none().with_engines(EngineConfig.lvp()),
-    "lvp-pv": lambda: PrefetcherConfig.none().with_engines(
-        EngineConfig.lvp("virtualized")),
-    "shared-pv": lambda: PrefetcherConfig.virtualized(8).with_engines(
-        EngineConfig.btb("virtualized"), EngineConfig.lvp("virtualized")),
-}
+#: The named prefetcher configurations every subcommand accepts — the
+#: same catalogue the study matrices resolve against.
+PREFETCHERS = CONFIG_PRESETS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,49 +83,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name in FIGURE_COMMANDS:
         p = sub.add_parser(name, help=f"reproduce {name}")
-        p.add_argument("--workloads", default=None,
-                       help="comma-separated subset (default: all eight)")
-        p.add_argument("--refs", type=int, default=None,
-                       help="references per core")
-        p.add_argument("--warmup", type=int, default=None,
-                       help="warmup references per core")
+        _add_study_flags(p)
         p.add_argument("--chart", action="store_true",
                        help="render as an ASCII bar chart")
-        _add_runner_flags(p)
 
     bw = sub.add_parser(
         "bandwidth",
         help="contention-model sweep: PV vs dedicated SMS under narrow DRAM",
     )
-    bw.add_argument("--workloads", default=None,
-                    help="comma-separated subset (default: Apache,Oracle,Qry17)")
+    _add_study_flags(
+        bw, workloads_help="comma-separated subset (default: Apache,Oracle,Qry17)"
+    )
     bw.add_argument("--channels", default=None,
                     help="comma-separated DRAM channel counts (default: 4,2,1)")
-    bw.add_argument("--refs", type=int, default=None,
-                    help="references per core")
-    bw.add_argument("--warmup", type=int, default=None,
-                    help="warmup references per core")
     bw.add_argument("--scale", choices=("default", "smoke"), default="default",
                     help="'smoke': tiny fixed scale for CI (overridden by --refs)")
     bw.add_argument("--chart", action="store_true",
                     help="render as an ASCII bar chart")
-    _add_runner_flags(bw)
 
     sweep = sub.add_parser(
         "sweep",
         help="resolve a workload x configuration lattice via the sweep runner",
     )
-    sweep.add_argument("--workloads", default=None,
-                       help="comma-separated subset (default: all eight)")
+    _add_study_flags(sweep)
     sweep.add_argument("--configs", default="none,sms-1k,sms-16,sms-8,pv8",
                        help="comma-separated prefetcher names "
                             f"(choices: {','.join(sorted(PREFETCHERS))})")
-    sweep.add_argument("--refs", type=int, default=None,
-                       help="references per core")
-    sweep.add_argument("--warmup", type=int, default=None,
-                       help="warmup references per core")
     sweep.add_argument("--seed", type=int, default=1)
-    _add_runner_flags(sweep)
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-spec progress and the trace-cache/"
+                            "broker tallies on stderr")
+
+    study = sub.add_parser(
+        "study",
+        help="declarative studies: list/validate/run/report matrix files",
+    )
+    ssub = study.add_subparsers(dest="study_command", required=True)
+    ssub.add_parser("list", help="list the shipped study matrices")
+    s_val = ssub.add_parser(
+        "validate",
+        help="expand matrices and check the expansion is hash-stable",
+    )
+    s_val.add_argument("matrices", nargs="*",
+                       help="matrix files (default: every shipped matrix)")
+    s_run = ssub.add_parser(
+        "run", help="expand one matrix through the sweep runner into JSONL"
+    )
+    s_run.add_argument("matrix",
+                       help="matrix file path, or the name of a shipped study")
+    _add_study_flags(
+        s_run, sampled=False,
+        workloads_help="comma-separated subset of the matrix's workload axis",
+    )
+    s_run.add_argument("--out", default=None,
+                       help="JSONL output path (default: "
+                            "$REPRO_STUDY_OUT or ./study-runs/<name>.jsonl)")
+    s_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-spec progress on stderr "
+                            "(also settable via the matrix [runner] table)")
+    s_rep = ssub.add_parser(
+        "report", help="render the markdown report for a study's JSONL records"
+    )
+    s_rep.add_argument("matrix",
+                       help="matrix file path, or the name of a shipped study")
+    s_rep.add_argument("--records", default=None,
+                       help="JSONL records to report on (default: where "
+                            "'study run' writes)")
+    s_rep.add_argument("--strict", action="store_true",
+                       help="exit nonzero if any expectation check fails")
 
     run = sub.add_parser("run", help="run one simulation and print a summary")
     run.add_argument("workload", choices=workload_names())
@@ -181,7 +198,9 @@ def positive_int(text: str) -> int:
     return value
 
 
-def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+def _add_runner_flags(
+    parser: argparse.ArgumentParser, sampled: bool = True
+) -> None:
     parser.add_argument("--jobs", type=positive_int, default=None,
                         help="worker processes (default: REPRO_JOBS or 1; "
                              "a sweep never uses more workers than it has "
@@ -196,12 +215,31 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                              "process pool otherwise), inline, process, or "
                              "any registered name "
                              "(default: REPRO_BACKEND or auto)")
-    parser.add_argument("--sampled", action="store_true",
-                        help="two-speed sampled simulation: functional "
-                             "fast-forward with short detailed measurement "
-                             "windows (results are mean-over-windows "
-                             "estimates with CIs, not bitwise comparable "
-                             "to full-detail runs)")
+    if sampled:
+        parser.add_argument("--sampled", action="store_true",
+                            help="two-speed sampled simulation: functional "
+                                 "fast-forward with short detailed measurement "
+                                 "windows (results are mean-over-windows "
+                                 "estimates with CIs, not bitwise comparable "
+                                 "to full-detail runs)")
+
+
+def _add_study_flags(
+    parser: argparse.ArgumentParser,
+    workloads: bool = True,
+    workloads_help: str = "comma-separated subset (default: all eight)",
+    sampled: bool = True,
+) -> None:
+    """The flag block every experiment-running subcommand shares:
+    ``--workloads`` (where meaningful), scale control, and the sweep-runner
+    execution flags."""
+    if workloads:
+        parser.add_argument("--workloads", default=None, help=workloads_help)
+    parser.add_argument("--refs", type=int, default=None,
+                        help="references per core")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup references per core")
+    _add_runner_flags(parser, sampled=sampled)
 
 
 def _configure_runner(args) -> None:
@@ -306,32 +344,35 @@ def _run_sweep(args) -> str:
 
     def observe(progress):
         sources[progress.spec.key] = progress.source
-        print(
-            f"[{progress.done}/{progress.total}] "
-            f"{progress.spec.workload:<8} {progress.spec.prefetcher.label:<10} "
-            f"({progress.source})",
-            file=sys.stderr,
-        )
+        if not args.quiet:
+            print(
+                f"[{progress.done}/{progress.total}] "
+                f"{progress.spec.workload:<8} "
+                f"{progress.spec.prefetcher.label:<10} "
+                f"({progress.source})",
+                file=sys.stderr,
+            )
 
     runner = _runner_context.get_runner()
     results = runner.run(specs, observer=observe)
-    from repro.workloads.generator import TRACE_CACHE
+    if not args.quiet:
+        from repro.workloads.generator import TRACE_CACHE
 
-    ts = TRACE_CACHE.stats()
-    print(
-        f"trace cache: {ts['hits']} hits, {ts['misses']} misses, "
-        f"{ts['evictions']} evictions, {ts['records']} records in "
-        f"{ts['entries']} streams (per-process; workers fork their own)",
-        file=sys.stderr,
-    )
-    bs = runner.last_stats
-    if bs is not None:
+        ts = TRACE_CACHE.stats()
         print(
-            f"broker: {bs['published']} published, {bs['store_hits']} store "
-            f"hits, {bs['leases']} leases, {bs['retries']} retries, "
-            f"{bs['expirations']} expired, {bs['quarantined']} quarantined",
+            f"trace cache: {ts['hits']} hits, {ts['misses']} misses, "
+            f"{ts['evictions']} evictions, {ts['records']} records in "
+            f"{ts['entries']} streams (per-process; workers fork their own)",
             file=sys.stderr,
         )
+        bs = runner.last_stats
+        if bs is not None:
+            print(
+                f"broker: {bs['published']} published, {bs['store_hits']} "
+                f"store hits, {bs['leases']} leases, {bs['retries']} retries, "
+                f"{bs['expirations']} expired, {bs['quarantined']} quarantined",
+                file=sys.stderr,
+            )
     rows = [
         {
             "workload": spec.workload,
@@ -351,6 +392,183 @@ def _run_sweep(args) -> str:
         ["workload", "config", "source", "ipc", "coverage", "offchip"],
         rows, title=title,
     )
+
+
+def _resolve_matrix(text: str):
+    """A matrix by file path, or by shipped-study name."""
+    from repro.study.matrix import load_matrix, shipped_matrix, studies_root
+
+    path = pathlib.Path(text)
+    if path.suffix == ".toml" or path.exists():
+        return load_matrix(path)
+    if (studies_root() / f"{text}.toml").exists():
+        return shipped_matrix(text)
+    shipped = [p.stem for p in _shipped_matrix_paths()]
+    raise SystemExit(
+        f"no matrix file {text!r} and no shipped study of that name "
+        f"(shipped: {', '.join(shipped) or 'none'})"
+    )
+
+
+def _shipped_matrix_paths():
+    from repro.study.matrix import shipped_matrices
+
+    return shipped_matrices()
+
+
+def _run_study(args) -> str:
+    """``repro study run``: expand, execute, write JSONL, summarize checks."""
+    from repro.study.checks import evaluate_checks
+    from repro.study.executor import (
+        default_out_path,
+        records_to_runs,
+        run_study,
+        write_jsonl,
+    )
+    from repro.study.matrix import MatrixError
+
+    try:
+        matrix = _resolve_matrix(args.matrix)
+    except MatrixError as exc:
+        raise SystemExit(str(exc))
+    # CLI flags win; the matrix [runner] table provides the defaults.
+    jobs = args.jobs if args.jobs is not None else matrix.runner.get("jobs")
+    store = args.store or matrix.runner.get("store")
+    backend = args.backend or matrix.runner.get("backend")
+    if jobs is not None or store or backend:
+        _runner_context.configure(jobs=jobs, store=store, backend=backend)
+    quiet = args.quiet or bool(matrix.runner.get("quiet"))
+
+    def observe(progress):
+        if not quiet:
+            print(
+                f"[{progress.done}/{progress.total}] "
+                f"{progress.spec.workload:<8} "
+                f"{progress.spec.prefetcher.label:<10} "
+                f"({progress.source})",
+                file=sys.stderr,
+            )
+
+    overrides = None
+    if args.workloads:
+        overrides = {
+            "workload": [w.strip() for w in args.workloads.split(",") if w.strip()]
+        }
+    try:
+        records = run_study(
+            matrix, scale=_scale(args), axis_overrides=overrides,
+            observer=observe,
+        )
+    except MatrixError as exc:
+        raise SystemExit(str(exc))
+    out = pathlib.Path(args.out) if args.out else default_out_path(matrix)
+    write_jsonl(records, out)
+    checks = evaluate_checks(matrix, records_to_runs(records))
+    lines = [f"study {matrix.name}: {len(records)} runs -> {out}"]
+    for check in checks:
+        lines.append(f"  [{check.status}] {check.name}")
+    if checks:
+        passed = sum(1 for c in checks if c.passed)
+        lines.append(f"  {passed}/{len(checks)} checks passed "
+                     "(see 'repro study report' for evidence)")
+    return "\n".join(lines)
+
+
+def _run_study_report(args) -> str:
+    """``repro study report``: render markdown from recorded JSONL."""
+    from repro.study.checks import evaluate_checks
+    from repro.study.executor import default_out_path, records_to_runs
+    from repro.study.matrix import MatrixError
+    from repro.study.report import load_records, render_report
+
+    try:
+        matrix = _resolve_matrix(args.matrix)
+    except MatrixError as exc:
+        raise SystemExit(str(exc))
+    records_path = (
+        pathlib.Path(args.records) if args.records
+        else default_out_path(matrix)
+    )
+    if not records_path.exists():
+        raise SystemExit(
+            f"no records at {records_path}; run "
+            f"'repro study run {args.matrix}' first (or pass --records)"
+        )
+    records = load_records(records_path)
+    checks = evaluate_checks(matrix, records_to_runs(records))
+    report = render_report(matrix, records, checks=checks)
+    if args.strict and any(not c.passed for c in checks):
+        print(report)
+        failed = ", ".join(c.name for c in checks if not c.passed)
+        raise SystemExit(f"study {matrix.name}: failed checks: {failed}")
+    return report
+
+
+def _run_study_list(args) -> str:
+    """``repro study list``: the shipped matrix catalogue."""
+    from repro.study.matrix import MatrixError, load_matrix
+
+    rows = []
+    for path in _shipped_matrix_paths():
+        try:
+            matrix = load_matrix(path)
+            rows.append({
+                "study": matrix.name,
+                "runs": len(matrix.expand()),
+                "checks": len(matrix.expectations),
+                "title": matrix.title,
+            })
+        except MatrixError as exc:
+            rows.append({"study": path.stem, "runs": "-", "checks": "-",
+                         "title": f"INVALID: {exc}"})
+    return render_table(
+        ["study", "runs", "checks", "title"], rows,
+        title=f"Shipped studies ({len(rows)})",
+    )
+
+
+def _run_study_validate(args) -> str:
+    """``repro study validate``: expand every matrix twice, compare keys."""
+    from repro.study.matrix import MatrixError, load_matrix
+
+    paths = (
+        [pathlib.Path(p) for p in args.matrices]
+        if args.matrices else _shipped_matrix_paths()
+    )
+    if not paths:
+        raise SystemExit("no matrix files to validate")
+    lines = []
+    failures = 0
+    for path in paths:
+        try:
+            matrix = load_matrix(path)
+            first = [p.spec.key for p in matrix.expand()]
+            second = [p.spec.key for p in matrix.expand()]
+            if first != second:
+                raise MatrixError(
+                    f"{path}: expansion is not hash-stable across runs"
+                )
+            lines.append(
+                f"ok {matrix.name}: {len(first)} runs, "
+                f"{len(set(first))} unique specs, "
+                f"{len(matrix.expectations)} checks"
+            )
+        except MatrixError as exc:
+            failures += 1
+            lines.append(f"FAIL {path}: {exc}")
+    if failures:
+        raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
+def _run_study_command(args) -> str:
+    handlers = {
+        "run": _run_study,
+        "report": _run_study_report,
+        "list": _run_study_list,
+        "validate": _run_study_validate,
+    }
+    return handlers[args.study_command](args)
 
 
 def _run_profile(args) -> str:
@@ -448,6 +666,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_simulation(args))
     elif args.command == "sweep":
         print(_run_sweep(args))
+    elif args.command == "study":
+        print(_run_study_command(args))
     elif args.command == "trace-stats":
         print(_run_trace_stats(args))
     elif args.command == "profile":

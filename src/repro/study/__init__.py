@@ -1,0 +1,52 @@
+"""Declarative study pipeline: matrix files -> SweepRunner -> JSONL + reports.
+
+A **study** is declared entirely as data: a TOML matrix file
+(:mod:`repro.study.matrix`) names the axes of a design-space lattice
+(workloads x configurations x channels x sampling x ...), per-study
+overrides and the qualitative expectations the resulting run set must
+satisfy.  The executor (:mod:`repro.study.executor`) expands the matrix
+into content-hashed :class:`~repro.runner.spec.ExperimentSpec`\\ s, routes
+them through the active :class:`~repro.runner.sweep.SweepRunner`
+(broker/worker fabric, persistent store, fault semantics — all unchanged)
+and emits one JSONL record per run.  The report engine
+(:mod:`repro.study.report`) replays those records into a markdown report
+and evaluates every declared expectation check
+(:mod:`repro.study.checks`) — monotonicity along an axis, metric
+thresholds, sampled-IPC-inside-full-CI — each reported pass/fail with
+evidence.
+
+New scenarios therefore cost a config file under ``studies/``, not a new
+``analysis/*.py`` driver: the existing figure/bandwidth/generality
+drivers are thin wrappers over shipped matrices resolved through this
+same path.
+"""
+
+from repro.study.checks import CheckOutcome, evaluate_checks
+from repro.study.executor import run_study, write_jsonl
+from repro.study.matrix import (
+    MatrixError,
+    StudyMatrix,
+    StudyPoint,
+    load_matrix,
+    shipped_matrix,
+    studies_root,
+)
+from repro.study.presets import CONFIG_PRESETS, resolve_config
+from repro.study.report import load_records, render_report
+
+__all__ = [
+    "CONFIG_PRESETS",
+    "CheckOutcome",
+    "MatrixError",
+    "StudyMatrix",
+    "StudyPoint",
+    "evaluate_checks",
+    "load_matrix",
+    "load_records",
+    "render_report",
+    "resolve_config",
+    "run_study",
+    "shipped_matrix",
+    "studies_root",
+    "write_jsonl",
+]

@@ -1,0 +1,253 @@
+"""Expectation checks: the paper's qualitative claims as data.
+
+A matrix declares its expected shapes as ``[[expect]]`` entries; this
+module evaluates them over the per-run records a study produced.  Three
+kinds cover the claims the existing studies assert in code today:
+
+* ``threshold`` — a metric compared against a constant over every
+  matching run (e.g. *PV8 keeps the L2 fill rate above 98% at one DRAM
+  channel*, Section 4.3);
+* ``monotonic`` — a metric must be non-decreasing/non-increasing along
+  one axis' declared value order, within every group of runs that agree
+  on all other coordinates (e.g. *narrowing DRAM channels must never
+  improve IPC*);
+* ``ci_inclusion`` — for each pair of runs differing only in the
+  boolean axis (default ``sampled``), the sampled run's IPC estimate
+  must fall inside the full-detail run's confidence interval (the
+  SMARTS statistical-quality contract).
+
+Every outcome carries human-readable evidence, so a failed report states
+which runs violated the claim and by how much.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.sim.metrics import SimResult
+from repro.study.matrix import StudyMatrix
+
+_OPS = {">=": operator.ge, ">": operator.gt, "<=": operator.le, "<": operator.lt}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One study run: its matrix coordinates and the measured result."""
+
+    index: int
+    key: str
+    coords: Dict[str, Any]
+    labels: Dict[str, str]
+    result: SimResult
+
+
+@dataclass
+class CheckOutcome:
+    """One evaluated expectation check."""
+
+    name: str
+    kind: str
+    passed: bool
+    evidence: List[str] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+def metric_value(result: SimResult, metric: str) -> float:
+    """Resolve a (possibly dotted) metric name on one result.
+
+    Plain names read :class:`SimResult` fields/properties
+    (``aggregate_ipc``, ``coverage``, ``pv_l2_fill_rate``, ...); dotted
+    names descend into mappings, e.g. ``engine_stats.btb.hit_rate``.
+    """
+    obj: Any = result
+    for part in metric.split("."):
+        if isinstance(obj, dict):
+            if part not in obj:
+                raise KeyError(
+                    f"metric {metric!r}: no key {part!r} "
+                    f"(available: {', '.join(sorted(obj))})"
+                )
+            obj = obj[part]
+        elif hasattr(obj, part):
+            obj = getattr(obj, part)
+        else:
+            raise KeyError(f"unknown metric {metric!r} (failed at {part!r})")
+    return obj
+
+
+def _matches(record: RunRecord, where: Dict[str, Any]) -> bool:
+    return all(record.coords.get(dim) == value for dim, value in where.items())
+
+
+def _select(records: Sequence[RunRecord], where: Dict[str, Any]) -> List[RunRecord]:
+    return [r for r in records if _matches(r, where)]
+
+
+def _coord_text(record: RunRecord, skip: Sequence[str] = ()) -> str:
+    parts = [
+        f"{dim}={record.labels.get(dim, record.coords[dim])}"
+        for dim in record.coords
+        if dim not in skip
+    ]
+    return ", ".join(parts) or "(all runs)"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+# ------------------------------------------------------------------- kinds
+
+
+def _check_threshold(
+    check: Dict[str, Any], records: Sequence[RunRecord]
+) -> CheckOutcome:
+    matched = _select(records, check["where"])
+    outcome = CheckOutcome(name=check["name"], kind="threshold", passed=True)
+    if not matched:
+        outcome.passed = False
+        outcome.evidence.append(
+            f"no runs matched where {check['where']!r}"
+        )
+        return outcome
+    op = _OPS[check["op"]]
+    for record in matched:
+        value = metric_value(record.result, check["metric"])
+        ok = op(value, check["value"])
+        outcome.passed = outcome.passed and ok
+        outcome.evidence.append(
+            f"{_coord_text(record)}: {check['metric']}={_fmt(value)} "
+            f"{check['op']} {_fmt(check['value'])} "
+            f"{'ok' if ok else 'VIOLATED'}"
+        )
+    return outcome
+
+
+def _groups(
+    records: Sequence[RunRecord], axis: str
+) -> "Dict[tuple, List[RunRecord]]":
+    """Records grouped by every coordinate except ``axis``."""
+    grouped: Dict[tuple, List[RunRecord]] = {}
+    for record in records:
+        key = tuple(
+            (dim, repr(value))
+            for dim, value in record.coords.items()
+            if dim != axis
+        )
+        grouped.setdefault(key, []).append(record)
+    return grouped
+
+
+def _check_monotonic(
+    check: Dict[str, Any],
+    records: Sequence[RunRecord],
+    matrix: StudyMatrix,
+) -> CheckOutcome:
+    axis = check["axis"]
+    # A check may claim monotonicity along an explicit subset/reordering
+    # of the axis values (e.g. budget -> dedicated only); by default the
+    # declared axis order is the claim.
+    values = check.get("order") or matrix.axis_values(axis)
+    order = {repr(v): i for i, v in enumerate(values)}
+    matched = [
+        r for r in _select(records, check["where"])
+        if axis in r.coords and repr(r.coords[axis]) in order
+    ]
+    outcome = CheckOutcome(name=check["name"], kind="monotonic", passed=True)
+    if not matched:
+        outcome.passed = False
+        outcome.evidence.append(
+            f"no runs matched where {check['where']!r} along axis {axis!r}"
+        )
+        return outcome
+    tolerance = check.get("tolerance", 0.0)
+    nondecreasing = check["direction"] == "nondecreasing"
+    for group in _groups(matched, axis).values():
+        ordered = sorted(group, key=lambda r: order[repr(r.coords[axis])])
+        if len(ordered) < 2:
+            continue
+        values = [metric_value(r.result, check["metric"]) for r in ordered]
+        ok = all(
+            (b - a >= -tolerance) if nondecreasing else (a - b >= -tolerance)
+            for a, b in zip(values, values[1:])
+        )
+        outcome.passed = outcome.passed and ok
+        series = " -> ".join(_fmt(v) for v in values)
+        along = " -> ".join(
+            str(r.labels.get(axis, r.coords[axis])) for r in ordered
+        )
+        outcome.evidence.append(
+            f"{_coord_text(ordered[0], skip=(axis,))}: "
+            f"{check['metric']} {series} along {axis}={along} "
+            f"{'ok' if ok else 'NOT ' + check['direction'].upper()}"
+        )
+    if not outcome.evidence:
+        outcome.passed = False
+        outcome.evidence.append(
+            f"no group held two runs along axis {axis!r}"
+        )
+    return outcome
+
+
+def _check_ci_inclusion(
+    check: Dict[str, Any], records: Sequence[RunRecord]
+) -> CheckOutcome:
+    axis = check["axis"]
+    matched = _select(records, check["where"])
+    outcome = CheckOutcome(name=check["name"], kind="ci_inclusion", passed=True)
+    compared = 0
+    for group in _groups(matched, axis).values():
+        sampled = [r for r in group if r.coords.get(axis) is True]
+        full = [r for r in group if r.coords.get(axis) is False]
+        if not sampled or not full:
+            continue
+        for full_run in full:
+            try:
+                stats = full_run.result.ipc_ci(check["confidence"])
+            except ValueError:
+                outcome.passed = False
+                outcome.evidence.append(
+                    f"{_coord_text(full_run, skip=(axis,))}: full-detail run "
+                    "recorded no measurement windows (no CI)"
+                )
+                continue
+            for sampled_run in sampled:
+                compared += 1
+                estimate = sampled_run.result.aggregate_ipc
+                ok = stats.contains(estimate)
+                outcome.passed = outcome.passed and ok
+                outcome.evidence.append(
+                    f"{_coord_text(sampled_run, skip=(axis,))}: sampled IPC "
+                    f"{_fmt(estimate)} vs full {int(check['confidence'] * 100)}% "
+                    f"CI [{_fmt(stats.lower)}, {_fmt(stats.upper)}] "
+                    f"{'ok' if ok else 'OUTSIDE'}"
+                )
+    if compared == 0 and outcome.passed:
+        outcome.passed = False
+        outcome.evidence.append(
+            f"no (sampled, full) run pair found along axis {axis!r} "
+            f"where {check['where']!r}"
+        )
+    return outcome
+
+
+def evaluate_checks(
+    matrix: StudyMatrix, records: Sequence[RunRecord]
+) -> List[CheckOutcome]:
+    """Evaluate every declared expectation check against the run set."""
+    outcomes: List[CheckOutcome] = []
+    for check in matrix.expectations:
+        if check["kind"] == "threshold":
+            outcomes.append(_check_threshold(check, records))
+        elif check["kind"] == "monotonic":
+            outcomes.append(_check_monotonic(check, records, matrix))
+        else:
+            outcomes.append(_check_ci_inclusion(check, records))
+    return outcomes

@@ -1,0 +1,118 @@
+"""Study execution: expanded matrix points through the SweepRunner.
+
+``run_study`` is deliberately thin: every expanded point is already a
+content-hashed :class:`~repro.runner.spec.ExperimentSpec`, so execution
+is exactly one :meth:`SweepRunner.run` call — inheriting the in-process
+cache, persistent store, broker lease/retry/quarantine semantics and any
+configured backend unchanged.  The output is one JSONL record per run
+(expansion order), carrying the run's matrix coordinates, its full spec
+and every result counter, so a report can be rebuilt later without
+re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import ExperimentScale
+from repro.study.checks import RunRecord
+from repro.study.matrix import StudyMatrix, StudyPoint
+
+
+def point_record(
+    matrix: StudyMatrix, point: StudyPoint, result
+) -> Dict[str, Any]:
+    """The plain-JSON record one run contributes to the study JSONL."""
+    return {
+        "study": matrix.name,
+        "index": point.index,
+        "key": point.spec.key,
+        "coords": dict(point.coords),
+        "labels": dict(point.labels),
+        "spec": point.spec.to_dict(),
+        "result": result_to_dict(result),
+    }
+
+
+def records_to_runs(records: Sequence[Dict[str, Any]]) -> List[RunRecord]:
+    """JSONL records rebuilt into check-ready :class:`RunRecord` objects."""
+    from repro.runner.serialize import result_from_dict
+
+    return [
+        RunRecord(
+            index=record["index"],
+            key=record["key"],
+            coords=dict(record["coords"]),
+            labels=dict(record.get("labels", {})),
+            result=result_from_dict(record["result"]),
+        )
+        for record in records
+    ]
+
+
+def write_jsonl(
+    records: Sequence[Dict[str, Any]], path: Union[str, os.PathLike]
+) -> pathlib.Path:
+    """Atomically write one record per line (stable key order)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = "".join(
+        json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+        for record in records
+    )
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".study.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def run_study(
+    matrix: StudyMatrix,
+    scale: Optional[ExperimentScale] = None,
+    axis_overrides: Optional[Dict[str, Sequence[Any]]] = None,
+    runner=None,
+    observer=None,
+    out: Optional[Union[str, os.PathLike]] = None,
+) -> List[Dict[str, Any]]:
+    """Expand ``matrix``, resolve every run, return the JSONL records.
+
+    ``runner`` defaults to the active process-wide
+    :func:`repro.runner.context.get_runner`; ``out`` additionally writes
+    the records as JSONL.  Raises
+    :class:`~repro.runner.broker.PoisonSpecError` if a spec exhausts its
+    retries (the sweep still completes first).
+    """
+    from repro.runner.context import get_runner
+
+    points = matrix.expand(scale=scale, axis_overrides=axis_overrides)
+    runner = runner if runner is not None else get_runner()
+    results = runner.run([p.spec for p in points], observer=observer)
+    records = [
+        point_record(matrix, point, result)
+        for point, result in zip(points, results)
+    ]
+    if out is not None:
+        write_jsonl(records, out)
+    return records
+
+
+def default_out_path(matrix: StudyMatrix) -> pathlib.Path:
+    """Where ``repro study run`` writes (and ``report`` reads) by default.
+
+    ``REPRO_STUDY_OUT`` names the directory (default ``./study-runs``).
+    """
+    root = pathlib.Path(os.environ.get("REPRO_STUDY_OUT", "study-runs"))
+    return root / f"{matrix.name}.jsonl"

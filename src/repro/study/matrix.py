@@ -1,0 +1,698 @@
+"""Declarative experiment matrices: TOML files expanded into specs.
+
+A matrix file declares a study entirely as data::
+
+    [study]
+    name = "bandwidth"
+    title = "PV speedup under finite DRAM bandwidth"
+
+    [scale]                    # optional pinned scale (else env/caller)
+    refs_per_core = 1200
+    warmup_refs = 600
+    window_refs = 120
+
+    [runner]                   # optional execution defaults (CLI overrides)
+    jobs = 2
+    backend = "auto"
+    quiet = true
+
+    [axes]                     # cross-product, in declaration order
+    workload = ["Apache", "Oracle", "Qry17"]
+    channels = [4, 2, 1]
+    config = ["none", "sms-1k", "pv8"]
+
+    [defaults]                 # per-study overrides applied to every run
+    seed = 1
+
+    [[runs]]                   # explicit additions beyond the product
+    workload = "Apache"
+    channels = 8
+    config = "pv8"
+
+    [[expect]]                 # declared expectation checks (see checks.py)
+    kind = "threshold"
+    metric = "pv_l2_fill_rate"
+    op = ">="
+    value = 0.98
+    where = {config = "pv8", channels = 1}
+
+Axis names are **spec dimensions** — every name must be one of
+:data:`SPEC_DIMENSIONS`; axis values may be scalars or labelled tables
+(``{value = "sms-16", label = "SMS budget"}``).  Expansion is
+deterministic: the cross-product nests in axis declaration order,
+explicit ``[[runs]]`` entries append in file order, and every point
+resolves to a content-hashed :class:`~repro.runner.spec.ExperimentSpec`
+— so expanding the same file twice yields identical keys, which is what
+the CI matrix-validation step asserts.
+
+All validation happens here, at load/expand time, with the offending
+file and table path in the error (:class:`MatrixError`) — an unknown
+workload, configuration or axis name can never reach a sweep worker.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - import guard for pre-3.11 interpreters
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None
+
+from repro.memory.contention import ContentionConfig
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.sim.config import PrefetcherConfig
+from repro.sim.sampling import SamplingConfig
+from repro.study.presets import resolve_config
+from repro.workloads.registry import workload_names
+
+#: Every axis / default / run-entry key a matrix may use, and what it maps
+#: to on the :class:`ExperimentSpec`:
+#:
+#: * ``workload``       — workload name (validated against the registry);
+#: * ``config``         — preset name or spec string (see presets.py);
+#: * ``channels``       — finite DRAM channels (0 = analytic model);
+#: * ``contention``     — full :class:`ContentionConfig` knob table;
+#: * ``sampled``        — bool: two-speed sampled execution for this run,
+#:   using the matrix ``[sampling]`` knobs (or a scale-derived default);
+#: * ``sampling``       — full :class:`SamplingConfig` knob table;
+#: * ``l2_size`` / ``l2_tag_latency`` / ``l2_data_latency`` — Section 4.5
+#:   hierarchy sensitivity overrides;
+#: * ``seed`` / ``pv_aware`` — remaining spec fields.
+SPEC_DIMENSIONS = (
+    "workload",
+    "config",
+    "channels",
+    "contention",
+    "sampled",
+    "sampling",
+    "l2_size",
+    "l2_tag_latency",
+    "l2_data_latency",
+    "seed",
+    "pv_aware",
+)
+
+#: Expectation-check kinds the report engine implements (checks.py).
+CHECK_KINDS = ("monotonic", "threshold", "ci_inclusion")
+
+#: Comparison operators a threshold check may declare.
+THRESHOLD_OPS = (">=", ">", "<=", "<")
+
+#: Monotonic-check directions (along the axis' declared value order).
+DIRECTIONS = ("nondecreasing", "nonincreasing")
+
+
+class MatrixError(ValueError):
+    """A matrix file failed validation; the message carries file context."""
+
+
+def _err(source: str, context: str, message: str) -> MatrixError:
+    return MatrixError(f"{source}: {context}: {message}")
+
+
+@dataclass(frozen=True)
+class AxisValue:
+    """One declared axis value with its display label."""
+
+    value: Any
+    label: str
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """One expanded run: its matrix coordinates and the spec they name."""
+
+    index: int
+    coords: Dict[str, Any]
+    labels: Dict[str, str]
+    spec: ExperimentSpec
+
+
+@dataclass(frozen=True)
+class StudyMatrix:
+    """A parsed, validated matrix file."""
+
+    name: str
+    title: str
+    description: str
+    source: str
+    scale: Optional[ExperimentScale]
+    runner: Dict[str, Any]
+    sampling: Optional[Dict[str, Any]]
+    axes: Dict[str, Tuple[AxisValue, ...]]
+    defaults: Dict[str, Any]
+    runs: Tuple[Dict[str, Any], ...]
+    expectations: Tuple[Dict[str, Any], ...]
+    report: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- helpers
+
+    def has_axis(self, name: str) -> bool:
+        return name in self.axes
+
+    def axis_values(self, name: str) -> List[Any]:
+        """Raw values of one axis, in declared order."""
+        if name not in self.axes:
+            raise KeyError(f"{self.name}: no axis {name!r}")
+        return [av.value for av in self.axes[name]]
+
+    def axis_labels(self, name: str) -> List[str]:
+        """Display labels of one axis, in declared order."""
+        if name not in self.axes:
+            raise KeyError(f"{self.name}: no axis {name!r}")
+        return [av.label for av in self.axes[name]]
+
+    def workloads(self) -> List[str]:
+        return self.axis_values("workload")
+
+    def configs(self) -> List[PrefetcherConfig]:
+        """The config axis resolved to :class:`PrefetcherConfig` objects."""
+        return [resolve_config(v) for v in self.axis_values("config")]
+
+    # ------------------------------------------------------------ expansion
+
+    def effective_scale(
+        self, scale: Optional[ExperimentScale] = None
+    ) -> Optional[ExperimentScale]:
+        """Caller scale, else the matrix ``[scale]``, else None (env)."""
+        return scale if scale is not None else self.scale
+
+    def expand(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        axis_overrides: Optional[Dict[str, Sequence[Any]]] = None,
+    ) -> List[StudyPoint]:
+        """Deterministically expand into content-hashed spec points.
+
+        ``axis_overrides`` replaces the declared values of named axes
+        (how figure drivers honor ``--workloads``); overriding an axis
+        the matrix does not declare is an error.
+        """
+        axes = dict(self.axes)
+        for name, values in (axis_overrides or {}).items():
+            if name not in axes:
+                raise _err(
+                    self.source, "[axes]",
+                    f"cannot override undeclared axis {name!r} "
+                    f"(declared: {', '.join(axes) or 'none'})",
+                )
+            axes[name] = _parse_axis(self.source, name, list(values))
+        run_scale = self.effective_scale(scale)
+        points: List[StudyPoint] = []
+        for coords, labels in _product(axes):
+            points.append(self._point(len(points), coords, labels, run_scale))
+        for i, entry in enumerate(self.runs):
+            coords = dict(entry)
+            labels = {
+                dim: _default_label(self.source, dim, value)
+                for dim, value in coords.items()
+            }
+            points.append(self._point(len(points), coords, labels, run_scale))
+        if not points:
+            raise _err(
+                self.source, "[axes]",
+                "matrix expands to zero runs (no axes and no [[runs]])",
+            )
+        return points
+
+    def _point(
+        self,
+        index: int,
+        coords: Dict[str, Any],
+        labels: Dict[str, str],
+        scale: Optional[ExperimentScale],
+    ) -> StudyPoint:
+        merged = dict(self.defaults)
+        merged.update(coords)
+        spec = _build_spec(self.source, merged, scale, self.sampling)
+        return StudyPoint(index=index, coords=coords, labels=labels, spec=spec)
+
+
+# ---------------------------------------------------------------- expansion
+
+
+def _product(
+    axes: Dict[str, Tuple[AxisValue, ...]],
+) -> List[Tuple[Dict[str, Any], Dict[str, str]]]:
+    """Cross-product points, nested in axis declaration order."""
+    points: List[Tuple[Dict[str, Any], Dict[str, str]]] = (
+        [({}, {})] if axes else []
+    )
+    for name, values in axes.items():
+        points = [
+            ({**coords, name: av.value}, {**labels, name: av.label})
+            for coords, labels in points
+            for av in values
+        ]
+    return points
+
+
+def _build_spec(
+    source: str,
+    kwargs: Dict[str, Any],
+    scale: Optional[ExperimentScale],
+    matrix_sampling: Optional[Dict[str, Any]] = None,
+) -> ExperimentSpec:
+    """Resolve merged dimension values into one ExperimentSpec."""
+    kw = dict(kwargs)
+    workload = kw.pop("workload", None)
+    if workload is None:
+        raise _err(source, "[[runs]]",
+                   "run is missing a 'workload' (axis, default or entry)")
+    config_value = kw.pop("config", None)
+    if config_value is None:
+        raise _err(source, "[[runs]]",
+                   "run is missing a 'config' (axis, default or entry)")
+    config = resolve_config(config_value)
+
+    channels = kw.pop("channels", None)
+    contention_knobs = kw.pop("contention", None)
+    if channels is not None and contention_knobs is not None:
+        raise _err(source, "channels/contention",
+                   "declare either 'channels' or a 'contention' table, not both")
+    contention = None
+    if channels is not None:
+        if channels > 0:
+            contention = ContentionConfig(enabled=True, dram_channels=channels)
+    elif contention_knobs is not None:
+        contention = ContentionConfig(enabled=True, **contention_knobs)
+
+    sampled = kw.pop("sampled", False)
+    sampling_knobs = kw.pop("sampling", None)
+    sampling = None
+    if sampling_knobs is not None:
+        sampling = SamplingConfig.smarts(**sampling_knobs)
+    elif sampled:
+        if matrix_sampling is not None:
+            sampling = SamplingConfig.smarts(**matrix_sampling)
+        else:
+            refs = (scale or ExperimentScale.from_env()).refs_per_core
+            sampling = SamplingConfig.for_scale(refs)
+
+    return ExperimentSpec.build(
+        workload,
+        config,
+        scale=scale,
+        contention=contention,
+        sampling=sampling,
+        **kw,
+    )
+
+
+# --------------------------------------------------------------- validation
+
+
+def _default_label(source: str, dim: str, value: Any) -> str:
+    if dim == "config":
+        return resolve_config(value).label
+    return str(value)
+
+
+def _validate_dimension(source: str, context: str, dim: str, value: Any) -> Any:
+    """Check one (dimension, value) pair; returns the value unchanged."""
+    if dim not in SPEC_DIMENSIONS:
+        raise _err(
+            source, context,
+            f"unknown axis/dimension {dim!r} "
+            f"(choices: {', '.join(SPEC_DIMENSIONS)})",
+        )
+    try:
+        if dim == "workload":
+            if value not in workload_names():
+                raise ValueError(
+                    f"unknown workload {value!r} "
+                    f"(choices: {', '.join(workload_names())})"
+                )
+        elif dim == "config":
+            resolve_config(value)
+        elif dim == "channels":
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"channels must be a non-negative integer, got {value!r}"
+                )
+        elif dim == "contention":
+            if not isinstance(value, dict):
+                raise ValueError("contention must be a table of knobs")
+            ContentionConfig(enabled=True, **value)
+        elif dim in ("sampled", "pv_aware"):
+            if not isinstance(value, bool):
+                raise ValueError(f"{dim} must be a boolean, got {value!r}")
+        elif dim == "sampling":
+            if not isinstance(value, dict):
+                raise ValueError("sampling must be a table of knobs")
+            SamplingConfig.smarts(**value)
+        elif dim == "seed":
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"seed must be an integer, got {value!r}")
+        else:  # l2_size / l2_tag_latency / l2_data_latency
+            if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+                raise ValueError(
+                    f"{dim} must be a positive integer, got {value!r}"
+                )
+    except MatrixError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        raise _err(source, context, str(detail)) from None
+    return value
+
+
+def _parse_axis(
+    source: str, name: str, raw_values: List[Any]
+) -> Tuple[AxisValue, ...]:
+    context = f"[axes].{name}"
+    if not isinstance(raw_values, list):
+        raise _err(source, context, "axis values must be an array")
+    if not raw_values:
+        raise _err(source, context,
+                   "axis has no values (the cross-product would be empty)")
+    values: List[AxisValue] = []
+    for i, raw in enumerate(raw_values):
+        item_context = f"{context}[{i}]"
+        label = None
+        if isinstance(raw, dict):
+            unknown = set(raw) - {"value", "label"}
+            if unknown or "value" not in raw:
+                raise _err(
+                    source, item_context,
+                    "labelled axis values are tables "
+                    "{value = ..., label = \"...\"}",
+                )
+            label = raw.get("label")
+            raw = raw["value"]
+        _validate_dimension(source, item_context, name, raw)
+        values.append(AxisValue(
+            value=raw,
+            label=str(label) if label is not None
+            else _default_label(source, name, raw),
+        ))
+    seen = set()
+    for av in values:
+        marker = repr(av.value)
+        if marker in seen:
+            raise _err(source, context, f"duplicate axis value {av.value!r}")
+        seen.add(marker)
+    return tuple(values)
+
+
+def _parse_where(source: str, context: str, where: Any) -> Dict[str, Any]:
+    if not isinstance(where, dict):
+        raise _err(source, context, "'where' must be a table of axis = value")
+    for dim in where:
+        if dim not in SPEC_DIMENSIONS:
+            raise _err(
+                source, f"{context}.where",
+                f"unknown dimension {dim!r} "
+                f"(choices: {', '.join(SPEC_DIMENSIONS)})",
+            )
+    return dict(where)
+
+
+def _parse_expect(
+    source: str, axes: Dict[str, Tuple[AxisValue, ...]], entries: Any
+) -> Tuple[Dict[str, Any], ...]:
+    if not isinstance(entries, list):
+        raise _err(source, "[[expect]]", "expect entries must be tables")
+    parsed: List[Dict[str, Any]] = []
+    for i, entry in enumerate(entries):
+        context = f"[[expect]][{i}]"
+        if not isinstance(entry, dict):
+            raise _err(source, context, "expect entry must be a table")
+        kind = entry.get("kind")
+        if kind not in CHECK_KINDS:
+            raise _err(
+                source, context,
+                f"unknown check kind {kind!r} "
+                f"(choices: {', '.join(CHECK_KINDS)})",
+            )
+        check: Dict[str, Any] = {
+            "kind": kind,
+            "name": str(entry.get("name", "")),
+            "where": _parse_where(source, context, entry.get("where", {})),
+        }
+        if kind == "threshold":
+            metric = entry.get("metric")
+            if not metric:
+                raise _err(source, context, "threshold check needs a 'metric'")
+            op = entry.get("op", ">=")
+            if op not in THRESHOLD_OPS:
+                raise _err(
+                    source, context,
+                    f"unknown op {op!r} (choices: {', '.join(THRESHOLD_OPS)})",
+                )
+            if not isinstance(entry.get("value"), (int, float)):
+                raise _err(source, context,
+                           "threshold check needs a numeric 'value'")
+            check.update(metric=str(metric), op=op,
+                         value=float(entry["value"]))
+        elif kind == "monotonic":
+            metric = entry.get("metric")
+            axis = entry.get("axis")
+            if not metric or not axis:
+                raise _err(source, context,
+                           "monotonic check needs 'metric' and 'axis'")
+            if axis not in axes:
+                raise _err(
+                    source, context,
+                    f"monotonic axis {axis!r} is not a declared axis "
+                    f"(declared: {', '.join(axes) or 'none'})",
+                )
+            direction = entry.get("direction", "nondecreasing")
+            if direction not in DIRECTIONS:
+                raise _err(
+                    source, context,
+                    f"unknown direction {direction!r} "
+                    f"(choices: {', '.join(DIRECTIONS)})",
+                )
+            tolerance = entry.get("tolerance", 0.0)
+            if not isinstance(tolerance, (int, float)) or tolerance < 0:
+                raise _err(source, context,
+                           "tolerance must be a non-negative number")
+            order = entry.get("order")
+            if order is not None:
+                declared = {repr(av.value) for av in axes[axis]}
+                if not isinstance(order, list) or len(order) < 2:
+                    raise _err(source, context,
+                               "'order' must list at least two axis values")
+                for v in order:
+                    if repr(v) not in declared:
+                        raise _err(
+                            source, context,
+                            f"order value {v!r} is not a declared "
+                            f"value of axis {axis!r}",
+                        )
+            check.update(metric=str(metric), axis=str(axis),
+                         direction=direction, tolerance=float(tolerance),
+                         order=list(order) if order is not None else None)
+        else:  # ci_inclusion
+            axis = entry.get("axis", "sampled")
+            if axis not in axes:
+                raise _err(
+                    source, context,
+                    f"ci_inclusion axis {axis!r} is not a declared axis "
+                    f"(declared: {', '.join(axes) or 'none'})",
+                )
+            confidence = entry.get("confidence", 0.95)
+            if not isinstance(confidence, (int, float)) or not 0 < confidence < 1:
+                raise _err(source, context,
+                           "confidence must be a number in (0, 1)")
+            check.update(axis=str(axis), confidence=float(confidence),
+                         metric="aggregate_ipc")
+        if not check["name"]:
+            check["name"] = f"{kind}:{check.get('metric', check.get('axis'))}"
+        parsed.append(check)
+    return tuple(parsed)
+
+
+def _parse_report(source: str, raw: Any) -> Dict[str, Any]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise _err(source, "[report]", "report must be a table")
+    report: Dict[str, Any] = {}
+    columns = raw.get("columns", [])
+    if not isinstance(columns, list) or not all(
+        isinstance(c, str) for c in columns
+    ):
+        raise _err(source, "[report].columns",
+                   "columns must be an array of metric names")
+    report["columns"] = list(columns)
+    paper_entries = raw.get("paper", [])
+    if not isinstance(paper_entries, list):
+        raise _err(source, "[[report.paper]]", "paper entries must be tables")
+    paper: List[Dict[str, Any]] = []
+    for i, entry in enumerate(paper_entries):
+        context = f"[[report.paper]][{i}]"
+        if not isinstance(entry, dict) or not entry.get("metric"):
+            raise _err(source, context, "paper entry needs a 'metric'")
+        if not isinstance(entry.get("value"), (int, float)):
+            raise _err(source, context, "paper entry needs a numeric 'value'")
+        paper.append({
+            "label": str(entry.get("label", entry["metric"])),
+            "metric": str(entry["metric"]),
+            "value": float(entry["value"]),
+            "where": _parse_where(source, context, entry.get("where", {})),
+        })
+    report["paper"] = paper
+    unknown = set(raw) - {"columns", "paper"}
+    if unknown:
+        raise _err(source, "[report]",
+                   f"unknown report keys: {sorted(unknown)}")
+    return report
+
+
+# ------------------------------------------------------------------ loading
+
+_TOP_LEVEL_TABLES = {
+    "study", "scale", "runner", "sampling", "axes", "defaults", "runs",
+    "expect", "report",
+}
+
+_RUNNER_KEYS = {"jobs", "backend", "store", "quiet"}
+
+
+def parse_matrix(text: str, source: str = "<string>") -> StudyMatrix:
+    """Parse and fully validate one matrix document."""
+    if tomllib is None:  # pragma: no cover - pre-3.11 guard
+        raise MatrixError(
+            f"{source}: matrix files need the stdlib 'tomllib' "
+            "(Python >= 3.11)"
+        )
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise MatrixError(f"{source}: not valid TOML: {exc}") from None
+
+    unknown = set(data) - _TOP_LEVEL_TABLES
+    if unknown:
+        raise _err(
+            source, "top level",
+            f"unknown tables: {sorted(unknown)} "
+            f"(choices: {', '.join(sorted(_TOP_LEVEL_TABLES))})",
+        )
+
+    study = data.get("study", {})
+    if not isinstance(study, dict) or not study.get("name"):
+        raise _err(source, "[study]", "matrix needs [study] with a 'name'")
+    name = str(study["name"])
+
+    scale = None
+    if "scale" in data:
+        try:
+            scale = ExperimentScale(**data["scale"])
+        except TypeError as exc:
+            raise _err(source, "[scale]", str(exc)) from None
+
+    runner = data.get("runner", {})
+    if not isinstance(runner, dict) or set(runner) - _RUNNER_KEYS:
+        raise _err(
+            source, "[runner]",
+            f"runner keys must be among {sorted(_RUNNER_KEYS)}",
+        )
+
+    sampling = data.get("sampling")
+    if sampling is not None:
+        _validate_dimension(source, "[sampling]", "sampling", sampling)
+
+    raw_axes = data.get("axes", {})
+    if not isinstance(raw_axes, dict):
+        raise _err(source, "[axes]", "axes must be a table of arrays")
+    axes = {
+        axis_name: _parse_axis(source, axis_name, values)
+        for axis_name, values in raw_axes.items()
+    }
+
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise _err(source, "[defaults]", "defaults must be a table")
+    for dim, value in defaults.items():
+        _validate_dimension(source, f"[defaults].{dim}", dim, value)
+
+    raw_runs = data.get("runs", [])
+    if not isinstance(raw_runs, list):
+        raise _err(source, "[[runs]]", "runs must be an array of tables")
+    runs: List[Dict[str, Any]] = []
+    for i, entry in enumerate(raw_runs):
+        context = f"[[runs]][{i}]"
+        if not isinstance(entry, dict):
+            raise _err(source, context, "run entry must be a table")
+        for dim, value in entry.items():
+            _validate_dimension(source, f"{context}.{dim}", dim, value)
+        merged = dict(defaults)
+        merged.update(entry)
+        for required in ("workload", "config"):
+            if required not in merged:
+                raise _err(source, context,
+                           f"run entry is missing {required!r}")
+        runs.append(dict(entry))
+
+    expectations = _parse_expect(source, axes, data.get("expect", []))
+    report = _parse_report(source, data.get("report"))
+
+    matrix = StudyMatrix(
+        name=name,
+        title=str(study.get("title", name)),
+        description=str(study.get("description", "")),
+        source=source,
+        scale=scale,
+        runner=dict(runner),
+        sampling=dict(sampling) if sampling is not None else None,
+        axes=axes,
+        defaults=dict(defaults),
+        runs=tuple(runs),
+        expectations=expectations,
+        report=report,
+    )
+    # Fail on empty/contradictory lattices now, not inside a worker.
+    matrix.expand()
+    return matrix
+
+
+def load_matrix(path: Union[str, os.PathLike]) -> StudyMatrix:
+    """Load and validate a matrix file."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise MatrixError(f"{path}: cannot read matrix file: {exc}") from None
+    return parse_matrix(text, source=str(path))
+
+
+# -------------------------------------------------------- shipped matrices
+
+
+def studies_root() -> pathlib.Path:
+    """The directory of the shipped ``studies/*.toml`` matrices.
+
+    ``REPRO_STUDIES`` overrides; the default resolves relative to the
+    repository layout (``<root>/src/repro/study/`` -> ``<root>/studies``).
+    """
+    env = os.environ.get("REPRO_STUDIES")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(__file__).resolve().parents[3] / "studies"
+
+
+_SHIPPED_CACHE: Dict[str, StudyMatrix] = {}
+
+
+def shipped_matrix(name: str) -> StudyMatrix:
+    """A shipped matrix by file stem (cached per process)."""
+    path = studies_root() / f"{name}.toml"
+    key = str(path)
+    cached = _SHIPPED_CACHE.get(key)
+    if cached is None:
+        cached = _SHIPPED_CACHE[key] = load_matrix(path)
+    return cached
+
+
+def shipped_matrices() -> List[pathlib.Path]:
+    """Every shipped matrix file, sorted by name."""
+    root = studies_root()
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.toml"))

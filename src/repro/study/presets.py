@@ -1,0 +1,91 @@
+"""Named prefetcher-configuration catalogue shared by the CLI and matrices.
+
+Matrix files (and ``repro run``/``repro sweep``) name configurations
+either by a **preset** from :data:`CONFIG_PRESETS` — the paper's bar
+lineup plus the generality-study engines — or by a compact **spec
+string** for one-off geometries::
+
+    none | infinite | stride          the parameterless modes
+    dedicated:512                     SMS, 512-set PHT, default 11-way
+    dedicated:1024x16                 SMS, 1024-set 16-way PHT
+    virtualized:8   (alias pv:8)      SMS-PV with an 8-set PVCache
+
+:func:`resolve_config` turns either form into a
+:class:`~repro.sim.config.PrefetcherConfig`; unknown names raise
+``KeyError`` with the full choice list so matrix validation can fail
+loudly at expand time instead of inside a worker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.sim.config import EngineConfig, PrefetcherConfig
+
+#: Budget-matched dedicated engine geometries (~128 entries, under 1KB on
+#: chip — comparable to the Section 4.6 PVProxy budget).
+_ENGINE_BUDGET = dict(n_sets=32, assoc=4)
+
+#: Every named configuration a matrix file or CLI command may reference.
+CONFIG_PRESETS: Dict[str, Callable[[], PrefetcherConfig]] = {
+    "none": PrefetcherConfig.none,
+    "infinite": PrefetcherConfig.infinite,
+    "sms-1k": lambda: PrefetcherConfig.dedicated(1024, 11),
+    "sms-16": lambda: PrefetcherConfig.dedicated(16, 11),
+    "sms-8": lambda: PrefetcherConfig.dedicated(8, 11),
+    "pv8": lambda: PrefetcherConfig.virtualized(8),
+    "pv16": lambda: PrefetcherConfig.virtualized(16),
+    "stride": PrefetcherConfig.stride,
+    "btb": lambda: PrefetcherConfig.none().with_engines(EngineConfig.btb()),
+    "btb-budget": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.btb(**_ENGINE_BUDGET)),
+    "btb-pv": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.btb("virtualized")),
+    "lvp": lambda: PrefetcherConfig.none().with_engines(EngineConfig.lvp()),
+    "lvp-budget": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.lvp(**_ENGINE_BUDGET)),
+    "lvp-pv": lambda: PrefetcherConfig.none().with_engines(
+        EngineConfig.lvp("virtualized")),
+    "shared-pv": lambda: PrefetcherConfig.virtualized(8).with_engines(
+        EngineConfig.btb("virtualized"), EngineConfig.lvp("virtualized")),
+}
+
+
+def _parse_spec_string(text: str) -> PrefetcherConfig:
+    """``mode:geometry`` one-off configurations (see module docstring)."""
+    mode, _, geometry = text.partition(":")
+    mode = mode.strip().lower()
+    geometry = geometry.strip()
+    if mode == "dedicated":
+        sets, _, assoc = geometry.partition("x")
+        return PrefetcherConfig.dedicated(
+            int(sets), int(assoc) if assoc else 11
+        )
+    if mode in ("virtualized", "pv"):
+        return PrefetcherConfig.virtualized(int(geometry) if geometry else 8)
+    raise ValueError(f"unknown configuration spec {text!r}")
+
+
+def resolve_config(
+    value: Union[str, PrefetcherConfig],
+) -> PrefetcherConfig:
+    """A :class:`PrefetcherConfig` for a preset name or spec string.
+
+    Raises ``KeyError`` naming the choices for anything unresolvable.
+    """
+    if isinstance(value, PrefetcherConfig):
+        return value
+    name = str(value).strip()
+    preset = CONFIG_PRESETS.get(name)
+    if preset is not None:
+        return preset()
+    if ":" in name:
+        try:
+            return _parse_spec_string(name)
+        except ValueError:
+            pass
+    raise KeyError(
+        f"unknown configuration {name!r}; choices: "
+        f"{', '.join(sorted(CONFIG_PRESETS))}, or a spec string like "
+        "'dedicated:512x11' / 'virtualized:8'"
+    )

@@ -1,0 +1,190 @@
+"""Markdown study reports: run tables, paper deltas, expectation checks.
+
+``render_report`` replays a study's JSONL records (no re-simulation)
+into a deterministic markdown document:
+
+* a **runs table** — one row per run, coordinate columns in axis order
+  plus the metrics the matrix' ``[report] columns`` asks for;
+* a **paper comparison** — ``[[report.paper]]`` entries rendered as
+  measured-vs-paper deltas (measured = mean over the matching runs);
+* an **expectation checks** section — every ``[[expect]]`` entry
+  evaluated by :mod:`repro.study.checks`, PASS/FAIL with per-run
+  evidence lines.
+
+Float formatting is fixed at four decimals so a pinned golden report is
+byte-stable across runs of the deterministic simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.study.checks import (
+    CheckOutcome,
+    RunRecord,
+    evaluate_checks,
+    metric_value,
+)
+from repro.study.executor import records_to_runs
+from repro.study.matrix import StudyMatrix
+
+#: Metrics shown when a matrix declares no ``[report] columns``.
+DEFAULT_COLUMNS = ["aggregate_ipc", "coverage", "offchip_transfers"]
+
+
+def load_records(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Parse one JSONL study output back into records."""
+    path = pathlib.Path(path)
+    records = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{i + 1}: not valid JSON: {exc}") from None
+    return records
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _md_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(" --- " for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _coord_columns(matrix: StudyMatrix, runs: Sequence[RunRecord]) -> List[str]:
+    """Coordinate columns: declared axes first, then any run-entry extras."""
+    columns = list(matrix.axes)
+    for run in runs:
+        for dim in run.coords:
+            if dim not in columns:
+                columns.append(dim)
+    return columns
+
+
+def _metric_cell(run: RunRecord, metric: str) -> str:
+    try:
+        return _fmt(metric_value(run.result, metric))
+    except KeyError:
+        return ""
+
+
+def _paper_rows(
+    matrix: StudyMatrix, runs: Sequence[RunRecord]
+) -> List[Tuple[str, str, str, str]]:
+    rows = []
+    for entry in matrix.report.get("paper", []):
+        matched = [
+            r for r in runs
+            if all(r.coords.get(k) == v for k, v in entry["where"].items())
+        ]
+        values = []
+        for run in matched:
+            try:
+                values.append(metric_value(run.result, entry["metric"]))
+            except KeyError:
+                pass
+        if values:
+            measured = sum(values) / len(values)
+            rows.append((
+                entry["label"], _fmt(entry["value"]), _fmt(measured),
+                _fmt(measured - entry["value"]),
+            ))
+        else:
+            rows.append((entry["label"], _fmt(entry["value"]), "n/a", "n/a"))
+    return rows
+
+
+def render_report(
+    matrix: StudyMatrix,
+    records: Sequence[Dict[str, Any]],
+    checks: Sequence[CheckOutcome] = None,
+) -> str:
+    """The full markdown report for one study's records.
+
+    ``checks`` may carry pre-evaluated outcomes; by default every
+    declared expectation is evaluated here.
+    """
+    runs = records_to_runs(records)
+    if checks is None:
+        checks = evaluate_checks(matrix, runs)
+
+    lines: List[str] = [f"# Study: {matrix.title}", ""]
+    if matrix.description:
+        lines += [matrix.description, ""]
+    lines.append(f"- matrix: `{matrix.name}`")
+    lines.append(f"- runs: {len(runs)} ({len({r.key for r in runs})} unique specs)")
+    if matrix.scale is not None:
+        s = matrix.scale
+        lines.append(
+            f"- scale: {s.refs_per_core} refs/core, "
+            f"{s.warmup_refs} warmup, {s.window_refs}-ref windows"
+        )
+    lines.append("")
+
+    # Runs table -----------------------------------------------------------
+    coord_cols = _coord_columns(matrix, runs)
+    metric_cols = matrix.report.get("columns") or DEFAULT_COLUMNS
+    lines.append(f"## Runs ({len(runs)})")
+    lines.append("")
+    table_rows = []
+    for run in runs:
+        row = [
+            str(run.labels.get(dim, run.coords.get(dim, "")))
+            if dim in run.coords else ""
+            for dim in coord_cols
+        ]
+        row += [_metric_cell(run, metric) for metric in metric_cols]
+        table_rows.append(row)
+    lines += _md_table(list(coord_cols) + list(metric_cols), table_rows)
+    lines.append("")
+
+    # Paper comparison -----------------------------------------------------
+    paper_rows = _paper_rows(matrix, runs)
+    if paper_rows:
+        lines.append("## Paper comparison")
+        lines.append("")
+        lines += _md_table(
+            ["claim", "paper", "measured", "delta"],
+            [list(row) for row in paper_rows],
+        )
+        lines.append("")
+
+    # Expectation checks ---------------------------------------------------
+    lines.append(f"## Expectation checks ({len(checks)})")
+    lines.append("")
+    if checks:
+        passed = sum(1 for c in checks if c.passed)
+        lines += _md_table(
+            ["check", "kind", "status"],
+            [[c.name, c.kind, c.status] for c in checks],
+        )
+        lines.append("")
+        lines.append(f"**{passed}/{len(checks)} checks passed.**")
+        lines.append("")
+        for check in checks:
+            lines.append(f"### {check.status}: {check.name}")
+            lines.append("")
+            for evidence in check.evidence:
+                lines.append(f"- {evidence}")
+            lines.append("")
+    else:
+        lines.append("(no expectation checks declared)")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,96 @@
+"""Golden regression for the declarative study pipeline.
+
+Runs the shipped smoke matrix (``studies/smoke.toml``, pinned tiny
+scale) end-to-end and asserts both artifacts against checked-in goldens:
+
+* ``study_smoke.jsonl`` — the per-run records (floats to 1e-9 relative);
+* ``study_smoke.md``    — the rendered markdown report, byte-for-byte
+  (report floats are fixed at four decimals, so this is stable).
+
+Regenerate after an intentional modelling change with::
+
+    PYTHONPATH=src python -m pytest tests/regression --update-golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.study.executor import run_study, write_jsonl
+from repro.study.matrix import shipped_matrix
+from repro.study.report import load_records, render_report
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(scope="module")
+def smoke_records():
+    return run_study(shipped_matrix("smoke"))
+
+
+def _approx_equal(actual, expected, path=""):
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-12), (
+            f"{path}: {actual} != golden {expected}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), (
+            f"{path}: keys changed"
+        )
+        for key in expected:
+            _approx_equal(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length changed"
+        )
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _approx_equal(a, e, f"{path}[{i}]")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != golden {expected!r}"
+
+
+def test_smoke_study_records_golden(smoke_records, update_golden, tmp_path):
+    path = GOLDEN_DIR / "study_smoke.jsonl"
+    if update_golden or not path.is_file():
+        if not update_golden:
+            pytest.fail(
+                f"missing golden {path}; regenerate with "
+                "`python -m pytest tests/regression --update-golden`"
+            )
+        write_jsonl(smoke_records, path)
+    golden = load_records(path)
+    # JSON-normalize the fresh records (tuples -> lists etc.)
+    actual = [json.loads(json.dumps(r, sort_keys=True)) for r in smoke_records]
+    _approx_equal(actual, golden, "records")
+
+
+def test_smoke_study_report_golden(smoke_records, update_golden):
+    matrix = shipped_matrix("smoke")
+    report = render_report(matrix, smoke_records)
+    path = GOLDEN_DIR / "study_smoke.md"
+    if update_golden or not path.is_file():
+        if not update_golden:
+            pytest.fail(
+                f"missing golden {path}; regenerate with "
+                "`python -m pytest tests/regression --update-golden`"
+            )
+        path.write_text(report)
+    assert report == path.read_text()
+
+
+def test_smoke_study_checks_all_pass(smoke_records):
+    from repro.study.checks import evaluate_checks
+    from repro.study.executor import records_to_runs
+
+    outcomes = evaluate_checks(
+        shipped_matrix("smoke"), records_to_runs(smoke_records)
+    )
+    assert outcomes, "smoke matrix declares no checks"
+    failed = [c.name for c in outcomes if not c.passed]
+    assert not failed, f"smoke checks failed: {failed}"

@@ -1,0 +1,104 @@
+"""The refactored analysis drivers resolve the exact legacy lattices.
+
+The figure/bandwidth/generality drivers now derive their run lattices
+from the shipped ``studies/*.toml`` matrices.  These tests pin the
+derived constants against the literal lattices the drivers used before
+the refactor — spec-for-spec — so the goldens can never drift because a
+matrix file was edited carelessly.
+"""
+
+from repro.analysis import bandwidth as bw
+from repro.analysis import figures as fig
+from repro.analysis.generality import generality_scenarios
+from repro.runner.spec import ExperimentSpec
+from repro.sim.config import EngineConfig, PrefetcherConfig
+from repro.study.matrix import shipped_matrix
+
+
+def test_fig4_configs_match_legacy_literals():
+    assert fig.FIG4_CONFIGS == [
+        PrefetcherConfig.infinite(),
+        PrefetcherConfig.dedicated(1024, assoc=16),
+        PrefetcherConfig.dedicated(1024, assoc=11),
+        PrefetcherConfig.dedicated(16, assoc=11),
+        PrefetcherConfig.dedicated(8, assoc=11),
+    ]
+
+
+def test_fig5_sweep_and_workloads_match_legacy_literals():
+    assert fig.FIG5_SET_SWEEP == [1024, 512, 256, 128, 64, 32, 16, 8]
+    assert fig.FIG5_WORKLOADS == ["Apache", "Oracle", "Qry17"]
+
+
+def test_fig9_configs_match_legacy_literals():
+    assert fig.FIG9_CONFIGS == [
+        PrefetcherConfig.dedicated(1024, 11),
+        PrefetcherConfig.dedicated(16, 11),
+        PrefetcherConfig.dedicated(8, 11),
+        PrefetcherConfig.virtualized(8),
+    ]
+
+
+def test_fig10_fig11_hierarchy_overrides_match_legacy_literals():
+    assert fig.FIG10_L2_SIZES == [2 * 1024**2, 4 * 1024**2, 8 * 1024**2]
+    assert fig.FIG11_L2_LATENCY == (8, 16)
+
+
+def test_bandwidth_lattice_matches_legacy_literals():
+    assert bw.BANDWIDTH_CHANNELS == [4, 2, 1]
+    assert bw.BANDWIDTH_WORKLOADS == ["Apache", "Oracle", "Qry17"]
+    assert bw.BANDWIDTH_CONFIGS == [
+        PrefetcherConfig.none(),
+        PrefetcherConfig.dedicated(1024, 11),
+        PrefetcherConfig.virtualized(8),
+    ]
+
+
+def test_generality_scenarios_match_legacy_literals():
+    none = PrefetcherConfig.none()
+    assert generality_scenarios() == [
+        ("SMS budget", PrefetcherConfig.dedicated(16, 11)),
+        ("SMS dedicated", PrefetcherConfig.dedicated(1024, 11)),
+        ("SMS virtualized", PrefetcherConfig.virtualized(8)),
+        ("BTB budget", none.with_engines(EngineConfig.btb(n_sets=32, assoc=4))),
+        ("BTB dedicated", none.with_engines(EngineConfig.btb())),
+        ("BTB virtualized", none.with_engines(EngineConfig.btb("virtualized"))),
+        ("LVP budget", none.with_engines(EngineConfig.lvp(n_sets=32, assoc=4))),
+        ("LVP dedicated", none.with_engines(EngineConfig.lvp())),
+        ("LVP virtualized", none.with_engines(EngineConfig.lvp("virtualized"))),
+        (
+            "Shared PV space",
+            PrefetcherConfig.virtualized(8).with_engines(
+                EngineConfig.btb("virtualized"),
+                EngineConfig.lvp("virtualized"),
+            ),
+        ),
+    ]
+
+
+def test_bandwidth_matrix_expands_to_the_driver_spec_set():
+    """The matrix's expanded specs == the specs the driver sweeps."""
+    matrix = shipped_matrix("bandwidth")
+    matrix_keys = {p.spec.key for p in matrix.expand()}
+    driver_keys = {
+        ExperimentSpec.build(
+            name, config, contention=bw.contention_for(width)
+        ).key
+        for name in bw.BANDWIDTH_WORKLOADS
+        for width in bw.BANDWIDTH_CHANNELS
+        for config in bw.BANDWIDTH_CONFIGS
+    }
+    assert matrix_keys == driver_keys
+
+
+def test_figure4_matrix_expands_to_the_driver_spec_set():
+    from repro.workloads.registry import workload_names
+
+    matrix = shipped_matrix("figure4")
+    matrix_keys = {p.spec.key for p in matrix.expand()}
+    driver_keys = {
+        ExperimentSpec.build(name, config).key
+        for name in workload_names()
+        for config in fig.FIG4_CONFIGS
+    }
+    assert matrix_keys == driver_keys

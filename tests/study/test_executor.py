@@ -1,0 +1,95 @@
+"""Executor: matrix points through the SweepRunner into JSONL records."""
+
+import json
+
+import pytest
+
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import ExperimentSpec
+from repro.study.executor import (
+    default_out_path,
+    records_to_runs,
+    run_study,
+    write_jsonl,
+)
+from repro.study.matrix import parse_matrix
+
+TINY = """
+[study]
+name = "tiny"
+
+[scale]
+refs_per_core = 800
+warmup_refs = 400
+window_refs = 80
+
+[axes]
+workload = ["Qry1"]
+config = ["none", "pv8"]
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    return run_study(parse_matrix(TINY))
+
+
+def test_records_carry_coords_spec_and_result(tiny_records):
+    assert len(tiny_records) == 2
+    for i, record in enumerate(tiny_records):
+        assert record["study"] == "tiny"
+        assert record["index"] == i
+        assert record["coords"]["workload"] == "Qry1"
+        assert record["key"] == ExperimentSpec.from_dict(record["spec"]).key
+        assert "aggregate_ipc" in record["result"] or record["result"]
+    assert tiny_records[0]["coords"]["config"] == "none"
+    assert tiny_records[1]["coords"]["config"] == "pv8"
+
+
+def test_records_resolve_through_shared_cache(tiny_records):
+    """Equal specs mean equal results: re-running the study is a cache hit."""
+    again = run_study(parse_matrix(TINY))
+    assert [r["key"] for r in again] == [r["key"] for r in tiny_records]
+    assert [r["result"] for r in again] == [r["result"] for r in tiny_records]
+
+
+def test_jsonl_roundtrip(tiny_records, tmp_path):
+    out = tmp_path / "tiny.jsonl"
+    write_jsonl(tiny_records, out)
+    lines = out.read_text().splitlines()
+    assert len(lines) == 2
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == json.loads(json.dumps(tiny_records))
+    runs = records_to_runs(parsed)
+    assert [result_to_dict(r.result) for r in runs] == [
+        record["result"] for record in tiny_records
+    ]
+    assert runs[0].coords == tiny_records[0]["coords"]
+
+
+def test_write_jsonl_is_atomic_and_overwrites(tiny_records, tmp_path):
+    out = tmp_path / "out" / "tiny.jsonl"
+    write_jsonl(tiny_records, out)
+    write_jsonl(tiny_records[:1], out)
+    assert len(out.read_text().splitlines()) == 1
+    assert not list(out.parent.glob(".study.*"))
+
+
+def test_run_study_writes_out_when_asked(tmp_path):
+    out = tmp_path / "records.jsonl"
+    records = run_study(parse_matrix(TINY), out=out)
+    assert out.exists()
+    assert len(out.read_text().splitlines()) == len(records)
+
+
+def test_axis_override_narrows_the_run_set():
+    records = run_study(
+        parse_matrix(TINY), axis_overrides={"config": ["pv8"]}
+    )
+    assert [r["coords"]["config"] for r in records] == ["pv8"]
+
+
+def test_default_out_path_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_STUDY_OUT", str(tmp_path / "runs"))
+    path = default_out_path(parse_matrix(TINY))
+    assert path == tmp_path / "runs" / "tiny.jsonl"

@@ -1,0 +1,400 @@
+"""Matrix schema: deterministic expansion and friendly failure modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.sampling import SamplingConfig
+from repro.study.matrix import (
+    MatrixError,
+    load_matrix,
+    parse_matrix,
+    shipped_matrices,
+)
+
+MINIMAL = """
+[study]
+name = "t"
+
+[axes]
+workload = ["Qry1"]
+config = ["none", "pv8"]
+"""
+
+
+def test_minimal_matrix_expands():
+    matrix = parse_matrix(MINIMAL)
+    points = matrix.expand()
+    assert [p.coords for p in points] == [
+        {"workload": "Qry1", "config": "none"},
+        {"workload": "Qry1", "config": "pv8"},
+    ]
+    assert [p.index for p in points] == [0, 1]
+    assert points[0].spec.key != points[1].spec.key
+
+
+def test_expansion_is_hash_stable():
+    matrix = parse_matrix(MINIMAL)
+    first = [p.spec.key for p in matrix.expand()]
+    second = [p.spec.key for p in matrix.expand()]
+    assert first == second
+    reparsed = parse_matrix(MINIMAL)
+    assert [p.spec.key for p in reparsed.expand()] == first
+
+
+def test_cross_product_nests_in_declaration_order():
+    matrix = parse_matrix("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1", "Apache"]
+config = ["none", "pv8"]
+channels = [2, 1]
+""")
+    coords = [p.coords for p in matrix.expand()]
+    assert len(coords) == 8
+    # workload outermost, channels innermost
+    assert coords[0] == {"workload": "Qry1", "config": "none", "channels": 2}
+    assert coords[1] == {"workload": "Qry1", "config": "none", "channels": 1}
+    assert coords[2] == {"workload": "Qry1", "config": "pv8", "channels": 2}
+    assert coords[4]["workload"] == "Apache"
+
+
+def test_labelled_axis_values_and_default_labels():
+    matrix = parse_matrix("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = [{ value = "sms-16", label = "SMS budget" }, "pv8"]
+""")
+    assert matrix.axis_labels("config") == ["SMS budget", "PV8"]
+    points = matrix.expand()
+    assert points[0].labels["config"] == "SMS budget"
+    # the spec still resolves to the real configuration
+    assert points[0].spec.prefetcher.pht_sets == 16
+
+
+def test_explicit_runs_append_after_the_product():
+    matrix = parse_matrix(MINIMAL + """
+[[runs]]
+workload = "Apache"
+config = "pv8"
+channels = 1
+""")
+    points = matrix.expand()
+    assert len(points) == 3
+    assert points[-1].coords == {
+        "workload": "Apache", "config": "pv8", "channels": 1,
+    }
+    assert points[-1].spec.contention is not None
+    assert points[-1].spec.contention.dram_channels == 1
+
+
+def test_defaults_apply_to_every_point():
+    matrix = parse_matrix("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = ["pv8"]
+[defaults]
+channels = 2
+seed = 7
+""")
+    spec = matrix.expand()[0].spec
+    assert spec.contention.dram_channels == 2
+    assert spec.seed == 7
+
+
+def test_channels_zero_means_analytic_model():
+    matrix = parse_matrix("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = ["pv8"]
+channels = [0, 1]
+""")
+    points = matrix.expand()
+    assert points[0].spec.contention is None
+    assert points[1].spec.contention is not None
+
+
+def test_scale_pinned_in_file_and_caller_override():
+    matrix = parse_matrix(MINIMAL + """
+[scale]
+refs_per_core = 1000
+warmup_refs = 500
+window_refs = 100
+""")
+    assert matrix.expand()[0].spec.scale.refs_per_core == 1000
+    from repro.runner.spec import ExperimentScale
+
+    override = ExperimentScale(refs_per_core=2000, warmup_refs=1000,
+                               window_refs=200)
+    assert matrix.expand(scale=override)[0].spec.scale.refs_per_core == 2000
+
+
+def test_sampled_points_use_matrix_sampling_knobs():
+    matrix = parse_matrix("""
+[study]
+name = "t"
+[sampling]
+period_refs = 1000
+detail_refs = 250
+warm_refs = 120
+functional_refs = 300
+[axes]
+workload = ["Qry1"]
+config = ["pv8"]
+sampled = [false, true]
+""")
+    full, sampled = matrix.expand()
+    assert full.spec.sampling is None
+    assert sampled.spec.sampling == SamplingConfig.smarts(
+        period_refs=1000, detail_refs=250, warm_refs=120, functional_refs=300,
+    )
+
+
+def test_axis_overrides_replace_declared_values():
+    matrix = parse_matrix(MINIMAL)
+    points = matrix.expand(axis_overrides={"workload": ["Apache", "Oracle"]})
+    assert [p.coords["workload"] for p in points[::2]] == ["Apache", "Oracle"]
+
+
+# ------------------------------------------------------- friendly failures
+
+
+def _err(text: str) -> str:
+    with pytest.raises(MatrixError) as excinfo:
+        parse_matrix(text, source="bad.toml")
+    return str(excinfo.value)
+
+
+def test_unknown_axis_name_fails_with_context():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = ["none"]
+flavor = ["a"]
+""")
+    assert "bad.toml" in message and "flavor" in message
+    assert "workload" in message  # the choices are listed
+
+
+def test_unknown_workload_fails_at_parse_time():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["NotAWorkload"]
+config = ["none"]
+""")
+    assert "NotAWorkload" in message and "Apache" in message
+
+
+def test_unknown_config_lists_choices():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = ["warp-drive"]
+""")
+    assert "warp-drive" in message and "pv8" in message
+
+
+def test_empty_axis_fails_as_empty_cross_product():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = []
+""")
+    assert "empty" in message
+
+
+def test_matrix_with_no_runs_at_all_fails():
+    message = _err('[study]\nname = "t"\n')
+    assert "zero runs" in message
+
+
+def test_duplicate_axis_value_fails():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1", "Qry1"]
+config = ["none"]
+""")
+    assert "duplicate" in message
+
+
+def test_channels_and_contention_conflict():
+    message = _err("""
+[study]
+name = "t"
+[axes]
+workload = ["Qry1"]
+config = ["none"]
+channels = [1]
+[defaults]
+contention = { dram_channels = 2 }
+""")
+    assert "channels" in message and "contention" in message
+
+
+def test_unknown_check_kind_fails():
+    message = _err(MINIMAL + """
+[[expect]]
+kind = "vibes"
+""")
+    assert "vibes" in message and "threshold" in message
+
+
+def test_monotonic_check_requires_declared_axis():
+    message = _err(MINIMAL + """
+[[expect]]
+kind = "monotonic"
+metric = "coverage"
+axis = "channels"
+""")
+    assert "channels" in message and "declared" in message
+
+
+def test_monotonic_order_values_must_be_declared():
+    message = _err(MINIMAL + """
+[[expect]]
+kind = "monotonic"
+metric = "coverage"
+axis = "config"
+order = ["none", "sms-1k"]
+""")
+    assert "sms-1k" in message
+
+
+def test_threshold_check_requires_numeric_value():
+    message = _err(MINIMAL + """
+[[expect]]
+kind = "threshold"
+metric = "coverage"
+value = "high"
+""")
+    assert "numeric" in message
+
+
+def test_unknown_top_level_table_fails():
+    message = _err(MINIMAL + "\n[banana]\nripeness = 1\n")
+    assert "banana" in message
+
+
+def test_invalid_toml_reports_the_file():
+    message = _err("not toml [ at all")
+    assert "bad.toml" in message and "TOML" in message
+
+
+def test_run_entry_missing_workload_fails():
+    message = _err("""
+[study]
+name = "t"
+[[runs]]
+config = "pv8"
+""")
+    assert "workload" in message
+
+
+def test_override_of_undeclared_axis_fails():
+    matrix = parse_matrix(MINIMAL)
+    with pytest.raises(MatrixError, match="channels"):
+        matrix.expand(axis_overrides={"channels": [1]})
+
+
+def test_load_matrix_missing_file_is_friendly(tmp_path):
+    with pytest.raises(MatrixError, match="cannot read"):
+        load_matrix(tmp_path / "nope.toml")
+
+
+# --------------------------------------------------- property-based checks
+
+_WORKLOADS = st.lists(
+    st.sampled_from(["Apache", "Zeus", "DB2", "Oracle", "Qry1", "Qry17"]),
+    min_size=1, max_size=3, unique=True,
+)
+_CONFIGS = st.lists(
+    st.sampled_from(["none", "pv8", "sms-16", "dedicated:64x11", "pv:16"]),
+    min_size=1, max_size=3, unique=True,
+)
+_CHANNELS = st.lists(
+    st.sampled_from([0, 1, 2, 4]), min_size=1, max_size=3, unique=True,
+)
+
+
+def _toml_list(values):
+    return "[" + ", ".join(
+        f'"{v}"' if isinstance(v, str) else str(v) for v in values
+    ) + "]"
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads=_WORKLOADS, configs=_CONFIGS, channels=_CHANNELS,
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_expand_roundtrip_is_deterministic(workloads, configs, channels, seed):
+    """Parse -> expand -> re-parse -> re-expand: identical keys and order."""
+    text = f"""
+[study]
+name = "prop"
+[axes]
+workload = {_toml_list(workloads)}
+config = {_toml_list(configs)}
+channels = {_toml_list(channels)}
+[defaults]
+seed = {seed}
+"""
+    matrix = parse_matrix(text)
+    points = matrix.expand()
+    assert len(points) == len(workloads) * len(configs) * len(channels)
+    keys = [p.spec.key for p in points]
+    assert len(set(keys)) == len(keys)
+    again = parse_matrix(text).expand()
+    assert [p.spec.key for p in again] == keys
+    assert [p.coords for p in again] == [p.coords for p in points]
+
+
+@settings(max_examples=10, deadline=None)
+@given(workloads=_WORKLOADS, configs=_CONFIGS)
+def test_specs_rebuild_identically_from_coords(workloads, configs):
+    """A point's spec is a pure function of its merged coordinates."""
+    text = f"""
+[study]
+name = "prop"
+[axes]
+workload = {_toml_list(workloads)}
+config = {_toml_list(configs)}
+"""
+    matrix = parse_matrix(text)
+    from repro.study.presets import resolve_config
+    from repro.runner.spec import ExperimentSpec
+
+    for point in matrix.expand():
+        rebuilt = ExperimentSpec.build(
+            point.coords["workload"],
+            resolve_config(point.coords["config"]),
+        )
+        assert rebuilt.key == point.spec.key
+
+
+# ------------------------------------------------------- shipped matrices
+
+
+def test_every_shipped_matrix_is_valid_and_stable():
+    paths = shipped_matrices()
+    assert paths, "no shipped studies found"
+    for path in paths:
+        matrix = load_matrix(path)
+        keys = [p.spec.key for p in matrix.expand()]
+        assert keys == [p.spec.key for p in matrix.expand()], path
+        assert len(set(keys)) == len(keys), f"{path}: duplicate specs"

@@ -1,0 +1,162 @@
+"""Checks and report rendering over recorded study runs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.study.checks import evaluate_checks
+from repro.study.executor import records_to_runs, run_study
+from repro.study.matrix import parse_matrix
+from repro.study.report import load_records, render_report
+
+CHECKED = """
+[study]
+name = "checked"
+title = "Checked study"
+description = "Two configurations, one tiny workload."
+
+[scale]
+refs_per_core = 800
+warmup_refs = 400
+window_refs = 80
+
+[axes]
+workload = ["Qry1"]
+config = ["none", "pv8"]
+
+[[expect]]
+name = "pv8 issues PV traffic"
+kind = "threshold"
+metric = "l2_pv_requests"
+op = ">"
+value = 0
+where = { config = "pv8" }
+
+[[expect]]
+name = "prefetching never hurts"
+kind = "monotonic"
+metric = "aggregate_ipc"
+axis = "config"
+direction = "nondecreasing"
+
+[report]
+columns = ["aggregate_ipc", "coverage", "no_such_metric"]
+
+[[report.paper]]
+label = "made-up paper value"
+metric = "aggregate_ipc"
+value = 2.5
+where = { config = "none" }
+
+[[report.paper]]
+label = "matches nothing"
+metric = "aggregate_ipc"
+value = 1.0
+where = { config = "sms-16" }
+"""
+
+
+@pytest.fixture(scope="module")
+def checked():
+    matrix = parse_matrix(CHECKED)
+    records = run_study(matrix)
+    return matrix, records
+
+
+def test_threshold_and_monotonic_checks_pass(checked):
+    matrix, records = checked
+    outcomes = evaluate_checks(matrix, records_to_runs(records))
+    assert [c.status for c in outcomes] == ["PASS", "PASS"]
+    assert all(c.evidence for c in outcomes)
+
+
+def test_threshold_check_fails_with_evidence(checked):
+    matrix, records = checked
+    impossible = dict(matrix.expectations[0], op=">=", value=10.0**9,
+                      metric="aggregate_ipc")
+    strict = replace(matrix, expectations=(impossible,))
+    outcome = evaluate_checks(strict, records_to_runs(records))[0]
+    assert not outcome.passed
+    assert any("VIOLATED" in line for line in outcome.evidence)
+
+
+def test_threshold_with_no_matching_runs_fails(checked):
+    matrix, records = checked
+    nothing = dict(matrix.expectations[0], where={"config": "sms-16"})
+    strict = replace(matrix, expectations=(nothing,))
+    outcome = evaluate_checks(strict, records_to_runs(records))[0]
+    assert not outcome.passed
+    assert "no runs matched" in outcome.evidence[0]
+
+
+def test_monotonic_direction_flip_fails_when_metric_moves(checked):
+    matrix, records = checked
+    runs = records_to_runs(records)
+    values = [r.result.l2_pv_requests for r in runs]
+    assert values[0] != values[1]  # none issues no PV traffic, pv8 does
+    flipped = dict(matrix.expectations[1], metric="l2_pv_requests",
+                   direction="nonincreasing")
+    strict = replace(matrix, expectations=(flipped,))
+    outcome = evaluate_checks(strict, runs)[0]
+    assert not outcome.passed
+    assert any("NOT NONINCREASING" in line for line in outcome.evidence)
+
+
+def test_report_renders_all_sections(checked):
+    matrix, records = checked
+    report = render_report(matrix, records)
+    assert report.startswith("# Study: Checked study")
+    assert "## Runs (2)" in report
+    assert "## Paper comparison" in report
+    assert "## Expectation checks (2)" in report
+    assert "**2/2 checks passed.**" in report
+    # unknown metric column renders empty, known ones render 4-decimal
+    assert "no_such_metric" in report
+    # the unmatched paper row degrades to n/a
+    assert "| matches nothing | 1.0000 | n/a | n/a |" in report
+
+
+def test_report_is_deterministic(checked):
+    matrix, records = checked
+    assert render_report(matrix, records) == render_report(matrix, records)
+
+
+def test_load_records_rejects_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        load_records(path)
+
+
+def test_ci_inclusion_check_on_sampled_pairs():
+    matrix = parse_matrix("""
+[study]
+name = "ci"
+
+[scale]
+refs_per_core = 4000
+warmup_refs = 2000
+window_refs = 1000
+
+[sampling]
+period_refs = 1000
+detail_refs = 250
+warm_refs = 120
+functional_refs = 300
+
+[axes]
+workload = ["Qry1"]
+config = ["pv8"]
+sampled = [false, true]
+
+[[expect]]
+name = "sampled inside full CI"
+kind = "ci_inclusion"
+axis = "sampled"
+confidence = 0.95
+""")
+    records = run_study(matrix)
+    outcome = evaluate_checks(matrix, records_to_runs(records))[0]
+    assert outcome.evidence
+    assert outcome.passed, outcome.evidence
+    assert any("CI [" in line for line in outcome.evidence)

@@ -116,3 +116,60 @@ class TestExecution:
     def test_sweep_rejects_unknown_config(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--configs", "warp-drive", "--refs", "100"])
+
+
+class TestStudyCommands:
+    def test_study_list(self, capsys):
+        assert main(["study", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "bandwidth" in out
+
+    def test_study_validate_all_shipped(self, capsys):
+        assert main(["study", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "ok smoke" in out and "FAIL" not in out
+
+    def test_study_validate_reports_broken_matrix(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[study]\nname = "bad"\n[axes]\nworkload = ["Nope"]\n'
+                       'config = ["none"]\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "validate", str(bad)])
+        assert "Nope" in str(excinfo.value)
+
+    def test_study_run_and_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STUDY_OUT", str(tmp_path))
+        assert main(["study", "run", "smoke", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out and "[PASS]" in out
+        assert (tmp_path / "smoke.jsonl").exists()
+        assert main(["study", "report", "smoke", "--strict"]) == 0
+        report = capsys.readouterr().out
+        assert "# Study:" in report
+        assert "checks passed" in report
+
+    def test_study_run_unknown_matrix_is_friendly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "run", "no-such-study"])
+        assert "shipped" in str(excinfo.value)
+
+    def test_study_report_without_records_is_friendly(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_STUDY_OUT", str(tmp_path / "empty"))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "report", "smoke"])
+        assert "study run" in str(excinfo.value)
+
+    def test_sweep_quiet_suppresses_tallies(self, capsys):
+        assert main(["sweep", "--workloads", "Qry1", "--configs", "none",
+                     "--refs", "400", "--warmup", "200", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "broker:" not in captured.err
+        assert "trace cache:" not in captured.err
+        assert captured.err == ""
+
+    def test_sweep_verbose_prints_tallies(self, capsys):
+        assert main(["sweep", "--workloads", "Qry1", "--configs", "none",
+                     "--refs", "400", "--warmup", "200"]) == 0
+        captured = capsys.readouterr()
+        assert "trace cache:" in captured.err
