@@ -1,0 +1,42 @@
+"""Assert the vectorized batch kernel degrades cleanly without numpy.
+
+Run with ``python scripts/check_no_numpy.py`` from the repository root.
+Blocks the numpy import, then loads ``repro.sim.batchkernel`` (and just
+the two cache modules it depends on) by file path — the full ``repro``
+package cannot import without numpy because trace generation requires
+it, which is exactly why the kernel's *own* fallback surface is what
+this smoke exercises.  The kernel must report itself disabled and
+decline to run, leaving the scalar reference loop in charge.
+"""
+
+import importlib.util
+import pathlib
+import sys
+import types
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+sys.modules["numpy"] = None  # make ``import numpy`` raise ImportError
+
+for name in ("repro", "repro.memory", "repro.sim"):
+    package = types.ModuleType(name)
+    package.__path__ = []
+    sys.modules[name] = package
+
+
+def _load(name, relpath):
+    spec = importlib.util.spec_from_file_location(name, SRC / relpath)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+_load("repro.memory.addr", "repro/memory/addr.py")
+_load("repro.memory.cache", "repro/memory/cache.py")
+batchkernel = _load("repro.sim.batchkernel", "repro/sim/batchkernel.py")
+
+assert not batchkernel.HAVE_NUMPY
+assert not batchkernel.default_enabled()
+assert batchkernel.run_batch(None, 10**6, True) is False
+print("batchkernel declines cleanly without numpy")

@@ -1,10 +1,17 @@
 """Setuptools shim for environments without the ``wheel`` package.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so
-``pip install -e . --no-build-isolation --no-use-pep517`` (the offline
-path) works with older setuptools.
+This file exists so ``pip install -e . --no-build-isolation
+--no-use-pep517`` (the offline path) works with older setuptools.  The
+dependency story is deliberately small: numpy is the only hard runtime
+dependency (trace generation and the vectorized batch functional path),
+and numba is an *optional* extra — ``pip install .[compiled]`` — that
+accelerates the batch kernel's verdict pass when ``REPRO_COMPILED=1``;
+without it the kernel silently uses its numpy implementation.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    install_requires=["numpy"],
+    extras_require={"compiled": ["numba"]},
+)

@@ -599,6 +599,32 @@ def _run_profile(args) -> str:
             SamplingConfig.for_scale(args.refs)
         )
     simulator = CMPSimulator(workload, config, system=system)
+    stage_times: dict = {}
+    if args.sampled:
+        # Shadow the two-speed stage methods with timing wrappers on the
+        # *instance* so the report can attribute wall-clock to the
+        # fast-forward / functional / detailed stages.  The stages never
+        # nest (``_warm_sampled`` delegates to ``_drive_functional``,
+        # which is itself a wrapped stage), so the sums are disjoint.
+        import functools
+
+        def _staged(label, fn):
+            @functools.wraps(fn)
+            def wrapper(*a, **kw):
+                t0 = time.perf_counter()
+                try:
+                    return fn(*a, **kw)
+                finally:
+                    stage_times[label] = (
+                        stage_times.get(label, 0.0)
+                        + time.perf_counter() - t0
+                    )
+            return wrapper
+
+        for name, label in (("_drive_functional", "functional"),
+                            ("_skip", "fast-forward"),
+                            ("_drive", "detailed+warm")):
+            setattr(simulator, name, _staged(label, getattr(simulator, name)))
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
@@ -617,6 +643,25 @@ def _run_profile(args) -> str:
         f"= {total_refs / elapsed:,.0f} refs/sec (profiler overhead included); "
         f"aggregate IPC {result.aggregate_ipc:.4f}\n\n"
     )
+    if args.sampled and stage_times:
+        from repro.sim import batchkernel
+
+        vec = "on" if getattr(simulator, "use_vec", False) else "off"
+        compiled = "on" if batchkernel.compiled_requested() else "off"
+        stream.write(
+            "sampled stage breakdown (vectorized batch kernel "
+            f"{vec}, compiled backend {compiled}):\n"
+        )
+        for label in ("functional", "detailed+warm", "fast-forward"):
+            spent = stage_times.get(label, 0.0)
+            stream.write(
+                f"  {label:<14} {spent * 1e3:8.1f} ms "
+                f"({spent / elapsed:6.1%} of run)\n"
+            )
+        func_share = stage_times.get("functional", 0.0) / elapsed
+        stream.write(
+            f"functional-stage share: {func_share:.1%} of wall-clock\n\n"
+        )
     stats = pstats.Stats(profiler, stream=stream)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     report = stream.getvalue()

@@ -521,6 +521,33 @@ class Cache:
 
     # -- introspection -------------------------------------------------------
 
+    def warm_tables(self) -> tuple:
+        """Flat, way-padded ``(tags, meta)`` lists for batch tag matching.
+
+        The vectorized functional kernel (:mod:`repro.sim.batchkernel`)
+        reshapes these into dense ``(n_sets, assoc)`` arrays: empty ways
+        pad with tag ``-1`` (tags are non-negative, so the sentinel can
+        never match) and meta ``0``.  A frozen copy of the array state —
+        building it walks the live per-set lists exactly once.
+        """
+        assoc = self._assoc
+        tag_pad = [-1] * assoc
+        meta_pad = [0] * assoc
+        flat_tags: List[int] = []
+        flat_meta: List[int] = []
+        for tags, meta in zip(self._tags, self._meta):
+            k = len(tags)
+            if k:
+                flat_tags += tags
+                flat_meta += meta
+                if k < assoc:
+                    flat_tags += tag_pad[k:]
+                    flat_meta += meta_pad[k:]
+            else:
+                flat_tags += tag_pad
+                flat_meta += meta_pad
+        return flat_tags, flat_meta
+
     def resident_blocks(self) -> Iterator[int]:
         nsets = self._nsets
         bs = self._bs

@@ -1,0 +1,666 @@
+"""Vectorized batch execution for the functional warming/fast-forward path.
+
+The two-speed sampled simulator spends most of its wall-clock in
+:meth:`CMPSimulator._drive_functional` — functionally warming caches one
+reference at a time through Python-level loops.  This module executes a
+whole functional span as one *batch* in two cooperating layers:
+
+1. **Vectorized hit verdicts.**  Per-record L1D hit/miss verdicts are
+   precomputed with numpy against a frozen dense snapshot of the L1D
+   arrays (PR 4's flat per-set tag/LRU-stamp layout with a batch axis).
+   The batch is processed in chunks with a fresh snapshot per chunk, so
+   snapshot staleness never accumulates.  Verified hits commit with a
+   single stamp write; their counters are tallied per chunk in numpy.
+2. **Inlined miss transitions.**  Records the snapshot cannot decide
+   (true misses, apparent hits on sets a miss has disturbed) drop to a
+   compact in-order commit path.  The common miss shape — no remote
+   sharers, no PV victim, no back-invalidation — is replayed inline (L2
+   lookup/fill, memory counters, L1 install, presence and write-back
+   bookkeeping) with the exact counter and LRU transitions of
+   ``Cache.access_hit`` / ``MemorySystem.warm_miss``; anything rarer
+   falls back to those very methods.
+
+Why this is bitwise identical to the scalar walk
+------------------------------------------------
+
+* **Tick invariant.**  Every demand reference consumes exactly one LRU tick
+  on its core's L1D (``access_hit`` on a hit, ``fill`` via ``warm_miss`` on
+  a miss) — and nothing else ticks an L1D during functional execution
+  except prefetch installs, which are tracked as explicit per-core offsets.
+  Per-record stamp values are therefore precomputable from the trace alone.
+* **Monotonic staleness.**  The frozen snapshot only goes stale for a set
+  when a way is *removed* (eviction / invalidation) — appends and flag
+  updates never move existing ways.  Every removal fires the cache's
+  eviction listeners, where temporary listeners mark the set dirty; every
+  later record touching a dirty set (until the next chunk re-snapshots) is
+  replayed against live state in program order.  Bulk commits are thus
+  always a prefix of each set's chunk history, where the frozen verdicts
+  are exact.  Frozen *miss* verdicts can also go stale when an earlier
+  miss in the chunk installs the block — the replay path probes the live
+  tag list first, so such records simply become live hits.
+* **Shared state stays live.**  L1 hits never touch the L2, the presence
+  directory, or memory, so those evolve only in-order on the replay path,
+  either through the unmodified hierarchy code or through the inlined
+  transition that mirrors it field for field.  Write hits consult the live
+  presence directory per record and take the reference path when remote
+  sharers require an upgrade.  The instruction-fetch side executes live
+  per record: whether a fetch happens at all is decided by the trace alone
+  (instruction-block transitions), which *is* vectorized, while the L1I
+  transition is a single allocation-free call plus the same inlined miss.
+
+``REPRO_VEC=0`` (or a missing numpy) disables the kernel entirely; the
+scalar loop remains the reference implementation.  ``REPRO_COMPILED=1``
+additionally routes the verdict gather through a numba-jitted kernel when
+numba is importable, with graceful fallback to pure numpy when it is not.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import cycle
+
+try:  # numpy is optional here: without it the scalar reference path runs.
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via HAVE_NUMPY monkeypatch
+    np = None
+    HAVE_NUMPY = False
+
+from repro.memory.cache import AccessKind, EvictedLine
+
+_K_DEMAND_READ = AccessKind.DEMAND_READ
+_K_DEMAND_WRITE = AccessKind.DEMAND_WRITE
+# Keep in sync with repro.memory.cache's packed meta flags.
+_F_DIRTY = 1
+_F_PREFETCHED = 2
+_F_PV = 4
+_OWNER_SHIFT = 3
+
+#: Batches smaller than this stay on the scalar loop: the fixed cost of the
+#: numpy verdict pipeline (a few dozen array ops plus the frozen snapshot)
+#: only amortizes past roughly a thousand records.
+MIN_BATCH = 1024
+
+#: Interleaved records per verdict chunk.  Each chunk re-snapshots the L1D
+#: arrays, resetting staleness, so misses early in a span do not degrade
+#: the rest of the span to the replay path.
+CHUNK_RECORDS = 4096
+
+
+def default_enabled() -> bool:
+    """The ``REPRO_VEC`` policy evaluated at simulator construction."""
+    return HAVE_NUMPY and os.environ.get("REPRO_VEC", "1") != "0"
+
+
+# --------------------------------------------------------------- compiled
+# Optional numba backend (REPRO_COMPILED=1): same verdict gather, jitted.
+# The import/compile attempt runs once and degrades silently to numpy.
+
+_COMPILED = None
+_COMPILED_TRIED = False
+
+
+def compiled_requested() -> bool:
+    return os.environ.get("REPRO_COMPILED", "0") != "0"
+
+
+def _load_compiled():
+    global _COMPILED, _COMPILED_TRIED
+    if not _COMPILED_TRIED:
+        _COMPILED_TRIED = True
+        try:
+            from numba import njit
+
+            @njit(cache=False)
+            def verdicts(ftags, fmeta, cidx, sidx, tag, hit, way, pref):
+                assoc = ftags.shape[2]
+                for r in range(cidx.shape[0]):
+                    c = cidx[r]
+                    s = sidx[r]
+                    t = tag[r]
+                    h = False
+                    w = 0
+                    for a in range(assoc):
+                        if ftags[c, s, a] == t:
+                            h = True
+                            w = a
+                            break
+                    hit[r] = h
+                    way[r] = w
+                    pref[r] = h and (fmeta[c, s, w] & 2) != 0
+
+            _COMPILED = verdicts
+        except Exception:  # pragma: no cover - numba absent or jit failure
+            _COMPILED = None
+    return _COMPILED
+
+
+def _verdicts(ftags, fmeta, cidx, sidx, tag):
+    """Per-record (hit, way, frozen-prefetched) against a frozen snapshot.
+
+    ``way`` is the first matching way — identical to ``list.index`` on the
+    live per-set tag lists, because the snapshot preserves way order.
+    """
+    if compiled_requested():
+        fn = _load_compiled()
+        if fn is not None:
+            count = cidx.shape[0]
+            hit = np.empty(count, dtype=np.bool_)
+            way = np.empty(count, dtype=np.int64)
+            pref = np.empty(count, dtype=np.bool_)
+            fn(ftags, fmeta, cidx, sidx, tag, hit, way, pref)
+            return hit, way, pref
+    st = ftags[cidx, sidx]
+    eq = st == tag[:, None]
+    hit = eq.any(axis=1)
+    way = eq.argmax(axis=1)
+    pref = hit & ((fmeta[cidx, sidx, way] & _F_PREFETCHED) != 0)
+    return hit, way, pref
+
+
+def _frozen(caches, nsets, assoc):
+    """Dense ``(n_cores, nsets, assoc)`` tag/meta snapshot of the L1Ds."""
+    tags = []
+    meta = []
+    for cache in caches:
+        t, m = cache.warm_tables()
+        tags.append(t)
+        meta.append(m)
+    ftags = np.array(tags, dtype=np.int64).reshape(len(caches), nsets, assoc)
+    fmeta = np.array(meta, dtype=np.int64).reshape(len(caches), nsets, assoc)
+    return ftags, fmeta
+
+
+def _make_mark(dirty, bs_shift, set_mask):
+    def mark(evicted):
+        dirty[(evicted.block_addr >> bs_shift) & set_mask] = 1
+
+    return mark
+
+
+def run_batch(sim, refs_per_core: int, train: bool) -> bool:
+    """Execute one functional span vectorized; ``False`` defers to scalar.
+
+    On ``True`` the span is fully committed (state, counters, ticks and
+    the trace cursors) bitwise identically to
+    :meth:`CMPSimulator._functional_loop` over the same records.  On
+    ``False`` nothing was touched and the caller must run the scalar loop.
+    """
+    if not HAVE_NUMPY:
+        return False
+    n = len(sim.cores)
+    rows = refs_per_core
+    if rows * n < MIN_BATCH:
+        return False
+    if any(sim.engines):
+        # BTB/LVP engine runtimes observe records through their own paths;
+        # keep those spans on the reference loop.
+        return False
+    from repro.workloads.generator import TRACE_CACHE
+
+    cols = []
+    for i in range(n):
+        end = sim._trace_pos[i] + rows
+        got = TRACE_CACHE.get_columns(
+            sim.workload, i, sim.seed, sim._trace_region, end
+        )
+        if got is None:  # stream exceeds the trace-cache bound
+            return False
+        cols.append((got, sim._trace_pos[i], end))
+
+    h = sim.hierarchy
+    l1ds = h.l1d
+    l1is = h.l1i
+    d0 = l1ds[0]
+    i0 = l1is[0]
+    bs_shift = d0._bs_shift
+    nsets_d = d0._nsets
+    assoc_d = d0._assoc
+    set_mask_d = d0._set_mask
+    set_shift_d = d0._set_shift
+    l1_bs = d0._bs
+    i_bs_shift = i0._bs_shift
+    i_set_mask = i0._set_mask
+    i_set_shift = i0._set_shift
+    i_nsets = i0._nsets
+    i_assoc = i0._assoc
+    i_bs = i0._bs
+    model_ifetch = sim.system.model_ifetch
+
+    # ---- interleave the per-core columns exactly like ``zip(*slices)``
+    pc2 = np.empty((rows, n), dtype=np.int64)
+    ad2 = np.empty((rows, n), dtype=np.int64)
+    w2 = np.empty((rows, n), dtype=np.bool_)
+    for i, ((pcc, adc, wc), start, end) in enumerate(cols):
+        pc2[:, i] = pcc[start:end]
+        ad2[:, i] = adc[start:end]
+        w2[:, i] = wc[start:end]
+        sim._trace_pos[i] = end
+
+    # ---- instruction-block transitions: trace-only, whole span at once
+    if model_ifetch:
+        ib2 = (pc2 >> bs_shift) << bs_shift
+        prev = np.empty_like(ib2)
+        prev[0, :] = np.asarray(sim._last_iblock, dtype=np.int64)
+        prev[1:, :] = ib2[:-1, :]
+        need2 = ib2 != prev
+    else:
+        need2 = None
+
+    # ---- demand writes into watched PV ranges take the reference path
+    watchers = h._pv_write_watchers
+    if watchers:
+        blk2 = (ad2 >> bs_shift) << bs_shift
+        watch2 = np.zeros((rows, n), dtype=np.bool_)
+        for ws, we, _cb in watchers:
+            watch2 |= (blk2 >= ws) & (blk2 < we)
+        watch2 &= w2
+    else:
+        watch2 = None
+
+    # ---- staleness tracking: sets with a removed way replay in order
+    dirty_d = [bytearray(nsets_d) for _ in range(n)]
+    zero_d = bytes(nsets_d)
+    marks = []
+    for i in range(n):
+        mk = _make_mark(dirty_d[i], bs_shift, set_mask_d)
+        l1ds[i].eviction_listeners.append(mk)
+        marks.append((l1ds[i], mk))
+
+    warm_miss = h.warm_miss
+    pfill = h.prefetch_fill
+    presence = h._l1_presence
+    presence_get = presence.get
+    hstats = h.stats
+    l2 = h.l2
+    # The L2 never carries cache-level eviction listeners (PV eviction
+    # callbacks hang off the hierarchy and are screened below via the
+    # victim's is_pv flag); if one ever appears, stay on the reference
+    # methods for every miss.
+    fast_on = not l2.eviction_listeners
+    l2tags_all = l2._tags
+    l2stamps_all = l2._stamps
+    l2meta_all = l2._meta
+    l2st = l2.stats
+    l2_bs_shift = l2._bs_shift
+    l2_set_mask = l2._set_mask
+    l2_set_shift = l2._set_shift
+    l2_assoc = l2._assoc
+    l2_nsets = l2._nsets
+    l2_bs = l2._bs
+    mem = h.memory
+
+    def fast_miss(l1_c, ltags, lstamps, lmeta, sd, tg, tick_val, core, bit,
+                  block, write, kind_read, l1_assoc, l1_nsets, l1_bsz,
+                  ldirty=None):
+        """Inline ``access_hit``-miss + ``warm_miss`` for the common shape.
+
+        ``kind_read`` is ``True``/``False`` for demand reads/writes and
+        ``None`` for instruction fetches (whose L1 side keeps no counters,
+        mirroring ``warm_fetch_hit``).  Returns ``False`` — with **no**
+        state touched — when any rare transition (remote sharers, PV
+        victim, L2 back-invalidation) requires the reference methods.
+        """
+        # --- eligibility screens: nothing below mutates ---
+        if presence_get(block, 0) & ~(1 << bit):
+            return False
+        full1 = len(ltags) >= l1_assoc
+        if full1:
+            w1 = lstamps.index(min(lstamps))
+            vm1 = lmeta[w1]
+            if vm1 & _F_PV:
+                return False
+        b2 = block >> l2_bs_shift
+        s2 = b2 & l2_set_mask
+        t2 = b2 >> l2_set_shift
+        tags2 = l2tags_all[s2]
+        hit2 = t2 in tags2
+        if not hit2:
+            stamps2 = l2stamps_all[s2]
+            meta2 = l2meta_all[s2]
+            full2 = len(tags2) >= l2_assoc
+            if full2:
+                vw2 = stamps2.index(min(stamps2))
+                vm2 = meta2[vw2]
+                if vm2 & _F_PV:
+                    return False
+                if presence_get((tags2[vw2] * l2_nsets + s2) * l2_bs, 0):
+                    return False  # would back-invalidate an L1 copy
+        # --- commit: replicates the reference transitions exactly ---
+        st1 = l1_c.stats
+        if kind_read is None:
+            pass  # warm_fetch_hit keeps no counters on the L1I
+        elif kind_read:
+            st1.misses += 1
+            st1.demand_read_misses += 1
+        else:
+            st1.misses += 1
+            st1.demand_write_misses += 1
+        if hit2:
+            hw2 = tags2.index(t2)
+            l2st.hits += 1
+            if kind_read is None:
+                l2st.ifetch_hits += 1
+            elif kind_read:
+                l2st.demand_read_hits += 1
+            else:
+                l2st.demand_write_hits += 1
+            l2._tick = tk2 = l2._tick + 1
+            l2stamps_all[s2][hw2] = tk2
+            meta2 = l2meta_all[s2]
+            m2 = meta2[hw2]
+            if m2 & _F_PREFETCHED:
+                if kind_read:
+                    l2st.covered_misses += 1
+                meta2[hw2] = m2 & ~_F_PREFETCHED
+        else:
+            l2st.misses += 1
+            if kind_read is None:
+                l2st.ifetch_misses += 1
+            elif kind_read:
+                l2st.demand_read_misses += 1
+            else:
+                l2st.demand_write_misses += 1
+            mem.reads += 1
+            mem.last_queue_delay = 0.0
+            l2._tick = tk2 = l2._tick + 1
+            if full2:
+                vdirty2 = vm2 & _F_DIRTY
+                del tags2[vw2]
+                del stamps2[vw2]
+                del meta2[vw2]
+                l2st.evictions += 1
+                if vdirty2:
+                    l2st.dirty_evictions += 1
+                if vm2 & _F_PREFETCHED:
+                    l2st.overpredictions += 1
+                if vdirty2:
+                    hstats.l2_writebacks += 1
+                    mem.writes += 1
+            tags2.append(t2)
+            stamps2.append(tk2)
+            meta2.append((core + 1) << _OWNER_SHIFT)
+            l2st.fills += 1
+        # --- L1 install (fill + presence + victim write-back) ---
+        l1_c._tick = tick_val
+        if full1:
+            vtag1 = ltags[w1]
+            vdirty1 = vm1 & _F_DIRTY
+            del ltags[w1]
+            del lstamps[w1]
+            del lmeta[w1]
+            st1.evictions += 1
+            if vdirty1:
+                st1.dirty_evictions += 1
+            if vm1 & _F_PREFETCHED:
+                st1.overpredictions += 1
+            ev_ls = l1_c.eviction_listeners
+            if ldirty is not None and len(ev_ls) == 1:
+                # The only listener is this batch's own staleness mark
+                # (appended last): set the bit directly instead of
+                # constructing an EvictedLine for it.
+                ldirty[sd] = 1
+            elif ev_ls:
+                evicted = EvictedLine(
+                    block_addr=(vtag1 * l1_nsets + sd) * l1_bsz,
+                    dirty=bool(vdirty1),
+                    prefetched=bool(vm1 & _F_PREFETCHED),
+                    is_pv=False,
+                    owner=(vm1 >> _OWNER_SHIFT) - 1,
+                )
+                for cb in ev_ls:
+                    cb(evicted)
+        m1 = (core + 1) << _OWNER_SHIFT
+        if write:
+            m1 |= _F_DIRTY
+        ltags.append(tg)
+        lstamps.append(tick_val)
+        lmeta.append(m1)
+        st1.fills += 1
+        presence[block] = presence_get(block, 0) | (1 << bit)
+        if full1:
+            vblock1 = (vtag1 * l1_nsets + sd) * l1_bsz
+            vmask = presence_get(vblock1, 0) & ~(1 << bit)
+            if vmask:
+                presence[vblock1] = vmask
+            else:
+                presence.pop(vblock1, None)
+            if vdirty1:
+                hstats.l1_writebacks += 1
+                vb = vblock1 >> l2_bs_shift
+                vs = vb & l2_set_mask
+                vt = vb >> l2_set_shift
+                wtags = l2tags_all[vs]
+                if vt in wtags:
+                    vw = wtags.index(vt)
+                    l2st.hits += 1
+                    l2._tick = wtk = l2._tick + 1
+                    l2stamps_all[vs][vw] = wtk
+                    l2meta_all[vs][vw] |= _F_DIRTY
+                else:  # write-back raced the eviction: straight off-chip
+                    l2st.misses += 1
+                    hstats.l2_writebacks += 1
+                    mem.writes += 1
+        return True
+
+    nows = [int(c.cycles) for c in sim.cores]
+    ctxs = []
+    for i in range(n):
+        agt_rec = None
+        engine = sim.sms[i]
+        if train and engine is not None:
+            engine._now = nows[i]
+            agt_rec = engine.agt.record_access
+        ctxs.append((
+            l1ds[i]._stamps,   # 0
+            dirty_d[i],        # 1
+            l1ds[i]._meta,     # 2
+            l1is[i],           # 3
+            l1ds[i],           # 4
+            i,                 # 5
+            agt_rec,           # 6
+            engine,            # 7
+            sim.stride[i] if train else None,  # 8
+            nows[i],           # 9
+            l1ds[i]._tags,     # 10
+            l1is[i]._tags,     # 11
+            l1is[i]._stamps,   # 12
+            l1is[i]._meta,     # 13
+            l1ds[i].stats,     # 14
+        ))
+
+    chunk_rows = max(1, CHUNK_RECORDS // n)
+    off = [0] * n
+    try:
+        for r0 in range(0, rows, chunk_rows):
+            r1 = min(rows, r0 + chunk_rows)
+            crows = r1 - r0
+            adf = ad2[r0:r1].ravel()
+            wff = w2[r0:r1].ravel()
+            cidx = np.tile(np.arange(n, dtype=np.int64), crows)
+
+            # Fresh snapshot: staleness from earlier chunks is gone.
+            ftags, fmeta = _frozen(l1ds, nsets_d, assoc_d)
+            bidx = adf >> bs_shift
+            sidx = bidx & set_mask_d
+            tag = bidx >> set_shift_d
+            hit, way, pref = _verdicts(ftags, fmeta, cidx, sidx, tag)
+
+            bad = ~hit
+            if watch2 is not None:
+                bad |= watch2[r0:r1].ravel()
+
+            # First frozen touch of each still-prefetched line: the touch
+            # that clears the flag (and, for reads, counts the coverage).
+            apply_d = np.zeros(crows * n, dtype=np.bool_)
+            idxp = np.nonzero(pref)[0]
+            if idxp.size:
+                lw = (cidx[idxp] * nsets_d + sidx[idxp]) * assoc_d + way[idxp]
+                _u, first = np.unique(lw, return_index=True)
+                apply_d[idxp[first]] = True
+
+            flags = bad.astype(np.uint8)
+            if need2 is not None:
+                flags |= need2[r0:r1].ravel().astype(np.uint8) << 1
+            flags |= wff.astype(np.uint8) << 2
+            flags |= apply_d.astype(np.uint8) << 3
+
+            # Precomputed per-record L1D stamps (the tick invariant).
+            tick0 = [c._tick for c in l1ds]
+            tick = (np.arange(1, crows + 1, dtype=np.int64)[:, None]
+                    + np.asarray(tick0, dtype=np.int64)[None, :]).ravel()
+
+            flags_l = flags.tolist()
+            sd_l = sidx.tolist()
+            wy_l = way.tolist()
+            tk_l = tick.tolist()
+            ad_l = adf.tolist()
+            pc_l = pc2[r0:r1].ravel().tolist()
+            done = bytearray(crows * n)
+            for b in dirty_d:
+                b[:] = zero_d
+            for i in range(n):
+                off[i] = 0
+            ctx_next = cycle(ctxs).__next__
+
+            r = 0
+            for fl, sd, wy, tk, addr, pc in zip(
+                flags_l, sd_l, wy_l, tk_l, ad_l, pc_l
+            ):
+                ctx = ctx_next()
+                core = ctx[5]
+                if fl & 2:
+                    l1i_c = ctx[3]
+                    if not l1i_c.warm_fetch_hit(pc):
+                        bi = pc >> i_bs_shift
+                        si = bi & i_set_mask
+                        if not (fast_on and fast_miss(
+                            l1i_c, ctx[11][si], ctx[12][si], ctx[13][si],
+                            si, bi >> i_set_shift, l1i_c._tick + 1, core,
+                            core + n, bi << i_bs_shift, False, None,
+                            i_assoc, i_nsets, i_bs,
+                        )):
+                            warm_miss(core, pc, False, True)
+                w = fl & 4
+                tick_val = tk + off[core]
+                if fl & 1 or ctx[1][sd]:
+                    live = True
+                elif w:
+                    block = (addr >> bs_shift) << bs_shift
+                    live = bool(presence_get(block, 0) & ~(1 << core))
+                else:
+                    live = False
+                if live:
+                    l1d_c = ctx[4]
+                    bi = addr >> bs_shift
+                    block = bi << bs_shift
+                    watched = False
+                    if w and watchers:
+                        for ws, we, cb in watchers:
+                            if ws <= block < we:
+                                cb(block)
+                                watched = True
+                    if watched:
+                        # The callback may cascade into PV state: keep the
+                        # whole transition on the reference methods.
+                        l1d_c._tick = tick_val - 1
+                        if l1d_c.access_hit(addr, _K_DEMAND_WRITE, True):
+                            if presence_get(block, 0) & ~(1 << core):
+                                hstats.write_upgrades += 1
+                                h._coherence_invalidate(block, keep_bit=core)
+                        else:
+                            warm_miss(core, addr, True)
+                    else:
+                        tg = bi >> set_shift_d
+                        ltags = ctx[10][sd]
+                        if tg in ltags:
+                            # Inline ``access_hit``-hit: stamp, flags and
+                            # counters, with the way found live.
+                            lw = ltags.index(tg)
+                            st1 = ctx[14]
+                            st1.hits += 1
+                            lm = ctx[2][sd]
+                            m = lm[lw]
+                            if w:
+                                st1.demand_write_hits += 1
+                                m |= _F_DIRTY
+                            else:
+                                st1.demand_read_hits += 1
+                            if m & _F_PREFETCHED:
+                                if not w:
+                                    st1.covered_misses += 1
+                                m &= ~_F_PREFETCHED
+                            lm[lw] = m
+                            l1d_c._tick = tick_val
+                            ctx[0][sd][lw] = tick_val
+                            if w and presence_get(block, 0) & ~(1 << core):
+                                hstats.write_upgrades += 1
+                                h._coherence_invalidate(block, keep_bit=core)
+                        elif not (fast_on and fast_miss(
+                            l1d_c, ltags, ctx[0][sd], ctx[2][sd], sd, tg,
+                            tick_val, core, core, block, bool(w), not w,
+                            assoc_d, nsets_d, l1_bs, ctx[1],
+                        )):
+                            l1d_c._tick = tick_val - 1
+                            l1d_c.access_hit(
+                                addr,
+                                _K_DEMAND_WRITE if w else _K_DEMAND_READ,
+                                bool(w),
+                            )
+                            warm_miss(core, addr, bool(w))
+                else:
+                    ctx[0][sd][wy] = tick_val
+                    if w or fl & 8:
+                        md = ctx[2][sd]
+                        m = md[wy]
+                        if w:
+                            m |= _F_DIRTY
+                        if fl & 8:
+                            m &= ~_F_PREFETCHED
+                        md[wy] = m
+                    done[r] = 1
+                rec_fn = ctx[6]
+                if rec_fn is not None:
+                    trigger = rec_fn(pc, addr)
+                    if trigger is not None:
+                        l1d_c = ctx[4]
+                        l1d_c._tick = tk + off[core]
+                        for block_addr, _ready in ctx[7]._predict(
+                            trigger[0], trigger[1], addr, ctx[9]
+                        ):
+                            pfill(core, block_addr, block=block_addr)
+                        off[core] = l1d_c._tick - tk
+                st_c = ctx[8]
+                if st_c is not None:
+                    l1d_c = ctx[4]
+                    l1d_c._tick = tk + off[core]
+                    for block_addr in st_c.on_access(pc, addr):
+                        pfill(core, block_addr, block=block_addr)
+                    off[core] = l1d_c._tick - tk
+                r += 1
+
+            # ---- chunk-end tallies: counters the bulk commits deferred
+            done_np = np.frombuffer(done, dtype=np.uint8).astype(np.bool_)
+            nb = done_np.reshape(crows, n).sum(axis=0)
+            nw = (done_np & wff).reshape(crows, n).sum(axis=0)
+            nc = (done_np & apply_d & ~wff).reshape(crows, n).sum(axis=0)
+            for i in range(n):
+                st = l1ds[i].stats
+                b = int(nb[i])
+                bw = int(nw[i])
+                st.hits += b
+                st.demand_read_hits += b - bw
+                st.demand_write_hits += bw
+                st.covered_misses += int(nc[i])
+                # Absolute final tick: one demand tick per record plus the
+                # prefetch-install offsets accumulated this chunk.
+                l1ds[i]._tick = tick0[i] + crows + off[i]
+    finally:
+        for cache, mk in marks:
+            cache.eviction_listeners.remove(mk)
+
+    if model_ifetch:
+        for i in range(n):
+            sim._last_iblock[i] = int(ib2[-1, i])
+    return True

@@ -37,6 +37,7 @@ from repro.prefetch.stride import StridePrefetcher
 from repro.core.pvproxy import PVProxyStats
 from repro.core.pvtable import PVTable
 from repro.core.virtualized import VirtualizedPredictorTable
+from repro.sim import batchkernel
 from repro.sim.config import PrefetcherConfig, SystemConfig
 from repro.sim.engines import EngineRuntime, aggregate_engine_stats, build_engine
 from repro.sim.metrics import SimResult
@@ -150,6 +151,13 @@ class CMPSimulator:
         #: (or setting this attribute) falls back to streaming generators;
         #: both paths produce bitwise-identical results.
         self.precompile = os.environ.get("REPRO_PRECOMPILE", "1") != "0"
+        #: Vectorized batch functional path (the default when numpy is
+        #: importable): ``_drive_functional`` executes whole warming /
+        #: fast-forward spans through :mod:`repro.sim.batchkernel` instead
+        #: of the per-record scalar loop.  ``REPRO_VEC=0`` (or setting this
+        #: attribute) keeps the scalar reference implementation; both paths
+        #: produce bitwise-identical state, counters, and results.
+        self.use_vec = batchkernel.default_enabled()
         self._trace_region = cfg.sms.region
         #: Unified per-core stream cursor: how many records each core has
         #: consumed, regardless of drive mode.  The streaming fallback
@@ -493,17 +501,19 @@ class CMPSimulator:
         the streaming fallback aligned), interleaved round-robin exactly
         like the analytic drive so the shared L2 sees the same mix.
         """
-        n_cores = len(self.cores)
-        slices = []
-        for i in range(n_cores):
-            start = self._trace_pos[i]
-            end = start + refs_per_core
-            self._trace_pos[i] = end
-            slices.append(self._trace_slice(i, start, end))
         proxies = self._pv_proxies()
         for proxy in proxies:
             proxy.functional = True
         try:
+            if self.use_vec and batchkernel.run_batch(self, refs_per_core, train):
+                return
+            n_cores = len(self.cores)
+            slices = []
+            for i in range(n_cores):
+                start = self._trace_pos[i]
+                end = start + refs_per_core
+                self._trace_pos[i] = end
+                slices.append(self._trace_slice(i, start, end))
             self._functional_loop(slices, train)
         finally:
             for proxy in proxies:

@@ -338,6 +338,10 @@ class TraceCache:
             )
         self.max_records = max_records
         self._entries: dict = {}  # key -> [generator, list, lru_tick]
+        # key -> [built_n, pc, addr, write]: columnar (numpy) views of the
+        # same streams for the vectorized functional kernel, grown lazily
+        # alongside the record lists (amortized-doubling capacity).
+        self._columns: dict = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -381,12 +385,67 @@ class TraceCache:
         self._evict()
         return entry[1]
 
+    def get_columns(
+        self,
+        profile: WorkloadProfile,
+        core: int,
+        seed: int,
+        region: SpatialRegionGeometry,
+        n: int,
+    ):
+        """``(pc, addr, write)`` numpy columns of the keyed stream's prefix.
+
+        The arrays are at least ``n`` long and shared across callers (treat
+        them as immutable).  Built from the same cached record list
+        :meth:`get` serves, so the columns are by construction the same
+        stream; ``None`` when the request exceeds the cache bound (callers
+        fall back to the per-record path).
+        """
+        if region is None:
+            region = SpatialRegionGeometry()
+        if n > self.max_records:
+            return None
+        records = self.get(profile, core, seed, region, n)
+        key = (profile, core, seed, region)
+        cols = self._columns.get(key)
+        if cols is None:
+            cap = max(4096, n)
+            cols = [
+                0,
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.bool_),
+            ]
+            self._columns[key] = cols
+        built = cols[0]
+        if built < n:
+            if n > len(cols[1]):
+                cap = max(n, 2 * len(cols[1]))
+                for i in (1, 2, 3):
+                    grown = np.empty(cap, dtype=cols[i].dtype)
+                    grown[:built] = cols[i][:built]
+                    cols[i] = grown
+            fresh = records[built:n]
+            count = n - built
+            cols[1][built:n] = np.fromiter(
+                (r.pc for r in fresh), dtype=np.int64, count=count
+            )
+            cols[2][built:n] = np.fromiter(
+                (r.addr for r in fresh), dtype=np.int64, count=count
+            )
+            cols[3][built:n] = np.fromiter(
+                (r.write for r in fresh), dtype=np.bool_, count=count
+            )
+            cols[0] = n
+        return cols[1][: cols[0]], cols[2][: cols[0]], cols[3][: cols[0]]
+
     def _evict(self) -> None:
         total = sum(len(entry[1]) for entry in self._entries.values())
         while total > self.max_records and len(self._entries) > 1:
             oldest = min(self._entries, key=lambda k: self._entries[k][2])
             total -= len(self._entries[oldest][1])
             del self._entries[oldest]
+            self._columns.pop(oldest, None)
             self.evictions += 1
 
     def stats(self) -> dict:
@@ -407,6 +466,7 @@ class TraceCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._columns.clear()
 
 
 #: Process-wide compiled-trace cache the simulator resolves streams through.

@@ -1,0 +1,250 @@
+"""Vectorized batch functional path (``repro.sim.batchkernel``) equivalence.
+
+Pinned guarantees:
+
+* ``REPRO_VEC=1`` (the default) is invisible to results: the vectorized
+  batch kernel produces bitwise-identical ``SimResult`` payloads *and*
+  identical cache/presence/fetch state to the scalar reference loop —
+  analytic, contended, sampled, prefetched and prefetcher-less alike,
+  plus a hypothesis sweep over sampling layouts and warm-up sizes;
+* toggling ``use_vec`` mid-run (between ``run()`` calls on one
+  simulator) cannot change results — both paths commit the same state,
+  so any interleaving of them is equivalent;
+* ``REPRO_COMPILED=1`` without numba degrades silently to the numpy
+  verdict kernel (and, when numba is importable, produces the same
+  verdicts bit for bit);
+* without numpy the kernel declines (``run_batch`` returns ``False``,
+  ``default_enabled`` is ``False``) and the scalar loop runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import batchkernel
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import WARM_STATE_CACHE, CMPSimulator
+from repro.workloads.registry import get_workload
+
+SAMPLING = SamplingConfig.smarts(
+    period_refs=1_000, detail_refs=150, warm_refs=60, functional_refs=250
+)
+
+
+def _make(config, workload="Apache", system=None, vec=True):
+    sim = CMPSimulator(get_workload(workload), config, system=system)
+    sim.use_vec = vec and batchkernel.default_enabled()
+    return sim
+
+
+def _state(sim):
+    """Complete post-run machine state, for bitwise comparison."""
+    h = sim.hierarchy
+    caches = [*h.l1d, *h.l1i, h.l2]
+    return {
+        "caches": [
+            (c._tick, c._tags, c._stamps, c._meta, vars(c.stats))
+            for c in caches
+        ],
+        "presence": dict(h._l1_presence),
+        "hstats": vars(h.stats),
+        "last_iblock": list(sim._last_iblock),
+        "trace_pos": list(sim._trace_pos),
+        "mem": (h.memory.reads, h.memory.writes),
+    }
+
+
+def _pair(config, workload="Apache", system=None, refs=3_000, warmup=2_000,
+          min_batch=None):
+    """Run scalar and vectorized twins; return both (result, state) pairs."""
+    outs = []
+    for vec in (False, True):
+        WARM_STATE_CACHE.clear()
+        if min_batch is not None:
+            old = batchkernel.MIN_BATCH
+            batchkernel.MIN_BATCH = min_batch
+        try:
+            sim = _make(config, workload=workload, system=system, vec=vec)
+            result = sim.run(refs, warmup_refs=warmup)
+        finally:
+            if min_batch is not None:
+                batchkernel.MIN_BATCH = old
+        outs.append((asdict(result), _state(sim)))
+    WARM_STATE_CACHE.clear()
+    return outs
+
+
+def _assert_equal(outs):
+    (scalar_result, scalar_state), (vec_result, vec_state) = outs
+    assert vec_result == scalar_result
+    assert vec_state == scalar_state
+
+
+needs_numpy = pytest.mark.skipif(
+    not batchkernel.HAVE_NUMPY, reason="numpy unavailable"
+)
+
+
+@needs_numpy
+class TestBitwiseEquivalence:
+    def test_sampled_analytic_pv8(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.virtualized(8), system=system))
+
+    def test_sampled_contended_pv8(self):
+        system = (
+            SystemConfig.baseline()
+            .with_contention(dram_channels=2)
+            .with_sampling(SAMPLING)
+        )
+        _assert_equal(_pair(PrefetcherConfig.virtualized(8), system=system))
+
+    def test_sampled_no_prefetcher(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.none(), system=system))
+
+    def test_sampled_dedicated_sms(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.dedicated(1024, 11),
+                            system=system))
+
+    def test_sampled_stride(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.stride(), system=system))
+
+    def test_sampled_second_workload(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.virtualized(8), workload="Qry1",
+                            system=system))
+
+    def test_unsampled_run_unaffected_by_flag(self):
+        # No sampling -> no functional spans -> the kernel never engages;
+        # the flag must still be inert.
+        _assert_equal(_pair(PrefetcherConfig.virtualized(8), refs=1_200,
+                            warmup=600))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        detail=st.integers(min_value=60, max_value=200),
+        functional=st.integers(min_value=150, max_value=400),
+        warmup=st.sampled_from([0, 700, 2_000]),
+        seed_cfg=st.sampled_from(["pv8", "none", "sms"]),
+    )
+    def test_property_sampled_layouts(self, detail, functional, warmup,
+                                      seed_cfg):
+        sampling = SamplingConfig.smarts(
+            period_refs=1_000,
+            detail_refs=detail,
+            warm_refs=60,
+            functional_refs=functional,
+        )
+        config = {
+            "pv8": PrefetcherConfig.virtualized(8),
+            "none": PrefetcherConfig.none(),
+            "sms": PrefetcherConfig.dedicated(1024, 11),
+        }[seed_cfg]
+        system = SystemConfig.baseline().with_sampling(sampling)
+        _assert_equal(_pair(config, system=system, refs=2_000, warmup=warmup,
+                            min_batch=256))
+
+
+@needs_numpy
+class TestMidRunToggle:
+    def test_toggling_between_runs_is_bitwise_invisible(self):
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+
+        def run_with(vec_schedule):
+            WARM_STATE_CACHE.clear()
+            sim = _make(PrefetcherConfig.virtualized(8), system=system,
+                        vec=False)
+            states = []
+            for vec in vec_schedule:
+                sim.use_vec = vec and batchkernel.default_enabled()
+                states.append(asdict(sim.run(1_500, warmup_refs=1_500)))
+            states.append(_state(sim))
+            return states
+
+        assert run_with([False, False]) == run_with([True, True])
+        assert run_with([False, True]) == run_with([True, False])
+
+    def test_mid_span_state_is_never_partial(self):
+        # run_batch either commits a whole span or touches nothing: an
+        # infeasible span (trace bound exceeded) must leave state intact
+        # for the scalar loop.
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        WARM_STATE_CACHE.clear()
+        sim = _make(PrefetcherConfig.virtualized(8), system=system)
+        before = _state(sim)
+        assert not batchkernel.run_batch(sim, 10**9, True)
+        assert _state(sim) == before
+        WARM_STATE_CACHE.clear()
+
+
+class TestCompiledBackend:
+    def test_compiled_request_without_numba_falls_back(self, monkeypatch):
+        if not batchkernel.HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        monkeypatch.setattr(batchkernel, "_COMPILED", None)
+        monkeypatch.setattr(batchkernel, "_COMPILED_TRIED", False)
+        monkeypatch.setitem(sys.modules, "numba", None)
+        assert batchkernel.compiled_requested()
+        assert batchkernel._load_compiled() is None
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        _assert_equal(_pair(PrefetcherConfig.virtualized(8), system=system))
+
+    def test_compiled_verdicts_match_numpy(self, monkeypatch):
+        numba = pytest.importorskip("numba")
+        assert numba is not None
+        np = batchkernel.np
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        monkeypatch.setattr(batchkernel, "_COMPILED", None)
+        monkeypatch.setattr(batchkernel, "_COMPILED_TRIED", False)
+        rng = np.random.default_rng(7)
+        n, nsets, assoc, count = 2, 8, 4, 500
+        ftags = rng.integers(-1, 40, size=(n, nsets, assoc)).astype(np.int64)
+        fmeta = rng.integers(0, 8, size=(n, nsets, assoc)).astype(np.int64)
+        cidx = rng.integers(0, n, size=count).astype(np.int64)
+        sidx = rng.integers(0, nsets, size=count).astype(np.int64)
+        tag = rng.integers(-1, 40, size=count).astype(np.int64)
+        got = batchkernel._verdicts(ftags, fmeta, cidx, sidx, tag)
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        want = batchkernel._verdicts(ftags, fmeta, cidx, sidx, tag)
+        for g, w in zip(got, want):
+            assert (g == w).all()
+
+
+class TestNumpylessFallback:
+    def test_kernel_declines_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(batchkernel, "HAVE_NUMPY", False)
+        assert not batchkernel.default_enabled()
+        assert not batchkernel.run_batch(object(), 10**6, True)
+
+    def test_simulator_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(batchkernel, "HAVE_NUMPY", False)
+        system = SystemConfig.baseline().with_sampling(SAMPLING)
+        WARM_STATE_CACHE.clear()
+        sim = CMPSimulator(
+            get_workload("Qry1"), PrefetcherConfig.virtualized(8),
+            system=system,
+        )
+        assert sim.use_vec is False
+        result = sim.run(1_500, warmup_refs=700)
+        assert result.aggregate_ipc > 0
+        WARM_STATE_CACHE.clear()
+
+
+class TestEnvPolicy:
+    def test_repro_vec_0_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC", "0")
+        assert not batchkernel.default_enabled()
+
+    def test_repro_vec_default_on_with_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VEC", raising=False)
+        assert batchkernel.default_enabled() == batchkernel.HAVE_NUMPY
