@@ -26,6 +26,14 @@ must deliver >= 2x the refs/sec of ``pv8-sampled`` (interleaved pairs
 again), keep its IPC inside the same full-detail 95% CI, and agree
 *exactly* with a scalar (``use_vec=False``) run of its own protocol.
 
+The ``pv8-warmstore`` label measures the persistent artifact store
+(``repro.runner.artifacts``): a cold run into a fresh store vs the same
+run restoring its warm-state checkpoint and compiled traces from disk —
+the second sweep invocation's win.  The warm run must beat the cold one
+(``vs_cold > 1``), actually hit the store, and produce a bitwise
+identical result; the store is scoped to this label, so every other
+label runs store-free exactly as before.
+
 Three files are involved so the committed trajectory stays stable across
 machines while CI still gates on fresh numbers:
 
@@ -259,6 +267,72 @@ def _measure_vec_sampled(full_result):
     return run
 
 
+def _measure_warmstore():
+    """Time the ``pv8-warmstore`` label: cold vs warm persistent store.
+
+    Each trial gets a fresh artifact-store directory and empties both
+    in-process caches before each timed run, so the *cold* run computes
+    (and writes behind) every warm-state checkpoint and compiled trace,
+    and the *warm* run — the second invocation of the same sweep, as a
+    fresh process would see it — restores everything from disk.  Cold and
+    warm execute back to back per trial (interleaved pairs, like the
+    other sampled labels) and the best pairwise ratio is the reported
+    speedup.  Validity gates: the warm run's result is bitwise identical
+    to the cold run's, and it actually hit the store.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runner import artifacts
+    from repro.sim.simulator import WARM_STATE_CACHE
+    from repro.workloads.generator import TRACE_CACHE
+
+    pv8 = PrefetcherConfig.virtualized(8)
+    system = SystemConfig.baseline().with_sampling(SAMPLING)
+    pairs = []
+    hits = {}
+    try:
+        for _ in range(3):
+            root = tempfile.mkdtemp(prefix="perf-warmstore-")
+            store = artifacts.ArtifactStore(root)
+            artifacts.set_active(store)
+            try:
+                WARM_STATE_CACHE.clear()
+                TRACE_CACHE.clear()
+                cold_result, cold_elapsed = _time_once(pv8, system=system)
+                WARM_STATE_CACHE.clear()
+                TRACE_CACHE.clear()
+                warm_result, warm_elapsed = _time_once(pv8, system=system)
+                pairs.append(
+                    (cold_result, cold_elapsed, warm_result, warm_elapsed)
+                )
+                hits = {
+                    "warm_hits": store.warm_hits,
+                    "trace_hits": store.trace_hits,
+                    "quarantined": store.quarantined,
+                }
+            finally:
+                artifacts.set_active(None)
+                shutil.rmtree(root, ignore_errors=True)
+    finally:
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+    cold_result, cold_elapsed = min(
+        ((p[0], p[1]) for p in pairs), key=lambda t: t[1]
+    )
+    warm_result, warm_elapsed = min(
+        ((p[2], p[3]) for p in pairs), key=lambda t: t[1]
+    )
+    run = _run_dict("pv8-warmstore", warm_result, warm_elapsed)
+    run["cold_refs_per_sec"] = round(run["total_refs"] / cold_elapsed, 1)
+    run["vs_cold"] = round(max(p[1] / p[3] for p in pairs), 2)
+    run["store"] = hits
+    run["result_identical"] = all(
+        p[0] == p[2] for p in pairs
+    ) and cold_result == warm_result
+    return run
+
+
 def _trajectory_moved(old_payload, runs) -> bool:
     """Whether the committed trajectory should be rewritten.
 
@@ -296,7 +370,9 @@ def test_perf_smoke():
         system=SystemConfig.baseline().with_contention(dram_channels=1),
     )
     vec_run = _measure_vec_sampled(full_result)
-    runs = [sms_run, pv8_run, contended_run, sampled_run, vec_run]
+    warmstore_run = _measure_warmstore()
+    runs = [sms_run, pv8_run, contended_run, sampled_run, vec_run,
+            warmstore_run]
     payload = {
         "bench": "perf_smoke",
         "python": platform.python_version(),
@@ -352,3 +428,12 @@ def test_perf_smoke():
     assert vec_run["vs_pv8_sampled"] >= VEC_SPEEDUP_FLOOR, vec_run
     assert vec_run["ipc_in_full_ci"], vec_run
     assert vec_run["scalar_ipc_identical"], vec_run
+
+    # The persistent-store label's guarantees: the warm (second)
+    # invocation restored from disk, beat the cold one, and changed
+    # nothing about the result.
+    assert warmstore_run["store"]["warm_hits"] > 0, warmstore_run
+    assert warmstore_run["store"]["trace_hits"] > 0, warmstore_run
+    assert warmstore_run["store"]["quarantined"] == 0, warmstore_run
+    assert warmstore_run["result_identical"], warmstore_run
+    assert warmstore_run["vs_cold"] > 1.0, warmstore_run

@@ -12,7 +12,14 @@ replays the bench-scale figures) to recompute them.  A user-level
 ``REPRO_STORE`` is deliberately ignored under pytest — results computed
 by older code would otherwise satisfy the regression suite and mask the
 exact drift it exists to catch.  ``REPRO_JOBS`` is still honored.
+
+``REPRO_ARTIFACTS`` is ignored for the same reason: warm-state and trace
+artifacts written by older code would feed the suite state the current
+code didn't compute.  Tests that exercise the artifact store install
+their own via :func:`repro.runner.artifacts.set_active`.
 """
+
+import os
 
 import pytest
 
@@ -29,8 +36,11 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session", autouse=True)
 def _session_sweep_runner(tmp_path_factory):
     """One session-local store-backed runner for the whole test run."""
-    from repro.runner import context
+    from repro.runner import artifacts, context
 
+    os.environ.pop("REPRO_ARTIFACTS", None)
+    artifacts.reset()
     context.configure(store=tmp_path_factory.mktemp("result-store"))
     yield
     context.reset()
+    artifacts.reset()

@@ -1,0 +1,75 @@
+"""Validate relative links in README.md and docs/*.md.
+
+Every markdown link target that is not an external URL or a pure anchor
+must resolve to an existing file (relative to the file containing the
+link).  Anchor fragments on relative links are checked against the
+target file's headings.  Exits nonzero listing every broken link, so CI
+catches a renamed doc or a stale cross-reference the moment it lands.
+
+Usage: python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Good enough for these docs —
+#: no reference-style links, no angle-bracket autolinks to check.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: pathlib.Path) -> set:
+    return {_anchor(m.group(1)) for m in HEADING.finditer(path.read_text())}
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-file anchor
+            if fragment and _anchor(fragment) not in _anchors(path):
+                errors.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _anchor(fragment) not in _anchors(resolved):
+                errors.append(
+                    f"{path}: broken anchor {target} "
+                    f"(no heading for #{fragment} in {base})"
+                )
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    errors = []
+    for path in files:
+        if path.exists():
+            errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    print(f"docs links ok ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,8 +37,10 @@ backend) to control execution through the broker/worker fabric.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import figures as _figures
@@ -152,6 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
     s_rep.add_argument("--strict", action="store_true",
                        help="exit nonzero if any expectation check fails")
 
+    art = sub.add_parser(
+        "artifacts",
+        help="manage the persistent warm-state/trace artifact store",
+    )
+    asub = art.add_subparsers(dest="artifacts_command", required=True)
+    art_root_help = ("store root directory (or os.pathsep-joined shard "
+                     "roots); default: REPRO_ARTIFACTS")
+    a_list = asub.add_parser("list", help="list stored artifacts")
+    a_list.add_argument("--root", default=None, help=art_root_help)
+    a_stats = asub.add_parser("stats", help="occupancy per artifact kind")
+    a_stats.add_argument("--root", default=None, help=art_root_help)
+    a_gc = asub.add_parser(
+        "gc", help="bound the store by size/age; sweep quarantined files"
+    )
+    a_gc.add_argument("--root", default=None, help=art_root_help)
+    a_gc.add_argument("--max-bytes", default=None,
+                      help="evict oldest artifacts until the total fits "
+                           "(accepts K/M/G suffixes, e.g. 500M)")
+    a_gc.add_argument("--max-age-days", type=float, default=None,
+                      help="delete artifacts older than this many days")
+
     run = sub.add_parser("run", help="run one simulation and print a summary")
     run.add_argument("workload", choices=workload_names())
     run.add_argument("prefetcher", choices=sorted(PREFETCHERS))
@@ -215,6 +238,12 @@ def _add_runner_flags(
                              "process pool otherwise), inline, process, or "
                              "any registered name "
                              "(default: REPRO_BACKEND or auto)")
+    parser.add_argument("--artifacts", default=None,
+                        help="persistent artifact-store directory for "
+                             "warm-state checkpoints and compiled traces; "
+                             "several os.pathsep-joined directories stripe "
+                             "it across shards "
+                             "(default: REPRO_ARTIFACTS or none)")
     if sampled:
         parser.add_argument("--sampled", action="store_true",
                             help="two-speed sampled simulation: functional "
@@ -244,6 +273,10 @@ def _add_study_flags(
 
 def _configure_runner(args) -> None:
     """Install the sweep runner the figure drivers will resolve through."""
+    if getattr(args, "artifacts", None):
+        from repro.runner import artifacts as _artifacts
+
+        _artifacts.configure(args.artifacts)
     if (
         getattr(args, "jobs", None) is not None
         or getattr(args, "store", None)
@@ -373,6 +406,20 @@ def _run_sweep(args) -> str:
                 f"{bs['expirations']} expired, {bs['quarantined']} quarantined",
                 file=sys.stderr,
             )
+        from repro.runner import artifacts as _artifacts
+
+        artifact_store = _artifacts.active_store()
+        if artifact_store is not None:
+            st = artifact_store.stats()
+            print(
+                f"artifacts: {st['warm_hits']} warm hits, "
+                f"{st['warm_misses']} warm misses, "
+                f"{st['trace_hits']} trace hits, "
+                f"{st['trace_misses']} trace misses, "
+                f"{st['writes']} writes, {st['quarantined']} quarantined "
+                f"(per-process; workers count their own)",
+                file=sys.stderr,
+            )
     rows = [
         {
             "workload": spec.workload,
@@ -435,6 +482,11 @@ def _run_study(args) -> str:
     jobs = args.jobs if args.jobs is not None else matrix.runner.get("jobs")
     store = args.store or matrix.runner.get("store")
     backend = args.backend or matrix.runner.get("backend")
+    artifacts_root = args.artifacts or matrix.runner.get("artifacts")
+    if artifacts_root:
+        from repro.runner import artifacts as _artifacts
+
+        _artifacts.configure(artifacts_root)
     if jobs is not None or store or backend:
         _runner_context.configure(jobs=jobs, store=store, backend=backend)
     quiet = args.quiet or bool(matrix.runner.get("quiet"))
@@ -671,6 +723,68 @@ def _run_profile(args) -> str:
     return report
 
 
+def _parse_size(text: str) -> int:
+    """``500M``-style size literal -> bytes (plain integers pass through)."""
+    text = text.strip()
+    scale = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}.get(text[-1:].upper())
+    if scale is None:
+        return int(text)
+    return int(float(text[:-1]) * scale)
+
+
+def _artifact_store_from(args):
+    import os as _os
+
+    from repro.runner.artifacts import ArtifactStore
+
+    root = args.root or _os.environ.get("REPRO_ARTIFACTS")
+    if not root:
+        raise SystemExit(
+            "no artifact store: pass --root or set REPRO_ARTIFACTS"
+        )
+    return ArtifactStore(root)
+
+
+def _run_artifacts(args) -> str:
+    """``repro artifacts list|stats|gc``: persistent-store maintenance."""
+    store = _artifact_store_from(args)
+    if args.artifacts_command == "list":
+        rows = [
+            {
+                "kind": info.kind,
+                "key": info.key[:16],
+                "bytes": info.size,
+                "age_s": round(max(0.0, time.time() - info.mtime), 1),
+                "meta": json.dumps(info.meta, sort_keys=True),
+            }
+            for info in store.entries()
+        ]
+        title = f"{len(rows)} artifacts in {', '.join(map(str, store.roots))}"
+        return render_table(["kind", "key", "bytes", "age_s", "meta"],
+                            rows, title=title)
+    if args.artifacts_command == "stats":
+        stats = store.stats()
+        rows = [
+            {"kind": kind, "entries": occ["entries"], "bytes": occ["bytes"]}
+            for kind, occ in sorted(stats["on_disk"].items())
+        ]
+        return render_table(
+            ["kind", "entries", "bytes"], rows,
+            title=f"artifact store: {', '.join(stats['roots'])}",
+        )
+    max_bytes = _parse_size(args.max_bytes) if args.max_bytes else None
+    max_age_s = (
+        args.max_age_days * 86_400.0 if args.max_age_days is not None else None
+    )
+    summary = store.gc(max_bytes=max_bytes, max_age_s=max_age_s)
+    return (
+        f"gc: {summary['removed']} evicted by size, "
+        f"{summary['expired']} expired by age, "
+        f"{summary['corrupt_swept']} corrupt swept, "
+        f"{summary['freed_bytes']} bytes freed"
+    )
+
+
 def _run_trace_stats(args) -> str:
     from repro.cpu.tracetools import trace_stats
     from repro.workloads.generator import WorkloadGenerator
@@ -713,6 +827,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_sweep(args))
     elif args.command == "study":
         print(_run_study_command(args))
+    elif args.command == "artifacts":
+        print(_run_artifacts(args))
     elif args.command == "trace-stats":
         print(_run_trace_stats(args))
     elif args.command == "profile":

@@ -14,8 +14,13 @@
 * :mod:`repro.runner.sweep`     — :class:`SweepRunner`, the parallel
   load-or-compute engine (sync ``run``, async ``submit``/``gather``);
 * :mod:`repro.runner.context`   — the process-wide active runner
-  (``REPRO_JOBS`` / ``REPRO_STORE`` / ``REPRO_BACKEND``).
+  (``REPRO_JOBS`` / ``REPRO_STORE`` / ``REPRO_BACKEND``);
+* :mod:`repro.runner.artifacts` — :class:`ArtifactStore`, persistent
+  digest-verified warm-state checkpoints and compiled traces backing the
+  in-process caches (``REPRO_ARTIFACTS``; off by default).
 """
+
+from repro.runner.artifacts import ArtifactStore
 
 from repro.runner.broker import (
     JobBroker,
@@ -44,6 +49,7 @@ from repro.runner.sweep import SweepObserver, SweepProgress, SweepRunner
 from repro.runner.worker import BACKENDS, register_backend
 
 __all__ = [
+    "ArtifactStore",
     "BACKENDS",
     "SPEC_SCHEMA",
     "STORE_SCHEMA",

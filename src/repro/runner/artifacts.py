@@ -1,0 +1,617 @@
+"""Persistent warm-state & compiled-trace artifact store.
+
+PRs 4–5 made warm-up state and compiled traces reusable *within* a
+process (:data:`~repro.workloads.generator.TRACE_CACHE`,
+:data:`~repro.sim.simulator.WARM_STATE_CACHE`); both die with the
+process, so every cold sweep invocation — and every freshly spawned
+worker of the broker/worker fabric — re-derives the same SMARTS warm-up
+state and reference streams.  The :class:`ArtifactStore` persists both
+next to the :class:`~repro.runner.store.ResultStore`, keyed by the same
+content hashes, turning cold invocations into mostly-warm ones:
+
+* **warm-state checkpoints** — the compact sparse snapshot
+  :meth:`~repro.sim.simulator.CMPSimulator._snapshot_warm_state` builds
+  (touched cache sets only, plus fetch-side state), keyed by the
+  ``(workload, seed, region, warm-up length, hierarchy geometry)`` tuple
+  of :meth:`~repro.sim.simulator.CMPSimulator._warm_key`;
+* **compiled traces** — a stream prefix of
+  :class:`~repro.cpu.trace.TraceRecord` tuples, keyed by the stream's
+  full determinism contract ``(profile, core, seed, region)``.  Only the
+  memory-reference fields are stored (20 bytes/record, zlib-compressed);
+  the engine-event annotations are pure functions of the reference
+  sequence and are recomputed exactly on restore.
+
+**Trust model.**  Every artifact file is a one-line JSON header followed
+by a zlib body, and the header carries a SHA-256 digest of the body (the
+same publish-verification pattern the broker applies to result
+payloads).  A file whose body does not match its digest — truncated by a
+killed writer, garbled by disk rot, raced on a filesystem without atomic
+replace — is *quarantined* (renamed ``*.corrupt``) and reported as a
+miss, never trusted: the caller recomputes, and recompute is always
+bitwise-equal to what a healthy restore would have produced.  Writes are
+atomic (unique temp file in the final directory, then ``os.replace``),
+so any number of concurrent writers — sweep workers, parallel pytest
+sessions — can share one store; the worst case is the same artifact
+encoded twice, never a torn file served.
+
+**Activation.**  The store is off by default (goldens and perf baselines
+never see it).  ``REPRO_ARTIFACTS=<dir>`` (or ``--artifacts <dir>`` on
+any experiment-running CLI command) switches it on process-wide; several
+``os.pathsep``-joined directories stripe artifacts across shard roots by
+key hash, mirroring :class:`~repro.runner.store.ShardedResultStore`.
+Forked sweep workers inherit the active store (and the env var covers
+spawn), so one store serves a whole broker/worker fabric run.
+
+**Lifecycle.**  ``repro artifacts list / stats / gc`` manage the store;
+``gc`` bounds it by total size and/or age (oldest evicted first) and
+always sweeps quarantined ``*.corrupt`` leftovers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import struct
+import tempfile
+import time
+import zlib
+from dataclasses import asdict
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
+
+from repro.cpu.trace import TraceRecord
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "active_store",
+    "configure",
+    "reset",
+    "set_active",
+    "trace_key_id",
+    "warm_key_id",
+]
+
+#: Bump when the on-disk artifact format (header or body encoding)
+#: changes; old entries become misses and are overwritten in place.
+ARTIFACT_SCHEMA = 1
+
+#: Per-record wire format of a trace body: pc, addr, gap, write flag.
+_TRACE_RECORD = struct.Struct("<QQIB")
+
+#: Artifact kinds (also the subdirectory names).
+WARM = "warm"
+TRACE = "trace"
+_KINDS = (WARM, TRACE)
+
+
+def _canonical_id(payload: Dict[str, Any]) -> str:
+    """Stable content hash of a key payload (canonical JSON, SHA-256)."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+def warm_key_id(key: Sequence[Any]) -> str:
+    """Content hash of a simulator warm-state key tuple.
+
+    ``key`` is exactly what
+    :meth:`~repro.sim.simulator.CMPSimulator._warm_key` returns:
+    ``(profile, seed, region, warmup_refs, *geometry)`` where geometry is
+    the flat tuple of hierarchy/fetch knobs the warm-up depends on.  The
+    dataclasses are canonicalized field-by-field, so the id is stable
+    across processes and platforms (unlike ``hash()``).
+    """
+    profile, seed, region, warmup, *geometry = key
+    return _canonical_id({
+        "kind": WARM,
+        "schema": ARTIFACT_SCHEMA,
+        "workload": asdict(profile),
+        "seed": seed,
+        "region": asdict(region),
+        "warmup": warmup,
+        "geometry": list(geometry),
+    })
+
+
+def trace_key_id(profile, core: int, seed: int, region) -> str:
+    """Content hash of a compiled stream's determinism contract."""
+    return _canonical_id({
+        "kind": TRACE,
+        "schema": ARTIFACT_SCHEMA,
+        "workload": asdict(profile),
+        "core": core,
+        "seed": seed,
+        "region": asdict(region),
+    })
+
+
+# ------------------------------------------------------------ payload codecs
+
+
+def _encode_warm(payload: tuple) -> bytes:
+    """Warm snapshot tuple -> compressed JSON (ints only, fully safe)."""
+    snaps, presence, last_iblock, nextline_last = payload
+    body = {
+        "snaps": [
+            [tick, [[sidx, list(tags), list(stamps), list(meta)]
+                    for sidx, (tags, stamps, meta) in sets.items()]]
+            for tick, sets in snaps
+        ],
+        "presence": [[block, bits] for block, bits in presence.items()],
+        "last_iblock": list(last_iblock),
+        "nextline": list(nextline_last),
+    }
+    return zlib.compress(
+        json.dumps(body, separators=(",", ":")).encode("ascii"), 6
+    )
+
+
+def _decode_warm(blob: bytes) -> tuple:
+    """Inverse of :func:`_encode_warm`, rebuilding the exact payload shape
+    (tuples/dicts/int keys) the simulator snapshots, so a restored payload
+    compares equal to a freshly computed one."""
+    body = json.loads(zlib.decompress(blob).decode("ascii"))
+    snaps = [
+        (tick, {sidx: (tags, stamps, meta)
+                for sidx, tags, stamps, meta in sets})
+        for tick, sets in body["snaps"]
+    ]
+    presence = {block: bits for block, bits in body["presence"]}
+    return (snaps, presence, body["last_iblock"], body["nextline"])
+
+
+def _encode_trace(records: Sequence[TraceRecord]) -> Optional[bytes]:
+    """Trace prefix -> compressed packed records, or None if unencodable.
+
+    Only ``(pc, addr, gap, write)`` are stored; the engine-event
+    annotations (taken branch from the PC sequence, load value from the
+    address) are pure functions of those fields and are recomputed on
+    decode — exactly the rule the generator itself follows.
+    """
+    pack = _TRACE_RECORD.pack
+    try:
+        return zlib.compress(
+            b"".join(
+                pack(r.pc, r.addr, r.gap, 1 if r.write else 0)
+                for r in records
+            ),
+            6,
+        )
+    except struct.error:  # a field outside the wire format's range
+        return None
+
+
+def _decode_trace(blob: bytes) -> List[TraceRecord]:
+    """Rebuild the annotated record list from the packed wire form."""
+    from repro.workloads.generator import memory_value
+
+    records: List[TraceRecord] = []
+    append = records.append
+    prev_pc = None
+    for pc, addr, gap, flags in _TRACE_RECORD.iter_unpack(zlib.decompress(blob)):
+        write = bool(flags & 1)
+        branch_pc = branch_target = None
+        if prev_pc is not None and pc != prev_pc + 4:
+            branch_pc = prev_pc + 4
+            branch_target = pc
+        prev_pc = pc
+        append(TraceRecord(
+            pc, addr, write, gap, branch_pc, branch_target,
+            None if write else memory_value(addr),
+        ))
+    return records
+
+
+# ---------------------------------------------------------------- the store
+
+
+class ArtifactInfo(NamedTuple):
+    """One on-disk artifact, as reported by ``list``/``gc``."""
+
+    kind: str
+    key: str
+    path: pathlib.Path
+    size: int
+    mtime: float
+    meta: Dict[str, Any]
+
+
+class ArtifactStore:
+    """Digest-verified, atomically written warm-state/trace artifacts.
+
+    ``root`` is a directory, an ``os.pathsep``-joined list of directories
+    (artifacts stripe across them by key hash), or a sequence of roots.
+    Artifacts live under ``<root>/artifacts/<kind>/<key[:2]>/<key>.bin``,
+    so a store may share its root with a :class:`ResultStore` without
+    collision.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike, Sequence]) -> None:
+        if isinstance(root, (str, os.PathLike)):
+            text = os.fspath(root)
+            roots = [part for part in text.split(os.pathsep) if part] or [text]
+        else:
+            roots = [os.fspath(r) for r in root]
+            if not roots:
+                raise ValueError("at least one artifact root required")
+        self.roots = [pathlib.Path(r) / "artifacts" for r in roots]
+        # Session counters (per process; the CLI prints them after sweeps).
+        self.warm_hits = 0
+        self.warm_misses = 0
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.writes = 0
+        self.write_bytes = 0
+        self.quarantined = 0
+
+    # -------------------------------------------------------------- layout
+
+    def _root_for(self, key: str) -> pathlib.Path:
+        return self.roots[int(key[:8], 16) % len(self.roots)]
+
+    def path_for(self, kind: str, key: str) -> pathlib.Path:
+        return self._root_for(key) / kind / key[:2] / f"{key}.bin"
+
+    # ----------------------------------------------------------- raw verify
+
+    def _read_verified(self, kind: str, key: str):
+        """``(header, body)`` for a healthy artifact, else None.
+
+        Anything structurally broken — unparseable header, digest or size
+        mismatch, undecodable body — is quarantined so it stops shadowing
+        the key; schema/kind/key mismatches (old format, foreign file) are
+        plain misses that the next write overwrites.
+        """
+        path = self.path_for(kind, key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        newline = data.find(b"\n")
+        if newline < 0:
+            self._quarantine(path)
+            return None
+        try:
+            header = json.loads(data[:newline].decode("ascii"))
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if not isinstance(header, dict):
+            self._quarantine(path)
+            return None
+        if (
+            header.get("artifact_schema") != ARTIFACT_SCHEMA
+            or header.get("kind") != kind
+            or header.get("key") != key
+        ):
+            return None
+        body = data[newline + 1:]
+        if (
+            len(body) != header.get("body_bytes")
+            or hashlib.sha256(body).hexdigest() != header.get("digest")
+        ):
+            self._quarantine(path)
+            return None
+        return header, body
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - racing readers/cleaners
+            pass
+
+    def _write(
+        self, kind: str, key: str, body: bytes, meta: Dict[str, Any]
+    ) -> pathlib.Path:
+        header = {
+            "artifact_schema": ARTIFACT_SCHEMA,
+            "kind": kind,
+            "key": key,
+            "digest": hashlib.sha256(body).hexdigest(),
+            "body_bytes": len(body),
+            "meta": meta,
+        }
+        blob = json.dumps(header, sort_keys=True).encode("ascii") + b"\n" + body
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        self.write_bytes += len(blob)
+        return path
+
+    def _peek_meta(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """Header meta without reading (or verifying) the body.
+
+        An unparseable header is structural damage and quarantines here,
+        same as in the full read; a parseable-but-foreign header (old
+        schema, wrong kind) stays a plain miss.
+        """
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                line = handle.readline(1 << 20)
+        except OSError:
+            return None
+        try:
+            header = json.loads(line.decode("ascii"))
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(header, dict)
+            or header.get("artifact_schema") != ARTIFACT_SCHEMA
+            or header.get("kind") != kind
+            or header.get("key") != key
+        ):
+            return None
+        meta = header.get("meta")
+        return meta if isinstance(meta, dict) else {}
+
+    # --------------------------------------------------------- warm state
+
+    def get_warm_state(self, key: Sequence[Any]) -> Optional[tuple]:
+        """Restore a warm-state snapshot, or None (miss or quarantined)."""
+        entry = self._read_verified(WARM, warm_key_id(key))
+        if entry is None:
+            self.warm_misses += 1
+            return None
+        _, body = entry
+        try:
+            payload = _decode_warm(body)
+        except (ValueError, KeyError, TypeError, zlib.error):
+            self._quarantine(self.path_for(WARM, warm_key_id(key)))
+            self.warm_misses += 1
+            return None
+        self.warm_hits += 1
+        return payload
+
+    def put_warm_state(
+        self, key: Sequence[Any], payload: tuple
+    ) -> Optional[pathlib.Path]:
+        """Persist a warm-state snapshot under its content-hash key."""
+        profile, seed, region, warmup = key[0], key[1], key[2], key[3]
+        meta = {
+            "workload": profile.name,
+            "seed": seed,
+            "warmup": warmup,
+            "n_cores": key[4],
+        }
+        del region
+        return self._write(WARM, warm_key_id(key), _encode_warm(payload), meta)
+
+    # -------------------------------------------------------------- traces
+
+    def get_trace(
+        self, profile, core: int, seed: int, region, n: int
+    ) -> Optional[List[TraceRecord]]:
+        """The stored stream prefix, if it is at least ``n`` records long.
+
+        A shorter stored prefix is a miss (the caller regenerates and
+        :meth:`put_trace` then extends the entry); annotations are
+        recomputed, so the returned records are bitwise identical to what
+        the generator would have produced.
+        """
+        key = trace_key_id(profile, core, seed, region)
+        meta = self._peek_meta(TRACE, key)
+        if meta is None or int(meta.get("records", 0)) < n:
+            self.trace_misses += 1
+            return None
+        entry = self._read_verified(TRACE, key)
+        if entry is None:
+            self.trace_misses += 1
+            return None
+        _, body = entry
+        try:
+            records = _decode_trace(body)
+        except (ValueError, zlib.error, struct.error):
+            self._quarantine(self.path_for(TRACE, key))
+            self.trace_misses += 1
+            return None
+        if len(records) < n:  # header lied (bit flip in the body count)
+            self.trace_misses += 1
+            return None
+        self.trace_hits += 1
+        return records
+
+    def put_trace(
+        self, profile, core: int, seed: int, region,
+        records: Sequence[TraceRecord],
+    ) -> Optional[pathlib.Path]:
+        """Persist a stream prefix; keeps the longest prefix seen.
+
+        A no-op when the store already holds at least as many records for
+        the key, so repeated sweep invocations settle into pure reads.
+        """
+        key = trace_key_id(profile, core, seed, region)
+        meta = self._peek_meta(TRACE, key)
+        if meta is not None and int(meta.get("records", 0)) >= len(records):
+            return None
+        body = _encode_trace(records)
+        if body is None:
+            return None
+        return self._write(TRACE, key, body, {
+            "workload": profile.name,
+            "core": core,
+            "seed": seed,
+            "records": len(records),
+        })
+
+    # ------------------------------------------------------------ lifecycle
+
+    def entries(self) -> Iterator[ArtifactInfo]:
+        """Every artifact currently on disk (corrupt files excluded)."""
+        for root in self.roots:
+            for kind in _KINDS:
+                base = root / kind
+                if not base.is_dir():
+                    continue
+                for path in sorted(base.glob("??/*.bin")):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    key = path.stem
+                    meta = self._peek_meta(kind, key) or {}
+                    yield ArtifactInfo(
+                        kind, key, path, stat.st_size, stat.st_mtime, meta
+                    )
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus on-disk occupancy."""
+        per_kind = {kind: {"entries": 0, "bytes": 0} for kind in _KINDS}
+        for info in self.entries():
+            per_kind[info.kind]["entries"] += 1
+            per_kind[info.kind]["bytes"] += info.size
+        return {
+            "roots": [str(root) for root in self.roots],
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "writes": self.writes,
+            "write_bytes": self.write_bytes,
+            "quarantined": self.quarantined,
+            "on_disk": per_kind,
+        }
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Bound the store by age and/or total size; sweep corrupt files.
+
+        Age first (anything older than ``max_age_s`` goes), then size
+        (oldest evicted until the total fits ``max_bytes``).  Quarantined
+        ``*.corrupt`` leftovers are always removed.  Returns a summary.
+        """
+        now = time.time() if now is None else now
+        removed = expired = corrupt = freed = 0
+        for root in self.roots:
+            if root.is_dir():
+                for path in root.glob("*/??/*.corrupt"):
+                    try:
+                        size = path.stat().st_size
+                        path.unlink()
+                        corrupt += 1
+                        freed += size
+                    except OSError:
+                        pass
+        survivors: List[ArtifactInfo] = []
+        for info in self.entries():
+            if max_age_s is not None and now - info.mtime > max_age_s:
+                try:
+                    info.path.unlink()
+                    expired += 1
+                    freed += info.size
+                except OSError:
+                    pass
+                continue
+            survivors.append(info)
+        if max_bytes is not None:
+            total = sum(info.size for info in survivors)
+            for info in sorted(survivors, key=lambda i: i.mtime):
+                if total <= max_bytes:
+                    break
+                try:
+                    info.path.unlink()
+                    removed += 1
+                    total -= info.size
+                    freed += info.size
+                except OSError:
+                    pass
+        return {
+            "removed": removed,
+            "expired": expired,
+            "corrupt_swept": corrupt,
+            "freed_bytes": freed,
+        }
+
+    def clear(self) -> int:
+        """Delete every artifact (and corrupt leftover); returns count."""
+        count = 0
+        for info in self.entries():
+            try:
+                info.path.unlink()
+                count += 1
+            except OSError:
+                pass
+        for root in self.roots:
+            if root.is_dir():
+                for path in root.glob("*/??/*.corrupt"):
+                    try:
+                        path.unlink()
+                        count += 1
+                    except OSError:
+                        pass
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({[str(r.parent) for r in self.roots]!r})"
+
+
+# -------------------------------------------------- process-wide activation
+
+_UNSET = object()
+_active: Any = _UNSET
+
+
+def active_store() -> Optional[ArtifactStore]:
+    """The process-wide store, built from ``REPRO_ARTIFACTS`` on first use.
+
+    None when no store is configured — the default, so nothing persists
+    unless explicitly asked for.  Forked sweep workers inherit whatever
+    the parent resolved; spawned ones re-resolve from the (exported)
+    environment variable.
+    """
+    global _active
+    if _active is _UNSET:
+        path = os.environ.get("REPRO_ARTIFACTS")
+        _active = ArtifactStore(path) if path else None
+    return _active
+
+
+def set_active(store: Optional[ArtifactStore]) -> None:
+    """Install (or clear, with None) the process-wide store directly."""
+    global _active
+    _active = store
+
+
+def configure(root: Optional[Union[str, os.PathLike]]) -> Optional[ArtifactStore]:
+    """Activate a store rooted at ``root`` (``--artifacts``), or disable.
+
+    Also exports ``REPRO_ARTIFACTS`` so worker processes that *spawn*
+    rather than fork resolve the same store.
+    """
+    if root:
+        os.environ["REPRO_ARTIFACTS"] = os.fspath(root)
+        store = ArtifactStore(root)
+    else:
+        os.environ.pop("REPRO_ARTIFACTS", None)
+        store = None
+    set_active(store)
+    return store
+
+
+def reset() -> None:
+    """Forget the resolved store; the next use re-reads the environment."""
+    global _active
+    _active = _UNSET

@@ -16,6 +16,12 @@ runner is built from the environment:
 
 CLI flags (``--jobs`` / ``--store`` / ``--backend``) call
 :func:`configure` to override.
+
+The persistent *artifact* store (warm-state checkpoints and compiled
+traces, ``REPRO_ARTIFACTS`` / ``--artifacts``) has its own analogous
+singleton in :mod:`repro.runner.artifacts` — it is a cache tier under
+the simulator, not part of the runner resolution chain, so the two are
+configured independently.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
 """JSON (de)serialization of :class:`~repro.sim.metrics.SimResult`.
 
-The store and the multiprocessing sweep both move results as plain dicts:
+The store and the broker/worker fabric both move results as plain dicts:
 every field of the dataclass, nothing else — including the nested
 ``engine_stats`` mapping carrying per-engine (BTB/LVP) counters for the
 generality scenarios.  Deserialization is strict — missing or unknown

@@ -39,7 +39,14 @@ Warm-state reuse across a sweep is organized around **workload groups**:
   balancing, less reuse);
 * before forking, the parent precompiles each multi-spec group's shared
   traces (``REPRO_SHARE_TRACES=0`` disables), so fork-inherited memory
-  hands every worker a hot trace cache for free.
+  hands every worker a hot trace cache for free;
+* when a persistent :class:`~repro.runner.artifacts.ArtifactStore` is
+  active (``REPRO_ARTIFACTS`` / ``--artifacts``), both in-process caches
+  read through to it and write behind: presharing restores compiled
+  traces from disk instead of regenerating, forked workers inherit the
+  same store handle (spawned ones re-resolve it from the exported
+  environment), and warm-state checkpoints survive across sweep
+  *invocations*, not just within one process.
 
 ``REPRO_JOBS`` sets the requested pool width (see
 :mod:`repro.runner.context`); the effective width of one ``run`` call is

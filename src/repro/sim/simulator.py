@@ -37,6 +37,7 @@ from repro.prefetch.stride import StridePrefetcher
 from repro.core.pvproxy import PVProxyStats
 from repro.core.pvtable import PVTable
 from repro.core.virtualized import VirtualizedPredictorTable
+from repro.runner import artifacts
 from repro.sim import batchkernel
 from repro.sim.config import PrefetcherConfig, SystemConfig
 from repro.sim.engines import EngineRuntime, aggregate_engine_stats, build_engine
@@ -65,6 +66,11 @@ class WarmStateCache:
     count (``REPRO_WARM_CACHE_ENTRIES``, default 8; 0 disables reuse), and
     restoring one is bitwise equivalent to recomputing the warm-up, so a
     hit can never change a result.
+
+    With ``REPRO_ARTIFACTS`` set, the persistent
+    :class:`~repro.runner.artifacts.ArtifactStore` backs this cache: a
+    miss here consults the on-disk checkpoint (written by any earlier
+    process) before recomputing — see :meth:`CMPSimulator._warm_sampled`.
     """
 
     DEFAULT_MAX_ENTRIES = 8
@@ -393,8 +399,13 @@ class CMPSimulator:
         training, no prefetching) and resolves through the process-wide
         :data:`WARM_STATE_CACHE`: the first configuration of a
         (workload, seed, geometry, warm-up) tuple computes and snapshots
-        the state, later ones restore it.  Restoring is bitwise equivalent
-        to recomputing, so results never depend on cache history.
+        the state, later ones restore it.  When a persistent
+        :class:`~repro.runner.artifacts.ArtifactStore` is active
+        (``REPRO_ARTIFACTS``), it sits underneath as a second tier: a
+        memory miss consults the on-disk checkpoint before recomputing,
+        and a recomputed snapshot is written behind for future processes.
+        Restoring (from either tier) is bitwise equivalent to
+        recomputing, so results never depend on cache history.
         """
         if not sampling.shared_warm:
             self._drive_functional(warmup_refs)
@@ -407,10 +418,17 @@ class CMPSimulator:
         key = self._warm_key(warmup_refs)
         snap = WARM_STATE_CACHE.get(key)
         if snap is None:
-            self._drive_functional(warmup_refs, train=False)
-            WARM_STATE_CACHE.put(key, self._snapshot_warm_state())
-        else:
-            self._restore_warm_state(snap, warmup_refs)
+            store = artifacts.active_store()
+            snap = store.get_warm_state(key) if store is not None else None
+            if snap is None:
+                self._drive_functional(warmup_refs, train=False)
+                snap = self._snapshot_warm_state()
+                WARM_STATE_CACHE.put(key, snap)
+                if store is not None:
+                    store.put_warm_state(key, snap)
+                return
+            WARM_STATE_CACHE.put(key, snap)
+        self._restore_warm_state(snap, warmup_refs)
 
     def _warm_key(self, warmup_refs: int):
         cfg = self.system

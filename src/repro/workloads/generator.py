@@ -325,6 +325,14 @@ class TraceCache:
     of once per experiment.  Total cached records are bounded
     (``REPRO_TRACE_CACHE_REFS``, default 1M records ≈ a few hundred MB;
     ``0`` disables caching), evicting least-recently-used streams first.
+
+    When a persistent :class:`~repro.runner.artifacts.ArtifactStore` is
+    active (``REPRO_ARTIFACTS``), it backs this cache as a second tier:
+    an in-memory miss restores the compiled stream from disk when a long
+    enough prefix is persisted there, and freshly generated or extended
+    streams are written behind.  Restored records are rebuilt through the
+    same annotation rules :class:`WorkloadGenerator` applies, so they are
+    bitwise identical to regeneration.
     """
 
     DEFAULT_MAX_RECORDS = 1_000_000
@@ -346,6 +354,41 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
+        self.store_misses = 0
+
+    @staticmethod
+    def _store():
+        from repro.runner import artifacts
+
+        return artifacts.active_store()
+
+    def _from_store(self, store, key, n: int) -> Optional[List[TraceRecord]]:
+        """Persisted prefix of the keyed stream, counted, or None."""
+        profile, core, seed, region = key
+        records = store.get_trace(profile, core, seed, region, n)
+        if records is None:
+            self.store_misses += 1
+        else:
+            self.store_hits += 1
+        return records
+
+    def _materialize_generator(self, entry, key) -> WorkloadGenerator:
+        """The entry's live generator, creating one for restored entries.
+
+        A stream restored from the artifact store has no generator yet;
+        extending it creates one and burns the persisted prefix, which
+        continues the identical record sequence.
+        """
+        if entry[0] is None:
+            profile, core, seed, region = key
+            generator = WorkloadGenerator(
+                profile, core=core, seed=seed, region=region
+            )
+            burned = generator.compile_trace(len(entry[1]))
+            del burned
+            entry[0] = generator
+        return entry[0]
 
     def get(
         self,
@@ -362,24 +405,45 @@ class TraceCache:
         """
         if region is None:
             region = SpatialRegionGeometry()
+        store = self._store()
+        key = (profile, core, seed, region)
         if n > self.max_records:
-            # Oversized request: compile without caching (bounded memory).
-            return WorkloadGenerator(
+            # Oversized request: compile without caching in memory
+            # (bounded footprint); the persistent tier still applies.
+            if store is not None:
+                restored = self._from_store(store, key, n)
+                if restored is not None:
+                    return restored
+            records = WorkloadGenerator(
                 profile, core=core, seed=seed, region=region
             ).compile_trace(n)
-        key = (profile, core, seed, region)
+            if store is not None:
+                store.put_trace(profile, core, seed, region, records)
+            return records
         entry = self._entries.get(key)
+        grown = False
         if entry is None:
             self.misses += 1
-            generator = WorkloadGenerator(
-                profile, core=core, seed=seed, region=region
-            )
-            entry = [generator, generator.compile_trace(n), 0]
+            restored = self._from_store(store, key, n) if store is not None else None
+            if restored is not None:
+                # No generator yet: materialized lazily if the stream ever
+                # needs to grow beyond the persisted prefix.
+                entry = [None, restored, 0]
+            else:
+                generator = WorkloadGenerator(
+                    profile, core=core, seed=seed, region=region
+                )
+                entry = [generator, generator.compile_trace(n), 0]
+                grown = True
             self._entries[key] = entry
         else:
             self.hits += 1
             if len(entry[1]) < n:
-                entry[1].extend(entry[0].records(n - len(entry[1])))
+                generator = self._materialize_generator(entry, key)
+                entry[1].extend(generator.records(n - len(entry[1])))
+                grown = True
+        if grown and store is not None:
+            store.put_trace(profile, core, seed, region, entry[1])
         self._tick += 1
         entry[2] = self._tick
         self._evict()
@@ -451,14 +515,18 @@ class TraceCache:
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy.
 
-        Per-process: under a multiprocessing sweep, worker processes fork
-        with (and then extend) their own copy of the cache, so the
-        parent's numbers cover exactly the presharing work it did.
+        Per-process: workers of the broker/worker fabric's process backend
+        fork with (and then extend) their own copy of the cache, so the
+        parent's numbers cover exactly the presharing work it did.  The
+        ``store_*`` counters track consultations of the persistent
+        artifact tier (always zero when ``REPRO_ARTIFACTS`` is off).
         """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "entries": len(self._entries),
             "records": sum(len(entry[1]) for entry in self._entries.values()),
             "max_records": self.max_records,

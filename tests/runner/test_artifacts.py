@@ -1,0 +1,317 @@
+"""The persistent artifact store: format, trust model, lifecycle.
+
+Pinned guarantees:
+
+* warm-state and trace payloads round-trip bitwise — the decoded object
+  compares equal to what was stored, exact types included;
+* the store never trusts a damaged file: truncation, body corruption,
+  header garbage and digest mismatch all quarantine (``*.corrupt``) and
+  read as misses, so callers recompute;
+* a stored trace serves any prefix request up to its length, rebuilt with
+  annotations identical to regeneration; shorter stored prefixes miss;
+* writes are atomic and last-writer-wins: concurrent writers on one key
+  can interleave freely without a torn file ever being served;
+* keys are stable content hashes (same inputs, same id across processes)
+  and stripe deterministically across shard roots;
+* ``gc`` bounds the store by age then size (oldest first) and always
+  sweeps quarantined leftovers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.runner import artifacts
+from repro.runner.artifacts import ArtifactStore, trace_key_id, warm_key_id
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.registry import get_workload
+
+PROFILE = get_workload("Qry1")
+REGION = SpatialRegionGeometry()
+
+
+def _warm_key(warmup=600, n_cores=4):
+    # Shape-compatible with CMPSimulator._warm_key: (profile, seed,
+    # region, warmup, *geometry).
+    return (
+        PROFILE, 3, REGION, warmup,
+        n_cores, 64, 32768, 2, 32768, 2, 1 << 20, 16, True, 1,
+    )
+
+
+def _warm_payload():
+    # Shape-compatible with CMPSimulator._snapshot_warm_state: per-cache
+    # (tick, {set_index: (tags, stamps, meta)}), presence, fetch state.
+    snaps = [
+        (17, {0: ([1, 2], [5, 6], [0, 0]), 9: ([3], [7], [1])}),
+        (2, {}),
+    ]
+    presence = {4096: 3, 8192: 1}
+    return (snaps, presence, [64, 128], [0, 1])
+
+
+def _trace(n=400, core=0, seed=7):
+    return WorkloadGenerator(
+        PROFILE, core=core, seed=seed, region=REGION
+    ).compile_trace(n)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path)
+
+
+class TestRoundTrip:
+    def test_warm_payload_bitwise(self, store):
+        key = _warm_key()
+        payload = _warm_payload()
+        store.put_warm_state(key, payload)
+        restored = store.get_warm_state(key)
+        assert restored == payload
+        # Exact container types, not just equal values: the simulator
+        # restore path indexes these structures directly.
+        snaps, presence, last_iblock, nextline = restored
+        assert isinstance(snaps[0], tuple)
+        assert isinstance(snaps[0][1], dict)
+        assert all(isinstance(k, int) for k in presence)
+
+    def test_trace_bitwise_and_prefixes(self, store):
+        records = _trace(400)
+        store.put_trace(PROFILE, 0, 7, REGION, records)
+        assert store.get_trace(PROFILE, 0, 7, REGION, 400) == records
+        assert store.get_trace(PROFILE, 0, 7, REGION, 100)[:100] == records[:100]
+        # Longer than stored: a miss, never a silent short read.
+        assert store.get_trace(PROFILE, 0, 7, REGION, 401) is None
+
+    def test_put_trace_keeps_longest_prefix(self, store):
+        long = _trace(500)
+        store.put_trace(PROFILE, 0, 7, REGION, long)
+        # A shorter write is a no-op, not a truncation.
+        assert store.put_trace(PROFILE, 0, 7, REGION, long[:100]) is None
+        assert store.get_trace(PROFILE, 0, 7, REGION, 500) == long
+
+    def test_distinct_keys_do_not_collide(self, store):
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(50, core=0))
+        store.put_trace(PROFILE, 1, 7, REGION, _trace(50, core=1))
+        assert (
+            store.get_trace(PROFILE, 0, 7, REGION, 50)
+            != store.get_trace(PROFILE, 1, 7, REGION, 50)
+        )
+
+
+class TestKeys:
+    def test_key_ids_are_stable_content_hashes(self):
+        assert warm_key_id(_warm_key()) == warm_key_id(_warm_key())
+        assert warm_key_id(_warm_key()) != warm_key_id(_warm_key(warmup=700))
+        assert (
+            trace_key_id(PROFILE, 0, 7, REGION)
+            == trace_key_id(PROFILE, 0, 7, REGION)
+        )
+        assert (
+            trace_key_id(PROFILE, 0, 7, REGION)
+            != trace_key_id(PROFILE, 1, 7, REGION)
+        )
+
+    def test_sharded_roots_route_deterministically(self, tmp_path):
+        roots = [tmp_path / "a", tmp_path / "b", tmp_path / "c"]
+        joined = os.pathsep.join(str(r) for r in roots)
+        store = ArtifactStore(joined)
+        for core in range(6):
+            store.put_trace(PROFILE, core, 7, REGION, _trace(20, core=core))
+        twin = ArtifactStore(joined)
+        for core in range(6):
+            assert twin.get_trace(PROFILE, core, 7, REGION, 20) is not None
+        total = sum(
+            1 for r in roots for _ in r.glob("artifacts/trace/??/*.bin")
+        )
+        assert total == 6
+
+
+class TestQuarantine:
+    def _trace_path(self, store):
+        return store.path_for("trace", trace_key_id(PROFILE, 0, 7, REGION))
+
+    def _stored(self, store, n=200):
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(n))
+        return self._trace_path(store)
+
+    def test_truncated_body_quarantined(self, store):
+        path = self._stored(store)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert store.quarantined == 1
+
+    def test_flipped_body_byte_quarantined(self, store):
+        path = self._stored(store)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_header_garbage_quarantined(self, store):
+        path = self._stored(store)
+        path.write_bytes(b"not json at all\n\x00\x01\x02")
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_tampered_digest_quarantined(self, store):
+        path = self._stored(store)
+        data = path.read_bytes()
+        newline = data.index(b"\n")
+        header = json.loads(data[:newline])
+        header["digest"] = "0" * 64
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode() + data[newline:]
+        )
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_recompute_after_quarantine_is_identical(self, store):
+        records = _trace(200)
+        path = self._stored(store, 200)
+        path.write_bytes(b"garbage")
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) is None
+        # The caller's fallback: regenerate and re-persist.
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(200))
+        assert store.get_trace(PROFILE, 0, 7, REGION, 200) == records
+
+    def test_warm_corruption_is_a_miss(self, store):
+        key = _warm_key()
+        store.put_warm_state(key, _warm_payload())
+        path = store.path_for("warm", warm_key_id(key))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert store.get_warm_state(key) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_wrong_kind_is_a_plain_miss(self, store):
+        # A warm artifact parked at a trace path (e.g. a foreign file)
+        # is ignored, not quarantined: structurally healthy, just not ours.
+        key = _warm_key()
+        store.put_warm_state(key, _warm_payload())
+        src = store.path_for("warm", warm_key_id(key))
+        tkey = trace_key_id(PROFILE, 0, 7, REGION)
+        dst = store.path_for("trace", tkey)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(src, dst)
+        assert store.get_trace(PROFILE, 0, 7, REGION, 10) is None
+        assert dst.exists()
+
+
+def _racing_writer(root, n, barrier):
+    store = ArtifactStore(root)
+    records = _trace(n)
+    barrier.wait()
+    for _ in range(5):
+        store._write(
+            "trace", trace_key_id(PROFILE, 0, 7, REGION),
+            artifacts._encode_trace(records),
+            {"workload": PROFILE.name, "core": 0, "seed": 7, "records": n},
+        )
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_a_torn_file(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(3)
+        # Both writers encode the same 150-record stream and race raw
+        # _write (bypassing put_trace's skip-if-longer) on one key.
+        procs = [
+            ctx.Process(target=_racing_writer, args=(str(tmp_path), 150, barrier))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        barrier.wait()
+        reader = ArtifactStore(tmp_path)
+        expected = _trace(150)
+        seen = 0
+        while any(p.is_alive() for p in procs) or seen == 0:
+            got = reader.get_trace(PROFILE, 0, 7, REGION, 150)
+            if got is not None:
+                assert got == expected
+                seen += 1
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        assert reader.quarantined == 0
+        assert reader.get_trace(PROFILE, 0, 7, REGION, 150) == expected
+
+
+class TestLifecycle:
+    def test_stats_counts_disk_occupancy(self, store):
+        store.put_warm_state(_warm_key(), _warm_payload())
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(50))
+        stats = store.stats()
+        assert stats["on_disk"]["warm"]["entries"] == 1
+        assert stats["on_disk"]["trace"]["entries"] == 1
+        assert stats["on_disk"]["trace"]["bytes"] > 0
+        assert stats["writes"] == 2
+
+    def test_gc_by_age_then_size(self, store):
+        for core in range(4):
+            path = store.put_trace(
+                PROFILE, core, 7, REGION, _trace(100, core=core)
+            )
+            os.utime(path, (1000.0 * (core + 1), 1000.0 * (core + 1)))
+        # Age bound: cores 0-1 (mtime 1000/2000) expire at now=10000 with
+        # max_age 7500.
+        out = store.gc(max_age_s=7_500.0, now=10_000.0)
+        assert out["expired"] == 2
+        survivors = list(store.entries())
+        assert len(survivors) == 2
+        # Size bound: evict oldest until one fits.
+        keep = max(info.size for info in survivors)
+        out = store.gc(max_bytes=keep, now=10_000.0)
+        assert out["removed"] >= 1
+        assert sum(info.size for info in store.entries()) <= keep
+
+    def test_gc_sweeps_corrupt_files(self, store):
+        path = store.put_trace(PROFILE, 0, 7, REGION, _trace(50))
+        path.write_bytes(b"junk")
+        assert store.get_trace(PROFILE, 0, 7, REGION, 50) is None
+        out = store.gc()
+        assert out["corrupt_swept"] == 1
+        assert not list(store.roots[0].glob("trace/??/*.corrupt"))
+
+    def test_clear_removes_everything(self, store):
+        store.put_warm_state(_warm_key(), _warm_payload())
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(50))
+        assert store.clear() == 2
+        assert list(store.entries()) == []
+
+
+class TestActivation:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        artifacts.reset()
+        try:
+            assert artifacts.active_store() is None
+        finally:
+            artifacts.reset()
+
+    def test_env_resolution_and_configure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "via-env"))
+        artifacts.reset()
+        try:
+            resolved = artifacts.active_store()
+            assert resolved is not None
+            assert resolved.roots[0].parent == tmp_path / "via-env"
+            store = artifacts.configure(tmp_path / "via-flag")
+            assert artifacts.active_store() is store
+            # configure exports the env var so spawned workers inherit it.
+            assert os.environ["REPRO_ARTIFACTS"] == str(tmp_path / "via-flag")
+            assert artifacts.configure(None) is None
+            assert "REPRO_ARTIFACTS" not in os.environ
+            assert artifacts.active_store() is None
+        finally:
+            artifacts.reset()

@@ -1,0 +1,221 @@
+"""The artifact store as a tier under WARM_STATE_CACHE and TraceCache.
+
+Pinned guarantees:
+
+* the store is invisible when off (the default): nothing on disk, no
+  counter movement, results bitwise identical to a store-free process;
+* a cold process restoring warm state and traces from a populated store
+  produces bitwise-identical ``SimResult`` payloads *and* machine state
+  vs recomputing everything — persistence can never change a result;
+* corruption at any artifact falls back to recompute with identical
+  results (and quarantines the damaged file);
+* a restored trace extends past its persisted prefix by materializing
+  the generator and continuing the identical stream;
+* sweep workers (forked process backend) populate one shared store a
+  later inline invocation hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.runner import artifacts
+from repro.runner.artifacts import ArtifactStore, trace_key_id
+from repro.sim.config import PrefetcherConfig, SystemConfig
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import WARM_STATE_CACHE, CMPSimulator
+from repro.workloads.generator import TRACE_CACHE, TraceCache, WorkloadGenerator
+from repro.workloads.registry import get_workload
+
+SAMPLING = SamplingConfig.smarts(
+    period_refs=400, detail_refs=60, warm_refs=30, functional_refs=100
+)
+REGION = SpatialRegionGeometry()
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh active store; caches cleared so every run starts cold."""
+    store = ArtifactStore(tmp_path / "artifacts")
+    artifacts.set_active(store)
+    WARM_STATE_CACHE.clear()
+    TRACE_CACHE.clear()
+    yield store
+    artifacts.set_active(None)
+    WARM_STATE_CACHE.clear()
+    TRACE_CACHE.clear()
+
+
+def _state(sim):
+    """Complete post-run machine state, for bitwise comparison."""
+    h = sim.hierarchy
+    caches = [*h.l1d, *h.l1i, h.l2]
+    return {
+        "caches": [
+            (c._tick, c._tags, c._stamps, c._meta, vars(c.stats))
+            for c in caches
+        ],
+        "presence": dict(h._l1_presence),
+        "hstats": vars(h.stats),
+        "last_iblock": list(sim._last_iblock),
+        "trace_pos": list(sim._trace_pos),
+        "mem": (h.memory.reads, h.memory.writes),
+    }
+
+
+def _sampled_run(workload="Qry1", config=None, seed=1):
+    sim = CMPSimulator(
+        get_workload(workload),
+        config or PrefetcherConfig.virtualized(8),
+        system=SystemConfig.baseline().with_sampling(SAMPLING),
+        seed=seed,
+    )
+    result = sim.run(2_000, warmup_refs=800)
+    return asdict(result), _state(sim)
+
+
+class TestOffByDefault:
+    def test_no_store_resolved_under_pytest(self):
+        # conftest strips REPRO_ARTIFACTS for the whole session.
+        assert artifacts.active_store() is None
+
+    def test_runs_identical_with_and_without_store(self, store, tmp_path):
+        warm_result, warm_state = _sampled_run()
+        artifacts.set_active(None)
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        off_result, off_state = _sampled_run()
+        assert off_result == warm_result
+        assert off_state == warm_state
+
+
+class TestColdVsWarmBitwise:
+    def test_restore_equals_recompute(self, store):
+        cold_result, cold_state = _sampled_run()
+        assert store.writes > 0
+        # Second cold process (both in-memory caches emptied): everything
+        # the store can serve comes from disk.
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        warm_result, warm_state = _sampled_run()
+        assert store.warm_hits >= 1
+        assert store.trace_hits >= 1
+        assert warm_result == cold_result
+        assert warm_state == cold_state
+
+    def test_warm_checkpoint_shared_across_configs(self, store):
+        _sampled_run(config=PrefetcherConfig.none())
+        warm_writes = store.stats()["on_disk"]["warm"]["entries"]
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        _sampled_run(config=PrefetcherConfig.virtualized(8))
+        # The demand-only warm-up is predictor-independent: the second
+        # configuration restored the first one's checkpoint.
+        assert store.warm_hits >= 1
+        assert store.stats()["on_disk"]["warm"]["entries"] == warm_writes
+
+
+class TestCorruptionFallback:
+    def _damage_all(self, store, kind):
+        damaged = 0
+        for root in store.roots:
+            for path in root.glob(f"{kind}/??/*.bin"):
+                path.write_bytes(b"\x00garbage")
+                damaged += 1
+        return damaged
+
+    @pytest.mark.parametrize("kind", ["warm", "trace"])
+    def test_recompute_identical_after_corruption(self, store, kind):
+        cold_result, cold_state = _sampled_run()
+        assert self._damage_all(store, kind) > 0
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        again_result, again_state = _sampled_run()
+        assert again_result == cold_result
+        assert again_state == cold_state
+        assert store.quarantined > 0
+        # The recompute re-persisted healthy artifacts over the wreckage.
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        quarantined_before = store.quarantined
+        third_result, _ = _sampled_run()
+        assert third_result == cold_result
+        assert store.quarantined == quarantined_before
+
+
+class TestTraceCacheTier:
+    def test_miss_restores_from_store(self, store):
+        profile = get_workload("Apache")
+        fresh = TraceCache(max_records=10_000)
+        expected = fresh.get(profile, 0, 5, REGION, 300)
+        assert fresh.store_misses >= 1
+        cold = TraceCache(max_records=10_000)
+        got = cold.get(profile, 0, 5, REGION, 300)
+        assert cold.store_hits == 1
+        assert cold.misses == 1  # in-memory miss, served from disk
+        assert got == expected
+
+    def test_extension_beyond_persisted_prefix(self, store):
+        profile = get_workload("Apache")
+        TraceCache(max_records=10_000).get(profile, 0, 5, REGION, 200)
+        cold = TraceCache(max_records=10_000)
+        assert cold.get(profile, 0, 5, REGION, 150) is not None  # restored
+        longer = cold.get(profile, 0, 5, REGION, 450)
+        reference = WorkloadGenerator(
+            profile, core=0, seed=5, region=REGION
+        ).compile_trace(450)
+        assert longer == reference
+        # The extension was written behind: a third cache restores 450.
+        third = TraceCache(max_records=10_000)
+        assert third.get(profile, 0, 5, REGION, 450) == reference
+        assert third.store_hits == 1
+
+    def test_oversized_requests_use_store_without_caching(self, store):
+        profile = get_workload("Apache")
+        tiny = TraceCache(max_records=100)
+        first = tiny.get(profile, 0, 5, REGION, 250)
+        assert tiny.stats()["records"] == 0  # not cached in memory
+        again = tiny.get(profile, 0, 5, REGION, 250)
+        assert again == first
+        assert tiny.store_hits == 1
+
+    def test_counters_stay_zero_without_store(self):
+        artifacts.set_active(None)
+        cache = TraceCache(max_records=10_000)
+        cache.get(get_workload("Apache"), 0, 5, REGION, 100)
+        stats = cache.stats()
+        assert stats["store_hits"] == 0
+        assert stats["store_misses"] == 0
+
+
+class TestSweepFabricSharing:
+    def test_forked_workers_populate_shared_store(self, store, tmp_path):
+        from repro.runner.spec import ExperimentScale, ExperimentSpec
+        from repro.runner.sweep import SweepRunner
+
+        scale = ExperimentScale(
+            refs_per_core=1_200, warmup_refs=600, window_refs=300
+        )
+        specs = [
+            ExperimentSpec.build(w, c, scale=scale)
+            for w in ("Qry1", "Apache")
+            for c in (PrefetcherConfig.none(), PrefetcherConfig.virtualized(8))
+        ]
+        runner = SweepRunner(jobs=2, backend="process")
+        computed = runner.run(specs)
+        stats = store.stats()
+        # The workers (not this process) wrote trace artifacts into the
+        # shared store as a side effect of computing.
+        assert stats["on_disk"]["trace"]["entries"] > 0
+        # A cold inline process resolves the same streams from disk.
+        from repro.sim import experiment
+
+        experiment.clear_cache()
+        TRACE_CACHE.clear()
+        WARM_STATE_CACHE.clear()
+        inline = SweepRunner(jobs=1, backend="inline").run(specs)
+        assert store.trace_hits > 0
+        assert [asdict(r) for r in inline] == [asdict(r) for r in computed]
