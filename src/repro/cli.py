@@ -21,6 +21,9 @@ Commands mirror the deliverables:
   the sweep runner into JSONL records, and ``study report`` to render the
   markdown report (runs table, paper deltas, expectation checks;
   ``--strict`` exits nonzero when a check fails);
+* ``serve``                                         — a remote-host agent:
+  accept jobs from a coordinator running ``--backend remote`` over the
+  digest-verified TCP transport (:mod:`repro.runner.remote`);
 * ``trace-stats``                                   — summarize a workload's
   synthetic reference stream;
 * ``profile``                                       — cProfile the simulator
@@ -181,6 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--refs", type=int, default=12_000)
     run.add_argument("--warmup", type=int, default=None)
 
+    srv = sub.add_parser(
+        "serve",
+        help="host agent: compute jobs for a remote-backend coordinator",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="interface to listen on (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (default 0: pick a free port and print it)")
+    srv.add_argument("--artifact-cache", default=None,
+                     help="local cache directory for artifacts fetched over "
+                          "the coordinator's gateway (default: a temp dir)")
+
     ts = sub.add_parser("trace-stats", help="summarize a workload's stream")
     ts.add_argument("workload", choices=workload_names())
     ts.add_argument("--refs", type=int, default=20_000)
@@ -235,8 +250,9 @@ def _add_runner_flags(
                              "(default: REPRO_STORE or none)")
     parser.add_argument("--backend", default=None,
                         help="execution backend: auto (inline when --jobs 1, "
-                             "process pool otherwise), inline, process, or "
-                             "any registered name "
+                             "process pool otherwise), inline, process, "
+                             "remote (repro serve hosts from REPRO_HOSTS="
+                             "host:port,...), or any registered name "
                              "(default: REPRO_BACKEND or auto)")
     parser.add_argument("--artifacts", default=None,
                         help="persistent artifact-store directory for "
@@ -406,6 +422,16 @@ def _run_sweep(args) -> str:
                 f"{bs['expirations']} expired, {bs['quarantined']} quarantined",
                 file=sys.stderr,
             )
+        tallies = runner.last_host_tallies
+        if tallies:
+            for host, tally in sorted(tallies.items()):
+                print(
+                    f"host {host}: {tally.get('done', 0)} done, "
+                    f"{tally.get('retried', 0)} retried, "
+                    f"{tally.get('requeued', 0)} requeued, "
+                    f"{tally.get('reconnects', 0)} reconnects",
+                    file=sys.stderr,
+                )
         from repro.runner import artifacts as _artifacts
 
         artifact_store = _artifacts.active_store()
@@ -765,11 +791,17 @@ def _run_artifacts(args) -> str:
     if args.artifacts_command == "stats":
         stats = store.stats()
         rows = [
-            {"kind": kind, "entries": occ["entries"], "bytes": occ["bytes"]}
+            {
+                "kind": kind,
+                "entries": occ["entries"],
+                "bytes": occ["bytes"],
+                "corrupt": occ["corrupt"],
+                "corrupt_bytes": occ["corrupt_bytes"],
+            }
             for kind, occ in sorted(stats["on_disk"].items())
         ]
         return render_table(
-            ["kind", "entries", "bytes"], rows,
+            ["kind", "entries", "bytes", "corrupt", "corrupt_bytes"], rows,
             title=f"artifact store: {', '.join(stats['roots'])}",
         )
     max_bytes = _parse_size(args.max_bytes) if args.max_bytes else None
@@ -783,6 +815,25 @@ def _run_artifacts(args) -> str:
         f"{summary['corrupt_swept']} corrupt swept, "
         f"{summary['freed_bytes']} bytes freed"
     )
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: block serving jobs until interrupted."""
+    from repro.runner.remote import HostAgent
+
+    agent = HostAgent(
+        host=args.host, port=args.port, artifact_cache=args.artifact_cache
+    )
+    agent.start()
+    host, port = agent.address
+    print(f"repro serve: listening on {host}:{port}", flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()
+    return 0
 
 
 def _run_trace_stats(args) -> str:
@@ -829,6 +880,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_study_command(args))
     elif args.command == "artifacts":
         print(_run_artifacts(args))
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "trace-stats":
         print(_run_trace_stats(args))
     elif args.command == "profile":

@@ -9,6 +9,9 @@
   lease/retry/quarantine queue of content-hashed specs;
 * :mod:`repro.runner.worker`    — execution backends (inline, local
   process pool) driving the broker, plus the backend registry;
+* :mod:`repro.runner.remote`    — the remote-host backend: ``repro
+  serve`` agents over a digest-verified TCP transport with timeouts,
+  backoff, partition recovery and artifact-tier sharing;
 * :mod:`repro.runner.faults`    — deterministic fault injection
   (:class:`FaultPlan`) the failure-semantics tests are built on;
 * :mod:`repro.runner.sweep`     — :class:`SweepRunner`, the parallel
@@ -37,6 +40,7 @@ from repro.runner.context import (
     set_runner,
 )
 from repro.runner.faults import FaultPlan
+from repro.runner.remote import HostAgent, RemoteBackend
 from repro.runner.serialize import (
     ResultSchemaError,
     canonical_result_json,
@@ -56,9 +60,11 @@ __all__ = [
     "ExperimentScale",
     "ExperimentSpec",
     "FaultPlan",
+    "HostAgent",
     "JobBroker",
     "LeasedJob",
     "PoisonSpecError",
+    "RemoteBackend",
     "ResultSchemaError",
     "ResultStore",
     "ShardedResultStore",

@@ -247,6 +247,9 @@ class ArtifactStore:
         self.writes = 0
         self.write_bytes = 0
         self.quarantined = 0
+        #: Session quarantines broken down by artifact kind (corrupt
+        #: files of unrecognizable kind count under the aggregate only).
+        self.quarantined_by_kind = {kind: 0 for kind in _KINDS}
 
     # -------------------------------------------------------------- layout
 
@@ -300,6 +303,11 @@ class ArtifactStore:
 
     def _quarantine(self, path: pathlib.Path) -> None:
         self.quarantined += 1
+        # <root>/artifacts/<kind>/<key[:2]>/<key>.bin — the kind is two
+        # levels up; foreign paths just miss the per-kind breakdown.
+        kind = path.parent.parent.name
+        if kind in self.quarantined_by_kind:
+            self.quarantined_by_kind[kind] += 1
         try:
             os.replace(path, path.with_suffix(".corrupt"))
         except OSError:  # pragma: no cover - racing readers/cleaners
@@ -317,6 +325,10 @@ class ArtifactStore:
             "meta": meta,
         }
         blob = json.dumps(header, sort_keys=True).encode("ascii") + b"\n" + body
+        return self._write_blob(kind, key, blob)
+
+    def _write_blob(self, kind: str, key: str, blob: bytes) -> pathlib.Path:
+        """Atomically install a complete artifact file (header + body)."""
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -335,6 +347,64 @@ class ArtifactStore:
         self.writes += 1
         self.write_bytes += len(blob)
         return path
+
+    # ------------------------------------------------------ raw blob access
+    #
+    # The remote transport (repro.runner.remote) moves artifacts between
+    # stores as whole files, so the digest travels with the body and the
+    # receiving side re-verifies with exactly the machinery above.
+
+    def get_raw(self, kind: str, key: str) -> Optional[bytes]:
+        """The complete on-disk file of a healthy artifact, else None.
+
+        The entry is digest-verified first (quarantining on damage), so a
+        served blob is always structurally sound at the moment of read.
+        """
+        if self._read_verified(kind, key) is None:
+            return None
+        try:
+            return self.path_for(kind, key).read_bytes()
+        except OSError:  # pragma: no cover - raced with gc/clear
+            return None
+
+    def put_raw(
+        self, kind: str, key: str, blob: bytes, verify: bool = True
+    ) -> bool:
+        """Install a complete artifact file fetched from another store.
+
+        With ``verify=True`` (uploads into a trusted store) the blob's
+        header must parse and match ``kind``/``key``/digest before it is
+        accepted; a damaged blob is rejected without touching disk.
+        ``verify=False`` (a local read-through cache) installs the blob
+        as-is — the next read digest-checks it and quarantines damage,
+        exactly as it would any other file.
+        """
+        if kind not in _KINDS:
+            return False
+        if verify and not self._blob_valid(kind, key, blob):
+            return False
+        self._write_blob(kind, key, blob)
+        return True
+
+    @staticmethod
+    def _blob_valid(kind: str, key: str, blob: bytes) -> bool:
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return False
+        try:
+            header = json.loads(blob[:newline].decode("ascii"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        if not isinstance(header, dict):
+            return False
+        body = blob[newline + 1:]
+        return (
+            header.get("artifact_schema") == ARTIFACT_SCHEMA
+            and header.get("kind") == kind
+            and header.get("key") == key
+            and header.get("body_bytes") == len(body)
+            and header.get("digest") == hashlib.sha256(body).hexdigest()
+        )
 
     def _peek_meta(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
         """Header meta without reading (or verifying) the body.
@@ -474,11 +544,26 @@ class ArtifactStore:
                     )
 
     def stats(self) -> Dict[str, Any]:
-        """Session counters plus on-disk occupancy."""
-        per_kind = {kind: {"entries": 0, "bytes": 0} for kind in _KINDS}
+        """Session counters plus on-disk occupancy, broken down by kind."""
+        per_kind = {
+            kind: {"entries": 0, "bytes": 0, "corrupt": 0, "corrupt_bytes": 0}
+            for kind in _KINDS
+        }
         for info in self.entries():
             per_kind[info.kind]["entries"] += 1
             per_kind[info.kind]["bytes"] += info.size
+        for root in self.roots:
+            for kind in _KINDS:
+                base = root / kind
+                if not base.is_dir():
+                    continue
+                for path in base.glob("??/*.corrupt"):
+                    try:
+                        size = path.stat().st_size
+                    except OSError:
+                        continue
+                    per_kind[kind]["corrupt"] += 1
+                    per_kind[kind]["corrupt_bytes"] += size
         return {
             "roots": [str(root) for root in self.roots],
             "warm_hits": self.warm_hits,
@@ -488,6 +573,7 @@ class ArtifactStore:
             "writes": self.writes,
             "write_bytes": self.write_bytes,
             "quarantined": self.quarantined,
+            "quarantined_by_kind": dict(self.quarantined_by_kind),
             "on_disk": per_kind,
         }
 

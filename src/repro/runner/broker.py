@@ -189,6 +189,14 @@ class JobBroker:
         self._results: Dict[str, SimResult] = {}
         #: group tag -> worker currently holding the group's affinity.
         self._bindings: Dict[str, str] = {}
+        #: live lease token -> job, for O(1) heartbeat/publish lookup.
+        self._leased: Dict[str, _Job] = {}
+        #: worker -> leases lost to deadline expiry (per-host tallies).
+        self._expired_by_worker: Dict[str, int] = {}
+        # Tokens carry a per-incarnation epoch: after a coordinator
+        # restart, a lease token issued by the previous broker can never
+        # collide with (and publish under) a freshly issued one.
+        self._token_epoch = os.urandom(4).hex()
         self._tokens = itertools.count(1)
         self._stats = {
             "submitted": 0,
@@ -290,8 +298,9 @@ class JobBroker:
             self._bindings[chosen.group] = worker
             chosen.state = LEASED
             chosen.worker = worker
-            chosen.token = f"{next(self._tokens)}"
+            chosen.token = f"{self._token_epoch}-{next(self._tokens)}"
             chosen.deadline = now + self.lease_timeout
+            self._leased[chosen.token] = chosen
             self._stats["leases"] += 1
             key = self._key_of(chosen)
             return LeasedJob(
@@ -394,6 +403,10 @@ class JobBroker:
             for job in lapsed:
                 keys.append(self._key_of(job))
                 self._stats["expirations"] += 1
+                if job.worker is not None:
+                    self._expired_by_worker[job.worker] = (
+                        self._expired_by_worker.get(job.worker, 0) + 1
+                    )
                 self._fail_locked(job, f"lease expired (worker {job.worker})", now)
             return keys
 
@@ -414,10 +427,11 @@ class JobBroker:
                     del self._bindings[group]
             return keys
 
-    @staticmethod
-    def _release_lease(job: _Job) -> None:
+    def _release_lease(self, job: _Job) -> None:
         # Bindings are left alone here: they are advisory cache-affinity
         # hints, dropped only when a worker is reported gone.
+        if job.token is not None:
+            self._leased.pop(job.token, None)
         job.token = None
         job.worker = None
         job.deadline = 0.0
@@ -429,9 +443,9 @@ class JobBroker:
         return job.key
 
     def _job_for_token(self, token: str) -> Optional[_Job]:
-        for job in self._jobs.values():
-            if job.state == LEASED and job.token == token:
-                return job
+        job = self._leased.get(token)
+        if job is not None and job.state == LEASED and job.token == token:
+            return job
         return None
 
     def next_event_delay(self, now: Optional[float] = None) -> Optional[float]:
@@ -471,6 +485,16 @@ class JobBroker:
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return dict(self._stats)
+
+    def expirations_by_worker(self) -> Dict[str, int]:
+        """Per-worker count of leases lost to deadline expiry.
+
+        Backends fold this into their per-host tallies: deadline expiry
+        is detected by the drain loop's ``expire()``, not by the channel
+        that held the lease, so the attribution lives here.
+        """
+        with self._lock:
+            return dict(self._expired_by_worker)
 
     def quarantined(self) -> Dict[str, List[str]]:
         """Error history of every quarantined spec."""

@@ -20,7 +20,26 @@ inject at the worker boundary:
   (a spec that can never succeed: the broker must quarantine it after
   its bounded retries without stalling the rest of the sweep).
 
-Crash, delay and corrupt faults fire **once per spec key**, coordinated
+The remote transport (:mod:`repro.runner.remote`) adds three network
+fault kinds, injected at the host agent's wire boundary:
+
+* ``drop``       — the agent computes the result, then silently never
+  sends the done frame (a lost packet / black-holed reply: the
+  coordinator's silence detector must declare the host partitioned and
+  the lease must expire and re-pend);
+* ``garble``     — the agent flips a byte of the done frame's body
+  *after* computing the frame digest (in-flight corruption: the
+  coordinator must reject the frame as a failed attempt, never decode a
+  torn result);
+* ``disconnect`` — the agent closes the connection the moment the job
+  arrives (an abrupt partition: the coordinator must drain the host's
+  leases and reconnect with backoff).
+
+The local backends ignore the network kinds — there is no wire to
+sabotage in a fork.
+
+Crash, delay, corrupt and the network faults fire **once per spec key**,
+coordinated
 across worker processes (and respawns) through marker files in
 ``tally_dir`` — otherwise a crash fault would kill every retry and the
 sweep could never terminate.  Poison faults fire on every attempt by
@@ -92,6 +111,10 @@ class FaultPlan:
     poison: Tuple[str, ...] = ()
     corrupt: Tuple[str, ...] = ()
     delay: Tuple[str, ...] = ()
+    #: Network faults, honored by the remote transport only.
+    drop: Tuple[str, ...] = ()
+    garble: Tuple[str, ...] = ()
+    disconnect: Tuple[str, ...] = ()
     #: How long a ``delay`` fault sleeps (choose > the broker's lease
     #: timeout so the lease demonstrably expires mid-flight).
     delay_s: float = 1.0
@@ -103,7 +126,11 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         kwargs: Dict[str, Any] = {}
-        for name in ("crash", "poison", "corrupt", "delay"):
+        selector_fields = (
+            "crash", "poison", "corrupt", "delay",
+            "drop", "garble", "disconnect",
+        )
+        for name in selector_fields:
             if name in data:
                 value = data[name]
                 if isinstance(value, str):
@@ -113,9 +140,7 @@ class FaultPlan:
             kwargs["delay_s"] = float(data["delay_s"])
         if "tally_dir" in data:
             kwargs["tally_dir"] = str(data["tally_dir"])
-        unknown = set(data) - {
-            "crash", "poison", "corrupt", "delay", "delay_s", "tally_dir"
-        }
+        unknown = set(data) - set(selector_fields) - {"delay_s", "tally_dir"}
         if unknown:
             raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
         return cls(**kwargs)
@@ -136,6 +161,9 @@ class FaultPlan:
                 "poison": list(self.poison),
                 "corrupt": list(self.corrupt),
                 "delay": list(self.delay),
+                "drop": list(self.drop),
+                "garble": list(self.garble),
+                "disconnect": list(self.disconnect),
                 "delay_s": self.delay_s,
                 "tally_dir": self.tally_dir,
             },
@@ -146,7 +174,10 @@ class FaultPlan:
 
     @property
     def is_null(self) -> bool:
-        return not (self.crash or self.poison or self.corrupt or self.delay)
+        return not (
+            self.crash or self.poison or self.corrupt or self.delay
+            or self.drop or self.garble or self.disconnect
+        )
 
     @staticmethod
     def _matches(selectors: Sequence[str], key: str, tag: str) -> bool:
@@ -213,6 +244,29 @@ class FaultPlan:
         if hard:
             os._exit(87)
         raise WorkerCrash(f"injected crash for {key[:12]}")
+
+    # ------------------------------------------------------- network hooks
+    #
+    # Honored by the remote transport (repro.runner.remote) only: a fork
+    # has no wire to sabotage.  Each fires once per spec key, like crash.
+
+    def should_drop(self, key: str, tag: str) -> bool:
+        """Whether the agent must black-hole this job's done frame."""
+        if not self.drop or not self._matches(self.drop, key, tag):
+            return False
+        return self._trip("drop", key)
+
+    def should_garble(self, key: str, tag: str) -> bool:
+        """Whether the agent must corrupt this job's done frame in flight."""
+        if not self.garble or not self._matches(self.garble, key, tag):
+            return False
+        return self._trip("garble", key)
+
+    def should_disconnect(self, key: str, tag: str) -> bool:
+        """Whether the agent must hang up the moment this job arrives."""
+        if not self.disconnect or not self._matches(self.disconnect, key, tag):
+            return False
+        return self._trip("disconnect", key)
 
 
 #: The do-nothing plan production code runs under.

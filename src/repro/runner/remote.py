@@ -1,0 +1,1030 @@
+"""Remote-host sweep backend: ``repro serve`` agents over a hardened TCP
+transport.
+
+PR 6 left the broker/worker fabric one backend short of its promise: the
+registry and the lease protocol were ready for remote hosts, but both
+shipped backends fork on one machine.  This module closes the gap with
+three cooperating pieces:
+
+* :class:`HostAgent` — the ``repro serve`` process.  It listens on a TCP
+  port, accepts one coordinator connection at a time per session, and
+  runs the familiar worker loop (spec in, result or failure out) with a
+  heartbeat thread keeping the lease alive over the wire.
+* :class:`RemoteBackend` — the coordinator side, registered as
+  ``--backend remote`` (``REPRO_BACKEND=remote``); hosts come from the
+  constructor or ``REPRO_HOSTS=host:port,host:port``.  One channel
+  thread per host owns the socket: connect/read timeouts, exponential
+  backoff reconnect, and a silence detector that declares a busy host
+  partitioned when neither heartbeats nor results arrive.
+* :class:`ArtifactGateway` / :class:`RemoteArtifactStore` — the artifact
+  tier over the same wire format: agents read warm-state checkpoints and
+  compiled traces through to the coordinator's store by content hash and
+  upload what they compute, with every received file re-verified (and
+  quarantined on damage) by the ordinary :mod:`repro.runner.artifacts`
+  machinery.
+
+**Wire format.**  Every message is one frame::
+
+    repro1 <body-bytes> <sha256-of-body>\\n<body>
+
+where the body is canonical JSON.  The digest is computed by the sender
+before the bytes touch the socket, and re-checked by the receiver before
+the JSON is parsed — a garbled frame is a *failed attempt*, never a torn
+result, exactly the contract the broker already enforces for publishes.
+A frame whose header still parses keeps the stream in sync (the lease is
+failed, the connection survives); a frame whose header is garbage
+desyncs the stream and tears the connection down (reconnect with
+backoff).
+
+**Failure semantics.**  All coordination stays in the
+:class:`~repro.runner.broker.JobBroker`; the transport only feeds it:
+
+* agent heartbeats are relayed into :meth:`JobBroker.heartbeat`, so a
+  partition (silence) expires the lease and re-pends the spec;
+* a channel that loses its connection — EOF, refused reconnect, or
+  busy-silence past the deadline — drains its host's leases through
+  :meth:`JobBroker.release_worker` before reconnecting;
+* a host whose reconnects exhaust their budget is dead; when *every*
+  host is dead with work still pending, the backend degrades to the
+  local process/inline backend and finishes the sweep (degraded, never
+  wedged).
+
+Deterministic network faults (``drop`` / ``delay`` / ``garble`` /
+``disconnect`` selectors of :class:`~repro.runner.faults.FaultPlan`) are
+injected at the agent's wire boundary so ``tests/runner/test_remote.py``
+can prove byte-identical convergence under a crash+partition+garble
+schedule.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import queue
+import socket
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.runner import artifacts as artifacts_mod
+from repro.runner import faults
+from repro.runner.artifacts import TRACE, WARM, ArtifactStore, trace_key_id, warm_key_id
+from repro.runner.broker import JobBroker, SweepHandle, payload_digest
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import ExperimentSpec
+from repro.runner.worker import (
+    InlineBackend,
+    ProcessBackend,
+    _spec_tag,
+    fork_available,
+)
+from repro.sim.metrics import SimResult
+
+__all__ = [
+    "ArtifactGateway",
+    "ConnectionClosed",
+    "FrameError",
+    "FrameGarbled",
+    "HostAgent",
+    "RemoteArtifactStore",
+    "RemoteBackend",
+    "RemoteProtocolError",
+    "parse_hosts",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Frame header magic; bump when the wire format changes.
+_MAGIC = b"repro1"
+#: Longest legal header line: magic + 20-digit length + hex digest.
+_MAX_HEADER = 128
+#: Largest body a peer may announce (result payloads are a few KB;
+#: artifact blobs a few MB — this is a defense bound, not a budget).
+_MAX_BODY = 256 << 20
+#: Socket poll granularity for resumable reads.
+_POLL = 0.05
+#: Write deadline for a single frame.
+_SEND_TIMEOUT = 10.0
+
+
+class RemoteProtocolError(RuntimeError):
+    """Base class for transport failures."""
+
+
+class ConnectionClosed(RemoteProtocolError):
+    """The peer closed the connection (EOF mid-stream)."""
+
+
+class FrameError(RemoteProtocolError):
+    """Unparseable frame header: the stream is desynced, close it."""
+
+
+class FrameGarbled(RemoteProtocolError):
+    """Body digest mismatch: the frame is damaged but the stream is
+    still in sync — fail the attempt, keep the connection."""
+
+
+# ------------------------------------------------------------------ frames
+
+
+def send_frame(sock: socket.socket, obj: dict, garble: bool = False,
+               timeout: Optional[float] = _SEND_TIMEOUT) -> None:
+    """Write one digest-stamped frame; raises ``OSError`` on failure.
+
+    ``garble=True`` (fault injection only) flips a body byte *after* the
+    digest is computed, so the receiver provably detects the damage.
+    """
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    if garble and body:
+        damaged = bytearray(body)
+        damaged[len(damaged) // 2] ^= 0x01
+        body = bytes(damaged)
+    header = b"%s %d %s\n" % (_MAGIC, len(body), digest.encode("ascii"))
+    data = header + body
+    if timeout is None:
+        sock.sendall(data)
+        return
+    old = sock.gettimeout()
+    sock.settimeout(timeout)
+    try:
+        sock.sendall(data)
+    finally:
+        try:
+            sock.settimeout(old)
+        except OSError:  # pragma: no cover - peer torn down mid-send
+            pass
+
+
+_INCOMPLETE = object()
+
+
+class _FrameReader:
+    """Resumable frame reader over a timeout-bearing socket.
+
+    ``poll()`` returns one decoded frame, or None when the socket's
+    timeout elapsed first — a partial frame stays buffered and resumes on
+    the next call, so idle polling never desyncs the stream.
+    """
+
+    def __init__(self, sock: socket.socket, max_body: int = _MAX_BODY) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+        self._max_body = max_body
+
+    def poll(self) -> Optional[dict]:
+        while True:
+            frame = self._extract()
+            if frame is not _INCOMPLETE:
+                return frame
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except (TimeoutError, socket.timeout):
+                return None
+            except InterruptedError:  # pragma: no cover - signal race
+                continue
+            if not chunk:
+                raise ConnectionClosed("peer closed the connection")
+            self._buf += chunk
+
+    def _extract(self):
+        newline = self._buf.find(b"\n")
+        if newline < 0:
+            if len(self._buf) > _MAX_HEADER:
+                raise FrameError("oversized or garbled frame header")
+            return _INCOMPLETE
+        header = bytes(self._buf[:newline])
+        parts = header.split(b" ")
+        if len(parts) != 3 or parts[0] != _MAGIC:
+            raise FrameError(f"bad frame header {header[:32]!r}")
+        try:
+            length = int(parts[1])
+        except ValueError:
+            raise FrameError(f"bad frame length {parts[1][:20]!r}") from None
+        if not 0 <= length <= self._max_body:
+            raise FrameError(f"frame body of {length} bytes exceeds the cap")
+        total = newline + 1 + length
+        if len(self._buf) < total:
+            return _INCOMPLETE
+        body = bytes(self._buf[newline + 1:total])
+        # Consume the frame before verifying: a digest mismatch must not
+        # leave damaged bytes at the head of the stream.
+        del self._buf[:total]
+        if hashlib.sha256(body).hexdigest() != parts[2].decode("ascii"):
+            raise FrameGarbled("frame digest mismatch")
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise FrameGarbled("frame body is not JSON") from None
+        if not isinstance(obj, dict):
+            raise FrameGarbled("frame body is not an object")
+        return obj
+
+
+def recv_frame(sock: socket.socket, timeout: float) -> Optional[dict]:
+    """One frame from a fresh connection, or None on deadline."""
+    reader = _FrameReader(sock)
+    deadline = time.monotonic() + timeout
+    old = sock.gettimeout()
+    sock.settimeout(min(_POLL * 2, timeout))
+    try:
+        while time.monotonic() < deadline:
+            frame = reader.poll()
+            if frame is not None:
+                return frame
+        return None
+    finally:
+        try:
+            sock.settimeout(old)
+        except OSError:  # pragma: no cover
+            pass
+
+
+def parse_hosts(text: str) -> List[Tuple[str, int]]:
+    """``host:port,host:port`` -> [(host, port), ...] (strict)."""
+    hosts: List[Tuple[str, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port_text = part.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"malformed remote host {part!r}: expected host:port"
+            )
+        hosts.append((host, int(port_text)))
+    if not hosts:
+        raise ValueError(
+            "no remote hosts: set REPRO_HOSTS=host:port,... or pass hosts=[...]"
+        )
+    return hosts
+
+
+# ------------------------------------------------------------- host agent
+
+
+class HostAgent:
+    """The ``repro serve`` side: accept jobs, run them, answer with frames.
+
+    One session thread per coordinator connection; within a session jobs
+    run serially (the coordinator never has more than one in flight per
+    host).  ``hard_faults=False`` makes an injected ``crash`` fault raise
+    (and report) instead of ``os._exit`` — for agents embedded in a test
+    process.  ``serve_limit`` stops the whole agent after N jobs, a
+    deterministic stand-in for a host that dies mid-sweep.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        artifact_cache: Optional[str] = None,
+        hard_faults: bool = True,
+        serve_limit: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.artifact_cache = artifact_cache
+        self.hard_faults = hard_faults
+        self.serve_limit = serve_limit
+        self.jobs_done = 0
+        self._jobs_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._artifact_installed: Optional[Tuple[str, int]] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "HostAgent":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(8)
+        listener.settimeout(0.2)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        thread = threading.Thread(
+            target=self._accept_loop, name=f"repro-agent-{self.port}", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        me = threading.current_thread()
+        for thread in list(self._threads):
+            if thread is not me:
+                thread.join(timeout=2.0)
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the ``repro serve`` main loop)."""
+        while not self._stop.wait(0.5):
+            pass
+
+    # ----------------------------------------------------------- sessions
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._session, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _session(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL * 2)
+        reader = _FrameReader(conn)
+        send_lock = threading.Lock()
+        hb_interval = 1.0
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = reader.poll()
+                except RemoteProtocolError:
+                    return
+                except OSError:
+                    return
+                if frame is None:
+                    continue
+                op = frame.get("op")
+                if op == "welcome":
+                    hb_interval = max(float(frame.get("hb_interval", 1.0)), 0.01)
+                    gateway = frame.get("artifacts")
+                    if gateway:
+                        self._install_artifact_tier(gateway)
+                    if not self._send(conn, send_lock, {
+                        "op": "hello",
+                        "agent": f"{self.host}:{self.port}",
+                        "jobs_done": self.jobs_done,
+                    }):
+                        return
+                elif op == "run":
+                    if not self._handle_run(
+                        conn, send_lock, frame, hb_interval
+                    ):
+                        return
+                elif op == "shutdown":
+                    return
+                else:
+                    return  # unknown op: drop the session, keep serving
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _send(conn, lock, obj, garble: bool = False) -> bool:
+        try:
+            with lock:
+                send_frame(conn, obj, garble=garble)
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _heartbeat_loop(conn, lock, token, interval, stop) -> None:
+        while not stop.wait(interval):
+            try:
+                with lock:
+                    send_frame(conn, {"op": "heartbeat", "token": token})
+            except OSError:
+                return
+
+    def _handle_run(self, conn, send_lock, frame, hb_interval) -> bool:
+        """Run one leased spec; False tears the session down."""
+        plan = faults.active_plan()
+        token = str(frame.get("token", ""))
+        key = str(frame.get("key", ""))
+        try:
+            spec = ExperimentSpec.from_dict(frame["spec"])
+            tag = _spec_tag(spec)
+        except Exception as exc:
+            return self._send(conn, send_lock, {
+                "op": "failed", "token": token, "key": key,
+                "error": f"undecodable spec: {type(exc).__name__}: {exc}",
+            })
+        if plan.should_disconnect(key, tag):
+            return False  # injected partition: hang up without a word
+        stop = threading.Event()
+        heartbeat = None
+        if not plan.drops_heartbeats(key, tag):
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(conn, send_lock, token, hb_interval, stop),
+                daemon=True,
+            )
+            heartbeat.start()
+        try:
+            if plan.is_poison(key, tag):
+                raise faults.PoisonFault(f"injected poison for {tag}")
+            result = spec.execute()
+            payload = result_to_dict(result)
+            digest = payload_digest(payload)
+            payload = plan.maybe_corrupt(key, tag, payload)
+            plan.maybe_delay(key, tag)
+            stop.set()
+            plan.maybe_crash(key, tag, hard=self.hard_faults)
+            if plan.should_drop(key, tag):
+                ok = True  # black-holed reply: lease expiry covers it
+            else:
+                ok = self._send(conn, send_lock, {
+                    "op": "done", "token": token, "key": key,
+                    "payload": payload, "digest": digest,
+                }, garble=plan.should_garble(key, tag))
+        except Exception as exc:
+            stop.set()
+            ok = self._send(conn, send_lock, {
+                "op": "failed", "token": token, "key": key,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+        finally:
+            stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=1.0)
+        with self._jobs_lock:
+            self.jobs_done += 1
+            served = self.jobs_done
+        if self.serve_limit is not None and served >= self.serve_limit:
+            self.stop()
+            return False
+        return ok
+
+    def _install_artifact_tier(self, gateway) -> None:
+        """Read artifacts through to the coordinator's store."""
+        try:
+            addr = (str(gateway[0]), int(gateway[1]))
+        except (TypeError, ValueError, IndexError):
+            return
+        if self._artifact_installed == addr:
+            return
+        current = artifacts_mod.active_store()
+        if isinstance(current, RemoteArtifactStore) and current.gateway == addr:
+            self._artifact_installed = addr
+            return
+        cache = self.artifact_cache or tempfile.mkdtemp(
+            prefix="repro-agent-artifacts-"
+        )
+        artifacts_mod.set_active(RemoteArtifactStore(cache, addr))
+        self._artifact_installed = addr
+
+
+# ------------------------------------------------------- artifact gateway
+
+
+class ArtifactGateway:
+    """Serves the coordinator's artifact store over the frame protocol.
+
+    Requests: ``art_get`` (reply ``art_blob`` with the whole digest-
+    stamped file, base64) and ``art_put`` (reply ``art_ack``; the blob is
+    header-verified before it touches the trusted store).
+    """
+
+    def __init__(self, store: ArtifactStore, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "ArtifactGateway":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        thread = threading.Thread(
+            target=self._accept_loop, name=f"repro-artifacts-{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=2.0)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL * 2)
+        reader = _FrameReader(conn)
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = reader.poll()
+                except (RemoteProtocolError, OSError):
+                    return
+                if frame is None:
+                    continue
+                op = frame.get("op")
+                kind = str(frame.get("kind", ""))
+                key = str(frame.get("key", ""))
+                if op == "art_get":
+                    blob = (
+                        self.store.get_raw(kind, key)
+                        if kind in (WARM, TRACE) else None
+                    )
+                    reply = {"op": "art_blob", "found": blob is not None}
+                    if blob is not None:
+                        reply["data"] = base64.b64encode(blob).decode("ascii")
+                elif op == "art_put":
+                    try:
+                        blob = base64.b64decode(
+                            frame.get("data", ""), validate=True
+                        )
+                    except (ValueError, TypeError):
+                        blob = b""
+                    ok = bool(blob) and self.store.put_raw(
+                        kind, key, blob, verify=True
+                    )
+                    reply = {"op": "art_ack", "ok": ok}
+                else:
+                    return
+                try:
+                    send_frame(conn, reply)
+                except OSError:
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class RemoteArtifactStore(ArtifactStore):
+    """An agent-local artifact cache that reads through to the gateway.
+
+    Misses fetch the whole digest-stamped file from the coordinator and
+    install it *unverified* into the local cache; the read that follows
+    runs the store's ordinary verification, so a blob damaged in flight
+    is quarantined (``*.corrupt``) and treated as a miss — exactly the
+    :mod:`repro.runner.artifacts` trust model, no second implementation.
+    Local writes upload behind (header-verified at the gateway).
+    """
+
+    def __init__(self, cache_root, gateway: Tuple[str, int],
+                 timeout: float = 5.0) -> None:
+        super().__init__(cache_root)
+        self.gateway = (str(gateway[0]), int(gateway[1]))
+        self.timeout = timeout
+        self.remote_fetches = 0
+        self.remote_hits = 0
+        self.remote_uploads = 0
+
+    # ----------------------------------------------------------- transport
+
+    def _request(self, obj: dict) -> Optional[dict]:
+        try:
+            with socket.create_connection(
+                self.gateway, timeout=self.timeout
+            ) as sock:
+                send_frame(sock, obj, timeout=self.timeout)
+                return recv_frame(sock, self.timeout)
+        except (RemoteProtocolError, OSError):
+            return None
+
+    def _fetch(self, kind: str, key_id: str) -> bool:
+        self.remote_fetches += 1
+        reply = self._request({"op": "art_get", "kind": kind, "key": key_id})
+        if not reply or reply.get("op") != "art_blob" or not reply.get("found"):
+            return False
+        try:
+            blob = base64.b64decode(reply.get("data", ""), validate=True)
+        except (ValueError, TypeError):
+            return False
+        if not blob or not self.put_raw(kind, key_id, blob, verify=False):
+            return False
+        self.remote_hits += 1
+        return True
+
+    def _upload(self, kind: str, key_id: str) -> None:
+        blob = self.get_raw(kind, key_id)
+        if blob is None:
+            return
+        reply = self._request({
+            "op": "art_put", "kind": kind, "key": key_id,
+            "data": base64.b64encode(blob).decode("ascii"),
+        })
+        if reply and reply.get("ok"):
+            self.remote_uploads += 1
+
+    # ---------------------------------------------------------- overrides
+
+    def get_warm_state(self, key):
+        payload = super().get_warm_state(key)
+        if payload is not None:
+            return payload
+        if self._fetch(WARM, warm_key_id(key)):
+            return super().get_warm_state(key)
+        return None
+
+    def put_warm_state(self, key, payload):
+        path = super().put_warm_state(key, payload)
+        if path is not None:
+            self._upload(WARM, warm_key_id(key))
+        return path
+
+    def get_trace(self, profile, core, seed, region, n):
+        records = super().get_trace(profile, core, seed, region, n)
+        if records is not None:
+            return records
+        if self._fetch(TRACE, trace_key_id(profile, core, seed, region)):
+            return super().get_trace(profile, core, seed, region, n)
+        return None
+
+    def put_trace(self, profile, core, seed, region, records):
+        path = super().put_trace(profile, core, seed, region, records)
+        if path is not None:
+            self._upload(TRACE, trace_key_id(profile, core, seed, region))
+        return path
+
+
+# -------------------------------------------------------------- channels
+
+
+class _HostChannel(threading.Thread):
+    """Coordinator-side owner of one host's connection.
+
+    The channel is the only thread that touches its socket.  It feeds
+    the broker directly (heartbeats, publishes, failures — the broker is
+    thread-safe) and hands published keys to the drain loop through a
+    queue.  The drain loop leases work and drops it in the channel's
+    single-slot outbox whenever the channel reports ready.
+    """
+
+    def __init__(self, backend: "RemoteBackend", host: str, port: int,
+                 broker: JobBroker, results: "queue.Queue",
+                 tally: Dict[str, int], hb_interval: float,
+                 dead_after: float,
+                 gateway_addr: Optional[List] = None) -> None:
+        super().__init__(name=f"repro-remote-{host}:{port}", daemon=True)
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.broker = broker
+        self.results = results
+        self.tally = tally
+        self.hb_interval = hb_interval
+        self.dead_after = dead_after
+        self.gateway_addr = gateway_addr
+        self.worker_id = f"remote:{host}:{port}"
+        self.dead = False
+        self.connected = False
+        self._busy: Optional[str] = None
+        self._outbox: "queue.Queue" = queue.Queue(maxsize=1)
+        # Not ``_stop``: Thread.join() calls a private ``_stop()`` method.
+        self._halt = threading.Event()
+        self._ever_connected = False
+
+    # ------------------------------------------------------------- control
+
+    @property
+    def ready(self) -> bool:
+        return (
+            self.connected and not self.dead
+            and self._busy is None and self._outbox.empty()
+        )
+
+    def dispatch(self, job) -> None:
+        self._outbox.put_nowait(job)
+
+    def shutdown(self) -> None:
+        self._halt.set()
+
+    # --------------------------------------------------------------- loop
+
+    def run(self) -> None:
+        backoff = self.backend.reconnect_backoff
+        failures = 0
+        try:
+            while not self._halt.is_set():
+                sock = self._connect()
+                if sock is None:
+                    failures += 1
+                    if failures >= self.backend.max_connect_failures:
+                        return
+                    if self._halt.wait(backoff):
+                        return
+                    backoff = min(backoff * 2, self.backend.max_backoff)
+                    continue
+                failures = 0
+                backoff = self.backend.reconnect_backoff
+                try:
+                    self._session(sock)
+                finally:
+                    self.connected = False
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    self._abandon()
+        finally:
+            self.dead = True
+            self.connected = False
+            self._abandon()
+
+    def _connect(self) -> Optional[socket.socket]:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.backend.connect_timeout
+            )
+        except OSError:
+            return None
+        sock.settimeout(_POLL)
+        try:
+            send_frame(sock, {
+                "op": "welcome",
+                "hb_interval": self.hb_interval,
+                "artifacts": self.gateway_addr,
+            }, timeout=self.backend.connect_timeout)
+            hello = recv_frame(sock, self.backend.connect_timeout)
+        except (RemoteProtocolError, OSError):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return None
+        if not hello or hello.get("op") != "hello":
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return None
+        if self._ever_connected:
+            self.tally["reconnects"] += 1
+        self._ever_connected = True
+        return sock
+
+    def _session(self, sock: socket.socket) -> None:
+        self.connected = True
+        reader = _FrameReader(sock)
+        last_frame = time.monotonic()
+        while not self._halt.is_set():
+            if self._busy is None:
+                try:
+                    job = self._outbox.get_nowait()
+                except queue.Empty:
+                    job = None
+                if job is not None:
+                    try:
+                        send_frame(sock, {
+                            "op": "run", "key": job.key,
+                            "token": job.token, "spec": job.payload,
+                        })
+                    except OSError:
+                        return  # _abandon re-pends the lease
+                    self._busy = job.token
+                    last_frame = time.monotonic()
+            try:
+                frame = reader.poll()
+            except FrameGarbled as exc:
+                # A garbled frame is a failed attempt, never a torn
+                # result — and the header kept the stream in sync.
+                if self._busy is not None:
+                    self.broker.fail(
+                        self._busy,
+                        f"garbled frame from {self.worker_id}: {exc}",
+                    )
+                    self.tally["retried"] += 1
+                    self._busy = None
+                last_frame = time.monotonic()
+                continue
+            except (ConnectionClosed, FrameError, OSError):
+                return
+            now = time.monotonic()
+            if frame is None:
+                if self._busy is not None and now - last_frame > self.dead_after:
+                    return  # busy silence: declare the host partitioned
+                continue
+            last_frame = now
+            op = frame.get("op")
+            if op == "heartbeat":
+                self.broker.heartbeat(str(frame.get("token", "")))
+            elif op == "done":
+                token = str(frame.get("token", ""))
+                payload = frame.get("payload")
+                if isinstance(payload, dict):
+                    status = self.broker.complete(
+                        token, payload, frame.get("digest")
+                    )
+                else:
+                    self.broker.fail(token, "malformed done frame")
+                    status = "corrupt"
+                if token == self._busy:
+                    self._busy = None
+                if status == "published":
+                    self.tally["done"] += 1
+                    self.results.put(str(frame.get("key", "")))
+                elif status == "corrupt":
+                    self.tally["retried"] += 1
+            elif op == "failed":
+                token = str(frame.get("token", ""))
+                status = self.broker.fail(
+                    token, str(frame.get("error", "remote failure"))
+                )
+                if token == self._busy:
+                    self._busy = None
+                if status != "stale":
+                    self.tally["retried"] += 1
+
+    def _abandon(self) -> None:
+        """Connection lost: drain this host's leases back to pending."""
+        self._busy = None
+        requeued = self.broker.release_worker(self.worker_id)
+        self.tally["requeued"] += len(requeued)
+        try:
+            self._outbox.get_nowait()
+        except queue.Empty:
+            pass
+
+
+# -------------------------------------------------------------- backend
+
+
+class RemoteBackend:
+    """Drain the broker through ``repro serve`` host agents.
+
+    ``hosts`` defaults to ``REPRO_HOSTS=host:port,host:port``.
+    ``workers`` only sizes the *fallback* local backend used when every
+    host is gone; remote parallelism equals the host count.
+    """
+
+    forks = False
+
+    def __init__(
+        self,
+        hosts: Optional[Sequence[Tuple[str, int]]] = None,
+        workers: int = 1,
+        connect_timeout: float = 5.0,
+        reconnect_backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        max_connect_failures: int = 5,
+    ) -> None:
+        if hosts is None:
+            hosts = parse_hosts(os.environ.get("REPRO_HOSTS", ""))
+        else:
+            hosts = [(str(h), int(p)) for h, p in hosts]
+            if not hosts:
+                raise ValueError("remote backend needs at least one host")
+        self.hosts = list(hosts)
+        self.workers = max(1, int(workers))
+        self.connect_timeout = connect_timeout
+        self.reconnect_backoff = reconnect_backoff
+        self.max_backoff = max_backoff
+        self.max_connect_failures = max_connect_failures
+        self.degraded = False
+        self._tallies: Dict[str, Dict[str, int]] = {}
+
+    def tallies(self) -> Dict[str, Dict[str, int]]:
+        """Per-host ``{done, retried, requeued, reconnects}`` counters."""
+        return {host: dict(tally) for host, tally in self._tallies.items()}
+
+    def _fallback_backend(self):
+        if self.workers > 1 and fork_available():
+            return ProcessBackend(workers=self.workers)
+        return InlineBackend()
+
+    def drain(
+        self,
+        broker: JobBroker,
+        handle: SweepHandle,
+        only: Optional[Set[str]] = None,
+    ) -> Iterator[Tuple[str, SimResult]]:
+        gateway = None
+        store = artifacts_mod.active_store()
+        if store is not None and not isinstance(store, RemoteArtifactStore):
+            gateway = ArtifactGateway(store).start()
+        hb_interval = max(broker.lease_timeout / 4.0, 0.05)
+        dead_after = max(broker.lease_timeout * 1.5, hb_interval * 6)
+        results: "queue.Queue" = queue.Queue()
+        self.degraded = False
+        self._tallies = {}
+        channels: List[_HostChannel] = []
+        for host, port in self.hosts:
+            tally = {"done": 0, "retried": 0, "requeued": 0, "reconnects": 0}
+            self._tallies[f"{host}:{port}"] = tally
+            channel = _HostChannel(
+                self, host, port, broker, results, tally,
+                hb_interval=hb_interval, dead_after=dead_after,
+                gateway_addr=(
+                    list(gateway.address) if gateway is not None else None
+                ),
+            )
+            channels.append(channel)
+            channel.start()
+        reaped: Set[str] = set()
+        try:
+            while not broker.done(handle):
+                for key in self._drain_results(results, block=True):
+                    result = broker.result(key)
+                    if result is not None:
+                        yield key, result
+                broker.expire()
+                for channel in channels:
+                    if channel.dead and channel.worker_id not in reaped:
+                        # The channel's own drain ran at thread exit;
+                        # this covers a dispatch raced onto a dying one.
+                        reaped.add(channel.worker_id)
+                        broker.release_worker(channel.worker_id)
+                if all(channel.dead for channel in channels):
+                    break
+                for channel in channels:
+                    if not channel.ready:
+                        continue
+                    job = broker.lease(channel.worker_id, only=only)
+                    if job is None:
+                        break
+                    channel.dispatch(job)
+        finally:
+            for channel in channels:
+                channel.shutdown()
+            for channel in channels:
+                channel.join(timeout=2.0)
+            expired = broker.expirations_by_worker()
+            for hostname, tally in self._tallies.items():
+                tally["requeued"] += expired.get(f"remote:{hostname}", 0)
+            if gateway is not None:
+                gateway.stop()
+        for key in self._drain_results(results, block=False):
+            result = broker.result(key)
+            if result is not None:
+                yield key, result
+        if not broker.done(handle):
+            # Every host is gone with work still pending: degraded, never
+            # wedged — the local backend finishes the sweep.
+            self.degraded = True
+            print(
+                f"remote backend: all {len(self.hosts)} host(s) unreachable; "
+                "degrading to the local backend",
+                file=sys.stderr,
+            )
+            fallback = self._fallback_backend()
+            yield from fallback.drain(broker, handle, only=only)
+
+    @staticmethod
+    def _drain_results(results: "queue.Queue", block: bool) -> List[str]:
+        keys: List[str] = []
+        try:
+            keys.append(results.get(timeout=0.02) if block else
+                        results.get_nowait())
+            while True:
+                keys.append(results.get_nowait())
+        except queue.Empty:
+            pass
+        return keys
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          artifact_cache: Optional[str] = None) -> HostAgent:
+    """Start (and return) a host agent — the ``repro serve`` entry point."""
+    return HostAgent(
+        host=host, port=port, artifact_cache=artifact_cache, hard_faults=True
+    ).start()

@@ -51,9 +51,10 @@ Warm-state reuse across a sweep is organized around **workload groups**:
 ``REPRO_JOBS`` sets the requested pool width (see
 :mod:`repro.runner.context`); the effective width of one ``run`` call is
 ``min(REPRO_JOBS, distinct workloads pending)``.  ``REPRO_BACKEND``
-picks the execution backend (``auto``/``inline``/``process``), and
-``REPRO_MAX_ATTEMPTS`` / ``REPRO_LEASE_TIMEOUT`` tune the failure
-semantics.
+picks the execution backend (``auto``/``inline``/``process``/``remote``
+— the last dispatching to ``repro serve`` agents named by
+``REPRO_HOSTS``), and ``REPRO_MAX_ATTEMPTS`` / ``REPRO_LEASE_TIMEOUT``
+tune the failure semantics.
 """
 
 from __future__ import annotations
@@ -128,6 +129,9 @@ class SweepRunner:
         )
         #: Broker counters of the most recent drain (CLI status output).
         self.last_stats: Optional[Dict[str, int]] = None
+        #: Per-worker/host tallies of the most recent drain, when the
+        #: backend keeps them (process and remote backends do).
+        self.last_host_tallies: Optional[Dict[str, Dict[str, int]]] = None
         self._async_broker: Optional[JobBroker] = None
         self._broker_lock = threading.Lock()
         self._drain_lock = threading.Lock()
@@ -236,6 +240,8 @@ class SweepRunner:
                 backend = self._make_backend(max(1, min(self.jobs, groups)))
                 for _ in backend.drain(broker, handle, only=set(handle.keys)):
                     pass
+                tallies = getattr(backend, "tallies", None)
+                self.last_host_tallies = tallies() if callable(tallies) else None
             self.last_stats = broker.stats()
         results = broker.gather(handle)
         if self.use_cache:
@@ -365,6 +371,8 @@ class SweepRunner:
         if getattr(backend, "forks", False):
             self._preshare_traces(groups, fork=True)
         yield from backend.drain(broker, handle, only=set(handle.keys))
+        tallies = getattr(backend, "tallies", None)
+        self.last_host_tallies = tallies() if callable(tallies) else None
         self.last_stats = broker.stats()
         quarantined = broker.quarantined()
         if quarantined:

@@ -8,8 +8,8 @@ It leases specs from the broker, computes them, and publishes results
 back, yielding each accepted publish as it happens.  The broker owns all
 coordination (leases, retries, quarantine, store write-through); backends
 own only the execution substrate, so swapping one for another — or
-adding a remote-host backend later — never touches the orchestration
-loop.  Two backends ship today:
+pointing the sweep at remote hosts — never touches the orchestration
+loop.  Three backends ship today:
 
 * :class:`InlineBackend`  — computes in the calling process.  The serial
   path (``jobs=1``) and the simplest possible reference implementation
@@ -20,6 +20,10 @@ loop.  Two backends ship today:
   drain loop detects dead workers (crash recovery: their leases expire
   immediately and the worker is respawned), expires overdue leases
   (partition recovery) and verifies payload digests via the broker.
+* :class:`~repro.runner.remote.RemoteBackend` (``--backend remote``) —
+  dispatches jobs to ``repro serve`` host agents over a digest-verified
+  TCP transport with timeouts, backoff and partition recovery; see
+  :mod:`repro.runner.remote`.
 
 Both backends route every fault-injection hook of
 :mod:`repro.runner.faults` so the test suite can prove the protocol:
@@ -48,12 +52,25 @@ from repro.sim.metrics import SimResult
 
 __all__ = [
     "BACKENDS",
+    "BackendTeardownError",
     "InlineBackend",
     "ProcessBackend",
     "fork_available",
+    "leaked_heartbeat_threads",
     "make_backend",
     "register_backend",
 ]
+
+
+class BackendTeardownError(RuntimeError):
+    """A backend's execution substrate vanished mid-drain.
+
+    Raised instead of hanging (or dying with a bare ``OSError``) when a
+    worker's task queue or the shared result queue is gone — a torn-down
+    pool being driven after ``drain`` exited, or a queue closed under a
+    racing thread.  The broker state stays consistent: the affected
+    lease is failed (re-pended) before this raises.
+    """
 
 
 def _mp_context():
@@ -124,7 +141,39 @@ class InlineBackend:
 
 def _heartbeat_loop(result_q, worker_id, token, interval, stop) -> None:
     while not stop.wait(interval):
-        result_q.put(("heartbeat", worker_id, token))
+        try:
+            result_q.put(("heartbeat", worker_id, token))
+        except (OSError, ValueError):  # queue gone: the drain loop ended
+            return
+
+
+#: Heartbeat threads that outlived their join timeout, per process.
+#: Inline/test callers inspect this; worker processes report leaks to the
+#: parent through the result queue instead.
+_LEAKED_HEARTBEATS: list = []
+
+
+def leaked_heartbeat_threads() -> list:
+    """Heartbeat threads this process failed to join (surfaced, not lost)."""
+    _LEAKED_HEARTBEATS[:] = [t for t in _LEAKED_HEARTBEATS if t.is_alive()]
+    return list(_LEAKED_HEARTBEATS)
+
+
+def _reap_heartbeat(thread, timeout: float = 1.0) -> bool:
+    """Join a heartbeat thread; False (and tracked) if it leaked.
+
+    The old behavior — ``join(timeout)`` and silently move on — meant a
+    wedged heartbeat thread kept spamming the result queue with stale
+    tokens forever and nobody could tell.  A leaked thread is now
+    remembered so backends and tests can surface it.
+    """
+    if thread is None:
+        return True
+    thread.join(timeout=timeout)
+    if not thread.is_alive():
+        return True
+    _LEAKED_HEARTBEATS.append(thread)
+    return False
 
 
 def _worker_main(worker_id, task_q, result_q, hb_interval, plan_json) -> None:
@@ -173,8 +222,11 @@ def _worker_main(worker_id, task_q, result_q, hb_interval, plan_json) -> None:
             )
         finally:
             stop.set()
-            if heartbeat is not None:
-                heartbeat.join(timeout=1.0)
+            if not _reap_heartbeat(heartbeat):
+                try:
+                    result_q.put(("leaked", worker_id, token))
+                except (OSError, ValueError):  # pragma: no cover - teardown
+                    pass
 
 
 class _WorkerHandle:
@@ -195,10 +247,27 @@ class ProcessBackend:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self._ctx = _mp_context()
+        self._tallies: Dict[str, Dict[str, int]] = {}
 
     @property
     def forks(self) -> bool:
         return self._ctx.get_start_method() == "fork"
+
+    def tallies(self) -> Dict[str, Dict[str, int]]:
+        """Per-slot ``{done, retried, requeued, reconnects, leaked}``.
+
+        Keyed by worker slot (``w0``, ``w1``, …) so counts survive
+        respawns; ``reconnects`` counts those respawns.  Same shape as
+        the remote backend's per-host tallies.
+        """
+        return {slot: dict(tally) for slot, tally in self._tallies.items()}
+
+    def _tally(self, worker_id: str) -> Dict[str, int]:
+        slot = worker_id.split(".", 1)[0]
+        return self._tallies.setdefault(slot, {
+            "done": 0, "retried": 0, "requeued": 0,
+            "reconnects": 0, "leaked": 0,
+        })
 
     def drain(
         self,
@@ -212,6 +281,7 @@ class ProcessBackend:
         hb_interval = max(broker.lease_timeout / 4.0, 0.01)
         generations = itertools.count()
         pool: Dict[str, _WorkerHandle] = {}
+        self._tallies = {}
 
         def spawn(slot: int) -> None:
             worker_id = f"w{slot}.{next(generations)}"
@@ -223,6 +293,7 @@ class ProcessBackend:
             )
             proc.start()
             pool[worker_id] = _WorkerHandle(slot, proc, task_q)
+            self._tally(worker_id)
 
         for slot in range(self.workers):
             spawn(slot)
@@ -234,6 +305,10 @@ class ProcessBackend:
                     message = result_q.get(timeout=0.02)
                 except queue_mod.Empty:
                     message = None
+                except (OSError, ValueError) as exc:
+                    raise BackendTeardownError(
+                        f"result queue is gone mid-drain: {exc}"
+                    ) from exc
                 while message is not None:
                     kind, worker_id, token = message[0], message[1], message[2]
                     if kind == "heartbeat":
@@ -243,11 +318,17 @@ class ProcessBackend:
                         status = broker.complete(token, payload, digest)
                         self._mark_idle(pool, worker_id, token)
                         if status == "published":
+                            self._tally(worker_id)["done"] += 1
                             yield key, broker.result(key)
+                        elif status == "corrupt":
+                            self._tally(worker_id)["retried"] += 1
                     elif kind == "failed":
                         _, _, _, key, error = message
-                        broker.fail(token, error)
+                        if broker.fail(token, error) != "stale":
+                            self._tally(worker_id)["retried"] += 1
                         self._mark_idle(pool, worker_id, token)
+                    elif kind == "leaked":
+                        self._tally(worker_id)["leaked"] += 1
                     try:
                         message = result_q.get_nowait()
                     except queue_mod.Empty:
@@ -256,7 +337,10 @@ class ProcessBackend:
                 #    once and a fresh worker takes its slot.
                 for worker_id, entry in list(pool.items()):
                     if not entry.proc.is_alive():
-                        broker.release_worker(worker_id)
+                        requeued = broker.release_worker(worker_id)
+                        tally = self._tally(worker_id)
+                        tally["requeued"] += len(requeued)
+                        tally["reconnects"] += 1
                         del pool[worker_id]
                         spawn(entry.slot)
                 # 3. Partition recovery: overdue leases return to pending.
@@ -268,8 +352,10 @@ class ProcessBackend:
                     job = broker.lease(worker_id, only=only)
                     if job is None:
                         continue
-                    entry.task_q.put((job.key, job.payload, job.token))
-                    entry.busy = job.token
+                    self._dispatch(worker_id, entry, job, broker)
+            for hostname, count in broker.expirations_by_worker().items():
+                if hostname in pool or hostname.split(".", 1)[0] in self._tallies:
+                    self._tally(hostname)["requeued"] += count
         finally:
             for entry in pool.values():
                 try:
@@ -285,6 +371,23 @@ class ProcessBackend:
             result_q.close()
             result_q.cancel_join_thread()
 
+    def _dispatch(self, worker_id, entry, job, broker) -> None:
+        """Hand a leased job to a worker, or fail fast if its queue died.
+
+        A closed/broken task queue used to raise a bare ``OSError`` out
+        of ``drain`` with the lease still held; now the lease is returned
+        to the broker first and the error names the torn-down substrate.
+        """
+        try:
+            entry.task_q.put((job.key, job.payload, job.token))
+        except (OSError, ValueError) as exc:
+            broker.fail(job.token, f"task queue for {worker_id} gone: {exc}")
+            raise BackendTeardownError(
+                f"task queue for worker {worker_id} is gone mid-drain "
+                f"(backend torn down?): {exc}"
+            ) from exc
+        entry.busy = job.token
+
     @staticmethod
     def _mark_idle(pool, worker_id, token) -> None:
         entry = pool.get(worker_id)
@@ -294,11 +397,21 @@ class ProcessBackend:
 
 # -------------------------------------------------------------- registry
 
+
+def _remote_backend(workers: int = 1):
+    # Imported lazily: remote.py imports this module, and the remote
+    # backend should cost nothing unless actually selected.
+    from repro.runner.remote import RemoteBackend
+
+    return RemoteBackend(workers=workers)
+
+
 #: name -> factory(workers=N) -> backend.  ``repro sweep --backend`` and
 #: ``REPRO_BACKEND`` resolve here; remote substrates register alongside.
 BACKENDS: Dict[str, Callable[..., object]] = {
     "inline": lambda workers=1: InlineBackend(),
     "process": lambda workers=2: ProcessBackend(workers=workers),
+    "remote": lambda workers=1: _remote_backend(workers=workers),
 }
 
 

@@ -257,6 +257,44 @@ class TestLifecycle:
         assert stats["on_disk"]["trace"]["bytes"] > 0
         assert stats["writes"] == 2
 
+    def test_stats_report_per_kind_corruption(self, store):
+        """``repro artifacts stats`` can say *which* kind is rotting: the
+        quarantine counters and on-disk ``*.corrupt`` tallies are broken
+        out per kind, not lumped into one number."""
+        store.put_warm_state(_warm_key(), _warm_payload())
+        store.put_trace(PROFILE, 0, 7, REGION, _trace(50))
+        warm_path = store.path_for("warm", warm_key_id(_warm_key()))
+        warm_path.write_bytes(warm_path.read_bytes()[:10])
+        assert store.get_warm_state(_warm_key()) is None  # quarantines
+        stats = store.stats()
+        assert store.quarantined_by_kind == {"warm": 1, "trace": 0}
+        assert stats["quarantined_by_kind"] == {"warm": 1, "trace": 0}
+        assert stats["on_disk"]["warm"]["corrupt"] == 1
+        assert stats["on_disk"]["warm"]["corrupt_bytes"] > 0
+        assert stats["on_disk"]["trace"]["corrupt"] == 0
+        assert stats["on_disk"]["trace"]["entries"] == 1
+
+    def test_raw_blob_round_trip_and_verification(self, store, tmp_path):
+        """The transport-facing raw API: whole digest-stamped files move
+        between stores, and ``verify=True`` rejects damaged or mismatched
+        blobs before they reach the trusted tree."""
+        store.put_warm_state(_warm_key(), _warm_payload())
+        key_id = warm_key_id(_warm_key())
+        blob = store.get_raw("warm", key_id)
+        assert blob is not None
+
+        twin = ArtifactStore(tmp_path / "twin")
+        assert twin.put_raw("warm", key_id, blob, verify=True)
+        assert twin.get_warm_state(_warm_key()) == _warm_payload()
+
+        damaged = bytearray(blob)
+        damaged[-1] ^= 0x01
+        other = ArtifactStore(tmp_path / "other")
+        assert not other.put_raw("warm", key_id, bytes(damaged), verify=True)
+        assert not other.put_raw("warm", "0" * 16, blob, verify=True)  # wrong key
+        assert not other.put_raw("nope", key_id, blob, verify=True)   # bad kind
+        assert other.get_raw("warm", key_id) is None
+
     def test_gc_by_age_then_size(self, store):
         for core in range(4):
             path = store.put_trace(

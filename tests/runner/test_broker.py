@@ -71,7 +71,7 @@ class BrokerProtocol(RuleBasedStateMachine):
         )
         self.handles = []
         self.submitted = set()          # unique keys ever submitted
-        self.live = {}                  # token -> key, leases we believe hold
+        self.live = {}                  # token -> (key, worker) leases held
         self.retired = []               # tokens that were consumed/expired
         self.done_keys = set()          # keys we saw published
 
@@ -108,7 +108,7 @@ class BrokerProtocol(RuleBasedStateMachine):
         assert job.key not in self.done_keys, "leased an already-done key"
         assert job.token not in self.live and job.token not in self.retired
         assert job.deadline == pytest.approx(self.now + 10.0)
-        self.live[job.token] = job.key
+        self.live[job.token] = (job.key, worker)
 
     @precondition(lambda self: self.live)
     @rule(data=st.data())
@@ -120,7 +120,7 @@ class BrokerProtocol(RuleBasedStateMachine):
     @rule(data=st.data())
     def complete_ok(self, data):
         token = data.draw(st.sampled_from(sorted(self.live)))
-        key = self.live[token]
+        key, _ = self.live[token]
         outcome = self.broker.complete(token, PAYLOAD, DIGEST, now=self.now)
         assert outcome == "published"
         assert key not in self.done_keys, "double publish"
@@ -132,7 +132,7 @@ class BrokerProtocol(RuleBasedStateMachine):
     def complete_corrupt(self, data):
         """A digest mismatch is a failed attempt, never a result."""
         token = data.draw(st.sampled_from(sorted(self.live)))
-        key = self.live[token]
+        key, _ = self.live[token]
         outcome = self.broker.complete(
             token, PAYLOAD, "0" * 64, now=self.now
         )
@@ -157,6 +157,21 @@ class BrokerProtocol(RuleBasedStateMachine):
         outcome = self.broker.fail(token, "synthetic failure", now=self.now)
         assert outcome in ("requeued", "quarantined")
         self._retire(token)
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def disconnect(self, worker):
+        """A vanished remote host: every lease it held re-pends at once
+        (the coordinator channel calls ``release_worker`` on EOF)."""
+        expected = {
+            key for token, (key, owner) in self.live.items()
+            if owner == worker
+            and self.broker._job_for_token(token) is not None
+        }
+        released = self.broker.release_worker(worker)
+        assert set(released) == expected
+        for token, (_, owner) in list(self.live.items()):
+            if owner == worker:
+                self._retire(token)
 
     @rule(step=st.floats(min_value=0.5, max_value=30.0))
     def tick_and_expire(self, step):
@@ -276,6 +291,39 @@ class TestBrokerDurability:
             reborn.gather(handle)
         assert set(excinfo.value.quarantined) == {poison}
         assert len(excinfo.value.results) == 3
+
+    def test_partition_leases_repend_on_restart(self, tmp_path):
+        """Leases held by remote hosts when the coordinator snapshots are
+        re-pended in the reborn broker — a partition plus a coordinator
+        restart loses no spec, and the stale tokens can never publish."""
+        store = ResultStore(tmp_path / "store")
+        state = tmp_path / "queue.json"
+        broker = JobBroker(store=store, lease_timeout=30.0, state_path=state)
+        handle = broker.submit(SPECS[:3])
+        held = [broker.lease(f"remote:h{i}:700{i}") for i in range(2)]
+        assert all(held)
+        assert broker.counts()[LEASED] == 2
+
+        reborn = JobBroker(
+            store=store, lease_timeout=30.0, state_path=state
+        )
+        assert reborn.counts() == {
+            PENDING: 3, LEASED: 0, DONE: 0, QUARANTINED: 0
+        }
+        # Immediately leasable by a surviving host, no expiry wait.
+        job = reborn.lease("remote:h9:7009")
+        assert job is not None
+        # The vanished hosts' tokens are stale against the reborn broker.
+        for lease in held:
+            assert reborn.complete(
+                lease.token, PAYLOAD, DIGEST
+            ) == "stale"
+        reborn.complete(job.token, PAYLOAD, DIGEST)
+        while not reborn.done(handle):
+            job = reborn.lease("remote:h9:7009")
+            assert job is not None
+            reborn.complete(job.token, PAYLOAD, DIGEST)
+        assert len(reborn.gather(handle)) == 3
 
     def test_done_repends_when_store_lost_result(self, tmp_path):
         store = ResultStore(tmp_path / "store")

@@ -189,3 +189,38 @@ class TestEnvDrivenPlan:
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
         assert faults.active_plan() is faults.NO_FAULTS
         assert faults.NO_FAULTS.is_null
+
+
+class TestNetworkFaultKinds:
+    """The remote transport's selectors: drop / garble / disconnect."""
+
+    def test_round_trip_through_env(self, tmp_path, monkeypatch):
+        plan = faults.FaultPlan(
+            drop=("Qry1/NoPF",), garble=("ab",), disconnect=("Apache/PV8",),
+            tally_dir=str(tmp_path),
+        )
+        assert not plan.is_null
+        monkeypatch.setenv("REPRO_FAULTS", plan.to_env())
+        assert faults.active_plan() == plan
+
+    def test_hooks_fire_once_per_key(self, tmp_path):
+        plan = _plan(
+            tmp_path,
+            drop=("Qry1/NoPF",), garble=("aa",), disconnect=("Apache/PV8",),
+        )
+        # Tag-aimed drop: first trip only.
+        assert plan.should_drop("k1", "Qry1/NoPF")
+        assert not plan.should_drop("k1", "Qry1/NoPF")
+        assert plan.should_drop("k2", "Qry1/NoPF")  # a different key re-arms
+        # Key-prefix-aimed garble.
+        assert plan.should_garble("aa123", "x/y")
+        assert not plan.should_garble("aa123", "x/y")
+        assert not plan.should_garble("bb123", "x/y")  # selector mismatch
+        # Disconnect, and kinds never cross-trip each other.
+        assert plan.should_disconnect("k1", "Apache/PV8")
+        assert not plan.should_disconnect("k1", "Apache/PV8")
+        assert not plan.should_drop("zz", "Apache/PV8")
+
+    def test_unknown_selector_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            faults.FaultPlan.from_dict({"dropp": ["x"]})

@@ -1,0 +1,480 @@
+"""The remote-host backend and its hardened transport.
+
+Pinned guarantees:
+
+* the frame protocol never serves a torn message: a body whose digest
+  mismatches is rejected as :class:`FrameGarbled` with the stream still
+  in sync, while a damaged header desyncs and tears the connection down;
+* a sweep over two host agents under a crash + partition + garble + drop
+  schedule converges **byte-identical** to a serial fault-free run, with
+  no spec lost, nothing published twice, and the result-store files
+  identical down to the bytes;
+* when every host is gone — unreachable from the start, or dead
+  mid-sweep — the backend degrades to the local backend and the sweep
+  still completes (degraded, never wedged);
+* the artifact tier rides the same transport: agents fetch by content
+  hash, re-verify on receipt, quarantine damaged blobs exactly like a
+  local store, and upload what they compute back to the coordinator.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.prefetch.regions import SpatialRegionGeometry
+from repro.runner import artifacts as artifacts_mod
+from repro.runner import faults
+from repro.runner.artifacts import WARM, ArtifactStore, warm_key_id
+from repro.runner.remote import (
+    ArtifactGateway,
+    ConnectionClosed,
+    FrameError,
+    FrameGarbled,
+    HostAgent,
+    RemoteArtifactStore,
+    RemoteBackend,
+    _FrameReader,
+    parse_hosts,
+    recv_frame,
+    send_frame,
+)
+from repro.runner.serialize import canonical_result_json
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.store import ResultStore
+from repro.runner.sweep import SweepRunner
+from repro.runner.worker import make_backend
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import clear_cache
+from repro.workloads.registry import get_workload
+
+TINY = ExperimentScale(refs_per_core=400, warmup_refs=200, window_refs=200)
+
+SPECS = [
+    ExperimentSpec.build(workload, config, scale=TINY)
+    for workload in ["Qry1", "Apache"]
+    for config in [PrefetcherConfig.none(), PrefetcherConfig.virtualized(8)]
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    clear_cache()
+    faults.install(None)
+    yield
+    faults.install(None)
+    clear_cache()
+
+
+@pytest.fixture()
+def agents():
+    """Two in-process host agents (soft crash faults: no os._exit)."""
+    started = [HostAgent(hard_faults=False).start() for _ in range(2)]
+    yield started
+    for agent in started:
+        agent.stop()
+
+
+@pytest.fixture()
+def golden(tmp_path):
+    """Serial fault-free reference: canonical payloads + a result store."""
+    store = ResultStore(tmp_path / "golden-store")
+    results = SweepRunner(jobs=1, store=store).run(SPECS)
+    clear_cache()
+    return [canonical_result_json(r) for r in results], store
+
+
+def _store_files(store: ResultStore):
+    root = store.roots[0] if hasattr(store, "roots") else store.root
+    import pathlib
+
+    root = pathlib.Path(root)
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(0.5)
+    b.settimeout(0.5)
+    return a, b
+
+
+# ---------------------------------------------------------------- frames
+
+
+class TestFrameProtocol:
+    def test_roundtrip(self):
+        a, b = _pair()
+        send_frame(a, {"op": "x", "n": 3, "s": "héllo"})
+        assert recv_frame(b, 1.0) == {"op": "x", "n": 3, "s": "héllo"}
+        a.close(), b.close()
+
+    def test_garbled_body_detected_stream_stays_in_sync(self):
+        """A damaged body is a failed frame, not a desynced stream: the
+        very next frame decodes normally."""
+        a, b = _pair()
+        reader = _FrameReader(b)
+        send_frame(a, {"op": "damaged"}, garble=True)
+        send_frame(a, {"op": "good"})
+        with pytest.raises(FrameGarbled):
+            while True:
+                if reader.poll() is not None:
+                    break
+        frame = None
+        while frame is None:
+            frame = reader.poll()
+        assert frame == {"op": "good"}
+        a.close(), b.close()
+
+    def test_bad_header_desyncs(self):
+        a, b = _pair()
+        a.sendall(b"not a frame header\n")
+        with pytest.raises(FrameError):
+            _FrameReader(b).poll()
+        a.close(), b.close()
+
+    def test_oversized_announced_body_rejected(self):
+        a, b = _pair()
+        a.sendall(b"repro1 99999999999999 " + b"0" * 64 + b"\n")
+        with pytest.raises(FrameError):
+            _FrameReader(b).poll()
+        a.close(), b.close()
+
+    def test_eof_raises_connection_closed(self):
+        a, b = _pair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            _FrameReader(b).poll()
+        b.close()
+
+    def test_partial_frame_resumes_across_polls(self):
+        a, b = _pair()
+        reader = _FrameReader(b)
+        import hashlib
+        import json
+
+        body = json.dumps({"op": "split"}).encode()
+        digest = hashlib.sha256(body).hexdigest().encode()
+        frame = b"repro1 %d %s\n%s" % (len(body), digest, body)
+        a.sendall(frame[:10])
+        assert reader.poll() is None  # timeout, partial frame buffered
+        a.sendall(frame[10:])
+        got = None
+        while got is None:
+            got = reader.poll()
+        assert got == {"op": "split"}
+        a.close(), b.close()
+
+
+class TestParseHosts:
+    def test_parses_comma_list(self):
+        assert parse_hosts("a:1, b:2 ,c:3,") == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_hosts("justahost")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="REPRO_HOSTS"):
+            parse_hosts("")
+
+    def test_registry_resolves_remote_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTS", "127.0.0.1:7311,127.0.0.1:7312")
+        backend = make_backend("remote", workers=2)
+        assert isinstance(backend, RemoteBackend)
+        assert backend.hosts == [("127.0.0.1", 7311), ("127.0.0.1", 7312)]
+
+    def test_registry_without_hosts_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOSTS", raising=False)
+        with pytest.raises(ValueError, match="REPRO_HOSTS"):
+            make_backend("remote")
+
+
+# ----------------------------------------------------------- happy path
+
+
+class TestRemoteSweep:
+    def test_clean_sweep_matches_serial(self, tmp_path, agents, golden):
+        goldens, golden_store = golden
+        backend = RemoteBackend(
+            hosts=[a.address for a in agents], workers=2
+        )
+        store = ResultStore(tmp_path / "store")
+        runner = SweepRunner(
+            jobs=2, store=store, use_cache=False,
+            backend=backend, lease_timeout=2.0,
+        )
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == goldens
+        assert not backend.degraded
+        assert _store_files(store) == _store_files(golden_store)
+
+    def test_per_host_tallies(self, tmp_path, agents, golden):
+        backend = RemoteBackend(hosts=[a.address for a in agents], workers=2)
+        runner = SweepRunner(
+            jobs=2, store=ResultStore(tmp_path / "store"), use_cache=False,
+            backend=backend, lease_timeout=2.0,
+        )
+        runner.run(SPECS)
+        tallies = runner.last_host_tallies
+        assert set(tallies) == {f"{h}:{p}" for h, p in backend.hosts}
+        for tally in tallies.values():
+            assert set(tally) == {"done", "retried", "requeued", "reconnects"}
+        assert sum(t["done"] for t in tallies.values()) == len(SPECS)
+
+    def test_heartbeats_relayed_over_the_wire(self, tmp_path, agents):
+        """With a lease shorter than the compute, only relayed heartbeats
+        keep the lease alive — no expirations means they arrived."""
+        slow = ExperimentScale(
+            refs_per_core=6000, warmup_refs=3000, window_refs=600
+        )
+        specs = [ExperimentSpec.build(
+            "Qry1", PrefetcherConfig.virtualized(8), scale=slow
+        )]
+        golden = canonical_result_json(specs[0].execute())
+        backend = RemoteBackend(hosts=[agents[0].address], workers=1)
+        runner = SweepRunner(
+            jobs=1, store=ResultStore(tmp_path / "store"), use_cache=False,
+            backend=backend, lease_timeout=0.3,
+        )
+        results = runner.run(specs)
+        assert [canonical_result_json(r) for r in results] == [golden]
+        stats = runner.last_stats
+        assert stats["heartbeats"] >= 1
+        assert stats["expirations"] == 0
+        assert stats["published"] == 1
+
+
+# --------------------------------------------------------------- chaos
+
+
+class TestRemoteChaos:
+    def test_crash_partition_garble_converges_byte_identical(
+        self, tmp_path, agents, golden
+    ):
+        """The headline invariant: a crash + disconnect + garble + drop
+        schedule across two hosts still converges to the exact bytes of
+        the serial run — no lost spec, no double publish."""
+        goldens, golden_store = golden
+        faults.install(faults.FaultPlan(
+            crash=(SPECS[0].key,),
+            garble=(SPECS[1].key,),
+            disconnect=("Apache/PV8",),
+            drop=("Apache/NoPF",),
+            tally_dir=str(tmp_path / "tally"),
+        ))
+        backend = RemoteBackend(hosts=[a.address for a in agents], workers=2)
+        store = ResultStore(tmp_path / "store")
+        runner = SweepRunner(
+            jobs=2, store=store, use_cache=False,
+            backend=backend, lease_timeout=1.0,
+        )
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == goldens
+        stats = runner.last_stats
+        assert stats["published"] == len(SPECS)      # exactly once each
+        assert stats["retries"] >= 2                 # crash + garble went again
+        assert stats["expirations"] >= 1             # drop/disconnect re-pended
+        assert not backend.degraded                  # hosts recovered
+        assert len(store) == len(SPECS)              # no spec lost
+        assert _store_files(store) == _store_files(golden_store)
+        tallies = backend.tallies()
+        assert sum(t["done"] for t in tallies.values()) == len(SPECS)
+        assert sum(t["reconnects"] for t in tallies.values()) >= 1
+
+    def test_garbled_done_frame_is_failed_attempt(
+        self, tmp_path, agents, golden
+    ):
+        """A garbled result frame is never decoded: the lease fails, the
+        spec recomputes, and the published payload is pristine."""
+        goldens, _ = golden
+        faults.install(faults.FaultPlan(
+            garble=(SPECS[2].key,), tally_dir=str(tmp_path / "tally"),
+        ))
+        backend = RemoteBackend(hosts=[agents[0].address], workers=1)
+        runner = SweepRunner(
+            jobs=1, store=ResultStore(tmp_path / "store"), use_cache=False,
+            backend=backend, lease_timeout=2.0,
+        )
+        results = runner.run(SPECS)
+        assert [canonical_result_json(r) for r in results] == goldens
+        assert runner.last_stats["retries"] >= 1
+        assert backend.tallies()[
+            "%s:%d" % agents[0].address]["retried"] >= 1
+
+
+# ---------------------------------------------------------- degradation
+
+
+class TestDegradation:
+    def test_unreachable_hosts_degrade_to_local(self, tmp_path, golden):
+        goldens, _ = golden
+        # A port that was bound then released: connection refused.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        backend = RemoteBackend(
+            hosts=[("127.0.0.1", port)], workers=1,
+            reconnect_backoff=0.02, max_connect_failures=3,
+        )
+        runner = SweepRunner(
+            jobs=1, store=ResultStore(tmp_path / "store"), use_cache=False,
+            backend=backend, lease_timeout=1.0,
+        )
+        results = runner.run(SPECS)
+        assert backend.degraded
+        assert [canonical_result_json(r) for r in results] == goldens
+        assert runner.last_stats["published"] == len(SPECS)
+
+    def test_host_dying_mid_sweep_degrades_and_completes(
+        self, tmp_path, golden
+    ):
+        """An agent that stops after one job leaves the sweep unfinished;
+        the backend notices the dead host and the local fallback finishes
+        every remaining spec."""
+        goldens, _ = golden
+        agent = HostAgent(hard_faults=False, serve_limit=1).start()
+        try:
+            backend = RemoteBackend(
+                hosts=[agent.address], workers=1,
+                reconnect_backoff=0.02, max_connect_failures=3,
+            )
+            runner = SweepRunner(
+                jobs=1, store=ResultStore(tmp_path / "store"),
+                use_cache=False, backend=backend, lease_timeout=1.0,
+            )
+            results = runner.run(SPECS)
+            assert backend.degraded
+            assert [canonical_result_json(r) for r in results] == goldens
+            assert runner.last_stats["published"] == len(SPECS)
+            assert agent.jobs_done == 1
+        finally:
+            agent.stop()
+
+
+# ------------------------------------------------------- artifact tier
+
+
+PROFILE = get_workload("Qry1")
+REGION = SpatialRegionGeometry()
+
+
+def _warm_key(warmup=600):
+    return (
+        PROFILE, 3, REGION, warmup,
+        4, 64, 32768, 2, 32768, 2, 1 << 20, 16, True, 1,
+    )
+
+
+def _warm_payload():
+    snaps = [(17, {0: ([1, 2], [5, 6], [0, 0])}), (2, {})]
+    return (snaps, {4096: 3}, [64, 128], [0, 1])
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    coordinator = ArtifactStore(tmp_path / "coordinator")
+    gw = ArtifactGateway(coordinator).start()
+    yield coordinator, gw
+    gw.stop()
+
+
+class TestArtifactTier:
+    def test_fetch_by_hash_then_local_cache(self, tmp_path, gateway):
+        coordinator, gw = gateway
+        coordinator.put_warm_state(_warm_key(), _warm_payload())
+        remote = RemoteArtifactStore(tmp_path / "agent-cache", gw.address)
+        assert remote.get_warm_state(_warm_key()) == _warm_payload()
+        assert remote.remote_hits == 1
+        # Second read is served from the local cache, no second fetch.
+        assert remote.get_warm_state(_warm_key()) == _warm_payload()
+        assert remote.remote_fetches == 1
+
+    def test_upload_behind(self, tmp_path, gateway):
+        coordinator, gw = gateway
+        remote = RemoteArtifactStore(tmp_path / "agent-cache", gw.address)
+        remote.put_warm_state(_warm_key(), _warm_payload())
+        assert remote.remote_uploads == 1
+        assert coordinator.get_warm_state(_warm_key()) == _warm_payload()
+
+    def test_damaged_blob_quarantined_on_receipt(
+        self, tmp_path, gateway, monkeypatch
+    ):
+        """A blob damaged in flight fails the agent-side digest check: it
+        is quarantined (``*.corrupt``), counted, and read as a miss —
+        never trusted."""
+        coordinator, gw = gateway
+        coordinator.put_warm_state(_warm_key(), _warm_payload())
+        real_get_raw = coordinator.get_raw
+
+        def flipped(kind, key):
+            blob = real_get_raw(kind, key)
+            if blob is None:
+                return None
+            damaged = bytearray(blob)
+            damaged[-1] ^= 0x01  # body damage; header digest now wrong
+            return bytes(damaged)
+
+        monkeypatch.setattr(coordinator, "get_raw", flipped)
+        cache_root = tmp_path / "agent-cache"
+        remote = RemoteArtifactStore(cache_root, gw.address)
+        assert remote.get_warm_state(_warm_key()) is None
+        assert remote.quarantined >= 1
+        assert remote.quarantined_by_kind[WARM] >= 1
+        assert list(cache_root.rglob("*.corrupt"))
+
+    def test_gateway_rejects_damaged_upload(self, tmp_path, gateway):
+        coordinator, gw = gateway
+        remote = RemoteArtifactStore(tmp_path / "agent-cache", gw.address)
+        remote.put_warm_state(_warm_key(), _warm_payload())
+        key_id = warm_key_id(_warm_key())
+        blob = bytearray(remote.get_raw(WARM, key_id))
+        blob[-1] ^= 0x01
+
+        import base64
+
+        with socket.create_connection(gw.address, timeout=2.0) as sock:
+            send_frame(sock, {
+                "op": "art_put", "kind": WARM, "key": key_id,
+                "data": base64.b64encode(bytes(blob)).decode("ascii"),
+            })
+            reply = recv_frame(sock, 2.0)
+        assert reply == {"op": "art_ack", "ok": False}
+
+    def test_agents_share_warm_state_through_the_sweep(
+        self, tmp_path, agents, golden
+    ):
+        """End to end: with an artifact store active on the coordinator,
+        the sweep wires a gateway in and the agents populate it."""
+        from repro.sim.simulator import WARM_STATE_CACHE
+        from repro.workloads.generator import TRACE_CACHE
+
+        goldens, _ = golden
+        # The golden run warmed the in-process caches; clear them so the
+        # agents actually recompile (and publish) artifacts.
+        WARM_STATE_CACHE.clear()
+        TRACE_CACHE.clear()
+        coordinator = ArtifactStore(tmp_path / "artifacts")
+        previous = artifacts_mod.active_store()
+        artifacts_mod.set_active(coordinator)
+        try:
+            backend = RemoteBackend(
+                hosts=[a.address for a in agents], workers=2
+            )
+            runner = SweepRunner(
+                jobs=2, store=ResultStore(tmp_path / "store"),
+                use_cache=False, backend=backend, lease_timeout=2.0,
+            )
+            results = runner.run(SPECS)
+            assert [canonical_result_json(r) for r in results] == goldens
+            on_disk = coordinator.stats()["on_disk"]
+            assert sum(occ["entries"] for occ in on_disk.values()) >= 1
+        finally:
+            artifacts_mod.set_active(previous)

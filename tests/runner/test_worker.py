@@ -1,0 +1,146 @@
+"""Backend substrate hygiene: teardown errors and heartbeat-thread leaks.
+
+The failure-semantics proof lives in test_faults.py; this module pins the
+*plumbing* contracts of :mod:`repro.runner.worker`:
+
+* driving a backend whose queues are gone raises a clear
+  :class:`BackendTeardownError` (with the lease returned first) instead
+  of hanging or dying with a bare ``OSError``;
+* a heartbeat thread that outlives its join timeout is tracked and
+  surfaced through :func:`leaked_heartbeat_threads`, never silently
+  abandoned;
+* the process backend keeps per-slot tallies in the same shape the
+  remote backend reports per host.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.runner.broker import LEASED, PENDING, JobBroker
+from repro.runner.spec import ExperimentScale, ExperimentSpec
+from repro.runner.sweep import SweepRunner
+from repro.runner.worker import (
+    BackendTeardownError,
+    ProcessBackend,
+    _reap_heartbeat,
+    fork_available,
+    leaked_heartbeat_threads,
+)
+from repro.sim.config import PrefetcherConfig
+from repro.sim.experiment import clear_cache
+
+TINY = ExperimentScale(refs_per_core=400, warmup_refs=200, window_refs=200)
+
+SPECS = [
+    ExperimentSpec.build(workload, config, scale=TINY)
+    for workload in ["Qry1", "Apache"]
+    for config in [PrefetcherConfig.none()]
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class _ClosedQueue:
+    def put(self, item):
+        raise OSError("queue is closed")
+
+
+class TestTeardownErrors:
+    def test_dispatch_into_dead_queue_fails_lease_then_raises(self):
+        """The lease goes back to the broker *before* the error surfaces:
+        no spec is stranded in ``leased`` by a torn-down worker."""
+        broker = JobBroker()
+        broker.submit(SPECS[:1])
+        job = broker.lease("w0")
+        backend = ProcessBackend(workers=1)
+        entry = SimpleNamespace(task_q=_ClosedQueue(), busy=None)
+        with pytest.raises(BackendTeardownError, match="task queue"):
+            backend._dispatch("w0", entry, job, broker)
+        counts = broker.counts()
+        assert counts[LEASED] == 0
+        assert counts[PENDING] == 1
+        assert entry.busy is None
+
+    def test_result_queue_gone_raises_instead_of_hanging(self):
+        """A drain whose result queue dies reports the torn substrate."""
+
+        class _BrokenResultQueue:
+            def get(self, *args, **kwargs):
+                raise OSError("handle is closed")
+
+            def close(self):
+                pass
+
+            def cancel_join_thread(self):
+                pass
+
+        class _FakeProc:
+            def start(self):
+                pass
+
+            def is_alive(self):
+                return True
+
+            def join(self, timeout=None):
+                pass
+
+            def terminate(self):
+                pass
+
+        backend = ProcessBackend(workers=1)
+        backend._ctx = SimpleNamespace(
+            Queue=lambda: _BrokenResultQueue(),
+            SimpleQueue=lambda: SimpleNamespace(put=lambda item: None),
+            Process=lambda **kwargs: _FakeProc(),
+            get_start_method=lambda: "fork",
+        )
+        broker = JobBroker()
+        handle = broker.submit(SPECS[:1])
+        with pytest.raises(BackendTeardownError, match="result queue"):
+            list(backend.drain(broker, handle))
+
+
+class TestHeartbeatLeaks:
+    def test_wedged_heartbeat_thread_is_tracked(self):
+        release = threading.Event()
+        thread = threading.Thread(target=release.wait, daemon=True)
+        thread.start()
+        try:
+            assert not _reap_heartbeat(thread, timeout=0.05)
+            assert thread in leaked_heartbeat_threads()
+        finally:
+            release.set()
+            thread.join(timeout=1.0)
+        # Pruned once the thread finally dies: the registry reports only
+        # threads that are still leaked.
+        assert thread not in leaked_heartbeat_threads()
+
+    def test_joined_thread_is_not_a_leak(self):
+        thread = threading.Thread(target=lambda: None)
+        thread.start()
+        thread.join()
+        assert _reap_heartbeat(thread, timeout=0.05)
+        assert thread not in leaked_heartbeat_threads()
+
+    def test_no_thread_is_not_a_leak(self):
+        assert _reap_heartbeat(None)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork workers")
+class TestProcessTallies:
+    def test_per_slot_tallies_same_shape_as_remote(self, tmp_path):
+        runner = SweepRunner(jobs=2, lease_timeout=5.0, use_cache=False)
+        runner.run(SPECS)
+        tallies = runner.last_host_tallies
+        assert tallies, "process backend should report per-slot tallies"
+        for slot, tally in tallies.items():
+            assert slot.startswith("w")
+            assert {"done", "retried", "requeued", "reconnects"} <= set(tally)
+        assert sum(t["done"] for t in tallies.values()) == len(SPECS)
